@@ -1,0 +1,122 @@
+// Section 2 quantified: general DMM contention-resolution mappings vs the
+// dedicated bank conflict free algorithm.
+//
+// The paper argues that the general techniques from the granularity-of-
+// parallel-memories literature (hashing, skewing) are impractical for
+// high-performance kernels, and that dedicated CF algorithms are the way.
+// This harness measures, for the access schedules that actually occur in
+// the mergesort (worst-case sequential merge steps and the CF gather),
+// the congestion delay + per-access arithmetic overhead of each mapping.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "dmm/dmm.hpp"
+#include "gather/schedule.hpp"
+#include "worstcase/builder.hpp"
+#include "worstcase/predict.hpp"
+
+using namespace cfmerge;
+using namespace cfmerge::dmm;
+
+namespace {
+
+// The baseline's worst-case sequential-merge schedule for one warp:
+// step s = the addresses the w threads fetch at merge step s (modeled as
+// each thread scanning its tuple run; the real data-dependent schedule is
+// measured in thm8_predicted_vs_measured — this is the idealized aligned
+// scan the construction aims for).
+std::vector<std::vector<std::int64_t>> worst_case_scan_schedule(const worstcase::Params& p) {
+  const auto tuples = worstcase::warp_tuples(p, false);
+  const std::int64_t la = worstcase::a_total(tuples);
+  std::vector<std::int64_t> a_start(tuples.size()), b_start(tuples.size());
+  std::int64_t ao = 0, bo = 0;
+  for (std::size_t i = 0; i < tuples.size(); ++i) {
+    a_start[i] = ao;
+    b_start[i] = la + bo;
+    ao += tuples[i].a;
+    bo += tuples[i].b;
+  }
+  std::vector<std::vector<std::int64_t>> schedule(static_cast<std::size_t>(p.e));
+  for (int s = 0; s < p.e; ++s) {
+    auto& step = schedule[static_cast<std::size_t>(s)];
+    step.resize(tuples.size(), -1);
+    for (std::size_t i = 0; i < tuples.size(); ++i) {
+      // Thread i reads its s-th element: from A while s < a_i, then from B.
+      if (s < tuples[i].a)
+        step[i] = a_start[i] + s;
+      else
+        step[i] = b_start[i] + (s - tuples[i].a);
+    }
+  }
+  return schedule;
+}
+
+// The CF gather schedule for one warp, random split.
+std::vector<std::vector<std::int64_t>> gather_schedule(int w, int e, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::int64_t> off(static_cast<std::size_t>(w)), sz(static_cast<std::size_t>(w));
+  std::int64_t la = 0;
+  for (int i = 0; i < w; ++i) {
+    off[static_cast<std::size_t>(i)] = la;
+    sz[static_cast<std::size_t>(i)] = static_cast<std::int64_t>(rng() % (e + 1));
+    la += sz[static_cast<std::size_t>(i)];
+  }
+  gather::GatherShape shape{w, e, w, la, static_cast<std::int64_t>(w) * e - la};
+  gather::RoundSchedule sched(shape, off, sz);
+  std::vector<std::vector<std::int64_t>> schedule(static_cast<std::size_t>(e));
+  for (int j = 0; j < e; ++j) {
+    auto& step = schedule[static_cast<std::size_t>(j)];
+    step.resize(static_cast<std::size_t>(w));
+    for (int i = 0; i < w; ++i) step[static_cast<std::size_t>(i)] = sched.read(i, j).phys;
+  }
+  return schedule;
+}
+
+void report(const char* title, const std::vector<std::vector<std::int64_t>>& schedule,
+            int w) {
+  analysis::Table t(title);
+  t.set_header({"mapping", "PRAM steps", "delay", "slowdown", "max congestion",
+                "index-arith ops"});
+  std::vector<std::unique_ptr<ModuleMap>> maps;
+  maps.push_back(std::make_unique<DirectMap>(w));
+  maps.push_back(std::make_unique<OffsetMap>(w, 1));
+  maps.push_back(std::make_unique<UniversalHashMap>(w, 42));
+  for (const auto& m : maps) {
+    const auto cost =
+        schedule_cost(*m, std::span<const std::vector<std::int64_t>>(schedule));
+    t.add_row({m->name(), std::to_string(cost.ideal_steps),
+               std::to_string(cost.total_delay), analysis::Table::num(cost.slowdown(), 2),
+               std::to_string(cost.max_congestion), std::to_string(cost.overhead_ops)});
+  }
+  t.print(std::cout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("DMM contention resolution vs the dedicated CF algorithm (Section 2)\n\n");
+
+  for (const int e : {15, 16}) {
+    const worstcase::Params p{32, e};
+    std::printf("-- baseline worst-case merge scan, w=32, E=%d (Theorem 8 predicts %lld "
+                "conflicts)\n",
+                e, static_cast<long long>(worstcase::predicted_warp_conflicts(p)));
+    report("worst-case scan under each mapping", worst_case_scan_schedule(p), 32);
+  }
+
+  std::printf("-- CF gather (Algorithm 1), w=32, E=15 and the non-coprime E=16\n");
+  report("gather schedule, E=15", gather_schedule(32, 15, 7), 32);
+  report("gather schedule, E=16", gather_schedule(32, 16, 7), 32);
+
+  std::printf(
+      "Reading the tables: universal hashing tames the adversarial scan's\n"
+      "congestion but pays index arithmetic on *every* access and still is\n"
+      "not conflict free; the dedicated gather is congestion-1 (PRAM) with\n"
+      "zero mapping overhead — the paper's case for CF algorithm design.\n");
+  return 0;
+}

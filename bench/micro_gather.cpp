@@ -1,0 +1,147 @@
+// google-benchmark microbenchmarks of the core primitives: the dual
+// subsequence gather vs the baseline sequential merge (simulated cost and
+// host-side speed), the permutations, merge-path search, the odd-even
+// network, and the worst-case input builders.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "gather/dual_gather.hpp"
+#include "gather/validator.hpp"
+#include "gpusim/launcher.hpp"
+#include "mergepath/merge_path.hpp"
+#include "sort/merge_sort.hpp"
+#include "sort/odd_even.hpp"
+#include "worstcase/builder.hpp"
+
+using namespace cfmerge;
+
+namespace {
+
+std::vector<std::int64_t> random_sizes(std::mt19937_64& rng, int u, int e) {
+  std::vector<std::int64_t> sizes(static_cast<std::size_t>(u));
+  for (auto& s : sizes) s = static_cast<std::int64_t>(rng() % (e + 1));
+  return sizes;
+}
+
+gather::RoundSchedule make_schedule(int w, int e, int u, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  auto sizes = random_sizes(rng, u, e);
+  std::vector<std::int64_t> off(sizes.size());
+  std::int64_t run = 0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    off[i] = run;
+    run += sizes[i];
+  }
+  gather::GatherShape shape{w, e, u,
+                            run, static_cast<std::int64_t>(u) * e - run};
+  return gather::RoundSchedule(shape, std::move(off), std::move(sizes));
+}
+
+void BM_RoundScheduleLookup(benchmark::State& state) {
+  const auto sched = make_schedule(32, static_cast<int>(state.range(0)), 512, 1);
+  const int e = static_cast<int>(state.range(0));
+  std::int64_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 512; ++i)
+      for (int j = 0; j < e; ++j) sink += sched.read(i, j).phys;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 512 * e);
+}
+BENCHMARK(BM_RoundScheduleLookup)->Arg(15)->Arg(16)->Arg(17);
+
+void BM_ScheduleValidation(benchmark::State& state) {
+  std::mt19937_64 rng(2);
+  const int e = static_cast<int>(state.range(0));
+  const auto sizes = random_sizes(rng, 512, e);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gather::validate_sizes(32, e, 512, sizes).ok);
+  }
+}
+BENCHMARK(BM_ScheduleValidation)->Arg(15)->Arg(16);
+
+void BM_SimulatedGather(benchmark::State& state) {
+  const int e = static_cast<int>(state.range(0));
+  const int u = 512;
+  gpusim::Launcher launcher(gpusim::DeviceSpec::rtx2080ti());
+  std::vector<int> regs(static_cast<std::size_t>(u) * static_cast<std::size_t>(e));
+  for (auto _ : state) {
+    launcher.clear_history();
+    launcher.launch("gather", gpusim::LaunchShape{1, u, 0, 32},
+                    [&](gpusim::BlockContext& ctx) {
+                      gpusim::SharedTile<int> tile(
+                          ctx, static_cast<std::size_t>(u) * static_cast<std::size_t>(e));
+                      std::iota(tile.raw().begin(), tile.raw().end(), 0);
+                      const auto sched = make_schedule(32, e, u, 3);
+                      gather::dual_subsequence_gather(ctx, tile, sched,
+                                                      std::span<int>(regs));
+                    });
+  }
+  state.SetItemsProcessed(state.iterations() * u * e);
+}
+BENCHMARK(BM_SimulatedGather)->Arg(15)->Arg(17);
+
+void BM_MergePathSearch(benchmark::State& state) {
+  std::mt19937_64 rng(4);
+  const std::int64_t n = state.range(0);
+  std::vector<int> a(static_cast<std::size_t>(n)), b(static_cast<std::size_t>(n));
+  for (auto& x : a) x = static_cast<int>(rng() % 100000);
+  for (auto& x : b) x = static_cast<int>(rng() % 100000);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::int64_t diag = 0;
+  for (auto _ : state) {
+    diag = (diag + 7919) % (2 * n);
+    benchmark::DoNotOptimize(
+        mergepath::merge_path<int>(diag, std::span<const int>(a), std::span<const int>(b)));
+  }
+}
+BENCHMARK(BM_MergePathSearch)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_OddEvenNetwork(benchmark::State& state) {
+  std::mt19937_64 rng(5);
+  const int e = static_cast<int>(state.range(0));
+  std::vector<int> items(static_cast<std::size_t>(e));
+  for (auto _ : state) {
+    for (auto& x : items) x = static_cast<int>(rng());
+    sort::odd_even_transposition_sort(std::span<int>(items));
+    benchmark::DoNotOptimize(items.data());
+  }
+}
+BENCHMARK(BM_OddEvenNetwork)->Arg(15)->Arg(17)->Arg(32);
+
+void BM_WorstCaseBuilder(benchmark::State& state) {
+  const worstcase::Params p{32, 15};
+  const std::int64_t n = 512LL * 15 * state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(worstcase::worst_case_sort_input(p, 512, n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_WorstCaseBuilder)->Arg(4)->Arg(16);
+
+void BM_FullSortSimulation(benchmark::State& state) {
+  // Host-side speed of the whole simulated sort (simulator throughput).
+  const bool cf = state.range(0) != 0;
+  gpusim::Launcher launcher(gpusim::DeviceSpec::scaled_turing(4));
+  sort::MergeConfig cfg;
+  cfg.e = 15;
+  cfg.u = 512;
+  cfg.variant = cf ? sort::Variant::CFMerge : sort::Variant::Baseline;
+  std::mt19937_64 rng(6);
+  const std::int64_t n = 512LL * 15 * 8;
+  for (auto _ : state) {
+    std::vector<int> data(static_cast<std::size_t>(n));
+    for (auto& x : data) x = static_cast<int>(rng());
+    benchmark::DoNotOptimize(sort::merge_sort(launcher, data, cfg).microseconds);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FullSortSimulation)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

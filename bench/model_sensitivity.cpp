@@ -1,0 +1,108 @@
+// Timing-model robustness check: how do the headline relative results
+// (baseline worst/random slowdown, CF-Merge speedup, CF≈baseline on random)
+// respond to the main calibration constants?
+//
+// Sweeps shared_replay_cycles (the cost of one bank-conflict replay) and the
+// sustained-DRAM fraction.  The conflict *counters* never change — only the
+// conversion to time — so this quantifies how much of EXPERIMENTS.md's story
+// depends on calibration: the orderings should hold across the whole sweep,
+// with only the magnitudes moving.
+#include <cstdio>
+#include <iostream>
+#include <random>
+
+#include "analysis/table.hpp"
+#include "gpusim/launcher.hpp"
+#include "sort/merge_sort.hpp"
+#include "worstcase/builder.hpp"
+
+using namespace cfmerge;
+
+namespace {
+
+struct Scenario {
+  double base_rand_us = 0;
+  double base_worst_us = 0;
+  double cf_rand_us = 0;
+  double cf_worst_us = 0;
+};
+
+Scenario run_device(const gpusim::DeviceSpec& dev, const std::vector<int>& random_input,
+                    const std::vector<int>& worst_input, int e, int u) {
+  gpusim::Launcher launcher(dev);
+  Scenario s;
+  for (const auto variant : {sort::Variant::Baseline, sort::Variant::CFMerge}) {
+    for (const bool worst : {false, true}) {
+      sort::MergeConfig cfg;
+      cfg.e = e;
+      cfg.u = u;
+      cfg.variant = variant;
+      std::vector<int> data = worst ? worst_input : random_input;
+      const auto report = sort::merge_sort(launcher, data, cfg);
+      if (!std::is_sorted(data.begin(), data.end())) std::abort();
+      double& slot = variant == sort::Variant::Baseline
+                         ? (worst ? s.base_worst_us : s.base_rand_us)
+                         : (worst ? s.cf_worst_us : s.cf_rand_us);
+      slot = report.microseconds;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  const int e = 15, u = 512, tiles = 32;
+  const gpusim::DeviceSpec base_dev = gpusim::DeviceSpec::scaled_turing(4);
+  const std::int64_t n = static_cast<std::int64_t>(tiles) * u * e;
+
+  std::mt19937_64 rng(77);
+  std::vector<int> random_input(static_cast<std::size_t>(n));
+  for (auto& x : random_input) x = static_cast<int>(rng());
+  const auto w32 =
+      worstcase::worst_case_sort_input(worstcase::Params{base_dev.warp_size, e}, u, n);
+  const std::vector<int> worst_input(w32.begin(), w32.end());
+
+  std::printf("Timing-model sensitivity (E=%d, u=%d, n=%lld, %s base)\n", e, u,
+              static_cast<long long>(n), base_dev.name.c_str());
+  std::printf("counters are model-independent; only the time conversion moves.\n\n");
+
+  {
+    analysis::Table t("sweep 1: shared_replay_cycles (bank-conflict replay cost)");
+    t.set_header({"replay cycles", "thrust worst/rand", "cf speedup on worst",
+                  "cf/thrust on random"});
+    for (const int replay : {1, 2, 4, 8}) {
+      gpusim::DeviceSpec dev = base_dev;
+      dev.shared_replay_cycles = replay;
+      const Scenario s = run_device(dev, random_input, worst_input, e, u);
+      t.add_row({std::to_string(replay),
+                 analysis::Table::num(s.base_worst_us / s.base_rand_us, 3),
+                 analysis::Table::num(s.base_worst_us / s.cf_worst_us, 3),
+                 analysis::Table::num(s.cf_rand_us / s.base_rand_us, 3)});
+    }
+    t.print(std::cout);
+  }
+
+  std::printf("\n");
+  {
+    analysis::Table t("sweep 2: sustained DRAM bandwidth (fraction of calibrated)");
+    t.set_header({"dram fraction", "thrust worst/rand", "cf speedup on worst",
+                  "cf/thrust on random"});
+    for (const double frac : {0.5, 0.75, 1.0, 1.5, 2.0}) {
+      gpusim::DeviceSpec dev = base_dev;
+      dev.dram_bytes_per_cycle = base_dev.dram_bytes_per_cycle * frac;
+      const Scenario s = run_device(dev, random_input, worst_input, e, u);
+      t.add_row({analysis::Table::num(frac, 2),
+                 analysis::Table::num(s.base_worst_us / s.base_rand_us, 3),
+                 analysis::Table::num(s.base_worst_us / s.cf_worst_us, 3),
+                 analysis::Table::num(s.cf_rand_us / s.base_rand_us, 3)});
+    }
+    t.print(std::cout);
+  }
+
+  std::printf(
+      "\nReading the tables: the baseline always loses on the worst case and\n"
+      "CF-Merge always stays within a few percent of the baseline on random\n"
+      "inputs; the calibration constants only scale the margin.\n");
+  return 0;
+}

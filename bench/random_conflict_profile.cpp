@@ -1,0 +1,91 @@
+// Section 5 claim profile (the nvprof replacement):
+//  * Karsin et al.: random inputs cause a small constant (2-3) bank
+//    conflicts per step in the baseline merge;
+//  * Berney & Sitchinava: worst-case inputs approach the trivial bound;
+//  * CF-Merge: zero conflicts during merging on every input.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/experiment.hpp"
+#include "analysis/profile.hpp"
+#include "analysis/table.hpp"
+
+using namespace cfmerge;
+
+int main(int argc, char** argv) {
+  const auto sweep = analysis::SweepConfig::from_args(argc, argv);
+  gpusim::Launcher launcher(gpusim::DeviceSpec::rtx2080ti());
+  const int w = launcher.device().warp_size;
+
+  std::printf("Merge-phase bank conflict profile (per warp-wide access), w = %d\n", w);
+  std::printf("paper/Karsin: random ~2-3 per step; CF-Merge: 0 on all inputs\n\n");
+
+  analysis::Table table("conflicts per merge access");
+  table.set_header({"E", "u", "distribution", "variant", "merge conflicts",
+                    "conflicts/access", "conflicts/element/pass"});
+
+  const std::int64_t tiles = 16;
+  for (const auto& [e, u] : {std::pair{15, 512}, std::pair{17, 256}}) {
+    for (const auto dist : {workloads::Distribution::UniformRandom,
+                            workloads::Distribution::Sorted,
+                            workloads::Distribution::Reverse,
+                            workloads::Distribution::FewDistinct,
+                            workloads::Distribution::WorstCase}) {
+      workloads::WorkloadSpec spec;
+      spec.dist = dist;
+      spec.n = tiles * u * e;
+      spec.w = w;
+      spec.e = e;
+      spec.u = u;
+      spec.seed = sweep.seed;
+      for (const auto variant : {sort::Variant::Baseline, sort::Variant::CFMerge}) {
+        sort::MergeConfig cfg;
+        cfg.e = e;
+        cfg.u = u;
+        cfg.variant = variant;
+        std::vector<std::int32_t> data = workloads::generate(spec);
+        const auto report = sort::merge_sort(launcher, data, cfg);
+        table.add_row(
+            {std::to_string(e), std::to_string(u), workloads::distribution_name(dist),
+             variant == sort::Variant::Baseline ? "thrust" : "cf-merge",
+             std::to_string(report.merge_conflicts()),
+             analysis::Table::num(analysis::merge_conflicts_per_access(report), 3),
+             analysis::Table::num(analysis::merge_conflicts_per_element_pass(report), 3)});
+      }
+    }
+  }
+  table.print(std::cout);
+
+  // Detailed per-phase breakdown for the headline configuration.
+  std::printf("\nper-phase profile, E=15 u=512, uniform random, baseline:\n");
+  {
+    workloads::WorkloadSpec spec;
+    spec.dist = workloads::Distribution::UniformRandom;
+    spec.n = tiles * 512 * 15;
+    spec.seed = sweep.seed;
+    sort::MergeConfig cfg;
+    cfg.e = 15;
+    cfg.u = 512;
+    cfg.variant = sort::Variant::Baseline;
+    std::vector<std::int32_t> data = workloads::generate(spec);
+    const auto report = sort::merge_sort(launcher, data, cfg);
+    analysis::print_phase_profile(std::cout, report.phases, report.n_padded);
+  }
+  std::printf("\nper-phase profile, E=15 u=512, worst-case, cf-merge:\n");
+  {
+    workloads::WorkloadSpec spec;
+    spec.dist = workloads::Distribution::WorstCase;
+    spec.n = tiles * 512 * 15;
+    spec.w = w;
+    spec.e = 15;
+    spec.u = 512;
+    sort::MergeConfig cfg;
+    cfg.e = 15;
+    cfg.u = 512;
+    cfg.variant = sort::Variant::CFMerge;
+    std::vector<std::int32_t> data = workloads::generate(spec);
+    const auto report = sort::merge_sort(launcher, data, cfg);
+    analysis::print_phase_profile(std::cout, report.phases, report.n_padded);
+  }
+  return 0;
+}

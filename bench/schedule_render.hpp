@@ -1,0 +1,76 @@
+// Shared rendering helpers for the schedule-visualization harnesses
+// (Figures 2, 3, 7 and 8 of the paper): prints the shared memory bank
+// matrix with each cell labeled by the thread that reads it, and marks the
+// cells read in a given round.
+#pragma once
+
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "gather/schedule.hpp"
+#include "gather/validator.hpp"
+
+namespace cfmerge::benchviz {
+
+struct ScheduleViz {
+  gather::GatherShape shape;
+  std::vector<std::int64_t> a_off;
+  std::vector<std::int64_t> a_size;
+
+  static ScheduleViz random(int w, int e, int u, std::uint64_t seed) {
+    ScheduleViz v;
+    std::mt19937_64 rng(seed);
+    v.a_off.resize(static_cast<std::size_t>(u));
+    v.a_size.resize(static_cast<std::size_t>(u));
+    std::int64_t la = 0;
+    for (int i = 0; i < u; ++i) {
+      v.a_off[static_cast<std::size_t>(i)] = la;
+      v.a_size[static_cast<std::size_t>(i)] = static_cast<std::int64_t>(rng() % (e + 1));
+      la += v.a_size[static_cast<std::size_t>(i)];
+    }
+    v.shape = gather::GatherShape{w, e, u, la, static_cast<std::int64_t>(u) * e - la};
+    return v;
+  }
+
+  /// Prints one round: the w x (total/w) bank matrix; every cell shows the
+  /// thread that reads it at some round, '[..]' marks this round's cells,
+  /// 'A'/'B' shows the source list.
+  void print_round(int round) const {
+    gather::RoundSchedule sched(shape, a_off, a_size);
+    const std::int64_t total = shape.total();
+    const std::int64_t cols = total / shape.w;
+    std::vector<int> owner(static_cast<std::size_t>(total), -1);
+    std::vector<char> list(static_cast<std::size_t>(total), '?');
+    std::vector<char> now(static_cast<std::size_t>(total), 0);
+    for (int i = 0; i < shape.u; ++i) {
+      for (int j = 0; j < shape.e; ++j) {
+        const gather::GatherRead r = sched.read(i, j);
+        owner[static_cast<std::size_t>(r.phys)] = i;
+        list[static_cast<std::size_t>(r.phys)] = r.from_a ? 'A' : 'B';
+        if (j == round) now[static_cast<std::size_t>(r.phys)] = 1;
+      }
+    }
+    std::printf("round %d:\n", round);
+    for (int bank = 0; bank < shape.w; ++bank) {
+      std::printf("%3d: ", bank);
+      for (std::int64_t c = 0; c < cols; ++c) {
+        const std::int64_t pos = c * shape.w + bank;
+        const auto idx = static_cast<std::size_t>(pos);
+        std::printf(now[idx] ? "[%2d%c]" : " %2d%c ", owner[idx], list[idx]);
+      }
+      std::printf("\n");
+    }
+  }
+
+  /// Validates and prints the verdict (the figures' "no conflicts" claim).
+  void print_validation() const {
+    gather::RoundSchedule sched(shape, a_off, a_size);
+    const auto res = gather::validate_schedule(sched);
+    std::printf("validation: %s (max conflicts per access: %d, total: %lld)\n\n",
+                res.ok ? "BANK CONFLICT FREE" : res.error.c_str(), res.max_conflicts,
+                static_cast<long long>(res.total_conflicts));
+  }
+};
+
+}  // namespace cfmerge::benchviz

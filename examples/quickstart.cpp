@@ -1,0 +1,64 @@
+// Quickstart: sort an array with CF-Merge on the simulated GPU and inspect
+// the cost report.
+//
+//   $ ./quickstart [n]
+//
+// Walks through the three things the library gives you:
+//   1. a simulated device + launcher,
+//   2. the two mergesort variants (Thrust-style baseline and CF-Merge),
+//   3. nvprof-style counters proving CF-Merge's merges are conflict free.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <random>
+
+#include "cfmerge.hpp"
+
+using namespace cfmerge;
+
+int main(int argc, char** argv) {
+  const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 200000;
+
+  // 1. Pick a device.  rtx2080ti() is the paper's card; scaled_turing(k)
+  //    keeps the architecture but shrinks the SM count so small simulated
+  //    inputs behave like large real ones.
+  gpusim::Launcher launcher(gpusim::DeviceSpec::rtx2080ti());
+  std::printf("device: %s (w=%d, %d SMs)\n", launcher.device().name.c_str(),
+              launcher.device().warp_size, launcher.device().num_sms);
+
+  // 2. Generate input and sort it with both variants.
+  std::mt19937_64 rng(42);
+  std::vector<std::int32_t> input(static_cast<std::size_t>(n));
+  for (auto& x : input) x = static_cast<std::int32_t>(rng());
+
+  for (const auto variant : {sort::Variant::Baseline, sort::Variant::CFMerge}) {
+    sort::MergeConfig cfg;
+    cfg.e = 15;   // elements per thread (paper's E; coprime with w = 32)
+    cfg.u = 512;  // threads per block (100% occupancy on the 2080 Ti)
+    cfg.variant = variant;
+
+    std::vector<std::int32_t> data = input;
+    const sort::SortReport report = sort::merge_sort(launcher, data, cfg);
+
+    if (!std::is_sorted(data.begin(), data.end())) {
+      std::fprintf(stderr, "sort failed!\n");
+      return 1;
+    }
+    std::printf("\n%s\n",
+                analysis::summarize(report, variant == sort::Variant::Baseline
+                                                ? "thrust-baseline"
+                                                : "cf-merge")
+                    .c_str());
+    std::printf("  passes: %d, padded n: %lld, blocksort conflicts (shared by both): %llu\n",
+                report.passes, static_cast<long long>(report.n_padded),
+                static_cast<unsigned long long>(report.blocksort_conflicts()));
+  }
+
+  // 3. The headline counter: merge-phase conflicts per variant.
+  std::printf("\nCF-Merge's merge phase performs zero bank conflicts (the paper's\n"
+              "nvprof check); the baseline's conflicts depend on the input and can\n"
+              "be driven to Theta(E) per element by the Section 4 construction —\n"
+              "see ../bench/fig5_worstcase_throughput and worst_case_demo.\n");
+  return 0;
+}

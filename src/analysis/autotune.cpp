@@ -1,0 +1,80 @@
+#include "analysis/autotune.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+#include "numtheory/numtheory.hpp"
+#include "sort/cost_model.hpp"
+#include "sort/merge_sort.hpp"
+
+namespace cfmerge::analysis {
+
+std::vector<TuneCandidate> enumerate_candidates(const gpusim::DeviceSpec& dev,
+                                                const TuneOptions& opts) {
+  if (opts.e_min < 1 || opts.e_max < opts.e_min)
+    throw std::invalid_argument("enumerate_candidates: bad E range");
+  std::vector<TuneCandidate> out;
+  for (const int u : opts.u_values) {
+    if (u <= 0 || u % dev.warp_size != 0 || u > dev.max_threads_per_sm) continue;
+    // The block sort needs a power-of-two u.
+    if ((u & (u - 1)) != 0) continue;
+    for (int e = opts.e_min; e <= opts.e_max; ++e) {
+      TuneCandidate c;
+      c.e = e;
+      c.u = u;
+      c.tile = static_cast<std::int64_t>(u) * e;
+      c.coprime = numtheory::coprime(dev.warp_size, e);
+      const int regs = opts.variant == sort::Variant::CFMerge
+                           ? sort::cost::cfmerge_regs_per_thread(e)
+                           : sort::cost::baseline_regs_per_thread(e);
+      const auto occ = gpusim::compute_occupancy(
+          dev, u, static_cast<std::size_t>(c.tile) * sizeof(std::int32_t), regs);
+      if (occ.blocks_per_sm == 0) continue;  // does not fit
+      c.occupancy = occ.occupancy;
+      c.limiter = occ.limiter;
+      c.static_score = c.occupancy * (c.coprime ? 1.0 : 0.85);
+      out.push_back(c);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(), [](const TuneCandidate& a, const TuneCandidate& b) {
+    if (a.static_score != b.static_score) return a.static_score > b.static_score;
+    return a.tile > b.tile;  // larger tiles amortize partition/launch costs
+  });
+  // Drop candidates far below the best occupancy.
+  if (!out.empty()) {
+    double best_occ = 0.0;
+    for (const TuneCandidate& c : out) best_occ = std::max(best_occ, c.occupancy);
+    std::erase_if(out, [&](const TuneCandidate& c) {
+      return c.occupancy < best_occ * opts.occupancy_slack;
+    });
+  }
+  return out;
+}
+
+void measure_candidates(gpusim::Launcher& launcher, std::vector<TuneCandidate>& candidates,
+                        const TuneOptions& opts, int top_k, int tiles_per_candidate,
+                        std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const int limit = std::min<int>(top_k, static_cast<int>(candidates.size()));
+  for (int i = 0; i < limit; ++i) {
+    TuneCandidate& c = candidates[static_cast<std::size_t>(i)];
+    sort::MergeConfig cfg;
+    cfg.e = c.e;
+    cfg.u = c.u;
+    cfg.variant = opts.variant;
+    std::vector<std::int32_t> data(
+        static_cast<std::size_t>(c.tile) * static_cast<std::size_t>(tiles_per_candidate));
+    for (auto& x : data) x = static_cast<std::int32_t>(rng());
+    const auto report = sort::merge_sort(launcher, data, cfg);
+    if (!std::is_sorted(data.begin(), data.end()))
+      throw std::runtime_error("measure_candidates: sort bug");
+    c.measured_throughput = report.throughput();
+  }
+  std::stable_sort(candidates.begin(), candidates.begin() + limit,
+                   [](const TuneCandidate& a, const TuneCandidate& b) {
+                     return a.measured_throughput > b.measured_throughput;
+                   });
+}
+
+}  // namespace cfmerge::analysis

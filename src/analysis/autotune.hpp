@@ -1,0 +1,56 @@
+// Software-parameter autotuner.
+//
+// The paper's Section 5 revolves around the choice of (E, u): Thrust ships
+// E=17, u=256; Berney & Sitchinava found E=15, u=512 faster because it
+// reaches 100% occupancy; and E must be coprime with w for the baseline's
+// heuristic (CF-Merge lifts that constraint for the merge, though the
+// block-sort's stride-E accesses still prefer coprime E).  This module
+// automates the search: enumerate candidate (E, u) pairs, rank them by the
+// static occupancy model, and optionally measure the top candidates with a
+// calibration sort.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/launcher.hpp"
+#include "sort/merge_pass.hpp"
+
+namespace cfmerge::analysis {
+
+struct TuneCandidate {
+  int e = 0;
+  int u = 0;
+  bool coprime = false;        ///< gcd(w, E) == 1
+  double occupancy = 0.0;      ///< merge-kernel occupancy (static model)
+  std::string limiter;         ///< occupancy limiter
+  std::int64_t tile = 0;
+  /// Static score: occupancy, with a mild penalty for non-coprime E (which
+  /// degrades the shared block-sort stage even under CF-Merge).
+  double static_score = 0.0;
+  /// Filled by measure_candidates: simulated elements/us (0 if unmeasured).
+  double measured_throughput = 0.0;
+};
+
+struct TuneOptions {
+  int e_min = 5;
+  int e_max = 31;
+  std::vector<int> u_values = {128, 256, 512, 1024};
+  sort::Variant variant = sort::Variant::CFMerge;
+  /// Skip candidates whose occupancy is below this fraction of the best.
+  double occupancy_slack = 0.75;
+};
+
+/// Enumerates and statically ranks candidates (best first).
+[[nodiscard]] std::vector<TuneCandidate> enumerate_candidates(const gpusim::DeviceSpec& dev,
+                                                              const TuneOptions& opts);
+
+/// Measures the first `top_k` candidates with a calibration sort of
+/// `tiles_per_candidate` tiles of uniform random keys; re-sorts the list by
+/// measured throughput (best first).
+void measure_candidates(gpusim::Launcher& launcher, std::vector<TuneCandidate>& candidates,
+                        const TuneOptions& opts, int top_k, int tiles_per_candidate,
+                        std::uint64_t seed = 42);
+
+}  // namespace cfmerge::analysis

@@ -1,0 +1,124 @@
+#include "analysis/json.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace cfmerge::analysis {
+
+namespace {
+
+void write_counters(std::ostream& os, const gpusim::Counters& c) {
+  os << "{\"warp_instructions\":" << c.warp_instructions
+     << ",\"shared_accesses\":" << c.shared_accesses
+     << ",\"shared_cycles\":" << c.shared_cycles
+     << ",\"bank_conflicts\":" << c.bank_conflicts
+     << ",\"gmem_requests\":" << c.gmem_requests
+     << ",\"gmem_transactions\":" << c.gmem_transactions
+     << ",\"gmem_bytes\":" << c.gmem_bytes << ",\"barriers\":" << c.barriers << "}";
+}
+
+void write_phases(std::ostream& os, const gpusim::PhaseCounters& phases) {
+  os << "{";
+  bool first = true;
+  for (const auto& [name, c] : phases.phases()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":";
+    write_counters(os, c);
+  }
+  os << "}";
+}
+
+void write_kernels(std::ostream& os, const std::vector<gpusim::KernelReport>& kernels) {
+  os << "[";
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const auto& k = kernels[i];
+    if (i) os << ",";
+    os << "{\"name\":\"" << json_escape(k.name) << "\",\"blocks\":" << k.shape.blocks
+       << ",\"microseconds\":" << k.timing.microseconds << ",\"limiter\":\""
+       << k.timing.limiter << "\",\"occupancy\":" << k.timing.occupancy.occupancy
+       << ",\"waves\":" << k.timing.waves << "}";
+  }
+  os << "]";
+}
+
+const char* variant_name(sort::Variant v) {
+  return v == sort::Variant::Baseline ? "baseline" : "cf-merge";
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream esc;
+          esc << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(c);
+          out += esc.str();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_json(std::ostream& os, const sort::SortReport& report,
+                const sort::MergeConfig& cfg, const std::string& device,
+                const std::string& workload) {
+  os << "{\"kind\":\"sort\",\"device\":\"" << json_escape(device) << "\",\"workload\":\""
+     << json_escape(workload) << "\",\"variant\":\"" << variant_name(cfg.variant)
+     << "\",\"e\":" << cfg.e << ",\"u\":" << cfg.u << ",\"n\":" << report.n
+     << ",\"n_padded\":" << report.n_padded << ",\"passes\":" << report.passes
+     << ",\"microseconds\":" << report.microseconds
+     << ",\"throughput_elem_per_us\":" << report.throughput()
+     << ",\"merge_conflicts\":" << report.merge_conflicts()
+     << ",\"blocksort_conflicts\":" << report.blocksort_conflicts() << ",\"totals\":";
+  write_counters(os, report.totals);
+  os << ",\"phases\":";
+  write_phases(os, report.phases);
+  os << ",\"kernels\":";
+  write_kernels(os, report.kernels);
+  os << "}\n";
+}
+
+void write_json(std::ostream& os, const sort::MergeReport& report,
+                const sort::MergeConfig& cfg, const std::string& device) {
+  os << "{\"kind\":\"merge\",\"device\":\"" << json_escape(device) << "\",\"variant\":\""
+     << variant_name(cfg.variant) << "\",\"e\":" << cfg.e << ",\"u\":" << cfg.u
+     << ",\"na\":" << report.na << ",\"nb\":" << report.nb
+     << ",\"microseconds\":" << report.microseconds
+     << ",\"throughput_elem_per_us\":" << report.throughput()
+     << ",\"merge_conflicts\":" << report.merge_conflicts() << ",\"totals\":";
+  write_counters(os, report.totals);
+  os << ",\"phases\":";
+  write_phases(os, report.phases);
+  os << "}\n";
+}
+
+void write_json(std::ostream& os, const sort::BitonicReport& report,
+                const sort::BitonicConfig& cfg, const std::string& device,
+                const std::string& workload) {
+  os << "{\"kind\":\"bitonic\",\"device\":\"" << json_escape(device)
+     << "\",\"workload\":\"" << json_escape(workload) << "\",\"u\":" << cfg.u
+     << ",\"elems_per_thread\":" << cfg.elems_per_thread
+     << ",\"padded\":" << (cfg.padded ? "true" : "false") << ",\"n\":" << report.n
+     << ",\"n_padded\":" << report.n_padded
+     << ",\"microseconds\":" << report.microseconds
+     << ",\"throughput_elem_per_us\":" << report.throughput() << ",\"totals\":";
+  write_counters(os, report.totals);
+  os << ",\"phases\":";
+  write_phases(os, report.phases);
+  os << "}\n";
+}
+
+}  // namespace cfmerge::analysis

@@ -1,0 +1,32 @@
+// Minimal JSON serialization of simulation reports — for scripting around
+// the CLI tool and the benchmark harnesses (no external dependency).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sort/bitonic.hpp"
+#include "sort/merge_arrays.hpp"
+#include "sort/merge_sort.hpp"
+
+namespace cfmerge::analysis {
+
+/// Writes a JSON object describing a full sort run: configuration echo,
+/// timing, totals, per-phase counters and per-kernel timings.
+void write_json(std::ostream& os, const sort::SortReport& report,
+                const sort::MergeConfig& cfg, const std::string& device,
+                const std::string& workload);
+
+/// Same for a standalone merge.
+void write_json(std::ostream& os, const sort::MergeReport& report,
+                const sort::MergeConfig& cfg, const std::string& device);
+
+/// Same for a bitonic run.
+void write_json(std::ostream& os, const sort::BitonicReport& report,
+                const sort::BitonicConfig& cfg, const std::string& device,
+                const std::string& workload);
+
+/// Escapes a string for embedding in JSON.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace cfmerge::analysis

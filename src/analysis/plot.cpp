@@ -1,0 +1,58 @@
+#include "analysis/plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+
+namespace cfmerge::analysis {
+
+void AsciiPlot::print(std::ostream& os) const {
+  os << "== " << title_ << " ==\n";
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = 0.0, ymax = -std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const double x = log_x_ ? std::log2(s.x[i]) : s.x[i];
+      xmin = std::min(xmin, x);
+      xmax = std::max(xmax, x);
+      ymax = std::max(ymax, s.y[i]);
+      any = true;
+    }
+  }
+  if (!any) {
+    os << "(no data)\n";
+    return;
+  }
+  if (xmax == xmin) xmax = xmin + 1;
+  if (ymax <= ymin) ymax = ymin + 1;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height_),
+                                std::string(static_cast<std::size_t>(width_), ' '));
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const double x = log_x_ ? std::log2(s.x[i]) : s.x[i];
+      const int cx = static_cast<int>(std::lround((x - xmin) / (xmax - xmin) * (width_ - 1)));
+      const int cy =
+          static_cast<int>(std::lround((s.y[i] - ymin) / (ymax - ymin) * (height_ - 1)));
+      const int row = height_ - 1 - cy;
+      if (row >= 0 && row < height_ && cx >= 0 && cx < width_)
+        grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(cx)] = s.glyph;
+    }
+  }
+  os << std::fixed << std::setprecision(1);
+  for (int r = 0; r < height_; ++r) {
+    const double yv = ymax - (ymax - ymin) * r / (height_ - 1);
+    os << std::setw(10) << yv << " |" << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << std::string(11, ' ') << '+' << std::string(static_cast<std::size_t>(width_), '-')
+     << '\n';
+  os << std::string(12, ' ') << xlabel_ << (log_x_ ? "  [log2 axis: " : "  [") << "min="
+     << (log_x_ ? std::exp2(xmin) : xmin) << " max=" << (log_x_ ? std::exp2(xmax) : xmax)
+     << "]   y: " << ylabel_ << '\n';
+  for (const auto& s : series_) os << "    '" << s.glyph << "' = " << s.name << '\n';
+}
+
+}  // namespace cfmerge::analysis

@@ -1,0 +1,44 @@
+// Minimal ASCII line plots for the figure-reproduction harnesses.
+//
+// Each series is a set of (x, y) points; x is rendered on a log2 axis when
+// requested (the paper's figures use a logarithmic x-axis).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cfmerge::analysis {
+
+struct Series {
+  std::string name;
+  char glyph = '*';
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+class AsciiPlot {
+ public:
+  AsciiPlot(std::string title, std::string xlabel, std::string ylabel, int width = 72,
+            int height = 20)
+      : title_(std::move(title)),
+        xlabel_(std::move(xlabel)),
+        ylabel_(std::move(ylabel)),
+        width_(width),
+        height_(height) {}
+
+  void set_log_x(bool v) { log_x_ = v; }
+  void add_series(Series s) { series_.push_back(std::move(s)); }
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::string xlabel_;
+  std::string ylabel_;
+  int width_;
+  int height_;
+  bool log_x_ = false;
+  std::vector<Series> series_;
+};
+
+}  // namespace cfmerge::analysis

@@ -1,0 +1,52 @@
+#include "analysis/profile.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "analysis/table.hpp"
+
+namespace cfmerge::analysis {
+
+void print_phase_profile(std::ostream& os, const gpusim::PhaseCounters& phases,
+                         std::int64_t n_elements) {
+  Table t("phase profile (per-phase shared memory behaviour)");
+  t.set_header({"phase", "shared_accesses", "bank_conflicts", "conflicts/access",
+                "conflicts/element", "gmem_transactions", "warp_instrs"});
+  for (const auto& [name, c] : phases.phases()) {
+    t.add_row({name, Table::integer(static_cast<long long>(c.shared_accesses)),
+               Table::integer(static_cast<long long>(c.bank_conflicts)),
+               Table::num(c.conflicts_per_access(), 3),
+               Table::num(n_elements > 0 ? static_cast<double>(c.bank_conflicts) / n_elements
+                                         : 0.0,
+                          3),
+               Table::integer(static_cast<long long>(c.gmem_transactions)),
+               Table::integer(static_cast<long long>(c.warp_instructions))});
+  }
+  t.print(os);
+}
+
+double merge_conflicts_per_element_pass(const sort::SortReport& report) {
+  const std::uint64_t conflicts = report.merge_conflicts();
+  const double denom = static_cast<double>(report.n_padded) *
+                       std::max(1, report.passes);
+  return denom > 0 ? static_cast<double>(conflicts) / denom : 0.0;
+}
+
+double merge_conflicts_per_access(const sort::SortReport& report) {
+  const std::uint64_t acc = report.merge_shared_accesses();
+  return acc > 0 ? static_cast<double>(report.merge_conflicts()) / static_cast<double>(acc)
+                 : 0.0;
+}
+
+std::string summarize(const sort::SortReport& report, const std::string& label) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  os << label << ": n=" << report.n << " time=" << report.microseconds << "us"
+     << " throughput=" << report.throughput() << " elem/us"
+     << " merge_conflicts=" << report.merge_conflicts() << " ("
+     << std::setprecision(3) << merge_conflicts_per_access(report) << "/access)";
+  return os.str();
+}
+
+}  // namespace cfmerge::analysis

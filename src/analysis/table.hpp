@@ -1,0 +1,33 @@
+// ASCII table and CSV writers used by the benchmark harnesses.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cfmerge::analysis {
+
+/// A simple column-aligned text table with an optional title, printable to
+/// any ostream, plus CSV export.
+class Table {
+ public:
+  explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double with `prec` significant decimals.
+  static std::string num(double v, int prec = 2);
+  static std::string integer(long long v);
+
+  void print(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cfmerge::analysis

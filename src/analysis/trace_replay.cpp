@@ -1,0 +1,38 @@
+#include "analysis/trace_replay.hpp"
+
+#include <algorithm>
+
+namespace cfmerge::analysis {
+
+ReplayResult replay_shared(const gpusim::TraceSink& trace, const dmm::ModuleMap& map,
+                           std::string_view phase) {
+  ReplayResult r;
+  r.mapping = map.name();
+  for (const gpusim::TraceEvent& e : trace.events()) {
+    if (e.kind != gpusim::AccessKind::SharedRead &&
+        e.kind != gpusim::AccessKind::SharedWrite)
+      continue;
+    if (!phase.empty() &&
+        trace.phase_names()[static_cast<std::size_t>(e.phase_id)] != phase)
+      continue;
+    const dmm::StepCost cost = dmm::step_cost(map, trace.addresses(e));
+    if (cost.active == 0) continue;
+    ++r.shared_accesses;
+    r.total_conflicts += cost.congestion - 1;
+    r.max_congestion = std::max(r.max_congestion, cost.congestion);
+    r.mapping_overhead_ops += static_cast<std::int64_t>(cost.active) * map.overhead_ops();
+  }
+  return r;
+}
+
+std::vector<ReplayResult> replay_standard_mappings(const gpusim::TraceSink& trace, int w,
+                                                   std::string_view phase,
+                                                   std::uint64_t hash_seed) {
+  std::vector<ReplayResult> out;
+  out.push_back(replay_shared(trace, dmm::DirectMap(w), phase));
+  out.push_back(replay_shared(trace, dmm::OffsetMap(w, 1), phase));
+  out.push_back(replay_shared(trace, dmm::UniversalHashMap(w, hash_seed), phase));
+  return out;
+}
+
+}  // namespace cfmerge::analysis

@@ -1,0 +1,39 @@
+// Trace replay: re-evaluates a recorded access trace under alternative
+// bank/module mappings — the "what if this GPU hashed / skewed its banks?"
+// analysis connecting the gpusim traces to the DMM model of Section 2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dmm/dmm.hpp"
+#include "gpusim/trace.hpp"
+
+namespace cfmerge::analysis {
+
+struct ReplayResult {
+  std::string mapping;
+  std::int64_t shared_accesses = 0;
+  std::int64_t total_conflicts = 0;    ///< Σ (congestion - 1) over accesses
+  int max_congestion = 0;
+  std::int64_t mapping_overhead_ops = 0;
+
+  [[nodiscard]] double conflicts_per_access() const {
+    return shared_accesses > 0
+               ? static_cast<double>(total_conflicts) / static_cast<double>(shared_accesses)
+               : 0.0;
+  }
+};
+
+/// Replays the trace's *shared* accesses under `map`.  Optionally restricted
+/// to one phase ("" = all).
+[[nodiscard]] ReplayResult replay_shared(const gpusim::TraceSink& trace,
+                                         const dmm::ModuleMap& map,
+                                         std::string_view phase = {});
+
+/// Convenience: replays under direct, skew-1 and universal-hash mappings.
+[[nodiscard]] std::vector<ReplayResult> replay_standard_mappings(
+    const gpusim::TraceSink& trace, int w, std::string_view phase = {},
+    std::uint64_t hash_seed = 42);
+
+}  // namespace cfmerge::analysis

@@ -1,0 +1,84 @@
+#include "dmm/dmm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "numtheory/numtheory.hpp"
+
+namespace cfmerge::dmm {
+
+DirectMap::DirectMap(int w) : w_(w) {
+  if (w <= 0) throw std::invalid_argument("DirectMap: w must be positive");
+}
+
+int DirectMap::module(std::int64_t address) const {
+  return static_cast<int>(numtheory::mod(address, w_));
+}
+
+OffsetMap::OffsetMap(int w, int skew) : w_(w), skew_(skew) {
+  if (w <= 0) throw std::invalid_argument("OffsetMap: w must be positive");
+  if (skew < 0) throw std::invalid_argument("OffsetMap: skew must be non-negative");
+}
+
+int OffsetMap::module(std::int64_t address) const {
+  const std::int64_t row = address / w_;
+  return static_cast<int>(numtheory::mod(address + skew_ * row, w_));
+}
+
+std::string OffsetMap::name() const { return "offset-skew" + std::to_string(skew_); }
+
+UniversalHashMap::UniversalHashMap(int w, std::uint64_t seed) : w_(w) {
+  if (w <= 0) throw std::invalid_argument("UniversalHashMap: w must be positive");
+  std::mt19937_64 rng(seed);
+  a_ = rng() % (kPrime - 1) + 1;  // a in [1, p-1]
+  b_ = rng() % kPrime;            // b in [0, p-1]
+}
+
+int UniversalHashMap::module(std::int64_t address) const {
+  const std::uint64_t x = static_cast<std::uint64_t>(address) % kPrime;
+  const std::uint64_t h = (a_ * x + b_) % kPrime;
+  return static_cast<int>(h % static_cast<std::uint64_t>(w_));
+}
+
+StepCost step_cost(const ModuleMap& map, std::span<const std::int64_t> addresses) {
+  StepCost cost;
+  // Deduplicate same-address requests (combining), then count per module.
+  std::vector<std::int64_t> active;
+  active.reserve(addresses.size());
+  for (const std::int64_t a : addresses) {
+    if (a < 0) continue;
+    ++cost.active;
+    active.push_back(a);
+  }
+  if (active.empty()) return cost;
+  std::sort(active.begin(), active.end());
+  active.erase(std::unique(active.begin(), active.end()), active.end());
+  std::vector<int> load;
+  for (const std::int64_t a : active) {
+    const int m = map.module(a);
+    if (m >= static_cast<int>(load.size())) load.resize(static_cast<std::size_t>(m) + 1, 0);
+    cost.congestion = std::max(cost.congestion, ++load[static_cast<std::size_t>(m)]);
+  }
+  return cost;
+}
+
+ScheduleCost schedule_cost(const ModuleMap& map,
+                           std::span<const std::vector<std::int64_t>> schedule) {
+  ScheduleCost cost;
+  for (const auto& step : schedule) {
+    const StepCost sc = step_cost(map, step);
+    if (sc.active == 0) continue;
+    ++cost.ideal_steps;
+    cost.total_delay += sc.congestion;
+    cost.max_congestion = std::max(cost.max_congestion, sc.congestion);
+    cost.overhead_ops += static_cast<std::int64_t>(sc.active) * map.overhead_ops();
+  }
+  return cost;
+}
+
+std::vector<std::vector<std::int64_t>> GatherScheduleAdapter::from_physical(
+    std::span<const std::vector<std::int64_t>> phys) {
+  return {phys.begin(), phys.end()};
+}
+
+}  // namespace cfmerge::dmm

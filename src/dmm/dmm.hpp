@@ -1,0 +1,122 @@
+// The Distributed Memory Machine (DMM) — the paper's Section 2 model.
+//
+// A DMM (Mehlhorn & Vishkin 1984) has w synchronous processors and w memory
+// modules; in one step each processor issues at most one access, and a
+// module serves one request per unit time, so a step with congestion c
+// (max requests per module) takes c time.  GPU shared memory maps onto the
+// DMM directly: banks = modules, the lanes of a warp = processors — which
+// is why "bank conflict free" algorithms admit PRAM-style analysis.
+//
+// The module also implements the address-to-module maps discussed in the
+// granularity-of-parallel-memories literature the paper surveys:
+//  * DirectMap   — module = address mod w (real GPU hardware),
+//  * OffsetMap   — module = (address + floor(address/w) * s) mod w
+//                  (static skewing, the classic array-padding trick),
+//  * UniversalHashMap — module = ((a*x + b) mod p) mod w, a Carter-Wegman
+//                  family (the randomized simulations of Czumaj et al. and
+//                  Karp et al.; the paper notes their overheads make them
+//                  impractical, which bench/dmm_mappings quantifies).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cfmerge::dmm {
+
+/// Address-to-module mapping strategy.
+class ModuleMap {
+ public:
+  virtual ~ModuleMap() = default;
+  [[nodiscard]] virtual int module(std::int64_t address) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Extra work per access this mapping costs on a real machine (index
+  /// arithmetic; hashing needs a multiply+mod chain).
+  [[nodiscard]] virtual int overhead_ops() const = 0;
+};
+
+/// module = address mod w — what NVIDIA shared memory does.
+class DirectMap final : public ModuleMap {
+ public:
+  explicit DirectMap(int w);
+  [[nodiscard]] int module(std::int64_t address) const override;
+  [[nodiscard]] std::string name() const override { return "direct"; }
+  [[nodiscard]] int overhead_ops() const override { return 0; }
+
+ private:
+  int w_;
+};
+
+/// module = (address + skew * row) mod w with row = address / w — static
+/// skewing equivalent to padding each row of a w-column matrix.
+class OffsetMap final : public ModuleMap {
+ public:
+  OffsetMap(int w, int skew);
+  [[nodiscard]] int module(std::int64_t address) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int overhead_ops() const override { return 2; }
+
+ private:
+  int w_;
+  int skew_;
+};
+
+/// Carter-Wegman universal hashing onto modules.
+class UniversalHashMap final : public ModuleMap {
+ public:
+  /// Draws (a, b) from a seeded RNG; p is a Mersenne prime 2^31 - 1.
+  UniversalHashMap(int w, std::uint64_t seed);
+  [[nodiscard]] int module(std::int64_t address) const override;
+  [[nodiscard]] std::string name() const override { return "universal-hash"; }
+  [[nodiscard]] int overhead_ops() const override { return 4; }
+
+ private:
+  int w_;
+  std::uint64_t a_;
+  std::uint64_t b_;
+  static constexpr std::uint64_t kPrime = (1ull << 31) - 1;
+};
+
+/// Cost of one DMM step under a mapping.
+struct StepCost {
+  int congestion = 0;  ///< max distinct requests on one module (0 if idle)
+  int active = 0;      ///< participating processors
+};
+
+/// Evaluates one synchronous step: `addresses[p]` is processor p's request
+/// (-1 = idle).  Requests to the same address on the same module count once
+/// (combining / broadcast, as on GPUs).
+[[nodiscard]] StepCost step_cost(const ModuleMap& map,
+                                 std::span<const std::int64_t> addresses);
+
+/// Aggregate delay of an access schedule: sum over steps of congestion.
+/// `schedule[t]` holds step t's per-processor addresses.
+struct ScheduleCost {
+  std::int64_t total_delay = 0;       ///< Σ congestion (unit-time modules)
+  std::int64_t ideal_steps = 0;       ///< number of non-empty steps (PRAM time)
+  int max_congestion = 0;
+  std::int64_t overhead_ops = 0;      ///< mapping arithmetic, Σ active * per-access
+
+  /// Slowdown versus an ideal PRAM executing one step per time unit.
+  [[nodiscard]] double slowdown() const {
+    return ideal_steps > 0 ? static_cast<double>(total_delay) / static_cast<double>(ideal_steps)
+                           : 0.0;
+  }
+};
+
+[[nodiscard]] ScheduleCost schedule_cost(
+    const ModuleMap& map, std::span<const std::vector<std::int64_t>> schedule);
+
+/// Builds the DMM access schedule of a gather RoundSchedule warp (one step
+/// per round) — the bridge between the GPU simulator and the DMM model.
+class GatherScheduleAdapter {
+ public:
+  /// `phys[t][p]`: physical address read by processor p in step t.
+  static std::vector<std::vector<std::int64_t>> from_physical(
+      std::span<const std::vector<std::int64_t>> phys);
+};
+
+}  // namespace cfmerge::dmm

@@ -1,0 +1,4 @@
+// dual_gather is header-only (templates); this translation unit exists to
+// give the module a home in the library and to anchor future non-template
+// helpers.
+#include "gather/dual_gather.hpp"

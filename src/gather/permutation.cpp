@@ -1,0 +1,22 @@
+#include "gather/permutation.hpp"
+
+#include <stdexcept>
+
+#include "numtheory/numtheory.hpp"
+
+namespace cfmerge::gather {
+
+BReversal::BReversal(std::int64_t la, std::int64_t lb) : la_(la), lb_(lb) {
+  if (la < 0 || lb < 0) throw std::invalid_argument("BReversal: negative list size");
+}
+
+CircularShift::CircularShift(int w, int e, std::int64_t total)
+    : w_(w), e_(e), d_(static_cast<int>(numtheory::gcd(w, e))), total_(total) {
+  if (w <= 0 || e <= 0) throw std::invalid_argument("CircularShift: w and E must be positive");
+  if (total < 0) throw std::invalid_argument("CircularShift: negative total");
+  p_ = static_cast<std::int64_t>(w) * e / d_;
+  if (total % p_ != 0)
+    throw std::invalid_argument("CircularShift: total must be a multiple of wE/d");
+}
+
+}  // namespace cfmerge::gather

@@ -1,0 +1,64 @@
+#include "gather/validator.hpp"
+
+#include <numeric>
+#include <sstream>
+
+#include "gpusim/shared_memory.hpp"
+
+namespace cfmerge::gather {
+
+ValidationResult validate_schedule(const RoundSchedule& sched) {
+  const GatherShape& s = sched.shape();
+  ValidationResult res;
+
+  std::vector<int> touched(static_cast<std::size_t>(s.total()), 0);
+  std::vector<std::int64_t> addrs(static_cast<std::size_t>(s.w));
+  for (int j = 0; j < s.e; ++j) {
+    for (int warp = 0; warp < s.u / s.w; ++warp) {
+      for (int lane = 0; lane < s.w; ++lane) {
+        const GatherRead r = sched.read(warp * s.w + lane, j);
+        addrs[static_cast<std::size_t>(lane)] = r.phys;
+        ++touched[static_cast<std::size_t>(r.raw)];
+      }
+      const gpusim::SharedAccessCost cost = gpusim::shared_access_cost(addrs, s.w);
+      res.total_conflicts += cost.conflicts;
+      if (cost.conflicts > res.max_conflicts) res.max_conflicts = cost.conflicts;
+      if (cost.conflicts > 0 && res.ok) {
+        res.ok = false;
+        std::ostringstream os;
+        os << "bank conflict (degree " << cost.cycles << ") in round " << j << ", warp "
+           << warp << " (w=" << s.w << ", E=" << s.e << ", u=" << s.u << ", la=" << s.la
+           << ")";
+        res.error = os.str();
+      }
+    }
+  }
+  for (std::size_t m = 0; m < touched.size(); ++m) {
+    if (touched[m] != 1) {
+      res.ok = false;
+      std::ostringstream os;
+      os << "raw index " << m << " read " << touched[m] << " times (expected exactly once)";
+      res.error = os.str();
+      break;
+    }
+  }
+  return res;
+}
+
+ValidationResult validate_sizes(int w, int e, int u, const std::vector<std::int64_t>& a_sizes) {
+  std::vector<std::int64_t> off(a_sizes.size());
+  std::int64_t run = 0;
+  for (std::size_t i = 0; i < a_sizes.size(); ++i) {
+    off[i] = run;
+    run += a_sizes[i];
+  }
+  GatherShape shape{w, e, u, run, static_cast<std::int64_t>(u) * e - run};
+  RoundSchedule sched(shape, std::move(off), a_sizes);
+  return validate_schedule(sched);
+}
+
+std::int64_t round_of_raw(const GatherShape& shape, std::int64_t raw) {
+  return numtheory::mod(raw, shape.e);
+}
+
+}  // namespace cfmerge::gather

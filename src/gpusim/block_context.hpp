@@ -1,0 +1,97 @@
+// Per-thread-block simulation context.
+//
+// Kernels are written warp-synchronously: device code is a C++ callable over
+// a BlockContext that issues *warp-wide* operations (one address per lane).
+// The context does the cost accounting:
+//
+//  * throughput counters (Counters, per named phase) — how many cycles each
+//    SM resource (issue slots, shared unit, DRAM) is kept busy;
+//  * per-warp dependency chains — the critical path of each warp, used by
+//    the latency-bound term of the timing model.  A barrier synchronizes
+//    all warp chains of the block to their maximum.
+//
+// Data itself lives in ordinary host containers; see SharedTile / GlobalView
+// in memory_views.hpp for typed wrappers that move data and charge costs in
+// one call.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "gpusim/device_spec.hpp"
+#include "gpusim/trace.hpp"
+#include "gpusim/global_memory.hpp"
+#include "gpusim/l2_cache.hpp"
+#include "gpusim/shared_memory.hpp"
+#include "gpusim/stats.hpp"
+
+namespace cfmerge::gpusim {
+
+class BlockContext {
+ public:
+  /// `threads` must be a positive multiple of the device warp size.
+  BlockContext(const DeviceSpec& dev, int block_id, int num_blocks, int threads);
+
+  [[nodiscard]] const DeviceSpec& device() const { return *dev_; }
+  [[nodiscard]] int block_id() const { return block_id_; }
+  [[nodiscard]] int num_blocks() const { return num_blocks_; }
+  [[nodiscard]] int threads() const { return threads_; }
+  [[nodiscard]] int lanes() const { return dev_->warp_size; }
+  [[nodiscard]] int warps() const { return threads_ / dev_->warp_size; }
+
+  /// Switches the phase that subsequent charges are attributed to.
+  void phase(std::string_view name);
+  [[nodiscard]] const PhaseCounters& counters() const { return counters_; }
+
+  // --- charging primitives --------------------------------------------
+  /// One warp-wide shared memory access (element addresses, kInactiveLane
+  /// for idle lanes).  Returns the access cost.  `dependent` extends the
+  /// warp's dependency chain by latency + replays.
+  SharedAccessCost charge_shared(int warp, std::span<const std::int64_t> addrs,
+                                 bool dependent = true, bool is_write = false);
+  /// One warp-wide global access (byte addresses).  `dependent` charges the
+  /// full DRAM latency on the warp chain; pass false for accesses that
+  /// pipeline behind a previous one (e.g. the tail of a streaming tile
+  /// load, where only the first request pays the latency).
+  GlobalAccessCost charge_gmem(int warp, std::span<const std::int64_t> byte_addrs,
+                               int elem_bytes, bool dependent = true,
+                               bool is_write = false);
+  /// `instrs` warp-wide ALU/control instructions; `chain` of them are on the
+  /// dependency chain (defaults to all).
+  void charge_compute(int warp, std::uint64_t instrs, std::int64_t chain = -1);
+  /// Block-wide barrier: all warp chains advance to the block maximum.
+  void barrier();
+
+  /// Registers shared memory consumption (for the occupancy calculation).
+  void add_shared_bytes(std::size_t bytes) { shared_bytes_ += bytes; }
+  [[nodiscard]] std::size_t shared_bytes() const { return shared_bytes_; }
+
+  /// Attaches a trace sink; every subsequent access is recorded.
+  void set_trace(TraceSink* sink) { trace_ = sink; }
+  /// Attaches the device-level L2 cache (owned by the Launcher).
+  void set_l2(L2Cache* l2) { l2_ = l2; }
+  [[nodiscard]] TraceSink* trace() const { return trace_; }
+
+  /// Critical path of the block in cycles: max over warp chains.
+  [[nodiscard]] double block_chain() const;
+  [[nodiscard]] const std::vector<double>& warp_chains() const { return chains_; }
+
+ private:
+  const DeviceSpec* dev_;
+  int block_id_;
+  int num_blocks_;
+  int threads_;
+  std::size_t shared_bytes_ = 0;
+  PhaseCounters counters_;
+  Counters* current_;
+  std::string current_phase_ = "main";
+  TraceSink* trace_ = nullptr;
+  L2Cache* l2_ = nullptr;
+  std::vector<std::int64_t> l2_scratch_;
+  std::vector<double> chains_;
+};
+
+}  // namespace cfmerge::gpusim

@@ -1,0 +1,57 @@
+#include "gpusim/global_memory.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <stdexcept>
+
+#include "gpusim/shared_memory.hpp"  // kInactiveLane
+
+namespace cfmerge::gpusim {
+
+namespace {
+constexpr int kMaxLanes = 64;
+}
+
+GlobalAccessCost global_access_cost(std::span<const std::int64_t> byte_addrs, int elem_bytes,
+                                    int transaction_bytes) {
+  if (elem_bytes <= 0 || transaction_bytes <= 0)
+    throw std::invalid_argument("global_access_cost: sizes must be positive");
+  if (byte_addrs.size() > static_cast<std::size_t>(kMaxLanes))
+    throw std::invalid_argument("global_access_cost: too many lanes");
+
+  std::array<std::int64_t, 2 * kMaxLanes> segments{};
+  int n = 0;
+  GlobalAccessCost cost;
+  for (const std::int64_t a : byte_addrs) {
+    if (a == kInactiveLane) continue;
+    assert(a >= 0 && "global byte address must be non-negative");
+    ++cost.active_lanes;
+    cost.bytes += elem_bytes;
+    // An element may straddle a segment boundary; count both segments.
+    const std::int64_t first = a / transaction_bytes;
+    const std::int64_t last = (a + elem_bytes - 1) / transaction_bytes;
+    for (std::int64_t s = first; s <= last; ++s)
+      segments[static_cast<std::size_t>(n++)] = s;
+  }
+  if (n == 0) return cost;
+  std::sort(segments.begin(), segments.begin() + n);
+  cost.transactions =
+      static_cast<int>(std::unique(segments.begin(), segments.begin() + n) - segments.begin());
+  return cost;
+}
+
+void global_access_segments(std::span<const std::int64_t> byte_addrs, int elem_bytes,
+                            int transaction_bytes, std::vector<std::int64_t>& out) {
+  out.clear();
+  for (const std::int64_t a : byte_addrs) {
+    if (a == kInactiveLane) continue;
+    const std::int64_t first = a / transaction_bytes;
+    const std::int64_t last = (a + elem_bytes - 1) / transaction_bytes;
+    for (std::int64_t s = first; s <= last; ++s) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+}  // namespace cfmerge::gpusim

@@ -1,0 +1,34 @@
+// Coalescing model for global memory.
+//
+// A warp-wide global access is split into one transaction per distinct
+// `transaction_bytes`-aligned segment touched by the active lanes (the
+// standard CUDA coalescing rule).  Fully coalesced access to contiguous
+// 4-byte elements by a 32-lane warp therefore costs one 128-byte
+// transaction; a stride-32 access costs 32.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cfmerge::gpusim {
+
+struct GlobalAccessCost {
+  int transactions = 0;
+  std::int64_t bytes = 0;
+  int active_lanes = 0;
+};
+
+/// Cost of one warp-wide global access.  `byte_addrs` holds one byte address
+/// per lane (use gpusim::kInactiveLane from shared_memory.hpp for idle
+/// lanes); `elem_bytes` is the size of each element actually transferred.
+[[nodiscard]] GlobalAccessCost global_access_cost(std::span<const std::int64_t> byte_addrs,
+                                                  int elem_bytes, int transaction_bytes);
+
+/// The distinct transaction segments (segment index = byte / transaction
+/// size) a warp access touches, appended to `out` (cleared first).  Used by
+/// the L2 cache model.
+void global_access_segments(std::span<const std::int64_t> byte_addrs, int elem_bytes,
+                            int transaction_bytes, std::vector<std::int64_t>& out);
+
+}  // namespace cfmerge::gpusim

@@ -1,0 +1,46 @@
+#include "gpusim/l2_cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace cfmerge::gpusim {
+
+L2Cache::L2Cache(std::size_t bytes, int line_bytes, int ways)
+    : line_bytes_(line_bytes), ways_(ways) {
+  if (line_bytes <= 0 || ways <= 0 || bytes == 0)
+    throw std::invalid_argument("L2Cache: sizes must be positive");
+  const std::size_t lines = bytes / static_cast<std::size_t>(line_bytes);
+  if (lines < static_cast<std::size_t>(ways))
+    throw std::invalid_argument("L2Cache: capacity smaller than one set");
+  sets_ = std::bit_floor(lines / static_cast<std::size_t>(ways));
+  if (sets_ == 0) sets_ = 1;
+  slots_.assign(sets_ * static_cast<std::size_t>(ways_), Way{});
+}
+
+bool L2Cache::access(std::int64_t byte_addr) {
+  const std::int64_t line = byte_addr / line_bytes_;
+  const std::size_t set = static_cast<std::size_t>(line) % sets_;
+  Way* base = slots_.data() + set * static_cast<std::size_t>(ways_);
+  ++tick_;
+  Way* victim = base;
+  for (int i = 0; i < ways_; ++i) {
+    if (base[i].tag == line) {
+      base[i].last_use = tick_;
+      ++hits_;
+      return true;
+    }
+    if (base[i].last_use < victim->last_use) victim = &base[i];
+  }
+  victim->tag = line;
+  victim->last_use = tick_;
+  ++misses_;
+  return false;
+}
+
+void L2Cache::clear() {
+  for (Way& w : slots_) w = Way{};
+  tick_ = 0;
+  reset_stats();
+}
+
+}  // namespace cfmerge::gpusim

@@ -1,0 +1,53 @@
+// Device-level L2 cache model (opt-in).
+//
+// When DeviceSpec::l2_bytes > 0, every global-memory transaction is looked
+// up in a set-associative LRU cache shared by the whole device; hits are
+// served on-chip and only misses count as DRAM traffic (Counters::gmem_bytes
+// then reports transaction_bytes per miss instead of the requested element
+// bytes).  This matters for the merge-path partition searches, whose probes
+// repeatedly touch the same hot lines.
+//
+// Off by default: the calibrated experiment results of EXPERIMENTS.md use
+// the bare DRAM model.  The simulator runs blocks sequentially, so a shared
+// L2 sees more temporal locality between blocks than concurrent hardware
+// would — treat enabled-L2 numbers as an upper bound on cache benefit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cfmerge::gpusim {
+
+class L2Cache {
+ public:
+  /// `bytes` total capacity; `line_bytes` granularity (usually the DRAM
+  /// transaction size); `ways` associativity.
+  L2Cache(std::size_t bytes, int line_bytes, int ways);
+
+  /// Looks up the line containing `byte_addr`; returns true on hit and
+  /// updates recency/fills on miss.
+  bool access(std::int64_t byte_addr);
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] int line_bytes() const { return line_bytes_; }
+  [[nodiscard]] std::size_t sets() const { return sets_; }
+  void reset_stats() { hits_ = misses_ = 0; }
+  void clear();
+
+ private:
+  struct Way {
+    std::int64_t tag = -1;
+    std::uint64_t last_use = 0;
+  };
+
+  int line_bytes_;
+  int ways_;
+  std::size_t sets_;
+  std::vector<Way> slots_;  // sets_ * ways_
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace cfmerge::gpusim

@@ -1,0 +1,58 @@
+#include "gpusim/launcher.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cfmerge::gpusim {
+
+KernelReport Launcher::launch(const std::string& name, const LaunchShape& shape,
+                              const std::function<void(BlockContext&)>& body) {
+  if (shape.blocks <= 0) throw std::invalid_argument("Launcher::launch: empty grid");
+
+  KernelReport report;
+  report.name = name;
+  report.shape = shape;
+
+  double chain_sum = 0.0;
+  std::size_t shared_bytes = shape.shared_bytes_per_block;
+  for (int b = 0; b < shape.blocks; ++b) {
+    BlockContext ctx(dev_, b, shape.blocks, shape.threads_per_block);
+    ctx.set_trace(trace_);
+    ctx.set_l2(l2_.get());
+    body(ctx);
+    report.counters.merge(ctx.counters());
+    const double chain = ctx.block_chain();
+    chain_sum += chain;
+    report.max_block_chain = std::max(report.max_block_chain, chain);
+    shared_bytes = std::max(shared_bytes, ctx.shared_bytes());
+  }
+  report.mean_block_chain = chain_sum / shape.blocks;
+
+  LaunchShape final_shape = shape;
+  final_shape.shared_bytes_per_block = shared_bytes;
+  report.shape = final_shape;
+  report.timing = simulate_timing(dev_, final_shape, report.total(), report.mean_block_chain);
+
+  history_.push_back(report);
+  return report;
+}
+
+double Launcher::total_microseconds() const {
+  double us = 0.0;
+  for (const auto& r : history_) us += r.timing.microseconds;
+  return us;
+}
+
+Counters Launcher::total_counters() const {
+  Counters c;
+  for (const auto& r : history_) c += r.total();
+  return c;
+}
+
+PhaseCounters Launcher::phase_counters() const {
+  PhaseCounters p;
+  for (const auto& r : history_) p.merge(r.counters);
+  return p;
+}
+
+}  // namespace cfmerge::gpusim

@@ -1,0 +1,71 @@
+// Kernel launcher: runs a kernel body for every block of a grid, collects
+// counters + dependency chains, and evaluates the timing model.
+//
+// A "kernel" is any callable void(BlockContext&).  Blocks are simulated
+// sequentially (the model is deterministic, so order does not matter); the
+// launcher aggregates per-phase counters and mean block critical path, then
+// applies gpusim::simulate_timing.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpusim/block_context.hpp"
+#include "gpusim/trace.hpp"
+#include "gpusim/timing.hpp"
+
+namespace cfmerge::gpusim {
+
+struct KernelReport {
+  std::string name;
+  LaunchShape shape;
+  PhaseCounters counters;
+  double mean_block_chain = 0.0;
+  double max_block_chain = 0.0;
+  KernelTiming timing;
+
+  [[nodiscard]] Counters total() const { return counters.total(); }
+};
+
+class Launcher {
+ public:
+  explicit Launcher(DeviceSpec dev) : dev_(std::move(dev)) {
+    dev_.validate();
+    if (dev_.l2_bytes > 0)
+      l2_ = std::make_unique<L2Cache>(dev_.l2_bytes, dev_.transaction_bytes, dev_.l2_ways);
+  }
+
+  /// The device L2 model, or nullptr when disabled.
+  [[nodiscard]] L2Cache* l2() const { return l2_.get(); }
+
+  [[nodiscard]] const DeviceSpec& device() const { return dev_; }
+
+  /// Attaches a trace sink recording every access of subsequent launches
+  /// (nullptr detaches).  See gpusim/trace.hpp.
+  void set_trace(TraceSink* sink) { trace_ = sink; }
+
+  /// Runs `body` for each of `shape.blocks` blocks and returns the report.
+  /// The report is also appended to the launch history.
+  KernelReport launch(const std::string& name, const LaunchShape& shape,
+                      const std::function<void(BlockContext&)>& body);
+
+  [[nodiscard]] const std::vector<KernelReport>& history() const { return history_; }
+  void clear_history() { history_.clear(); }
+
+  /// Sum of simulated kernel times in the history, microseconds.
+  [[nodiscard]] double total_microseconds() const;
+  /// Counters summed over the history.
+  [[nodiscard]] Counters total_counters() const;
+  /// Per-phase counters merged over the history.
+  [[nodiscard]] PhaseCounters phase_counters() const;
+
+ private:
+  DeviceSpec dev_;
+  std::unique_ptr<L2Cache> l2_;
+  TraceSink* trace_ = nullptr;
+  std::vector<KernelReport> history_;
+};
+
+}  // namespace cfmerge::gpusim

@@ -1,0 +1,130 @@
+// Typed data views that move data and charge simulation costs together.
+//
+//  * SharedTile<T>  — a block's shared memory allocation.  Warp-wide
+//    gather/scatter go through the bank-conflict model; `raw()` provides
+//    uncharged access for test setup and verification.
+//  * GlobalView<T>  — a window onto a "global memory" host buffer.  Warp-wide
+//    access goes through the coalescing model.
+//
+// All warp-wide operations take one element index per lane;
+// gpusim::kInactiveLane marks idle lanes.
+#pragma once
+
+#include <cassert>
+#include <type_traits>
+#include <span>
+#include <vector>
+
+#include "gpusim/block_context.hpp"
+#include "gpusim/shared_memory.hpp"
+
+namespace cfmerge::gpusim {
+
+template <typename T>
+class SharedTile {
+ public:
+  SharedTile(BlockContext& ctx, std::size_t n) : ctx_(&ctx), data_(n) {
+    ctx.add_shared_bytes(n * sizeof(T));
+  }
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::span<T> raw() { return data_; }
+  [[nodiscard]] std::span<const T> raw() const { return data_; }
+
+  /// Warp-wide load: out[lane] = shared[addrs[lane]] for active lanes.
+  SharedAccessCost gather(int warp, std::span<const std::int64_t> addrs, std::span<T> out,
+                          bool dependent = true) {
+    assert(out.size() >= addrs.size());
+    const SharedAccessCost c = ctx_->charge_shared(warp, addrs, dependent);
+    for (std::size_t l = 0; l < addrs.size(); ++l) {
+      if (addrs[l] == kInactiveLane) continue;
+      assert(addrs[l] >= 0 && static_cast<std::size_t>(addrs[l]) < data_.size());
+      out[l] = data_[static_cast<std::size_t>(addrs[l])];
+    }
+    return c;
+  }
+
+  /// Warp-wide store: shared[addrs[lane]] = in[lane] for active lanes.
+  /// Active lanes must target distinct addresses (concurrent same-address
+  /// writes are a data race on real hardware).
+  SharedAccessCost scatter(int warp, std::span<const std::int64_t> addrs,
+                           std::span<const T> in, bool dependent = true) {
+    assert(in.size() >= addrs.size());
+    const SharedAccessCost c = ctx_->charge_shared(warp, addrs, dependent, /*is_write=*/true);
+    for (std::size_t l = 0; l < addrs.size(); ++l) {
+      if (addrs[l] == kInactiveLane) continue;
+      assert(addrs[l] >= 0 && static_cast<std::size_t>(addrs[l]) < data_.size());
+      data_[static_cast<std::size_t>(addrs[l])] = in[l];
+    }
+    return c;
+  }
+
+ private:
+  BlockContext* ctx_;
+  std::vector<T> data_;
+};
+
+template <typename T>
+class GlobalView {
+ public:
+  using value_type = std::remove_const_t<T>;
+
+  /// Wraps `data` (element index 0 of the view = `data[0]`); `base_elem` is
+  /// the element offset of the view within the underlying allocation, used
+  /// only to compute physical byte addresses for coalescing.
+  GlobalView(BlockContext& ctx, std::span<T> data, std::int64_t base_elem = 0)
+      : ctx_(&ctx), data_(data), base_(base_elem) {}
+
+  [[nodiscard]] std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
+
+  /// Warp-wide load: out[lane] = view[idxs[lane]].
+  GlobalAccessCost gather(int warp, std::span<const std::int64_t> idxs,
+                          std::span<value_type> out, bool dependent = true) {
+    const GlobalAccessCost c = charge(warp, idxs, dependent, /*is_write=*/false);
+    for (std::size_t l = 0; l < idxs.size(); ++l) {
+      if (idxs[l] == kInactiveLane) continue;
+      assert(idxs[l] >= 0 && idxs[l] < size());
+      out[l] = data_[static_cast<std::size_t>(idxs[l])];
+    }
+    return c;
+  }
+
+  /// Warp-wide store: view[idxs[lane]] = in[lane].
+  GlobalAccessCost scatter(int warp, std::span<const std::int64_t> idxs,
+                           std::span<const value_type> in, bool dependent = true)
+    requires(!std::is_const_v<T>)
+  {
+    const GlobalAccessCost c = charge(warp, idxs, dependent, /*is_write=*/true);
+    for (std::size_t l = 0; l < idxs.size(); ++l) {
+      if (idxs[l] == kInactiveLane) continue;
+      assert(idxs[l] >= 0 && idxs[l] < size());
+      data_[static_cast<std::size_t>(idxs[l])] = in[l];
+    }
+    return c;
+  }
+
+  /// Uncharged element read, for probe bookkeeping done by the caller.
+  [[nodiscard]] const T& peek(std::int64_t i) const {
+    assert(i >= 0 && i < size());
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  GlobalAccessCost charge(int warp, std::span<const std::int64_t> idxs, bool dependent,
+                          bool is_write) {
+    std::int64_t bytes[64];
+    assert(idxs.size() <= 64);
+    for (std::size_t l = 0; l < idxs.size(); ++l)
+      bytes[l] = idxs[l] == kInactiveLane
+                     ? kInactiveLane
+                     : (base_ + idxs[l]) * static_cast<std::int64_t>(sizeof(T));
+    return ctx_->charge_gmem(warp, std::span<const std::int64_t>(bytes, idxs.size()),
+                             static_cast<int>(sizeof(T)), dependent, is_write);
+  }
+
+  BlockContext* ctx_;
+  std::span<T> data_;
+  std::int64_t base_;
+};
+
+}  // namespace cfmerge::gpusim

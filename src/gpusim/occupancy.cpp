@@ -1,0 +1,46 @@
+#include "gpusim/occupancy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cfmerge::gpusim {
+
+OccupancyResult compute_occupancy(const DeviceSpec& dev, int threads_per_block,
+                                  std::size_t shared_bytes, int regs_per_thread) {
+  if (threads_per_block <= 0 || threads_per_block % dev.warp_size != 0)
+    throw std::invalid_argument(
+        "compute_occupancy: threads_per_block must be a positive multiple of warp_size");
+  if (regs_per_thread < 0) throw std::invalid_argument("compute_occupancy: negative registers");
+
+  OccupancyResult r;
+  const int by_threads = dev.max_threads_per_sm / threads_per_block;
+  const int by_blocks = dev.max_blocks_per_sm;
+  const int by_shared =
+      shared_bytes == 0 ? by_blocks
+                        : static_cast<int>(dev.shared_bytes_per_sm / shared_bytes);
+  const std::int64_t block_regs =
+      static_cast<std::int64_t>(regs_per_thread) * threads_per_block;
+  const int by_regs =
+      block_regs == 0 ? by_blocks : static_cast<int>(dev.registers_per_sm / block_regs);
+
+  r.blocks_per_sm = std::min({by_threads, by_blocks, by_shared, by_regs});
+  if (r.blocks_per_sm <= 0) {
+    r.blocks_per_sm = 0;
+    r.limiter = "none";
+    return r;
+  }
+  if (r.blocks_per_sm == by_threads)
+    r.limiter = "threads";
+  else if (r.blocks_per_sm == by_shared)
+    r.limiter = "shared";
+  else if (r.blocks_per_sm == by_regs)
+    r.limiter = "registers";
+  else
+    r.limiter = "blocks";
+
+  r.warps_per_sm = r.blocks_per_sm * (threads_per_block / dev.warp_size);
+  r.occupancy = static_cast<double>(r.warps_per_sm) / dev.max_warps_per_sm();
+  return r;
+}
+
+}  // namespace cfmerge::gpusim

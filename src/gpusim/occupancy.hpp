@@ -1,0 +1,31 @@
+// Occupancy calculation (CUDA occupancy calculator, simplified).
+//
+// The paper attributes the performance difference between the software
+// parameter sets (E=15, u=512) and (E=17, u=256) to occupancy; this module
+// reproduces that mechanism for the timing model.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "gpusim/device_spec.hpp"
+
+namespace cfmerge::gpusim {
+
+struct OccupancyResult {
+  /// Blocks resident per SM (0 if the block does not fit at all).
+  int blocks_per_sm = 0;
+  int warps_per_sm = 0;
+  /// Fraction of the SM's maximum resident warps, in [0, 1].
+  double occupancy = 0.0;
+  /// Which resource bound the result ("threads", "blocks", "shared",
+  /// "registers", or "none" when blocks_per_sm == 0).
+  std::string limiter = "none";
+};
+
+/// Occupancy for a kernel with `threads_per_block` threads, using
+/// `shared_bytes` of shared memory per block and `regs_per_thread` registers.
+[[nodiscard]] OccupancyResult compute_occupancy(const DeviceSpec& dev, int threads_per_block,
+                                                std::size_t shared_bytes, int regs_per_thread);
+
+}  // namespace cfmerge::gpusim

@@ -1,0 +1,44 @@
+// Bank conflict model for shared memory.
+//
+// Shared memory is organized into `w` banks; element address `a` resides in
+// bank `a mod w` (the paper's Section 2 layout: a w-row matrix in
+// column-major order).  When the lanes of a warp access shared memory
+// simultaneously, the access is replayed once per *distinct* address in the
+// most contended bank; lanes reading the same address are served by a single
+// broadcast (paper footnote 4).
+//
+//   cost(access)      = max over banks b of |distinct addresses in b|  (>= 1)
+//   conflicts(access) = cost - 1
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace cfmerge::gpusim {
+
+/// Sentinel for a lane that does not participate in an access.
+inline constexpr std::int64_t kInactiveLane = -1;
+
+struct SharedAccessCost {
+  /// Cycles the SM shared unit is busy (1 for a conflict-free access).
+  int cycles = 0;
+  /// Extra replays caused by bank conflicts (cycles - 1, or 0 if no lane
+  /// was active).
+  int conflicts = 0;
+  /// Number of active lanes.
+  int active_lanes = 0;
+};
+
+/// Computes the cost of one warp-wide shared access.  `addrs` holds one
+/// element address per lane (kInactiveLane for idle lanes); `banks` is the
+/// number of banks (== warp size).  Addresses must be non-negative.
+[[nodiscard]] SharedAccessCost shared_access_cost(std::span<const std::int64_t> addrs,
+                                                  int banks);
+
+/// Per-bank serialization degrees of one warp access: result[b] = number of
+/// distinct addresses in bank b.  Used by visualization harnesses and tests.
+[[nodiscard]] std::span<const int> shared_access_degrees(std::span<const std::int64_t> addrs,
+                                                         int banks,
+                                                         std::span<int> scratch);
+
+}  // namespace cfmerge::gpusim

@@ -1,0 +1,43 @@
+#include "gpusim/stats.hpp"
+
+namespace cfmerge::gpusim {
+
+Counters& Counters::operator+=(const Counters& o) {
+  warp_instructions += o.warp_instructions;
+  shared_accesses += o.shared_accesses;
+  shared_cycles += o.shared_cycles;
+  bank_conflicts += o.bank_conflicts;
+  gmem_requests += o.gmem_requests;
+  gmem_transactions += o.gmem_transactions;
+  gmem_bytes += o.gmem_bytes;
+  l2_hits += o.l2_hits;
+  l2_misses += o.l2_misses;
+  barriers += o.barriers;
+  return *this;
+}
+
+Counters Counters::operator+(const Counters& o) const {
+  Counters c = *this;
+  c += o;
+  return c;
+}
+
+Counters& PhaseCounters::phase(std::string_view name) {
+  for (auto& [n, c] : phases_) {
+    if (n == name) return c;
+  }
+  phases_.emplace_back(std::string(name), Counters{});
+  return phases_.back().second;
+}
+
+Counters PhaseCounters::total() const {
+  Counters t;
+  for (const auto& [n, c] : phases_) t += c;
+  return t;
+}
+
+void PhaseCounters::merge(const PhaseCounters& o) {
+  for (const auto& [n, c] : o.phases_) phase(n) += c;
+}
+
+}  // namespace cfmerge::gpusim

@@ -1,0 +1,68 @@
+// Event counters collected while simulating a kernel.
+//
+// Counters play the role of `nvprof` hardware counters in the paper's
+// methodology: `bank_conflicts` corresponds to shared_ld/st_bank_conflict,
+// `gmem_transactions` to gld/gst_transactions, and so on.  Counters are
+// aggregated per named phase (e.g. "load", "search", "merge", "store") so
+// experiments can attribute conflicts to pipeline stages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cfmerge::gpusim {
+
+struct Counters {
+  /// Warp-wide ALU/control instructions issued.
+  std::uint64_t warp_instructions = 0;
+  /// Warp-wide shared memory accesses (each serves up to w lanes).
+  std::uint64_t shared_accesses = 0;
+  /// Cycles spent on the SM shared memory unit: one per access plus one per
+  /// bank-conflict replay.
+  std::uint64_t shared_cycles = 0;
+  /// Total bank conflicts (= shared_cycles - shared_accesses).
+  std::uint64_t bank_conflicts = 0;
+  /// Warp-wide global memory requests.
+  std::uint64_t gmem_requests = 0;
+  /// Coalesced transactions those requests split into.
+  std::uint64_t gmem_transactions = 0;
+  /// Bytes moved to/from global memory.  With the L2 model enabled this is
+  /// DRAM traffic (transaction_bytes per L2 miss); without it, the
+  /// requested element bytes.
+  std::uint64_t gmem_bytes = 0;
+  /// L2 cache hits/misses (0 unless the device enables the L2 model).
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  /// Block-wide barriers executed.
+  std::uint64_t barriers = 0;
+
+  Counters& operator+=(const Counters& o);
+  [[nodiscard]] Counters operator+(const Counters& o) const;
+  bool operator==(const Counters&) const = default;
+
+  /// Average bank conflicts per shared access (0 when there were none).
+  [[nodiscard]] double conflicts_per_access() const {
+    return shared_accesses == 0
+               ? 0.0
+               : static_cast<double>(bank_conflicts) / static_cast<double>(shared_accesses);
+  }
+};
+
+/// Counters broken down by phase name, preserving first-use order.
+class PhaseCounters {
+ public:
+  /// Counters for `name`, created zeroed on first use.
+  Counters& phase(std::string_view name);
+  [[nodiscard]] const std::vector<std::pair<std::string, Counters>>& phases() const {
+    return phases_;
+  }
+  [[nodiscard]] Counters total() const;
+  void merge(const PhaseCounters& o);
+
+ private:
+  std::vector<std::pair<std::string, Counters>> phases_;
+};
+
+}  // namespace cfmerge::gpusim

@@ -1,0 +1,42 @@
+#include "gpusim/timing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cfmerge::gpusim {
+
+KernelTiming simulate_timing(const DeviceSpec& dev, const LaunchShape& shape,
+                             const Counters& total, double mean_block_chain) {
+  if (shape.blocks <= 0) throw std::invalid_argument("simulate_timing: blocks must be positive");
+
+  KernelTiming t;
+  t.occupancy = compute_occupancy(dev, shape.threads_per_block, shape.shared_bytes_per_block,
+                                  shape.regs_per_thread);
+  if (t.occupancy.blocks_per_sm == 0)
+    throw std::invalid_argument("simulate_timing: block does not fit on an SM");
+
+  const int resident_blocks = dev.num_sms * t.occupancy.blocks_per_sm;
+  t.waves = static_cast<int>((shape.blocks + resident_blocks - 1) / resident_blocks);
+
+  t.compute_bound = static_cast<double>(total.warp_instructions) /
+                    (static_cast<double>(dev.issue_width) * dev.num_sms);
+  t.shared_bound = static_cast<double>(total.shared_cycles) / dev.num_sms;
+  t.bw_bound = static_cast<double>(total.gmem_bytes) / dev.dram_bytes_per_cycle;
+  t.work_bound = t.compute_bound + t.shared_bound + t.bw_bound;
+  t.latency_bound = static_cast<double>(t.waves) * mean_block_chain;
+
+  t.cycles = dev.launch_overhead_cycles + std::max(t.work_bound, t.latency_bound);
+  if (t.latency_bound >= t.work_bound) {
+    t.limiter = "latency";
+  } else if (t.compute_bound >= t.shared_bound && t.compute_bound >= t.bw_bound) {
+    t.limiter = "compute";
+  } else if (t.shared_bound >= t.bw_bound) {
+    t.limiter = "shared";
+  } else {
+    t.limiter = "bw";
+  }
+  t.microseconds = dev.cycles_to_us(t.cycles);
+  return t;
+}
+
+}  // namespace cfmerge::gpusim

@@ -1,0 +1,67 @@
+// Kernel timing model: a *serialized-resource* work model with a
+// wave-quantized latency floor.
+//
+// Per-resource busy cycles:
+//
+//   compute_bound = warp_instructions / (issue_width * num_sms)
+//   shared_bound  = shared_cycles / num_sms          (one LSU/shared unit per
+//                   SM; each bank-conflict replay occupies it for
+//                   shared_replay_cycles)
+//   bw_bound      = gmem_bytes / dram_bytes_per_cycle
+//   work_bound    = compute_bound + shared_bound + bw_bound
+//   latency_bound = waves * mean_block_chain
+//
+//   kernel_cycles = launch_overhead + max(work_bound, latency_bound)
+//
+// where `waves = ceil(blocks / (num_sms * blocks_per_sm))` and
+// `mean_block_chain` is the average critical path of a block (max over its
+// warp chains, see BlockContext).
+//
+// Why additive rather than the classic max-roofline: merge-path kernels are
+// dependence-dominated (the sequential merge and the binary searches are
+// pointer chases), so an SM overlaps its ALU, LSU and DRAM service poorly —
+// measured GPU mergesorts achieve a small fraction of the DRAM roofline.
+// The additive model is the no-overlap limit of the roofline and is what
+// makes the simulator reproduce the paper's *relative* effects (worst-case
+// conflicts slowing the baseline by tens of percent; occupancy separating
+// the two software parameter sets).  All conflict/transaction counters are
+// model-independent; only the cycle estimates depend on this choice.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/device_spec.hpp"
+#include "gpusim/occupancy.hpp"
+#include "gpusim/stats.hpp"
+
+namespace cfmerge::gpusim {
+
+struct LaunchShape {
+  int blocks = 0;
+  int threads_per_block = 0;
+  std::size_t shared_bytes_per_block = 0;
+  int regs_per_thread = 32;
+};
+
+struct KernelTiming {
+  double cycles = 0.0;
+  double microseconds = 0.0;
+  double compute_bound = 0.0;
+  double shared_bound = 0.0;
+  double bw_bound = 0.0;
+  double work_bound = 0.0;  ///< compute + shared + bw
+  double latency_bound = 0.0;
+  /// Which term produced `cycles`: "latency" when the wave floor binds,
+  /// otherwise the largest component of the work sum ("compute", "shared",
+  /// "bw").
+  const char* limiter = "none";
+  OccupancyResult occupancy;
+  int waves = 0;
+};
+
+/// Evaluates the timing model for one kernel launch.
+/// `mean_block_chain` is the average BlockContext::block_chain() in cycles.
+[[nodiscard]] KernelTiming simulate_timing(const DeviceSpec& dev, const LaunchShape& shape,
+                                           const Counters& total, double mean_block_chain);
+
+}  // namespace cfmerge::gpusim

@@ -1,0 +1,73 @@
+#include "gpusim/trace.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace cfmerge::gpusim {
+
+namespace {
+const char* kind_name(AccessKind k) {
+  switch (k) {
+    case AccessKind::SharedRead: return "shared_read";
+    case AccessKind::SharedWrite: return "shared_write";
+    case AccessKind::GlobalRead: return "global_read";
+    case AccessKind::GlobalWrite: return "global_write";
+  }
+  return "?";
+}
+}  // namespace
+
+std::int16_t TraceSink::phase_id(std::string_view phase) {
+  for (std::size_t i = 0; i < phases_.size(); ++i)
+    if (phases_[i] == phase) return static_cast<std::int16_t>(i);
+  if (phases_.size() >= 32767) throw std::runtime_error("TraceSink: too many phases");
+  phases_.emplace_back(phase);
+  return static_cast<std::int16_t>(phases_.size() - 1);
+}
+
+void TraceSink::record(std::int32_t block, std::int16_t warp, AccessKind kind,
+                       std::string_view phase, std::span<const std::int64_t> addrs,
+                       int cost) {
+  TraceEvent e;
+  e.block = block;
+  e.warp = warp;
+  e.kind = kind;
+  e.phase_id = phase_id(phase);
+  e.cost = cost;
+  e.first_addr = static_cast<std::uint32_t>(pool_.size());
+  e.lanes = static_cast<std::uint16_t>(addrs.size());
+  pool_.insert(pool_.end(), addrs.begin(), addrs.end());
+  events_.push_back(e);
+}
+
+void TraceSink::clear() {
+  events_.clear();
+  pool_.clear();
+  phases_.clear();
+}
+
+std::int64_t TraceSink::shared_conflicts(std::string_view phase) const {
+  std::int64_t total = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.kind != AccessKind::SharedRead && e.kind != AccessKind::SharedWrite) continue;
+    if (!phase.empty() && phases_[static_cast<std::size_t>(e.phase_id)] != phase) continue;
+    total += e.cost;
+  }
+  return total;
+}
+
+void TraceSink::write_csv(std::ostream& os) const {
+  os << "block,warp,kind,phase,cost,addresses\n";
+  for (const TraceEvent& e : events_) {
+    os << e.block << ',' << e.warp << ',' << kind_name(e.kind) << ','
+       << phases_[static_cast<std::size_t>(e.phase_id)] << ',' << e.cost << ',';
+    const auto addrs = addresses(e);
+    for (std::size_t l = 0; l < addrs.size(); ++l) {
+      if (l) os << ' ';
+      os << addrs[l];
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace cfmerge::gpusim

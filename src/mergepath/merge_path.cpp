@@ -1,0 +1,9 @@
+#include "mergepath/merge_path.hpp"
+
+namespace cfmerge::mergepath {
+
+CoRankBounds corank_bounds(std::int64_t diag, std::int64_t na, std::int64_t nb) {
+  return {std::max<std::int64_t>(0, diag - nb), std::min(diag, na)};
+}
+
+}  // namespace cfmerge::mergepath

@@ -1,0 +1,65 @@
+#include "numtheory/numtheory.hpp"
+
+#include <stdexcept>
+
+namespace cfmerge::numtheory {
+
+ExtendedGcd extended_gcd(std::int64_t a, std::int64_t b) noexcept {
+  // Iterative extended Euclid keeping (g, x, y) with g = a*x + b*y.
+  std::int64_t old_r = a, r = b;
+  std::int64_t old_x = 1, x = 0;
+  std::int64_t old_y = 0, y = 1;
+  while (r != 0) {
+    const std::int64_t q = old_r / r;
+    std::int64_t t = old_r - q * r;
+    old_r = r;
+    r = t;
+    t = old_x - q * x;
+    old_x = x;
+    x = t;
+    t = old_y - q * y;
+    old_y = y;
+    y = t;
+  }
+  if (old_r < 0) {
+    old_r = -old_r;
+    old_x = -old_x;
+    old_y = -old_y;
+  }
+  return {old_r, old_x, old_y};
+}
+
+std::int64_t mod_inverse(std::int64_t a, std::int64_t m) {
+  if (m <= 0) throw std::invalid_argument("mod_inverse: modulus must be positive");
+  const ExtendedGcd e = extended_gcd(mod(a, m), m);
+  if (e.g != 1) throw std::invalid_argument("mod_inverse: arguments not coprime");
+  return mod(e.x, m);
+}
+
+bool is_complete_residue_system(std::span<const std::int64_t> values, std::int64_t m) {
+  if (m <= 0 || static_cast<std::int64_t>(values.size()) != m) return false;
+  std::vector<bool> seen(static_cast<std::size_t>(m), false);
+  for (const std::int64_t v : values) {
+    const auto r = static_cast<std::size_t>(mod(v, m));
+    if (seen[r]) return false;
+    seen[r] = true;
+  }
+  return true;
+}
+
+std::vector<std::int64_t> arithmetic_residues(std::int64_t j, std::int64_t stride_e,
+                                              std::int64_t count_w) {
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(count_w));
+  for (std::int64_t k = 0; k < count_w; ++k) out.push_back(j + k * stride_e);
+  return out;
+}
+
+std::vector<std::int64_t> residue_profile(std::span<const std::int64_t> values,
+                                          std::int64_t m) {
+  std::vector<std::int64_t> profile(static_cast<std::size_t>(m), 0);
+  for (const std::int64_t v : values) ++profile[static_cast<std::size_t>(mod(v, m))];
+  return profile;
+}
+
+}  // namespace cfmerge::numtheory

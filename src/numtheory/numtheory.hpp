@@ -1,0 +1,89 @@
+// Number theory utilities (Appendix A of the paper).
+//
+// The bank-conflict-free gather (src/gather) and the worst-case input
+// generator (src/worstcase) are built on congruences, greatest common
+// divisors and complete residue systems.  This module collects those
+// primitives together with checked variants used by the tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cfmerge::numtheory {
+
+/// Non-negative remainder of a modulo m (m > 0), correct for negative a.
+/// The C++ `%` operator yields negative remainders for negative operands;
+/// all index arithmetic in the gather schedule needs the mathematical mod.
+[[nodiscard]] constexpr std::int64_t mod(std::int64_t a, std::int64_t m) noexcept {
+  const std::int64_t r = a % m;
+  return r < 0 ? r + m : r;
+}
+
+/// Greatest common divisor; gcd(0, 0) == 0 by convention.
+[[nodiscard]] constexpr std::int64_t gcd(std::int64_t a, std::int64_t b) noexcept {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    const std::int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+/// Least common multiple (0 if either argument is 0).
+[[nodiscard]] constexpr std::int64_t lcm(std::int64_t a, std::int64_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  return (a / gcd(a, b)) * b;
+}
+
+/// Definition 12: a and b are coprime iff gcd(a, b) == 1.
+[[nodiscard]] constexpr bool coprime(std::int64_t a, std::int64_t b) noexcept {
+  return gcd(a, b) == 1;
+}
+
+/// Result of the extended Euclidean algorithm: g = gcd(a,b) = a*x + b*y.
+struct ExtendedGcd {
+  std::int64_t g;
+  std::int64_t x;
+  std::int64_t y;
+};
+
+/// Extended Euclidean algorithm (Bezout coefficients).
+[[nodiscard]] ExtendedGcd extended_gcd(std::int64_t a, std::int64_t b) noexcept;
+
+/// Corollary 16: modular inverse of a modulo m; requires gcd(a, m) == 1.
+/// Returns the unique inverse in [0, m).  Throws std::invalid_argument when
+/// the inverse does not exist.
+[[nodiscard]] std::int64_t mod_inverse(std::int64_t a, std::int64_t m);
+
+/// Euclid's Division Lemma (Lemma 9): a = q*b + r with 0 <= r < b (b > 0).
+struct Division {
+  std::int64_t q;
+  std::int64_t r;
+};
+
+/// Floor division with non-negative remainder; requires b > 0.
+[[nodiscard]] constexpr Division euclid_div(std::int64_t a, std::int64_t b) noexcept {
+  const std::int64_t r = mod(a, b);
+  return {(a - r) / b, r};
+}
+
+/// Definition 13: true iff `values` is a complete residue system modulo m,
+/// i.e. it has exactly m elements with pairwise distinct residues.
+[[nodiscard]] bool is_complete_residue_system(std::span<const std::int64_t> values,
+                                              std::int64_t m);
+
+/// The set R_j = { j + k*E : 0 <= k < w } from Lemma 1.  A complete residue
+/// system modulo w exactly when gcd(w, E) == 1.
+[[nodiscard]] std::vector<std::int64_t> arithmetic_residues(std::int64_t j,
+                                                            std::int64_t stride_e,
+                                                            std::int64_t count_w);
+
+/// Multiplicity profile of residues modulo m: result[r] = how many values are
+/// congruent to r.  A complete residue system has profile all-ones.
+[[nodiscard]] std::vector<std::int64_t> residue_profile(std::span<const std::int64_t> values,
+                                                        std::int64_t m);
+
+}  // namespace cfmerge::numtheory

@@ -1,0 +1,262 @@
+// Block sort: sorts one tile of u*E elements per thread block.
+//
+// Mirrors Thrust's blocksort stage: load the tile coalesced into shared
+// memory, sort E elements per thread in registers (odd-even transposition),
+// then log2(u) rounds of intra-block pair merging via merge path + the
+// per-thread sequential shared-memory merge.  The stage is *identical* for
+// the baseline and CF-Merge (the paper's modification is confined to the
+// pairwise-merge kernels, and for its software parameters E is coprime with
+// w, so the stride-E register loads/stores here are conflict-free by the
+// classic heuristic).
+//
+// Extension (not in the paper): `cf_rounds = true` applies the dual
+// subsequence gather inside the later block-sort rounds too — those whose
+// run pairs span at least a full warp.  Each such round stages the tile
+// into a second shared buffer in the CF layout (conflict-free copy), then
+// gathers.  The staging buffer doubles the block's shared memory, halving
+// occupancy — bench/ablation_parameters quantifies the trade; this is the
+// overhead-versus-conflicts tension the paper's Section 2 discusses.
+#pragma once
+
+#include <bit>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "gpusim/launcher.hpp"
+#include "gpusim/memory_views.hpp"
+#include "sort/kernels.hpp"
+#include "sort/odd_even.hpp"
+#include <memory>
+
+#include "gather/schedule.hpp"
+#include "sort/serial_merge.hpp"
+
+namespace cfmerge::sort {
+
+/// Device body of the block sort for one block.  `data` is the full global
+/// array (a multiple of u*E elements); block b sorts elements
+/// [b*u*E, (b+1)*u*E).
+template <typename T, typename Cmp = std::less<T>>
+void block_sort_body(gpusim::BlockContext& ctx, std::span<T> data, int e,
+                     bool cf_rounds = false, Cmp cmp = Cmp{}) {
+  const int u = ctx.threads();
+  const int w = ctx.lanes();
+  if (!std::has_single_bit(static_cast<unsigned>(u)))
+    throw std::invalid_argument("block_sort: u must be a power of two");
+  const std::int64_t tile = static_cast<std::int64_t>(u) * e;
+  const std::int64_t base = static_cast<std::int64_t>(ctx.block_id()) * tile;
+
+  gpusim::GlobalView<T> global(ctx, data.subspan(static_cast<std::size_t>(base),
+                                                 static_cast<std::size_t>(tile)),
+                               base);
+  gpusim::SharedTile<T> shmem(ctx, static_cast<std::size_t>(tile));
+  // Staging buffer for the CF rounds (allocated only when used; costs
+  // occupancy through the shared-memory budget).
+  std::unique_ptr<gpusim::SharedTile<T>> staging;
+  if (cf_rounds) staging = std::make_unique<gpusim::SharedTile<T>>(
+      ctx, static_cast<std::size_t>(tile));
+  std::vector<T> regs(static_cast<std::size_t>(tile));
+
+  // --- load tile (coalesced reads, linear shared writes) ----------------
+  ctx.phase("bsort.load");
+  load_tile(ctx, global, shmem, tile, [](std::int64_t t) { return t; },
+            [](std::int64_t t) { return t; });
+  ctx.barrier();
+
+  // --- per-thread register sort -----------------------------------------
+  // Thread i reads shared[i*E + j] in round j: a stride-E access, the
+  // pattern the coprime-E heuristic keeps conflict-free.
+  ctx.phase("bsort.thread_sort");
+  std::vector<std::int64_t> addr(static_cast<std::size_t>(w));
+  std::vector<T> vals(static_cast<std::size_t>(w));
+  for (int warp = 0; warp < ctx.warps(); ++warp) {
+    for (int j = 0; j < e; ++j) {
+      for (int lane = 0; lane < w; ++lane)
+        addr[static_cast<std::size_t>(lane)] =
+            static_cast<std::int64_t>(warp * w + lane) * e + j;
+      ctx.charge_compute(warp, cost::kCopyChunkInstrs);
+      shmem.gather(warp, addr, vals);
+      for (int lane = 0; lane < w; ++lane)
+        regs[static_cast<std::size_t>((warp * w + lane)) * static_cast<std::size_t>(e) +
+             static_cast<std::size_t>(j)] = vals[static_cast<std::size_t>(lane)];
+    }
+    // Sort the E registers of each lane with the odd-even network.
+    for (int lane = 0; lane < w; ++lane) {
+      std::span<T> r(regs.data() + static_cast<std::size_t>(warp * w + lane) *
+                                       static_cast<std::size_t>(e),
+                     static_cast<std::size_t>(e));
+      odd_even_transposition_sort(r, cmp);
+    }
+    ctx.charge_compute(warp, static_cast<std::uint64_t>(odd_even_network_size(e)) *
+                                 cost::kCompareExchangeInstrs);
+    // Write the sorted runs back (same stride-E pattern).
+    for (int j = 0; j < e; ++j) {
+      for (int lane = 0; lane < w; ++lane) {
+        addr[static_cast<std::size_t>(lane)] =
+            static_cast<std::int64_t>(warp * w + lane) * e + j;
+        vals[static_cast<std::size_t>(lane)] =
+            regs[static_cast<std::size_t>((warp * w + lane)) * static_cast<std::size_t>(e) +
+                 static_cast<std::size_t>(j)];
+      }
+      ctx.charge_compute(warp, cost::kCopyChunkInstrs);
+      shmem.scatter(warp, addr, vals);
+    }
+  }
+  ctx.barrier();
+
+  // --- log2(u) intra-block merge rounds ----------------------------------
+  for (std::int64_t run = e; run < tile; run *= 2) {
+    ctx.phase("bsort.search");
+    std::vector<ThreadSplit> splits(static_cast<std::size_t>(u));
+    for (int warp = 0; warp < ctx.warps(); ++warp) {
+      std::vector<LanePair> pairs(static_cast<std::size_t>(w));
+      std::vector<LanePair> end_pairs(static_cast<std::size_t>(w));
+      for (int lane = 0; lane < w; ++lane) {
+        const int i = warp * w + lane;
+        const std::int64_t out0 = static_cast<std::int64_t>(i) * e;
+        const std::int64_t pair_base = out0 / (2 * run) * (2 * run);
+        auto pos_a = [pair_base](std::int64_t x) { return pair_base + x; };
+        auto pos_b = [pair_base, run](std::int64_t y) { return pair_base + run + y; };
+        pairs[static_cast<std::size_t>(lane)] = {run, run, out0 - pair_base, pos_a, pos_b};
+        end_pairs[static_cast<std::size_t>(lane)] = {run, run, out0 - pair_base + e, pos_a,
+                                                     pos_b};
+      }
+      // Two lockstep searches per warp: the start and end diagonals of every
+      // lane (the end co-rank equals the next thread's start, but a lane
+      // cannot read a different warp's result without extra traffic).
+      const std::vector<std::int64_t> start = warp_shared_corank(ctx, warp, shmem,
+                                                                 std::span<const LanePair>(pairs), cmp);
+      const std::vector<std::int64_t> end = warp_shared_corank(
+          ctx, warp, shmem, std::span<const LanePair>(end_pairs), cmp);
+      for (int lane = 0; lane < w; ++lane) {
+        const int i = warp * w + lane;
+        const std::int64_t out0 = static_cast<std::int64_t>(i) * e;
+        const std::int64_t local = out0 - out0 / (2 * run) * (2 * run);
+        auto& s = splits[static_cast<std::size_t>(i)];
+        s.a_off = start[static_cast<std::size_t>(lane)];
+        s.a_size = end[static_cast<std::size_t>(lane)] - s.a_off;
+        s.b_off = local - s.a_off;
+        s.b_size = e - s.a_size;
+      }
+    }
+
+    ctx.phase("bsort.merge");
+    const std::int64_t threads_per_pair = 2 * run / e;
+    if (cf_rounds && threads_per_pair >= w && threads_per_pair % w == 0) {
+      // CF round: stage every pair into the CF layout, then gather.
+      gather::BReversal pair_pi(run, run);
+      gather::CircularShift pair_rho(w, e, 2 * run);
+      ctx.phase("bsort.cf_permute");
+      {
+        // Copy linear -> CF layout; reads are contiguous (conflict free),
+        // writes are contiguous runs through pi/rho (also conflict free).
+        std::vector<std::int64_t> src_addr(static_cast<std::size_t>(w));
+        std::vector<std::int64_t> dst_addr(static_cast<std::size_t>(w));
+        std::vector<T> tmp(static_cast<std::size_t>(w));
+        for (int warp = 0; warp < ctx.warps(); ++warp) {
+          for (std::int64_t basepos = static_cast<std::int64_t>(warp) * w;
+               basepos < tile; basepos += u) {
+            for (int lane = 0; lane < w; ++lane) {
+              const std::int64_t pos = basepos + lane;
+              const std::int64_t pair_base = pos / (2 * run) * (2 * run);
+              const std::int64_t local = pos - pair_base;
+              const std::int64_t raw = local < run ? pair_pi.raw_of_a(local)
+                                                   : pair_pi.raw_of_b(local - run);
+              src_addr[static_cast<std::size_t>(lane)] = pos;
+              dst_addr[static_cast<std::size_t>(lane)] = pair_base + pair_rho(raw);
+            }
+            ctx.charge_compute(warp, cost::kCopyChunkInstrs);
+            shmem.gather(warp, src_addr, tmp, /*dependent=*/false);
+            staging->scatter(warp, dst_addr, tmp, /*dependent=*/false);
+          }
+        }
+      }
+      ctx.barrier();
+      ctx.phase("bsort.merge");
+      // One RoundSchedule per pair; gather every warp of the pair.
+      const std::int64_t pairs_count = tile / (2 * run);
+      std::vector<std::int64_t> addr(static_cast<std::size_t>(w));
+      std::vector<T> vals(static_cast<std::size_t>(w));
+      for (std::int64_t pr = 0; pr < pairs_count; ++pr) {
+        const std::int64_t pair_base = pr * 2 * run;
+        const int u_pair = static_cast<int>(threads_per_pair);
+        std::vector<std::int64_t> a_off(static_cast<std::size_t>(u_pair));
+        std::vector<std::int64_t> a_size(static_cast<std::size_t>(u_pair));
+        const int first_thread = static_cast<int>(pair_base / e);
+        for (int t = 0; t < u_pair; ++t) {
+          const auto& sp = splits[static_cast<std::size_t>(first_thread + t)];
+          a_off[static_cast<std::size_t>(t)] = sp.a_off;
+          a_size[static_cast<std::size_t>(t)] = sp.a_size;
+        }
+        gather::GatherShape shape{w, e, u_pair, run, run};
+        gather::RoundSchedule sched(shape, std::move(a_off), std::move(a_size));
+        for (int pw = 0; pw < u_pair / w; ++pw) {
+          const int warp = (first_thread + pw * w) / w;
+          ctx.charge_compute(warp, cost::kThreadSetupInstrs);
+          for (int j = 0; j < e; ++j) {
+            for (int lane = 0; lane < w; ++lane)
+              addr[static_cast<std::size_t>(lane)] =
+                  pair_base + sched.read(pw * w + lane, j).phys;
+            ctx.charge_compute(warp, cost::kGatherRoundInstrs);
+            staging->gather(warp, addr, vals);
+            for (int lane = 0; lane < w; ++lane)
+              regs[static_cast<std::size_t>(first_thread + pw * w + lane) *
+                       static_cast<std::size_t>(e) +
+                   static_cast<std::size_t>(j)] = vals[static_cast<std::size_t>(lane)];
+          }
+        }
+      }
+      // Data-oblivious register merge per thread.
+      for (int warp = 0; warp < ctx.warps(); ++warp) {
+        for (int lane = 0; lane < w; ++lane) {
+          std::span<T> r(regs.data() + static_cast<std::size_t>(warp * w + lane) *
+                                           static_cast<std::size_t>(e),
+                         static_cast<std::size_t>(e));
+          odd_even_transposition_sort(r, cmp);
+        }
+        ctx.charge_compute(warp, static_cast<std::uint64_t>(odd_even_network_size(e)) *
+                                     cost::kCompareExchangeInstrs);
+      }
+    } else {
+      std::vector<MergeLaneDesc> descs(static_cast<std::size_t>(u));
+      for (int i = 0; i < u; ++i) {
+        const std::int64_t out0 = static_cast<std::int64_t>(i) * e;
+        const std::int64_t pair_base = out0 / (2 * run) * (2 * run);
+        const auto& s = splits[static_cast<std::size_t>(i)];
+        // Bake the pair bases into the offsets so the position translators
+        // are the identity (linear layout).
+        descs[static_cast<std::size_t>(i)] = {pair_base + s.a_off, s.a_size,
+                                              pair_base + run + s.b_off, s.b_size};
+      }
+      warp_serial_merge(ctx, shmem, std::span<const MergeLaneDesc>(descs), e,
+                        [](std::int64_t x) { return x; }, [](std::int64_t y) { return y; },
+                        std::span<T>(regs), cmp);
+    }
+    ctx.barrier();
+
+    // Write merged outputs back, stride-E.
+    for (int warp = 0; warp < ctx.warps(); ++warp) {
+      for (int j = 0; j < e; ++j) {
+        for (int lane = 0; lane < w; ++lane) {
+          addr[static_cast<std::size_t>(lane)] =
+              static_cast<std::int64_t>(warp * w + lane) * e + j;
+          vals[static_cast<std::size_t>(lane)] =
+              regs[static_cast<std::size_t>((warp * w + lane)) *
+                       static_cast<std::size_t>(e) +
+                   static_cast<std::size_t>(j)];
+        }
+        ctx.charge_compute(warp, cost::kCopyChunkInstrs);
+        shmem.scatter(warp, addr, vals);
+      }
+    }
+    ctx.barrier();
+  }
+
+  // --- store tile --------------------------------------------------------
+  ctx.phase("bsort.store");
+  store_tile(ctx, shmem, global, tile, [](std::int64_t t) { return t; },
+             [](std::int64_t t) { return t; });
+}
+
+}  // namespace cfmerge::sort

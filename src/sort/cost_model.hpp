@@ -1,0 +1,34 @@
+// Instruction cost constants shared by all simulated kernels.
+//
+// Charged per warp (one warp instruction = all lanes performing one
+// operation).  The same constants are used by the baseline and CF-Merge
+// kernels so that relative comparisons are fair; their absolute values are
+// rough Turing estimates and only affect the compute roofline term.
+#pragma once
+
+namespace cfmerge::sort::cost {
+
+/// One step of the per-thread sequential merge: compare, select/emit,
+/// advance pointer.
+inline constexpr int kMergeStepInstrs = 3;
+/// Index arithmetic of one gather round (the mod-E bookkeeping of
+/// Algorithm 1; k is precomputed once per thread).
+inline constexpr int kGatherRoundInstrs = 4;
+/// One compare-exchange of the odd-even transposition network
+/// (min, max, two register moves fused).
+inline constexpr int kCompareExchangeInstrs = 3;
+/// One iteration of the lockstep merge-path binary search
+/// (mid computation, compare, bound update) — excludes the two probes.
+inline constexpr int kSearchIterInstrs = 4;
+/// Address computation per staged load/store chunk.
+inline constexpr int kCopyChunkInstrs = 2;
+/// Per-thread setup of a merge step (computing k, offsets, bounds).
+inline constexpr int kThreadSetupInstrs = 8;
+
+/// Register usage estimates per thread, feeding the occupancy model.
+/// Both variants hold the E items plus bookkeeping; CF-Merge needs a few
+/// extra registers for the permutation indices.
+inline constexpr int baseline_regs_per_thread(int e) { return e + 10; }
+inline constexpr int cfmerge_regs_per_thread(int e) { return e + 14; }
+
+}  // namespace cfmerge::sort::cost

@@ -1,0 +1,175 @@
+// Building blocks shared by the simulated sort kernels.
+//
+//  * TileLayout          — where a block's A/B lists live in shared memory
+//                          (linear for the baseline, rho(A ∪ pi(B)) for
+//                          CF-Merge).
+//  * load_tile/store_tile — staged, coalesced global <-> shared copies.
+//  * block_corank_splits — lockstep warp merge-path search in shared memory,
+//                          producing every thread's (a_i, |A_i|).
+//  * regs_to_shared      — write the block register file back to shared
+//                          (stride-E pattern, optionally through rho).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "gather/permutation.hpp"
+#include "gpusim/memory_views.hpp"
+#include "mergepath/merge_path.hpp"
+#include "sort/cost_model.hpp"
+
+namespace cfmerge::sort {
+
+/// Shared-memory placement of a block's A and B lists.
+class TileLayout {
+ public:
+  /// Linear layout: A at [0, la), B at [la, la+lb).
+  static TileLayout linear(std::int64_t la, std::int64_t lb) {
+    return TileLayout(false, la, lb, 1, 1);
+  }
+  /// CF layout: shmem = rho(A ∪ pi(B)) with parameters (w, E).
+  static TileLayout cf(std::int64_t la, std::int64_t lb, int w, int e) {
+    return TileLayout(true, la, lb, w, e);
+  }
+  /// CF layout with the circular shift disabled (ablation: pi only).
+  static TileLayout cf_no_rho(std::int64_t la, std::int64_t lb) {
+    return TileLayout(true, la, lb, 1, 1);
+  }
+
+  [[nodiscard]] bool is_cf() const { return cf_; }
+  [[nodiscard]] std::int64_t la() const { return pi_.la(); }
+  [[nodiscard]] std::int64_t lb() const { return pi_.lb(); }
+  [[nodiscard]] const gather::BReversal& pi() const { return pi_; }
+  [[nodiscard]] const gather::CircularShift& rho() const { return rho_; }
+
+  /// Physical shared position of the A element at offset x.
+  [[nodiscard]] std::int64_t pos_a(std::int64_t x) const {
+    return cf_ ? rho_(pi_.raw_of_a(x)) : x;
+  }
+  /// Physical shared position of the B element at offset y.
+  [[nodiscard]] std::int64_t pos_b(std::int64_t y) const {
+    return cf_ ? rho_(pi_.raw_of_b(y)) : pi_.la() + y;
+  }
+
+ private:
+  TileLayout(bool cf, std::int64_t la, std::int64_t lb, int w, int e)
+      : cf_(cf), pi_(la, lb), rho_(w, e, la + lb) {}
+
+  bool cf_;
+  gather::BReversal pi_;
+  gather::CircularShift rho_;
+};
+
+/// Copies `count` elements, with `src(t)` giving the global element index and
+/// `dst(t)` the shared position of logical element t.  All warps participate;
+/// warp k handles lanes [k*w, k*w + w) of each block-wide chunk of u
+/// elements.  Global reads are coalesced when `src` is affine; only each
+/// warp's first request pays the DRAM latency (streaming).
+template <typename T, typename GV, typename Src, typename Dst>
+void load_tile(gpusim::BlockContext& ctx, GV& global, gpusim::SharedTile<T>& shmem,
+               std::int64_t count, Src&& src, Dst&& dst) {
+  const int w = ctx.lanes();
+  const int u = ctx.threads();
+  std::vector<std::int64_t> gaddr(static_cast<std::size_t>(w));
+  std::vector<std::int64_t> saddr(static_cast<std::size_t>(w));
+  std::vector<T> vals(static_cast<std::size_t>(w));
+  for (int warp = 0; warp < ctx.warps(); ++warp) {
+    bool first = true;
+    for (std::int64_t base = static_cast<std::int64_t>(warp) * w; base < count;
+         base += u) {
+      for (int lane = 0; lane < w; ++lane) {
+        const std::int64_t t = base + lane;
+        const bool active = t < count;
+        gaddr[static_cast<std::size_t>(lane)] = active ? src(t) : gpusim::kInactiveLane;
+        saddr[static_cast<std::size_t>(lane)] = active ? dst(t) : gpusim::kInactiveLane;
+      }
+      ctx.charge_compute(warp, cost::kCopyChunkInstrs);
+      global.gather(warp, gaddr, vals, /*dependent=*/first);
+      shmem.scatter(warp, saddr, vals, /*dependent=*/false);
+      first = false;
+    }
+  }
+}
+
+/// Mirror image of load_tile: shared -> global.
+template <typename T, typename GV, typename Src, typename Dst>
+void store_tile(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& shmem, GV& global,
+                std::int64_t count, Src&& src, Dst&& dst) {
+  const int w = ctx.lanes();
+  const int u = ctx.threads();
+  std::vector<std::int64_t> gaddr(static_cast<std::size_t>(w));
+  std::vector<std::int64_t> saddr(static_cast<std::size_t>(w));
+  std::vector<T> vals(static_cast<std::size_t>(w));
+  for (int warp = 0; warp < ctx.warps(); ++warp) {
+    bool first = true;
+    for (std::int64_t base = static_cast<std::int64_t>(warp) * w; base < count;
+         base += u) {
+      for (int lane = 0; lane < w; ++lane) {
+        const std::int64_t t = base + lane;
+        const bool active = t < count;
+        saddr[static_cast<std::size_t>(lane)] = active ? src(t) : gpusim::kInactiveLane;
+        gaddr[static_cast<std::size_t>(lane)] = active ? dst(t) : gpusim::kInactiveLane;
+      }
+      ctx.charge_compute(warp, cost::kCopyChunkInstrs);
+      shmem.gather(warp, saddr, vals, /*dependent=*/first);
+      global.scatter(warp, gaddr, vals, /*dependent=*/false);
+      first = false;
+    }
+  }
+}
+
+/// One thread's merge assignment within a block-local pair of lists.
+struct ThreadSplit {
+  std::int64_t a_off = 0;   ///< a_i: offset of A_i within the pair's A list
+  std::int64_t a_size = 0;  ///< |A_i|
+  std::int64_t b_off = 0;   ///< b_i
+  std::int64_t b_size = 0;  ///< |B_i|
+};
+
+/// Per-lane list geometry for the lockstep search: each lane may work on its
+/// own pair of lists (block sort rounds have several pairs per warp).
+struct LanePair {
+  std::int64_t na = 0;        ///< size of the lane's A list
+  std::int64_t nb = 0;        ///< size of the lane's B list
+  std::int64_t diag = 0;      ///< output diagonal to resolve
+  /// Translators from list offsets to physical shared positions.
+  std::function<std::int64_t(std::int64_t)> pos_a;
+  std::function<std::int64_t(std::int64_t)> pos_b;
+};
+
+/// Lockstep merge-path search for one warp: resolves lane l's co-rank for
+/// pairs[l].diag.  Issues two charged shared accesses per iteration
+/// (probe of A and of B); idle lanes are masked.  Returns the co-ranks.
+template <typename T, typename Cmp>
+std::vector<std::int64_t> warp_shared_corank(gpusim::BlockContext& ctx, int warp,
+                                             gpusim::SharedTile<T>& shmem,
+                                             std::span<const LanePair> pairs, Cmp cmp) {
+  const std::size_t w = pairs.size();
+  std::vector<mergepath::LaneSearch> lanes(w);
+  for (std::size_t l = 0; l < w; ++l) {
+    if (pairs[l].diag < 0) continue;  // masked lane
+    lanes[l].init(pairs[l].diag, pairs[l].na, pairs[l].nb);
+  }
+  std::vector<std::int64_t> pa(w), pb(w);
+  auto probe = [&](std::span<const std::int64_t> a_addr, std::span<T> a_val,
+                   std::span<const std::int64_t> b_addr, std::span<T> b_val) {
+    for (std::size_t l = 0; l < w; ++l) {
+      pa[l] = a_addr[l] == gpusim::kInactiveLane ? gpusim::kInactiveLane
+                                                 : pairs[l].pos_a(a_addr[l]);
+      pb[l] = b_addr[l] == gpusim::kInactiveLane ? gpusim::kInactiveLane
+                                                 : pairs[l].pos_b(b_addr[l]);
+    }
+    ctx.charge_compute(warp, cost::kSearchIterInstrs);
+    shmem.gather(warp, pa, a_val);
+    shmem.gather(warp, pb, b_val);
+  };
+  mergepath::warp_corank_search<T>(std::span<mergepath::LaneSearch>(lanes), probe, cmp);
+  std::vector<std::int64_t> co(w, 0);
+  for (std::size_t l = 0; l < w; ++l) co[l] = lanes[l].lo;
+  return co;
+}
+
+}  // namespace cfmerge::sort

@@ -1,0 +1,42 @@
+// Key-value sorting support (Thrust's sort_by_key counterpart).
+//
+// Pairs are sorted by key through the same kernels as plain keys; the
+// padding sentinel generalizes through the padding_sentinel trait.
+//
+// Stability: the baseline variant is a stable mergesort (merge path breaks
+// ties A-before-B and the per-thread sequential merge is stable).  CF-Merge
+// sorts each thread's gathered E items with a transposition network over a
+// *rotated* arrangement, so ties between a thread's A_i and B_i elements can
+// flip — CF-Merge is stable only for distinct keys.  The paper sorts plain
+// (indistinguishable) integers where the difference is unobservable.
+#pragma once
+
+#include <limits>
+#include <type_traits>
+
+namespace cfmerge::sort {
+
+/// A key-value pair ordered (and compared) by key only.
+template <typename K, typename V>
+struct KeyValue {
+  K key;
+  V value;
+
+  friend bool operator<(const KeyValue& a, const KeyValue& b) { return a.key < b.key; }
+  friend bool operator==(const KeyValue& a, const KeyValue& b) {
+    return a.key == b.key;  // comparator semantics: equality of keys
+  }
+};
+
+/// The +infinity element used to pad ragged inputs to full tiles.
+template <typename T>
+struct padding_sentinel {
+  static T value() { return std::numeric_limits<T>::max(); }
+};
+
+template <typename K, typename V>
+struct padding_sentinel<KeyValue<K, V>> {
+  static KeyValue<K, V> value() { return {std::numeric_limits<K>::max(), V{}}; }
+};
+
+}  // namespace cfmerge::sort

@@ -1,0 +1,337 @@
+// One global merge pass of the pairwise mergesort.
+//
+// Runs of length `run` are merged pairwise.  Stage 1 (partition kernel)
+// computes, for every tile boundary of the pass output, the co-rank of the
+// boundary inside its pair via binary search in global memory — Thrust's
+// hierarchical 2-stage identification of subsequences.  Stage 2 (merge
+// kernel) processes one output tile of u*E elements per block:
+//
+//   load A-chunk and B-chunk into shared      (baseline: linear;
+//                                              CF-Merge: rho(A ∪ pi(B)))
+//   per-thread merge-path search in shared    (both variants)
+//   per-thread merge of A_i and B_i           (baseline: sequential merge
+//                                              from shared — bank conflicts;
+//                                              CF-Merge: dual subsequence
+//                                              gather + odd-even network in
+//                                              registers — conflict free)
+//   write the merged tile back                (stride-E register->shared,
+//                                              then coalesced store)
+//
+// A lone run at the end of a pass (odd run count) is handled by the same
+// kernel with an empty B list.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "gather/dual_gather.hpp"
+#include "gpusim/launcher.hpp"
+#include "gpusim/memory_views.hpp"
+#include "sort/block_sort.hpp"
+#include "sort/kernels.hpp"
+
+namespace cfmerge::sort {
+
+enum class Variant {
+  Baseline,  ///< unmodified Thrust-style merge (sequential shared merge)
+  CFMerge,   ///< bank conflict free load-balanced dual subsequence gather
+};
+
+/// Tuning and ablation knobs of a sort/merge configuration.
+struct MergeConfig {
+  int e = 15;  ///< elements per thread (paper's E)
+  int u = 512; ///< threads per block
+  Variant variant = Variant::CFMerge;
+  /// Ablation: keep pi but disable the circular shift rho (only meaningful
+  /// when gcd(w, E) > 1 — the paper's Section 3.2 shows conflicts return).
+  bool disable_rho = false;
+  /// Write the merged output through rho when gcd(w, E) > 1, so the
+  /// stride-E register->shared scatter stays conflict free (the inverse
+  /// dual subsequence scatter of footnote 5).  Baseline never does this.
+  bool cf_output_scatter = true;
+  /// Extension (off by default, matching the paper): use the dual gather in
+  /// the block-sort rounds whose run pairs span full warps.  Costs a second
+  /// shared-memory staging buffer (occupancy); see block_sort.hpp.
+  bool cf_blocksort = false;
+
+  [[nodiscard]] std::int64_t tile() const { return static_cast<std::int64_t>(u) * e; }
+};
+
+/// Geometry of one pass: which pair a global output position belongs to.
+struct PassGeometry {
+  std::int64_t n = 0;    ///< total elements (multiple of tile)
+  std::int64_t run = 0;  ///< input run length (multiple of tile)
+
+  /// Start of the pair containing output position `pos`.
+  [[nodiscard]] std::int64_t pair_base(std::int64_t pos) const {
+    return pos / (2 * run) * (2 * run);
+  }
+  /// Sizes of the A and B runs of the pair at `base` (B may be short or
+  /// empty at the end of the array).
+  [[nodiscard]] std::int64_t a_len(std::int64_t base) const {
+    return std::min(run, n - base);
+  }
+  [[nodiscard]] std::int64_t b_len(std::int64_t base) const {
+    return std::clamp<std::int64_t>(n - base - run, 0, run);
+  }
+};
+
+/// Stage 1: partition kernel.  Computes co-ranks for every tile boundary.
+/// `boundaries[t]` receives the co-rank (number of A-elements) of output
+/// diagonal t*tile within its pair.  One simulated thread per boundary.
+template <typename T, typename Cmp = std::less<T>>
+void merge_partition_body(gpusim::BlockContext& ctx, std::span<const T> input,
+                          const PassGeometry& geom, std::int64_t tile,
+                          std::span<std::int64_t> boundaries, Cmp cmp = Cmp{}) {
+  const int u = ctx.threads();
+  const int w = ctx.lanes();
+  const auto nb = static_cast<std::int64_t>(boundaries.size());
+  gpusim::GlobalView<const T> global(ctx, input, 0);
+
+  ctx.phase("partition.search");
+  for (int warp = 0; warp < ctx.warps(); ++warp) {
+    std::vector<mergepath::LaneSearch> lanes(static_cast<std::size_t>(w));
+    std::vector<std::int64_t> abase(static_cast<std::size_t>(w), 0);
+    std::vector<std::int64_t> bbase(static_cast<std::size_t>(w), 0);
+    bool any = false;
+    for (int lane = 0; lane < w; ++lane) {
+      const std::int64_t t =
+          static_cast<std::int64_t>(ctx.block_id()) * u + warp * w + lane;
+      if (t >= nb) continue;
+      const std::int64_t pos = t * tile;
+      const std::int64_t base = pos >= geom.n ? geom.n : geom.pair_base(pos);
+      const std::int64_t diag = pos - base;
+      const std::int64_t la = geom.a_len(base);
+      const std::int64_t lb = geom.b_len(base);
+      lanes[static_cast<std::size_t>(lane)].init(std::min(diag, la + lb), la, lb);
+      abase[static_cast<std::size_t>(lane)] = base;
+      bbase[static_cast<std::size_t>(lane)] = base + la;
+      any = true;
+    }
+    if (!any) continue;
+    std::vector<std::int64_t> pa(static_cast<std::size_t>(w));
+    std::vector<std::int64_t> pb(static_cast<std::size_t>(w));
+    auto probe = [&](std::span<const std::int64_t> a_addr, std::span<T> a_val,
+                     std::span<const std::int64_t> b_addr, std::span<T> b_val) {
+      for (int lane = 0; lane < w; ++lane) {
+        const auto l = static_cast<std::size_t>(lane);
+        pa[l] = a_addr[l] == gpusim::kInactiveLane ? gpusim::kInactiveLane
+                                                   : abase[l] + a_addr[l];
+        pb[l] = b_addr[l] == gpusim::kInactiveLane ? gpusim::kInactiveLane
+                                                   : bbase[l] + b_addr[l];
+      }
+      ctx.charge_compute(warp, cost::kSearchIterInstrs);
+      std::vector<T> av(static_cast<std::size_t>(w)), bv(static_cast<std::size_t>(w));
+      gpusim::GlobalView<const T> g(ctx, input, 0);
+      g.gather(warp, pa, std::span<T>(av), /*dependent=*/true);
+      g.gather(warp, pb, std::span<T>(bv), /*dependent=*/false);
+      std::copy(av.begin(), av.end(), a_val.begin());
+      std::copy(bv.begin(), bv.end(), b_val.begin());
+    };
+    mergepath::warp_corank_search<T>(std::span<mergepath::LaneSearch>(lanes), probe, cmp);
+    for (int lane = 0; lane < w; ++lane) {
+      const std::int64_t t =
+          static_cast<std::int64_t>(ctx.block_id()) * u + warp * w + lane;
+      if (t >= nb) continue;
+      boundaries[static_cast<std::size_t>(t)] = lanes[static_cast<std::size_t>(lane)].lo;
+    }
+  }
+}
+
+/// The shared core of every merge-kernel variant: given a block's A/B
+/// source windows (global element offsets a_src/b_src of sizes la/lb) and
+/// its output window view, stages the lists into shared memory (CF layout
+/// when configured), searches the per-thread splits, merges (sequential or
+/// gather + network) and stores the merged tile.  Reused by the sort's
+/// merge pass, merge_arrays and batched_merge.
+template <typename T, typename GIn, typename Cmp>
+void merge_window_core(gpusim::BlockContext& ctx, GIn& gin, gpusim::GlobalView<T>& gout,
+                       std::int64_t a_src, std::int64_t b_src, std::int64_t la,
+                       std::int64_t lb, const MergeConfig& cfg, Cmp cmp) {
+  const int u = ctx.threads();
+  const int w = ctx.lanes();
+  const int e = cfg.e;
+  const std::int64_t tile = cfg.tile();
+
+  const TileLayout layout =
+      cfg.variant == Variant::CFMerge
+          ? (cfg.disable_rho ? TileLayout::cf_no_rho(la, lb) : TileLayout::cf(la, lb, w, e))
+          : TileLayout::linear(la, lb);
+
+  gpusim::SharedTile<T> shmem(ctx, static_cast<std::size_t>(tile));
+
+  // Load the two chunks; CF-Merge applies the layout permutation here
+  // ("each thread block reorders elements during the initial transfer from
+  // global memory into shared memory" — Section 5).
+  load_tile(ctx, gin, shmem, la,
+            [&](std::int64_t t) { return a_src + t; },
+            [&](std::int64_t t) { return layout.pos_a(t); });
+  load_tile(ctx, gin, shmem, lb,
+            [&](std::int64_t t) { return b_src + t; },
+            [&](std::int64_t t) { return layout.pos_b(t); });
+  ctx.barrier();
+
+  // Per-thread merge-path search in shared memory.
+  ctx.phase("merge.search");
+  std::vector<ThreadSplit> splits(static_cast<std::size_t>(u));
+  {
+    auto pos_a = [&](std::int64_t x) { return layout.pos_a(x); };
+    auto pos_b = [&](std::int64_t y) { return layout.pos_b(y); };
+    for (int warp = 0; warp < ctx.warps(); ++warp) {
+      std::vector<LanePair> pairs(static_cast<std::size_t>(w));
+      std::vector<LanePair> end_pairs(static_cast<std::size_t>(w));
+      for (int lane = 0; lane < w; ++lane) {
+        const std::int64_t d = static_cast<std::int64_t>(warp * w + lane) * e;
+        pairs[static_cast<std::size_t>(lane)] = {la, lb, d, pos_a, pos_b};
+        end_pairs[static_cast<std::size_t>(lane)] = {la, lb, d + e, pos_a, pos_b};
+      }
+      const std::vector<std::int64_t> start =
+          warp_shared_corank(ctx, warp, shmem, std::span<const LanePair>(pairs), cmp);
+      const std::vector<std::int64_t> end =
+          warp_shared_corank(ctx, warp, shmem, std::span<const LanePair>(end_pairs), cmp);
+      for (int lane = 0; lane < w; ++lane) {
+        const int i = warp * w + lane;
+        auto& s = splits[static_cast<std::size_t>(i)];
+        s.a_off = start[static_cast<std::size_t>(lane)];
+        s.a_size = end[static_cast<std::size_t>(lane)] - s.a_off;
+        s.b_off = static_cast<std::int64_t>(i) * e - s.a_off;
+        s.b_size = e - s.a_size;
+      }
+    }
+  }
+
+  // Per-thread merge.
+  ctx.phase("merge.merge");
+  std::vector<T> regs(static_cast<std::size_t>(tile));
+  if (cfg.variant == Variant::CFMerge) {
+    std::vector<std::int64_t> a_off(static_cast<std::size_t>(u));
+    std::vector<std::int64_t> a_size(static_cast<std::size_t>(u));
+    for (int i = 0; i < u; ++i) {
+      a_off[static_cast<std::size_t>(i)] = splits[static_cast<std::size_t>(i)].a_off;
+      a_size[static_cast<std::size_t>(i)] = splits[static_cast<std::size_t>(i)].a_size;
+    }
+    gather::GatherShape shape{w, e, u, la, lb};
+    if (cfg.disable_rho) {
+      // Ablation path: emulate the schedule with rho = identity by reading
+      // through the layout's raw indices directly.
+      gather::RoundSchedule sched(shape, a_off, a_size);
+      std::vector<std::int64_t> addr(static_cast<std::size_t>(w));
+      std::vector<T> vals(static_cast<std::size_t>(w));
+      for (int warp = 0; warp < ctx.warps(); ++warp) {
+        ctx.charge_compute(warp, cost::kThreadSetupInstrs);
+        for (int j = 0; j < e; ++j) {
+          for (int lane = 0; lane < w; ++lane)
+            addr[static_cast<std::size_t>(lane)] =
+                sched.read(warp * w + lane, j).raw;  // no rho applied
+          ctx.charge_compute(warp, cost::kGatherRoundInstrs);
+          shmem.gather(warp, addr, std::span<T>(vals));
+          for (int lane = 0; lane < w; ++lane)
+            regs[static_cast<std::size_t>(warp * w + lane) * static_cast<std::size_t>(e) +
+                 static_cast<std::size_t>(j)] = vals[static_cast<std::size_t>(lane)];
+        }
+      }
+    } else {
+      gather::RoundSchedule sched(shape, std::move(a_off), std::move(a_size));
+      gather::dual_subsequence_gather(ctx, shmem, sched, std::span<T>(regs));
+    }
+    // Data-oblivious register merge.
+    for (int warp = 0; warp < ctx.warps(); ++warp) {
+      for (int lane = 0; lane < w; ++lane) {
+        std::span<T> r(regs.data() + static_cast<std::size_t>(warp * w + lane) *
+                                         static_cast<std::size_t>(e),
+                       static_cast<std::size_t>(e));
+        odd_even_transposition_sort(r, cmp);
+      }
+      ctx.charge_compute(warp, static_cast<std::uint64_t>(odd_even_network_size(e)) *
+                                   cost::kCompareExchangeInstrs);
+    }
+  } else {
+    std::vector<MergeLaneDesc> descs(static_cast<std::size_t>(u));
+    for (int i = 0; i < u; ++i) {
+      const auto& s = splits[static_cast<std::size_t>(i)];
+      descs[static_cast<std::size_t>(i)] = {s.a_off, s.a_size, s.b_off, s.b_size};
+    }
+    warp_serial_merge(ctx, shmem, std::span<const MergeLaneDesc>(descs), e,
+                      [&](std::int64_t x) { return layout.pos_a(x); },
+                      [&](std::int64_t y) { return layout.pos_b(y); }, std::span<T>(regs),
+                      cmp);
+  }
+  ctx.barrier();
+
+  // Write registers to shared (stride E), then store coalesced.
+  ctx.phase("merge.store");
+  const bool out_rho = cfg.variant == Variant::CFMerge && cfg.cf_output_scatter &&
+                       !cfg.disable_rho;
+  const gather::CircularShift out_shift(w, e, tile);
+  auto out_pos = [&](std::int64_t t) { return out_rho ? out_shift(t) : t; };
+  {
+    std::vector<std::int64_t> addr(static_cast<std::size_t>(w));
+    std::vector<T> vals(static_cast<std::size_t>(w));
+    for (int warp = 0; warp < ctx.warps(); ++warp) {
+      for (int j = 0; j < e; ++j) {
+        for (int lane = 0; lane < w; ++lane) {
+          const int i = warp * w + lane;
+          addr[static_cast<std::size_t>(lane)] =
+              out_pos(static_cast<std::int64_t>(i) * e + j);
+          vals[static_cast<std::size_t>(lane)] =
+              regs[static_cast<std::size_t>(i) * static_cast<std::size_t>(e) +
+                   static_cast<std::size_t>(j)];
+        }
+        ctx.charge_compute(warp, cost::kCopyChunkInstrs);
+        shmem.scatter(warp, addr, vals);
+      }
+    }
+  }
+  ctx.barrier();
+  store_tile(ctx, shmem, gout, tile, [&](std::int64_t t) { return out_pos(t); },
+             [](std::int64_t t) { return t; });
+}
+
+/// Stage 2: merge kernel body for one output tile.
+template <typename T, typename Cmp = std::less<T>>
+void merge_tile_body(gpusim::BlockContext& ctx, std::span<const T> input,
+                     std::span<T> output, const PassGeometry& geom, const MergeConfig& cfg,
+                     std::span<const std::int64_t> boundaries, Cmp cmp = Cmp{}) {
+  const int w = ctx.lanes();
+  const std::int64_t tile = cfg.tile();
+  const std::int64_t out0 = static_cast<std::int64_t>(ctx.block_id()) * tile;
+  const std::int64_t base = geom.pair_base(out0);
+  const std::int64_t ra = geom.a_len(base);
+  const std::int64_t rb = geom.b_len(base);
+
+  // Block subsequence bounds from the partition kernel (a cheap global
+  // read; one element per block boundary).
+  ctx.phase("merge.load");
+  {
+    std::vector<std::int64_t> addr(static_cast<std::size_t>(w), gpusim::kInactiveLane);
+    addr[0] = static_cast<std::int64_t>(ctx.block_id());
+    addr[1 % w] = static_cast<std::int64_t>(ctx.block_id()) + 1;
+    std::vector<std::int64_t> vals(static_cast<std::size_t>(w));
+    gpusim::GlobalView<const std::int64_t> bview(ctx, boundaries, 0);
+    bview.gather(0, addr, std::span<std::int64_t>(vals));
+  }
+  const std::int64_t diag0 = out0 - base;
+  const std::int64_t diag1 = diag0 + tile;
+  const std::int64_t a0 = boundaries[static_cast<std::size_t>(ctx.block_id())];
+  // The co-rank of a boundary that coincides with the *end* of this pair was
+  // computed relative to the next pair (as diagonal 0); the end co-rank of
+  // this pair is simply ra.
+  const std::int64_t a1 = diag1 >= ra + rb
+                              ? ra
+                              : boundaries[static_cast<std::size_t>(ctx.block_id()) + 1];
+  const std::int64_t b0 = diag0 - a0;
+  const std::int64_t b1 = diag1 - a1;
+  const std::int64_t la = a1 - a0;
+  const std::int64_t lb = b1 - b0;
+
+  gpusim::GlobalView<const T> gin(ctx, input, 0);
+  gpusim::GlobalView<T> gout(ctx, output.subspan(static_cast<std::size_t>(out0),
+                                                 static_cast<std::size_t>(tile)),
+                             out0);
+  merge_window_core<T>(ctx, gin, gout, base + a0, base + ra + b0, la, lb, cfg, cmp);
+}
+
+
+}  // namespace cfmerge::sort

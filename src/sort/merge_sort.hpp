@@ -1,0 +1,134 @@
+// Full pairwise mergesort pipeline on the simulated GPU.
+//
+//   block sort  ->  ceil(log2(n / tile)) merge passes (partition + merge)
+//
+// Inputs of arbitrary length are padded to a tile multiple with +infinity
+// sentinels (Thrust clamps ragged tiles instead; padding exercises the same
+// code paths with full tiles, and the reported element counts/throughputs
+// always refer to the unpadded n).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gpusim/launcher.hpp"
+#include "sort/key_value.hpp"
+#include "sort/merge_pass.hpp"
+
+namespace cfmerge::sort {
+
+/// Outcome of a simulated sort: the sorted data plus the full cost picture.
+struct SortReport {
+  std::int64_t n = 0;             ///< unpadded element count
+  std::int64_t n_padded = 0;
+  int passes = 0;                 ///< number of global merge passes
+  double microseconds = 0.0;      ///< total simulated kernel time
+  gpusim::Counters totals;        ///< counters summed over all kernels
+  gpusim::PhaseCounters phases;   ///< per-phase breakdown
+  std::vector<gpusim::KernelReport> kernels;
+
+  /// Elements sorted per simulated microsecond (the paper's figure metric).
+  [[nodiscard]] double throughput() const {
+    return microseconds > 0 ? static_cast<double>(n) / microseconds : 0.0;
+  }
+  /// Bank conflicts in the pairwise-merge kernels' merge phase only (what
+  /// nvprof measured for the paper: "no bank conflicts during merging").
+  /// The block-sort stage is identical in both variants and excluded.
+  [[nodiscard]] std::uint64_t merge_conflicts() const;
+  [[nodiscard]] std::uint64_t merge_shared_accesses() const;
+  /// Bank conflicts in the (variant-independent) block-sort merge rounds.
+  [[nodiscard]] std::uint64_t blocksort_conflicts() const;
+};
+
+/// Sorts `data` in place with the configured variant.  `launcher.history()`
+/// is cleared and then holds one report per launched kernel.
+template <typename T>
+SortReport merge_sort(gpusim::Launcher& launcher, std::vector<T>& data,
+                      const MergeConfig& cfg) {
+  const gpusim::DeviceSpec& dev = launcher.device();
+  if (cfg.e <= 0) throw std::invalid_argument("merge_sort: E must be positive");
+  if (cfg.u <= 0 || cfg.u % dev.warp_size != 0)
+    throw std::invalid_argument("merge_sort: u must be a positive multiple of warp_size");
+
+  SortReport report;
+  report.n = static_cast<std::int64_t>(data.size());
+  if (report.n == 0) return report;
+
+  const std::int64_t tile = cfg.tile();
+  const std::int64_t n_padded = (report.n + tile - 1) / tile * tile;
+  report.n_padded = n_padded;
+  std::vector<T> buf = data;
+  buf.resize(static_cast<std::size_t>(n_padded), padding_sentinel<T>::value());
+  std::vector<T> tmp(static_cast<std::size_t>(n_padded));
+
+  launcher.clear_history();
+  const int regs = cfg.variant == Variant::CFMerge ? cost::cfmerge_regs_per_thread(cfg.e)
+                                                   : cost::baseline_regs_per_thread(cfg.e);
+  const int num_tiles = static_cast<int>(n_padded / tile);
+
+  // --- stage 1: block sort ------------------------------------------------
+  {
+    gpusim::LaunchShape shape{num_tiles, cfg.u,
+                              static_cast<std::size_t>(tile) * sizeof(T), regs};
+    const bool cf_rounds = cfg.variant == Variant::CFMerge && cfg.cf_blocksort;
+    if (cf_rounds) shape.shared_bytes_per_block *= 2;  // staging buffer
+    launcher.launch("block_sort", shape, [&](gpusim::BlockContext& ctx) {
+      block_sort_body<T>(ctx, std::span<T>(buf), cfg.e, cf_rounds);
+    });
+  }
+
+  // --- stage 2: merge passes ----------------------------------------------
+  std::vector<std::int64_t> boundaries(static_cast<std::size_t>(num_tiles) + 1, 0);
+  std::vector<T>* src = &buf;
+  std::vector<T>* dst = &tmp;
+  for (std::int64_t run = tile; run < n_padded; run *= 2) {
+    ++report.passes;
+    const PassGeometry geom{n_padded, run};
+
+    const auto nb = static_cast<std::int64_t>(boundaries.size());
+    const int pblocks = static_cast<int>((nb + cfg.u - 1) / cfg.u);
+    gpusim::LaunchShape pshape{pblocks, cfg.u, 0, 24};
+    launcher.launch("merge_partition", pshape, [&](gpusim::BlockContext& ctx) {
+      merge_partition_body<T>(ctx, std::span<const T>(*src), geom, tile,
+                              std::span<std::int64_t>(boundaries));
+    });
+
+    gpusim::LaunchShape mshape{num_tiles, cfg.u,
+                               static_cast<std::size_t>(tile) * sizeof(T), regs};
+    launcher.launch("merge_pass", mshape, [&](gpusim::BlockContext& ctx) {
+      merge_tile_body<T>(ctx, std::span<const T>(*src), std::span<T>(*dst), geom, cfg,
+                         std::span<const std::int64_t>(boundaries));
+    });
+    std::swap(src, dst);
+  }
+
+  std::copy(src->begin(), src->begin() + report.n, data.begin());
+  report.kernels = launcher.history();
+  report.microseconds = launcher.total_microseconds();
+  report.totals = launcher.total_counters();
+  report.phases = launcher.phase_counters();
+  return report;
+}
+
+/// Sorts `keys` and applies the same permutation to `values` (Thrust's
+/// sort_by_key).  Sizes must match.  See key_value.hpp for the stability
+/// guarantees per variant.
+template <typename K, typename V>
+SortReport merge_sort_by_key(gpusim::Launcher& launcher, std::vector<K>& keys,
+                             std::vector<V>& values, const MergeConfig& cfg) {
+  if (keys.size() != values.size())
+    throw std::invalid_argument("merge_sort_by_key: keys/values size mismatch");
+  std::vector<KeyValue<K, V>> pairs(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) pairs[i] = {keys[i], values[i]};
+  const SortReport report = merge_sort(launcher, pairs, cfg);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = pairs[i].key;
+    values[i] = pairs[i].value;
+  }
+  return report;
+}
+
+}  // namespace cfmerge::sort

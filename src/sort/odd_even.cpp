@@ -1,0 +1,16 @@
+#include "sort/odd_even.hpp"
+
+namespace cfmerge::sort {
+
+std::int64_t odd_even_network_size(std::int64_t n) {
+  if (n <= 1) return 0;
+  const std::int64_t even_pairs = n / 2;        // phases 0, 2, ...
+  const std::int64_t odd_pairs = (n - 1) / 2;   // phases 1, 3, ...
+  const std::int64_t even_phases = (n + 1) / 2;
+  const std::int64_t odd_phases = n / 2;
+  return even_phases * even_pairs + odd_phases * odd_pairs;
+}
+
+std::int64_t odd_even_sequential_ces(std::int64_t n) { return odd_even_network_size(n); }
+
+}  // namespace cfmerge::sort

@@ -1,0 +1,47 @@
+// Odd-even transposition sort (Habermann 1972) — the data-oblivious
+// in-register sort used by CF-Merge.
+//
+// On a real GPU, dynamically indexed per-thread arrays are compiled into
+// local memory; a sorting *network* with static indices keeps the items in
+// registers.  Odd-even transposition sorts any n-element sequence in n
+// phases; CF-Merge runs it on the E gathered items (a rotated arrangement
+// of sorted A_i ascending and sorted B_i descending), which the network
+// sorts regardless of the rotation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <utility>
+
+namespace cfmerge::sort {
+
+/// Sorts `items` in place with n phases of compare-exchanges.
+/// Returns the number of compare-exchange operations performed (for
+/// instruction charging): n * floor(n/2) ... exactly the network size.
+template <typename T, typename Cmp = std::less<T>>
+std::int64_t odd_even_transposition_sort(std::span<T> items, Cmp cmp = Cmp{}) {
+  const auto n = static_cast<std::int64_t>(items.size());
+  std::int64_t ces = 0;
+  for (std::int64_t phase = 0; phase < n; ++phase) {
+    for (std::int64_t i = phase % 2; i + 1 < n; i += 2) {
+      auto& x = items[static_cast<std::size_t>(i)];
+      auto& y = items[static_cast<std::size_t>(i + 1)];
+      if (cmp(y, x)) std::swap(x, y);
+      ++ces;
+    }
+  }
+  return ces;
+}
+
+/// Number of compare-exchanges the network performs for n items, without
+/// running it (phases alternate floor(n/2) and floor((n-1+1)/2) pairs).
+[[nodiscard]] std::int64_t odd_even_network_size(std::int64_t n);
+
+/// Number of compare-exchanges on the *critical path* (the dependency chain
+/// seen by one thread executing the network sequentially is the full network
+/// size; the chain per phase is what a superscalar core could overlap —
+/// we charge the sequential count, matching single-thread GPU execution).
+[[nodiscard]] std::int64_t odd_even_sequential_ces(std::int64_t n);
+
+}  // namespace cfmerge::sort

@@ -1,0 +1,130 @@
+// Baseline per-thread sequential merge from shared memory — the routine
+// whose bank conflicts the paper eliminates.
+//
+// Every thread of a warp merges its merge-path subsequences A_i and B_i
+// directly from shared memory in lockstep: after preloading the two head
+// elements, each of the E output steps consumes the smaller head and
+// fetches its successor from shared memory.  The fetch addresses are data
+// dependent, so the warp's w concurrent fetches can collide in the same
+// bank — up to w-fold serialization per step (the paper's Section 4 inputs
+// force exactly this).
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "gpusim/memory_views.hpp"
+#include "sort/cost_model.hpp"
+
+namespace cfmerge::sort {
+
+/// Per-thread split description for a warp-synchronous merge step.
+/// Addresses are *physical* shared memory positions; `a_pos(x)` maps offset
+/// x within the thread's A_i to its position, and likewise `b_pos`.
+struct MergeLaneDesc {
+  std::int64_t a_begin = 0;  ///< first A offset (block-local)
+  std::int64_t a_size = 0;
+  std::int64_t b_begin = 0;
+  std::int64_t b_size = 0;
+};
+
+/// Merges, for every thread of the block, A_i and B_i out of `shmem` into
+/// the block register file `regs` (thread i's outputs at regs[i*E .. i*E+E)).
+///
+/// `a_pos(off)` / `b_pos(off)` translate *block-local list offsets* into
+/// physical shared positions (identity + la-offset for the baseline linear
+/// layout).  `lanes` holds one descriptor per thread.
+template <typename T, typename APos, typename BPos, typename Cmp = std::less<T>>
+void warp_serial_merge(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& shmem,
+                       std::span<const MergeLaneDesc> lanes, int e, APos&& a_pos,
+                       BPos&& b_pos, std::span<T> regs, Cmp cmp = Cmp{}) {
+  const int w = ctx.lanes();
+  const int warps = ctx.warps();
+  assert(static_cast<int>(lanes.size()) == ctx.threads());
+
+  std::vector<std::int64_t> addr(static_cast<std::size_t>(w));
+  std::vector<T> fetched(static_cast<std::size_t>(w));
+
+  struct LaneState {
+    std::int64_t next_a;  ///< next unread offset of A_i
+    std::int64_t next_b;
+    T head_a;
+    T head_b;
+    bool has_a;
+    bool has_b;
+  };
+  std::vector<LaneState> st(static_cast<std::size_t>(w));
+
+  for (int warp = 0; warp < warps; ++warp) {
+    ctx.charge_compute(warp, cost::kThreadSetupInstrs);
+    // Preload the A heads (one warp access), then the B heads.
+    for (int lane = 0; lane < w; ++lane) {
+      const auto& d = lanes[static_cast<std::size_t>(warp * w + lane)];
+      st[static_cast<std::size_t>(lane)] = LaneState{d.a_begin + 1, d.b_begin + 1, T{}, T{},
+                                                     d.a_size > 0, d.b_size > 0};
+      addr[static_cast<std::size_t>(lane)] =
+          d.a_size > 0 ? a_pos(d.a_begin) : gpusim::kInactiveLane;
+    }
+    shmem.gather(warp, addr, fetched);
+    for (int lane = 0; lane < w; ++lane)
+      if (st[static_cast<std::size_t>(lane)].has_a)
+        st[static_cast<std::size_t>(lane)].head_a = fetched[static_cast<std::size_t>(lane)];
+
+    for (int lane = 0; lane < w; ++lane) {
+      const auto& d = lanes[static_cast<std::size_t>(warp * w + lane)];
+      addr[static_cast<std::size_t>(lane)] =
+          d.b_size > 0 ? b_pos(d.b_begin) : gpusim::kInactiveLane;
+    }
+    shmem.gather(warp, addr, fetched);
+    for (int lane = 0; lane < w; ++lane)
+      if (st[static_cast<std::size_t>(lane)].has_b)
+        st[static_cast<std::size_t>(lane)].head_b = fetched[static_cast<std::size_t>(lane)];
+
+    // E lockstep output steps.
+    std::vector<char> consumed_a(static_cast<std::size_t>(w));
+    for (int step = 0; step < e; ++step) {
+      // Decide the winner per lane and emit it; queue the successor fetch.
+      for (int lane = 0; lane < w; ++lane) {
+        const int i = warp * w + lane;
+        const auto& d = lanes[static_cast<std::size_t>(i)];
+        auto& s = st[static_cast<std::size_t>(lane)];
+        assert(s.has_a || s.has_b);
+        const bool take_a = s.has_a && (!s.has_b || !cmp(s.head_b, s.head_a));
+        consumed_a[static_cast<std::size_t>(lane)] = take_a;
+        regs[static_cast<std::size_t>(i) * static_cast<std::size_t>(e) +
+             static_cast<std::size_t>(step)] = take_a ? s.head_a : s.head_b;
+        if (take_a) {
+          if (s.next_a < d.a_begin + d.a_size) {
+            addr[static_cast<std::size_t>(lane)] = a_pos(s.next_a++);
+          } else {
+            s.has_a = false;
+            addr[static_cast<std::size_t>(lane)] = gpusim::kInactiveLane;
+          }
+        } else {
+          if (s.next_b < d.b_begin + d.b_size) {
+            addr[static_cast<std::size_t>(lane)] = b_pos(s.next_b++);
+          } else {
+            s.has_b = false;
+            addr[static_cast<std::size_t>(lane)] = gpusim::kInactiveLane;
+          }
+        }
+      }
+      ctx.charge_compute(warp, cost::kMergeStepInstrs);
+      shmem.gather(warp, addr, fetched);
+      for (int lane = 0; lane < w; ++lane) {
+        if (addr[static_cast<std::size_t>(lane)] == gpusim::kInactiveLane) continue;
+        auto& s = st[static_cast<std::size_t>(lane)];
+        // The fetched value replaces the head that was just consumed.
+        if (consumed_a[static_cast<std::size_t>(lane)])
+          s.head_a = fetched[static_cast<std::size_t>(lane)];
+        else
+          s.head_b = fetched[static_cast<std::size_t>(lane)];
+      }
+    }
+  }
+}
+
+}  // namespace cfmerge::sort

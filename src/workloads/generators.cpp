@@ -1,0 +1,78 @@
+#include "workloads/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+#include "worstcase/builder.hpp"
+
+namespace cfmerge::workloads {
+
+const char* distribution_name(Distribution d) {
+  switch (d) {
+    case Distribution::UniformRandom: return "uniform-random";
+    case Distribution::Sorted: return "sorted";
+    case Distribution::Reverse: return "reverse";
+    case Distribution::NearlySorted: return "nearly-sorted";
+    case Distribution::FewDistinct: return "few-distinct";
+    case Distribution::Sawtooth: return "sawtooth";
+    case Distribution::WorstCase: return "worst-case";
+  }
+  return "unknown";
+}
+
+std::vector<Distribution> all_distributions() {
+  return {Distribution::UniformRandom, Distribution::Sorted,     Distribution::Reverse,
+          Distribution::NearlySorted,  Distribution::FewDistinct, Distribution::Sawtooth,
+          Distribution::WorstCase};
+}
+
+std::vector<std::int32_t> generate(const WorkloadSpec& spec) {
+  if (spec.n < 0) throw std::invalid_argument("generate: negative n");
+  const auto n = static_cast<std::size_t>(spec.n);
+  std::mt19937_64 rng(spec.seed);
+  std::vector<std::int32_t> v(n);
+  switch (spec.dist) {
+    case Distribution::UniformRandom: {
+      std::uniform_int_distribution<std::int32_t> d(std::numeric_limits<std::int32_t>::min(),
+                                                    std::numeric_limits<std::int32_t>::max());
+      for (auto& x : v) x = d(rng);
+      break;
+    }
+    case Distribution::Sorted:
+      std::iota(v.begin(), v.end(), 0);
+      break;
+    case Distribution::Reverse:
+      for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::int32_t>(n - i);
+      break;
+    case Distribution::NearlySorted: {
+      std::iota(v.begin(), v.end(), 0);
+      if (n >= 2) {
+        const std::size_t swaps = std::max<std::size_t>(1, n / 100);
+        std::uniform_int_distribution<std::size_t> d(0, n - 2);
+        for (std::size_t s = 0; s < swaps; ++s) {
+          const std::size_t i = d(rng);
+          std::swap(v[i], v[i + 1]);
+        }
+      }
+      break;
+    }
+    case Distribution::FewDistinct: {
+      std::uniform_int_distribution<std::int32_t> d(0, 15);
+      for (auto& x : v) x = d(rng);
+      break;
+    }
+    case Distribution::Sawtooth:
+      for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::int32_t>(i % 1024);
+      break;
+    case Distribution::WorstCase: {
+      worstcase::Params p{spec.w, spec.e};
+      v = worstcase::worst_case_sort_input(p, spec.u, spec.n, spec.seed);
+      break;
+    }
+  }
+  return v;
+}
+
+}  // namespace cfmerge::workloads

@@ -1,0 +1,42 @@
+// Input distributions for the experiments.
+//
+// The paper evaluates uniform random inputs and the constructed worst-case
+// inputs; the extra distributions here (sorted, reverse, nearly-sorted,
+// few-distinct, sawtooth) are standard sorting-benchmark workloads used by
+// the extended sweeps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cfmerge::workloads {
+
+enum class Distribution {
+  UniformRandom,
+  Sorted,
+  Reverse,
+  NearlySorted,   ///< sorted with ~1% random transpositions
+  FewDistinct,    ///< values drawn from 16 distinct keys
+  Sawtooth,       ///< ascending runs of 1024
+  WorstCase,      ///< Section 4 adversarial permutation (needs w, E, u)
+};
+
+[[nodiscard]] const char* distribution_name(Distribution d);
+[[nodiscard]] std::vector<Distribution> all_distributions();
+
+struct WorkloadSpec {
+  Distribution dist = Distribution::UniformRandom;
+  std::int64_t n = 0;
+  std::uint64_t seed = 42;
+  // Parameters for Distribution::WorstCase:
+  int w = 32;
+  int e = 15;
+  int u = 512;
+};
+
+/// Generates the input.  For WorstCase, n must satisfy the shape
+/// requirements of worstcase::worst_case_sort_input.
+[[nodiscard]] std::vector<std::int32_t> generate(const WorkloadSpec& spec);
+
+}  // namespace cfmerge::workloads

@@ -1,0 +1,35 @@
+#include "worstcase/interleave.hpp"
+
+#include <stdexcept>
+
+namespace cfmerge::worstcase {
+
+std::vector<bool> tuples_to_pattern(const std::vector<Tuple>& tuples) {
+  std::vector<bool> pat;
+  for (const Tuple& t : tuples) {
+    for (std::int64_t k = 0; k < t.a; ++k) pat.push_back(true);
+    for (std::int64_t k = 0; k < t.b; ++k) pat.push_back(false);
+  }
+  return pat;
+}
+
+std::vector<bool> warp_pair_pattern(const Params& p) {
+  std::vector<bool> pat = tuples_to_pattern(warp_tuples(p, /*flipped=*/false));
+  const std::vector<bool> second = tuples_to_pattern(warp_tuples(p, /*flipped=*/true));
+  pat.insert(pat.end(), second.begin(), second.end());
+  return pat;
+}
+
+std::vector<bool> tiled_pattern(const Params& p, std::int64_t len) {
+  const std::vector<bool> period = warp_pair_pattern(p);
+  const auto plen = static_cast<std::int64_t>(period.size());
+  if (len % plen != 0)
+    throw std::invalid_argument("tiled_pattern: len must be a multiple of 2wE");
+  std::vector<bool> pat;
+  pat.reserve(static_cast<std::size_t>(len));
+  for (std::int64_t k = 0; k < len; ++k)
+    pat.push_back(period[static_cast<std::size_t>(k % plen)]);
+  return pat;
+}
+
+}  // namespace cfmerge::worstcase

@@ -1,0 +1,43 @@
+// Turning split tuples into merge interleavings.
+//
+// A tuple sequence assigns each thread a_i elements of A followed by b_i of
+// B; concatenating "a_i trues, b_i falses" over the threads yields a boolean
+// pattern over the warp's output window: pattern[k] == true iff output rank
+// k comes from the A list.  Replicating the (normal, flipped) warp-pair
+// pattern tiles any output length that is a multiple of 2wE, and choosing
+// strictly increasing values makes merge path reproduce exactly these
+// splits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "worstcase/sequence.hpp"
+
+namespace cfmerge::worstcase {
+
+/// Expands tuples into the per-output-rank origin pattern (true = A).
+[[nodiscard]] std::vector<bool> tuples_to_pattern(const std::vector<Tuple>& tuples);
+
+/// Pattern of one warp pair (normal warp followed by the flipped warp):
+/// length 2wE, exactly wE trues.
+[[nodiscard]] std::vector<bool> warp_pair_pattern(const Params& p);
+
+/// Tiles the warp-pair pattern over `len` output ranks (len must be a
+/// multiple of 2wE).  Exactly len/2 trues.
+[[nodiscard]] std::vector<bool> tiled_pattern(const Params& p, std::int64_t len);
+
+/// Splits `sorted` (the merged output values, ascending) into the A and B
+/// inputs that merge back to it under `pattern`.
+template <typename T>
+std::pair<std::vector<T>, std::vector<T>> split_by_pattern(const std::vector<T>& sorted,
+                                                           const std::vector<bool>& pattern) {
+  std::vector<T> a, b;
+  a.reserve(sorted.size() / 2 + 1);
+  b.reserve(sorted.size() / 2 + 1);
+  for (std::size_t k = 0; k < sorted.size(); ++k)
+    (pattern[k] ? a : b).push_back(sorted[k]);
+  return {std::move(a), std::move(b)};
+}
+
+}  // namespace cfmerge::worstcase

@@ -1,0 +1,27 @@
+#include "worstcase/predict.hpp"
+
+namespace cfmerge::worstcase {
+
+std::int64_t predicted_subproblem_conflicts(const Params& p) {
+  p.validate();
+  const std::int64_t e = p.e;
+  const std::int64_t d = p.d();
+  const std::int64_t r = p.r();
+  if (2 * e <= p.w) return e * e / d;
+  return (e * e / d + 2 * e * r / d + e - r * r / d - r) / 2;
+}
+
+std::int64_t predicted_warp_conflicts(const Params& p) {
+  p.validate();
+  const std::int64_t e = p.e;
+  const std::int64_t d = p.d();
+  const std::int64_t r = p.r();
+  if (2 * e <= p.w) return e * e;
+  return (e * e + 2 * e * r + e * d - r * r - r * d) / 2;
+}
+
+std::int64_t trivial_warp_conflict_bound(const Params& p) {
+  return static_cast<std::int64_t>(p.e) * (p.w - 1);
+}
+
+}  // namespace cfmerge::worstcase

@@ -1,0 +1,28 @@
+// Theorem 8: predicted bank-conflict totals for the worst-case inputs.
+#pragma once
+
+#include <cstdint>
+
+#include "worstcase/sequence.hpp"
+
+namespace cfmerge::worstcase {
+
+/// Conflicts a single subproblem's accesses cause in the last E banks:
+///   E^2 / d                                     when E <= w/2  (q > 1)
+///   (E^2/d + 2Er/d + E - r^2/d - r) / 2         otherwise      (q == 1)
+/// Returned as an exact rational evaluated in integers (the paper's
+/// quantities are integral for valid parameters).
+[[nodiscard]] std::int64_t predicted_subproblem_conflicts(const Params& p);
+
+/// Combining all d subproblems of one warp (the theorem's final display):
+///   E^2                                         when 1 < E <= w/2
+///   (E^2 + 2Er + Ed - r^2 - rd) / 2             otherwise
+[[nodiscard]] std::int64_t predicted_warp_conflicts(const Params& p);
+
+/// The trivial per-step upper bound the paper cites: a thread's sequential
+/// merge performs E steps, each of which can serialize against at most
+/// min(w, distinct addresses) lanes; the total per warp is bounded by
+/// E * (w - 1).
+[[nodiscard]] std::int64_t trivial_warp_conflict_bound(const Params& p);
+
+}  // namespace cfmerge::worstcase

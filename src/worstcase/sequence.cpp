@@ -1,0 +1,113 @@
+#include "worstcase/sequence.hpp"
+
+#include <stdexcept>
+
+#include "numtheory/numtheory.hpp"
+
+namespace cfmerge::worstcase {
+
+using numtheory::gcd;
+using numtheory::mod;
+
+void Params::validate() const {
+  if (e <= 1) throw std::invalid_argument("worstcase::Params: requires E > 1");
+  if (w < e) throw std::invalid_argument("worstcase::Params: requires E <= w");
+}
+
+std::int64_t Params::d() const { return gcd(w, e); }
+std::int64_t Params::q() const { return w / e; }
+std::int64_t Params::r() const { return w % e; }
+
+std::vector<std::int64_t> s_sequence(const Params& p) {
+  p.validate();
+  const std::int64_t d = p.d();
+  const std::int64_t ed = p.e / d;
+  const std::int64_t rd = p.r() / d;
+  std::vector<std::int64_t> s;
+  s.reserve(static_cast<std::size_t>(ed > 0 ? ed - 1 : 0));
+  for (std::int64_t i = 1; i < ed; ++i) s.push_back(mod(i * rd, ed));
+  return s;
+}
+
+std::vector<Tuple> s_tuples(const Params& p) {
+  const std::vector<std::int64_t> s = s_sequence(p);
+  const std::int64_t d = p.d();
+  const std::int64_t ed = p.e / d;
+  std::vector<Tuple> out;
+  out.reserve(s.size());
+  for (std::size_t idx = 0; idx < s.size(); ++idx) {
+    const std::int64_t i = static_cast<std::int64_t>(idx) + 1;
+    const std::int64_t x = (ed - s[idx]) * d;
+    const std::int64_t y = s[idx] * d;
+    if (i % 2 == 0)
+      out.push_back({x, y});
+    else
+      out.push_back({y, x});
+  }
+  return out;
+}
+
+std::vector<Tuple> t_sequence(const Params& p) {
+  p.validate();
+  const std::int64_t d = p.d();
+  const std::int64_t e = p.e;
+  const std::int64_t ed = e / d;
+  const std::int64_t q = p.q();
+  const std::int64_t r = p.r();
+  const std::int64_t rd = r / d;
+
+  std::vector<Tuple> t;
+  t.reserve(static_cast<std::size_t>(p.w / d));
+
+  if (ed == 1) {
+    // r == 0: no S tuples exist; the subproblem is q straight scans.
+    for (std::int64_t i = 0; i < q; ++i) t.push_back({e, 0});
+    return t;
+  }
+
+  const std::vector<Tuple> s = s_tuples(p);
+  const std::vector<std::int64_t> sv = s_sequence(p);
+  auto x_of = [&](std::int64_t i) { return (ed - sv[static_cast<std::size_t>(i - 1)]) * d; };
+  auto y_of = [&](std::int64_t i) { return sv[static_cast<std::size_t>(i - 1)] * d; };
+
+  // Step (1): (a_1, b_1) = (y_1, x_1) = (r, E - r), then q tuples of (E, 0).
+  t.push_back(s.front());
+  for (std::int64_t k = 0; k < q; ++k) t.push_back({e, 0});
+
+  // Step (2): for i = 1 .. E/d - 2, insert (a_{i+1}, b_{i+1}) followed by the
+  // filler scans whose count depends on whether x_i + y_{i+1} wrapped
+  // (Lemma 7: the sum is r or E + r).
+  for (std::int64_t i = 1; i <= ed - 2; ++i) {
+    t.push_back(s[static_cast<std::size_t>(i)]);
+    const std::int64_t fill = (x_of(i) + y_of(i + 1) == r) ? q : q - 1;
+    const Tuple scan = (i % 2 == 0) ? Tuple{e, 0} : Tuple{0, e};
+    for (std::int64_t k = 0; k < fill; ++k) t.push_back(scan);
+  }
+
+  // Step (3): final q scans, direction set by the parity of E/d - 1.
+  const Tuple scan = ((ed - 1) % 2 == 0) ? Tuple{e, 0} : Tuple{0, e};
+  for (std::int64_t k = 0; k < q; ++k) t.push_back(scan);
+
+  (void)rd;
+  return t;
+}
+
+std::vector<Tuple> warp_tuples(const Params& p, bool flipped) {
+  const std::vector<Tuple> t = t_sequence(p);
+  const std::int64_t d = p.d();
+  std::vector<Tuple> out;
+  out.reserve(static_cast<std::size_t>(p.w));
+  for (std::int64_t l = 0; l < d; ++l) {
+    const bool swap = (l % 2 == 1) != flipped;
+    for (const Tuple& tp : t) out.push_back(swap ? Tuple{tp.b, tp.a} : tp);
+  }
+  return out;
+}
+
+std::int64_t a_total(const std::vector<Tuple>& tuples) {
+  std::int64_t s = 0;
+  for (const Tuple& t : tuples) s += t.a;
+  return s;
+}
+
+}  // namespace cfmerge::worstcase

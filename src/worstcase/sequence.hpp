@@ -1,0 +1,64 @@
+// Worst-case split sequences S and T (Section 4 of the paper).
+//
+// For parameters w (warp size), E (elements per thread, 1 < E <= w) and
+// d = gcd(w, E), the warp's wE elements are divided into d subproblems of
+// wE/d elements and w/d threads.  Within a subproblem, the sequence T of
+// w/d tuples (a_i, b_i) prescribes how many elements thread i takes from
+// the A and B lists.  Most tuples are (E, 0) or (0, E): those threads scan
+// E consecutive shared memory positions, and the S-tuples between them are
+// chosen (via s_i = i*(r/d) mod (E/d), with w = qE + r) so that the scans
+// align in the last E banks — forcing Theta(E) bank conflicts per element
+// in Thrust's sequential merge (Theorem 8 gives the exact counts).
+//
+// This generalizes Berney & Sitchinava (IPDPS 2020), which required w a
+// power of two, d = 1 and w/2 < E < w, to arbitrary w, 1 < E <= w and any d.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cfmerge::worstcase {
+
+/// A per-thread split: the thread consumes `a` elements from the A list and
+/// `b` from the B list (a + b == E).
+struct Tuple {
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  bool operator==(const Tuple&) const = default;
+};
+
+/// Validated parameter set for the construction.
+struct Params {
+  int w;  ///< warp size / bank count
+  int e;  ///< elements per thread, 1 < e <= w
+
+  /// Throws std::invalid_argument unless 1 < e <= w.
+  void validate() const;
+
+  [[nodiscard]] std::int64_t d() const;  ///< gcd(w, e)
+  [[nodiscard]] std::int64_t q() const;  ///< w = q*e + r
+  [[nodiscard]] std::int64_t r() const;
+};
+
+/// The values s_i = i * (r/d) mod (E/d) for i = 1 .. E/d - 1.
+/// Lemma 5: all distinct; Lemma 6: s_{E/d - i} = E/d - s_i.
+[[nodiscard]] std::vector<std::int64_t> s_sequence(const Params& p);
+
+/// The sequence S of E/d - 1 tuples: (x_i, y_i) with the paper's parity rule
+/// (a_i = y_i for odd i, x_i for even i), where x_i = (E/d - s_i) d and
+/// y_i = s_i d.
+[[nodiscard]] std::vector<Tuple> s_tuples(const Params& p);
+
+/// The sequence T of exactly w/d tuples (the subproblem construction).
+/// For E/d == 1 (r == 0) the sequence degenerates to q tuples of (E, 0).
+[[nodiscard]] std::vector<Tuple> t_sequence(const Params& p);
+
+/// Tuples for a full warp (w tuples): subproblem l uses T for even l and
+/// the A/B-swapped T for odd l, giving the warp ceil(E/2)*w elements of A.
+/// `flipped` swaps every tuple — the symmetric warp that balances the pair.
+[[nodiscard]] std::vector<Tuple> warp_tuples(const Params& p, bool flipped = false);
+
+/// Sum of the `a` components (the warp's |A|).
+[[nodiscard]] std::int64_t a_total(const std::vector<Tuple>& tuples);
+
+}  // namespace cfmerge::worstcase

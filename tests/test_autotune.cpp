@@ -1,0 +1,85 @@
+// Tests of the (E, u) parameter autotuner.
+#include "analysis/autotune.hpp"
+
+#include <gtest/gtest.h>
+
+#include "numtheory/numtheory.hpp"
+
+using namespace cfmerge;
+using namespace cfmerge::analysis;
+
+TEST(Autotune, FindsThePapersParameterSetOnTuring) {
+  // On the 2080 Ti model, (E=15, u=512) must rank at the top: coprime and
+  // 100% occupancy — exactly the paper's finding versus Thrust's default.
+  const auto candidates = enumerate_candidates(gpusim::DeviceSpec::rtx2080ti(), TuneOptions{});
+  ASSERT_FALSE(candidates.empty());
+  bool found_15_512_before_17_256 = false;
+  std::size_t i15 = candidates.size(), i17 = candidates.size();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].e == 15 && candidates[i].u == 512) i15 = std::min(i15, i);
+    if (candidates[i].e == 17 && candidates[i].u == 256) i17 = std::min(i17, i);
+  }
+  ASSERT_LT(i15, candidates.size()) << "E=15,u=512 missing";
+  found_15_512_before_17_256 = i17 == candidates.size() || i15 < i17;
+  EXPECT_TRUE(found_15_512_before_17_256);
+  EXPECT_DOUBLE_EQ(candidates[i15].occupancy, 1.0);
+  EXPECT_TRUE(candidates[i15].coprime);
+}
+
+TEST(Autotune, CandidatesRespectDeviceLimits) {
+  const gpusim::DeviceSpec dev = gpusim::DeviceSpec::tiny(8);
+  TuneOptions opts;
+  opts.e_min = 2;
+  opts.e_max = 10;
+  opts.u_values = {8, 12, 16, 4096};
+  const auto candidates = enumerate_candidates(dev, opts);
+  for (const auto& c : candidates) {
+    EXPECT_EQ(c.u % dev.warp_size, 0);
+    EXPECT_LE(c.u, dev.max_threads_per_sm);
+    EXPECT_NE(c.u, 12);  // not a power of two
+    EXPECT_GT(c.occupancy, 0.0);
+    EXPECT_EQ(c.coprime, numtheory::coprime(dev.warp_size, c.e));
+  }
+}
+
+TEST(Autotune, StaticScorePenalizesNonCoprime) {
+  const auto candidates = enumerate_candidates(gpusim::DeviceSpec::rtx2080ti(), TuneOptions{});
+  for (const auto& c : candidates) {
+    const double expect = c.occupancy * (c.coprime ? 1.0 : 0.85);
+    EXPECT_DOUBLE_EQ(c.static_score, expect);
+  }
+}
+
+TEST(Autotune, SlackFilterDropsLowOccupancy) {
+  TuneOptions strict;
+  strict.occupancy_slack = 1.0;  // only the best occupancy survives
+  const auto top = enumerate_candidates(gpusim::DeviceSpec::rtx2080ti(), strict);
+  ASSERT_FALSE(top.empty());
+  const double best = top.front().occupancy;
+  for (const auto& c : top) EXPECT_DOUBLE_EQ(c.occupancy, best);
+}
+
+TEST(Autotune, MeasureRanksByThroughput) {
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8, 2));
+  TuneOptions opts;
+  opts.e_min = 4;
+  opts.e_max = 6;
+  opts.u_values = {16, 32};
+  auto candidates = enumerate_candidates(launcher.device(), opts);
+  ASSERT_GE(candidates.size(), 2u);
+  measure_candidates(launcher, candidates, opts, /*top_k=*/3, /*tiles=*/4, /*seed=*/1);
+  const int limit = std::min<int>(3, static_cast<int>(candidates.size()));
+  for (int i = 0; i + 1 < limit; ++i) {
+    EXPECT_GE(candidates[static_cast<std::size_t>(i)].measured_throughput,
+              candidates[static_cast<std::size_t>(i + 1)].measured_throughput);
+    EXPECT_GT(candidates[static_cast<std::size_t>(i)].measured_throughput, 0.0);
+  }
+}
+
+TEST(Autotune, RejectsBadRange) {
+  TuneOptions opts;
+  opts.e_min = 10;
+  opts.e_max = 5;
+  EXPECT_THROW((void)enumerate_candidates(gpusim::DeviceSpec::tiny(8), opts),
+               std::invalid_argument);
+}

@@ -1,0 +1,129 @@
+// Tests of the batched pairwise merge API.
+#include "sort/batched_merge.hpp"
+#include "sort/merge_arrays.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+using namespace cfmerge;
+using namespace cfmerge::sort;
+
+namespace {
+std::vector<int> sorted_random(std::mt19937_64& rng, std::size_t n, int hi = 100000) {
+  std::vector<int> v(n);
+  for (auto& x : v) x = static_cast<int>(rng() % static_cast<std::uint64_t>(hi));
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+std::vector<int> reference_merge(const std::vector<int>& a, const std::vector<int>& b) {
+  std::vector<int> out;
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+}  // namespace
+
+class BatchedBothVariants : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(BatchedBothVariants, ManyUnevenPairs) {
+  std::mt19937_64 rng(1);
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+  MergeConfig cfg;
+  cfg.e = 5;
+  cfg.u = 16;
+  cfg.variant = GetParam();
+
+  std::vector<std::vector<int>> as, bs;
+  for (const auto& [na, nb] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {80, 80}, {0, 50}, {200, 3}, {1, 1}, {333, 77}, {0, 0}, {160, 159}}) {
+    as.push_back(sorted_random(rng, na));
+    bs.push_back(sorted_random(rng, nb));
+  }
+  std::vector<std::vector<int>> outs;
+  const auto report = batched_merge(launcher, as, bs, outs, cfg);
+  ASSERT_EQ(outs.size(), as.size());
+  for (std::size_t p = 0; p < as.size(); ++p)
+    EXPECT_EQ(outs[p], reference_merge(as[p], bs[p])) << "pair " << p;
+  EXPECT_EQ(report.pairs, static_cast<int>(as.size()));
+  std::int64_t total = 0;
+  for (std::size_t p = 0; p < as.size(); ++p)
+    total += static_cast<std::int64_t>(as[p].size() + bs[p].size());
+  EXPECT_EQ(report.elements, total);
+}
+
+TEST_P(BatchedBothVariants, SinglePairMatchesMergeArrays) {
+  std::mt19937_64 rng(2);
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+  MergeConfig cfg;
+  cfg.e = 6;  // non-coprime with w = 8
+  cfg.u = 16;
+  cfg.variant = GetParam();
+  const auto a = sorted_random(rng, 150);
+  const auto b = sorted_random(rng, 90);
+  std::vector<std::vector<int>> outs;
+  batched_merge(launcher, {a}, {b}, outs, cfg);
+  std::vector<int> ref_out;
+  merge_arrays(launcher, a, b, ref_out, cfg);
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0], ref_out);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, BatchedBothVariants,
+                         ::testing::Values(Variant::Baseline, Variant::CFMerge),
+                         [](const ::testing::TestParamInfo<Variant>& info) {
+                           return info.param == Variant::Baseline ? "Baseline" : "CFMerge";
+                         });
+
+TEST(BatchedMerge, EmptyBatch) {
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+  MergeConfig cfg;
+  cfg.e = 5;
+  cfg.u = 16;
+  std::vector<std::vector<int>> outs;
+  const auto report = batched_merge<int>(launcher, {}, {}, outs, cfg);
+  EXPECT_EQ(report.pairs, 0);
+  EXPECT_TRUE(outs.empty());
+}
+
+TEST(BatchedMerge, MismatchedBatchRejected) {
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+  MergeConfig cfg;
+  cfg.e = 5;
+  cfg.u = 16;
+  std::vector<std::vector<int>> outs;
+  EXPECT_THROW(batched_merge<int>(launcher, {{1}}, {}, outs, cfg), std::invalid_argument);
+}
+
+TEST(BatchedMerge, CFMergeConflictFreeAcrossWholeBatch) {
+  std::mt19937_64 rng(3);
+  gpusim::Launcher launcher(gpusim::DeviceSpec::rtx2080ti());
+  MergeConfig cfg;
+  cfg.e = 16;  // non-coprime with w = 32: the hard case
+  cfg.u = 64;
+  cfg.variant = Variant::CFMerge;
+  std::vector<std::vector<int>> as, bs;
+  for (int p = 0; p < 5; ++p) {
+    as.push_back(sorted_random(rng, 1000 + static_cast<std::size_t>(rng() % 2000)));
+    bs.push_back(sorted_random(rng, 500 + static_cast<std::size_t>(rng() % 2500)));
+  }
+  std::vector<std::vector<int>> outs;
+  const auto report = batched_merge(launcher, as, bs, outs, cfg);
+  EXPECT_EQ(report.merge_conflicts(), 0u);
+  for (std::size_t p = 0; p < as.size(); ++p)
+    EXPECT_EQ(outs[p], reference_merge(as[p], bs[p]));
+}
+
+TEST(BatchedMerge, LaunchesExactlyTwoKernels) {
+  std::mt19937_64 rng(4);
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+  MergeConfig cfg;
+  cfg.e = 5;
+  cfg.u = 16;
+  std::vector<std::vector<int>> as{sorted_random(rng, 100), sorted_random(rng, 300)};
+  std::vector<std::vector<int>> bs{sorted_random(rng, 120), sorted_random(rng, 10)};
+  std::vector<std::vector<int>> outs;
+  batched_merge(launcher, as, bs, outs, cfg);
+  EXPECT_EQ(launcher.history().size(), 2u);  // one partition + one merge launch
+}

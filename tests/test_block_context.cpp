@@ -1,0 +1,168 @@
+// Tests of BlockContext charging, phases, chains and the typed memory views.
+#include "gpusim/block_context.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "gpusim/memory_views.hpp"
+
+using namespace cfmerge::gpusim;
+
+namespace {
+DeviceSpec tiny8() { return DeviceSpec::tiny(8); }
+
+std::vector<std::int64_t> iota_addrs(int n, std::int64_t start = 0, std::int64_t stride = 1) {
+  std::vector<std::int64_t> a(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) a[static_cast<std::size_t>(i)] = start + i * stride;
+  return a;
+}
+}  // namespace
+
+TEST(BlockContext, ValidatesConstruction) {
+  const DeviceSpec dev = tiny8();
+  EXPECT_THROW(BlockContext(dev, 0, 1, 12), std::invalid_argument);  // not multiple of 8
+  EXPECT_THROW(BlockContext(dev, 0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(BlockContext(dev, 2, 2, 8), std::invalid_argument);  // id out of range
+  BlockContext ok(dev, 1, 2, 16);
+  EXPECT_EQ(ok.warps(), 2);
+  EXPECT_EQ(ok.lanes(), 8);
+}
+
+TEST(BlockContext, ChargesSharedCounters) {
+  const DeviceSpec dev = tiny8();
+  BlockContext ctx(dev, 0, 1, 8);
+  const auto conflict_free = iota_addrs(8);
+  const auto conflicting = iota_addrs(8, 0, 8);  // all bank 0
+  ctx.charge_shared(0, conflict_free);
+  ctx.charge_shared(0, conflicting);
+  const Counters c = ctx.counters().total();
+  EXPECT_EQ(c.shared_accesses, 2u);
+  // Port occupancy: 1 cycle per access plus shared_replay_cycles per
+  // conflict (7 conflicts on the second access).
+  EXPECT_EQ(c.shared_cycles,
+            2u + 7u * static_cast<std::uint64_t>(dev.shared_replay_cycles));
+  EXPECT_EQ(c.bank_conflicts, 7u);
+}
+
+TEST(BlockContext, DependentSharedAccessExtendsChain) {
+  const DeviceSpec dev = tiny8();
+  BlockContext ctx(dev, 0, 1, 8);
+  ctx.charge_shared(0, iota_addrs(8), /*dependent=*/true);
+  EXPECT_DOUBLE_EQ(ctx.block_chain(), static_cast<double>(dev.shared_latency));
+  ctx.charge_shared(0, iota_addrs(8, 0, 8), /*dependent=*/true);
+  EXPECT_DOUBLE_EQ(ctx.block_chain(),
+                   static_cast<double>(2 * dev.shared_latency + 7 * dev.shared_replay_cycles));
+}
+
+TEST(BlockContext, NonDependentAccessCostsThroughputOnly) {
+  const DeviceSpec dev = tiny8();
+  BlockContext ctx(dev, 0, 1, 8);
+  ctx.charge_shared(0, iota_addrs(8), /*dependent=*/false);
+  EXPECT_DOUBLE_EQ(ctx.block_chain(), 1.0);
+}
+
+TEST(BlockContext, PhasesSeparateCounters) {
+  const DeviceSpec dev = tiny8();
+  BlockContext ctx(dev, 0, 1, 8);
+  ctx.phase("alpha");
+  ctx.charge_shared(0, iota_addrs(8));
+  ctx.phase("beta");
+  ctx.charge_shared(0, iota_addrs(8));
+  ctx.charge_shared(0, iota_addrs(8));
+  const auto& phases = ctx.counters().phases();
+  // "main" is created implicitly at construction.
+  ASSERT_EQ(phases.size(), 3u);
+  EXPECT_EQ(phases[1].first, "alpha");
+  EXPECT_EQ(phases[1].second.shared_accesses, 1u);
+  EXPECT_EQ(phases[2].first, "beta");
+  EXPECT_EQ(phases[2].second.shared_accesses, 2u);
+  EXPECT_EQ(ctx.counters().total().shared_accesses, 3u);
+}
+
+TEST(BlockContext, BarrierSynchronizesWarpChains) {
+  const DeviceSpec dev = tiny8();
+  BlockContext ctx(dev, 0, 1, 16);  // 2 warps
+  ctx.charge_compute(0, 100);
+  ctx.charge_compute(1, 10);
+  EXPECT_DOUBLE_EQ(ctx.warp_chains()[0], 100.0);
+  EXPECT_DOUBLE_EQ(ctx.warp_chains()[1], 10.0);
+  ctx.barrier();
+  EXPECT_DOUBLE_EQ(ctx.warp_chains()[0], 100.0);
+  EXPECT_DOUBLE_EQ(ctx.warp_chains()[1], 100.0);
+  EXPECT_EQ(ctx.counters().total().barriers, 1u);
+}
+
+TEST(BlockContext, GmemChargesLatencyWhenDependent) {
+  const DeviceSpec dev = tiny8();
+  BlockContext ctx(dev, 0, 1, 8);
+  std::vector<std::int64_t> bytes{0, 4, 8, 12, 16, 20, 24, 28};
+  ctx.charge_gmem(0, bytes, 4, /*dependent=*/true);
+  EXPECT_DOUBLE_EQ(ctx.block_chain(), static_cast<double>(dev.global_latency));
+  const Counters c = ctx.counters().total();
+  EXPECT_EQ(c.gmem_requests, 1u);
+  EXPECT_EQ(c.gmem_transactions, 1u);
+  EXPECT_EQ(c.gmem_bytes, 32u);
+}
+
+TEST(SharedTileView, GatherScatterRoundTrip) {
+  const DeviceSpec dev = tiny8();
+  BlockContext ctx(dev, 0, 1, 8);
+  SharedTile<int> tile(ctx, 64);
+  EXPECT_EQ(ctx.shared_bytes(), 64 * sizeof(int));
+  std::iota(tile.raw().begin(), tile.raw().end(), 100);
+
+  const auto addrs = iota_addrs(8, 8, 1);
+  std::vector<int> out(8);
+  tile.gather(0, addrs, out);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], 108 + i);
+
+  std::vector<int> in{1, 2, 3, 4, 5, 6, 7, 8};
+  tile.scatter(0, addrs, in);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(tile.raw()[static_cast<std::size_t>(8 + i)], 1 + i);
+  EXPECT_EQ(ctx.counters().total().shared_accesses, 2u);
+}
+
+TEST(SharedTileView, InactiveLanesUntouched) {
+  const DeviceSpec dev = tiny8();
+  BlockContext ctx(dev, 0, 1, 8);
+  SharedTile<int> tile(ctx, 8);
+  std::vector<std::int64_t> addrs(8, kInactiveLane);
+  addrs[2] = 5;
+  std::vector<int> out(8, -1);
+  tile.raw()[5] = 42;
+  tile.gather(0, addrs, out);
+  EXPECT_EQ(out[2], 42);
+  EXPECT_EQ(out[0], -1);
+}
+
+TEST(GlobalViewTest, GatherScatterAndBaseOffset) {
+  const DeviceSpec dev = tiny8();
+  BlockContext ctx(dev, 0, 1, 8);
+  std::vector<int> host(64);
+  std::iota(host.begin(), host.end(), 0);
+  GlobalView<int> view(ctx, std::span<int>(host).subspan(32), /*base_elem=*/32);
+  std::vector<int> out(8);
+  view.gather(0, iota_addrs(8), out);
+  EXPECT_EQ(out[0], 32);
+  EXPECT_EQ(out[7], 39);
+  // Coalesced: 8 lanes x 4B starting at byte 128 -> one 128B transaction.
+  EXPECT_EQ(ctx.counters().total().gmem_transactions, 1u);
+
+  std::vector<int> in(8, -5);
+  view.scatter(0, iota_addrs(8), in);
+  EXPECT_EQ(host[32], -5);
+  EXPECT_EQ(host[39], -5);
+  EXPECT_EQ(host[40], 40);
+}
+
+TEST(GlobalViewTest, ConstViewReads) {
+  const DeviceSpec dev = tiny8();
+  BlockContext ctx(dev, 0, 1, 8);
+  const std::vector<int> host{10, 11, 12, 13, 14, 15, 16, 17};
+  GlobalView<const int> view(ctx, std::span<const int>(host), 0);
+  std::vector<int> out(8);
+  view.gather(0, iota_addrs(8), out);
+  EXPECT_EQ(out[3], 13);
+}

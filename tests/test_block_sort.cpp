@@ -1,0 +1,128 @@
+// Tests of the block sort kernel (the blocksort stage shared by both
+// variants).
+#include "sort/block_sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+using namespace cfmerge;
+using namespace cfmerge::sort;
+
+namespace {
+std::vector<int> run_block_sort(int w, int e, int u, std::vector<int> data,
+                                gpusim::Counters* out_counters = nullptr) {
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(w));
+  const std::int64_t tile = static_cast<std::int64_t>(u) * e;
+  EXPECT_EQ(static_cast<std::int64_t>(data.size()) % tile, 0);
+  const int blocks = static_cast<int>(static_cast<std::int64_t>(data.size()) / tile);
+  launcher.launch("block_sort", gpusim::LaunchShape{blocks, u, 0, 32},
+                  [&](gpusim::BlockContext& ctx) {
+                    block_sort_body<int>(ctx, std::span<int>(data), e);
+                  });
+  if (out_counters) *out_counters = launcher.total_counters();
+  return data;
+}
+}  // namespace
+
+TEST(BlockSort, SortsSingleTile) {
+  std::mt19937_64 rng(1);
+  for (const auto& [w, e, u] :
+       std::vector<std::tuple<int, int, int>>{{4, 3, 8}, {8, 5, 16}, {8, 6, 32}, {16, 7, 32}}) {
+    std::vector<int> data(static_cast<std::size_t>(u) * static_cast<std::size_t>(e));
+    for (auto& x : data) x = static_cast<int>(rng() % 1000);
+    const std::vector<int> sorted_ref = [&] {
+      auto v = data;
+      std::sort(v.begin(), v.end());
+      return v;
+    }();
+    const auto out = run_block_sort(w, e, u, data);
+    EXPECT_EQ(out, sorted_ref) << "w=" << w << " e=" << e << " u=" << u;
+  }
+}
+
+TEST(BlockSort, SortsEachTileIndependently) {
+  std::mt19937_64 rng(2);
+  const int w = 8, e = 5, u = 16, blocks = 4;
+  const std::int64_t tile = static_cast<std::int64_t>(u) * e;
+  std::vector<int> data(static_cast<std::size_t>(tile) * blocks);
+  for (auto& x : data) x = static_cast<int>(rng() % 1000);
+  const std::vector<int> orig = data;
+  const auto out = run_block_sort(w, e, u, data);
+  for (int b = 0; b < blocks; ++b) {
+    std::vector<int> expect(orig.begin() + static_cast<std::ptrdiff_t>(b * tile),
+                            orig.begin() + static_cast<std::ptrdiff_t>((b + 1) * tile));
+    std::sort(expect.begin(), expect.end());
+    const std::vector<int> got(out.begin() + static_cast<std::ptrdiff_t>(b * tile),
+                               out.begin() + static_cast<std::ptrdiff_t>((b + 1) * tile));
+    EXPECT_EQ(got, expect) << "tile " << b;
+  }
+}
+
+TEST(BlockSort, AlreadySortedAndReverse) {
+  const int w = 8, e = 4, u = 16;
+  std::vector<int> data(static_cast<std::size_t>(u) * e);
+  std::iota(data.begin(), data.end(), 0);
+  const auto sorted_out = run_block_sort(w, e, u, data);
+  EXPECT_TRUE(std::is_sorted(sorted_out.begin(), sorted_out.end()));
+  std::reverse(data.begin(), data.end());
+  const auto out = run_block_sort(w, e, u, data);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+TEST(BlockSort, DuplicateHeavyInput) {
+  std::mt19937_64 rng(3);
+  const int w = 8, e = 6, u = 16;
+  std::vector<int> data(static_cast<std::size_t>(u) * e);
+  for (auto& x : data) x = static_cast<int>(rng() % 4);
+  const auto out = run_block_sort(w, e, u, data);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+TEST(BlockSort, RequiresPowerOfTwoThreads) {
+  std::vector<int> data(12 * 4);
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(4));
+  EXPECT_THROW(
+      launcher.launch("block_sort", gpusim::LaunchShape{1, 12, 0, 32},
+                      [&](gpusim::BlockContext& ctx) {
+                        block_sort_body<int>(ctx, std::span<int>(data), 4);
+                      }),
+      std::invalid_argument);
+}
+
+TEST(BlockSort, StrideECoprimalityGovernsThreadSortConflicts) {
+  // With gcd(w, E) = 1 the stride-E register load/store is conflict free;
+  // with gcd > 1 it conflicts — the classic heuristic the paper discusses.
+  std::mt19937_64 rng(4);
+  auto conflicts_in = [&](int e) {
+    const int w = 8, u = 16;
+    std::vector<int> data(static_cast<std::size_t>(u) * static_cast<std::size_t>(e));
+    for (auto& x : data) x = static_cast<int>(rng() % 1000);
+    gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(w));
+    launcher.launch("block_sort", gpusim::LaunchShape{1, u, 0, 32},
+                    [&](gpusim::BlockContext& ctx) {
+                      block_sort_body<int>(ctx, std::span<int>(data), e);
+                    });
+    std::uint64_t thread_sort_conflicts = 0;
+    const gpusim::PhaseCounters phases = launcher.phase_counters();
+    for (const auto& [name, c] : phases.phases())
+      if (name == "bsort.thread_sort") thread_sort_conflicts = c.bank_conflicts;
+    return thread_sort_conflicts;
+  };
+  EXPECT_EQ(conflicts_in(5), 0u);  // gcd(8,5)=1
+  EXPECT_GT(conflicts_in(6), 0u);  // gcd(8,6)=2
+  EXPECT_GT(conflicts_in(8), 0u);  // gcd(8,8)=8
+}
+
+TEST(BlockSort, CountsAllPhases) {
+  const int w = 8, e = 5, u = 16;
+  std::vector<int> data(static_cast<std::size_t>(u) * e, 1);
+  gpusim::Counters c;
+  run_block_sort(w, e, u, data, &c);
+  EXPECT_GT(c.shared_accesses, 0u);
+  EXPECT_GT(c.gmem_transactions, 0u);
+  EXPECT_GT(c.warp_instructions, 0u);
+  EXPECT_GT(c.barriers, 0u);
+}

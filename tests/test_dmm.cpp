@@ -1,0 +1,143 @@
+// Tests of the DMM model: module maps, step/schedule costs, and the
+// equivalence with the GPU bank-conflict model under the direct map.
+#include "dmm/dmm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "gather/schedule.hpp"
+#include "gpusim/shared_memory.hpp"
+
+using namespace cfmerge;
+using namespace cfmerge::dmm;
+
+TEST(DirectMapTest, MatchesModW) {
+  const DirectMap map(12);
+  EXPECT_EQ(map.module(0), 0);
+  EXPECT_EQ(map.module(13), 1);
+  EXPECT_EQ(map.module(23), 11);
+  EXPECT_EQ(map.overhead_ops(), 0);
+}
+
+TEST(OffsetMapTest, SkewShiftsRows) {
+  const OffsetMap map(8, 1);
+  // Row r is shifted by r: address r*8 lands on module r mod 8.
+  for (int r = 0; r < 16; ++r) EXPECT_EQ(map.module(r * 8), r % 8);
+  // Skew 0 degenerates to the direct map.
+  const OffsetMap plain(8, 0);
+  const DirectMap direct(8);
+  for (std::int64_t a = 0; a < 256; ++a) EXPECT_EQ(plain.module(a), direct.module(a));
+}
+
+TEST(OffsetMapTest, FixesColumnAccess) {
+  // Column access (stride w) fully serializes under direct mapping but is
+  // conflict free under skew 1 — the classic padding trick.
+  const int w = 8;
+  std::vector<std::int64_t> column(static_cast<std::size_t>(w));
+  for (int p = 0; p < w; ++p) column[static_cast<std::size_t>(p)] = p * w;
+  EXPECT_EQ(step_cost(DirectMap(w), column).congestion, w);
+  EXPECT_EQ(step_cost(OffsetMap(w, 1), column).congestion, 1);
+}
+
+TEST(UniversalHashMapTest, InRangeAndSeedDependent) {
+  const UniversalHashMap h1(16, 1), h2(16, 2);
+  bool differs = false;
+  for (std::int64_t a = 0; a < 1000; ++a) {
+    EXPECT_GE(h1.module(a), 0);
+    EXPECT_LT(h1.module(a), 16);
+    if (h1.module(a) != h2.module(a)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(UniversalHashMapTest, SpreadsAdversarialStride) {
+  // Stride-w access: direct map congests w-fold; a random hash spreads it
+  // to a small maximum w.h.p. (we allow up to w/2 to keep the test robust).
+  const int w = 32;
+  std::vector<std::int64_t> column(static_cast<std::size_t>(w));
+  for (int p = 0; p < w; ++p) column[static_cast<std::size_t>(p)] = p * w;
+  EXPECT_EQ(step_cost(DirectMap(w), column).congestion, w);
+  int worst = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed)
+    worst = std::max(worst, step_cost(UniversalHashMap(w, seed), column).congestion);
+  EXPECT_LT(worst, w / 2);
+}
+
+TEST(StepCostTest, CombiningAndIdleProcessors) {
+  const DirectMap map(8);
+  std::vector<std::int64_t> step(8, 5);  // all processors same address
+  EXPECT_EQ(step_cost(map, step).congestion, 1);
+  std::fill(step.begin(), step.end(), -1);
+  const auto idle = step_cost(map, step);
+  EXPECT_EQ(idle.congestion, 0);
+  EXPECT_EQ(idle.active, 0);
+}
+
+TEST(StepCostTest, AgreesWithGpuBankModelUnderDirectMap) {
+  // The DMM with module = addr mod w and the GPU bank-conflict model must
+  // assign identical serialization to every access.
+  std::mt19937_64 rng(3);
+  const int w = 32;
+  const DirectMap map(w);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::int64_t> addrs(static_cast<std::size_t>(w));
+    for (auto& a : addrs)
+      a = (rng() % 4 == 0) ? gpusim::kInactiveLane : static_cast<std::int64_t>(rng() % 512);
+    const auto gpu = gpusim::shared_access_cost(addrs, w);
+    const auto dmm_cost = step_cost(map, addrs);
+    EXPECT_EQ(std::max(gpu.cycles, 0), dmm_cost.congestion);
+    EXPECT_EQ(gpu.active_lanes, dmm_cost.active);
+  }
+}
+
+TEST(ScheduleCostTest, AggregatesAndSlowdown) {
+  const DirectMap map(4);
+  std::vector<std::vector<std::int64_t>> schedule{
+      {0, 1, 2, 3},    // conflict free
+      {0, 4, 8, 12},   // 4-fold
+      {-1, -1, -1, -1},  // idle step: skipped
+  };
+  const auto cost = schedule_cost(map, schedule);
+  EXPECT_EQ(cost.ideal_steps, 2);
+  EXPECT_EQ(cost.total_delay, 1 + 4);
+  EXPECT_EQ(cost.max_congestion, 4);
+  EXPECT_DOUBLE_EQ(cost.slowdown(), 2.5);
+}
+
+TEST(ScheduleCostTest, GatherScheduleIsPramOptimalOnDirectMap) {
+  // The CF gather, viewed as a DMM algorithm: slowdown exactly 1 (PRAM
+  // equivalence), for coprime and non-coprime shapes.
+  std::mt19937_64 rng(4);
+  for (const auto& [w, e] : std::vector<std::pair<int, int>>{{12, 5}, {9, 6}, {32, 16}}) {
+    std::vector<std::int64_t> off(static_cast<std::size_t>(w)),
+        sz(static_cast<std::size_t>(w));
+    std::int64_t la = 0;
+    for (int i = 0; i < w; ++i) {
+      off[static_cast<std::size_t>(i)] = la;
+      sz[static_cast<std::size_t>(i)] = static_cast<std::int64_t>(rng() % (e + 1));
+      la += sz[static_cast<std::size_t>(i)];
+    }
+    gather::GatherShape shape{w, e, w, la, static_cast<std::int64_t>(w) * e - la};
+    gather::RoundSchedule sched(shape, off, sz);
+    std::vector<std::vector<std::int64_t>> phys(static_cast<std::size_t>(e));
+    for (int j = 0; j < e; ++j) {
+      phys[static_cast<std::size_t>(j)].resize(static_cast<std::size_t>(w));
+      for (int i = 0; i < w; ++i)
+        phys[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] =
+            sched.read(i, j).phys;
+    }
+    const auto cost = schedule_cost(DirectMap(w), phys);
+    EXPECT_EQ(cost.ideal_steps, e);
+    EXPECT_EQ(cost.total_delay, e);  // congestion 1 per step == PRAM time
+    EXPECT_DOUBLE_EQ(cost.slowdown(), 1.0);
+  }
+}
+
+TEST(ModuleMapTest, OverheadOrdering) {
+  // The practicality argument of Section 2: fancier mappings cost more
+  // per-access arithmetic.
+  EXPECT_LT(DirectMap(8).overhead_ops(), OffsetMap(8, 1).overhead_ops());
+  EXPECT_LT(OffsetMap(8, 1).overhead_ops(), UniversalHashMap(8, 0).overhead_ops());
+}

@@ -1,0 +1,85 @@
+// Tests of the global memory coalescing model.
+#include "gpusim/global_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpusim/shared_memory.hpp"  // kInactiveLane
+
+using cfmerge::gpusim::global_access_cost;
+using cfmerge::gpusim::kInactiveLane;
+
+namespace {
+std::vector<std::int64_t> byte_addrs(int lanes, std::int64_t elem_bytes, std::int64_t stride,
+                                     std::int64_t base = 0) {
+  std::vector<std::int64_t> a(static_cast<std::size_t>(lanes));
+  for (int l = 0; l < lanes; ++l)
+    a[static_cast<std::size_t>(l)] = base + l * stride * elem_bytes;
+  return a;
+}
+}  // namespace
+
+TEST(GlobalAccess, FullyCoalesced32x4B) {
+  const auto a = byte_addrs(32, 4, 1);
+  const auto c = global_access_cost(a, 4, 128);
+  EXPECT_EQ(c.transactions, 1);
+  EXPECT_EQ(c.bytes, 128);
+  EXPECT_EQ(c.active_lanes, 32);
+}
+
+TEST(GlobalAccess, MisalignedSpillsIntoSecondSegment) {
+  const auto a = byte_addrs(32, 4, 1, /*base=*/4);
+  const auto c = global_access_cost(a, 4, 128);
+  EXPECT_EQ(c.transactions, 2);
+}
+
+TEST(GlobalAccess, StridedWorstCase) {
+  // Stride 32 elements of 4 bytes: every lane its own 128B segment.
+  const auto a = byte_addrs(32, 4, 32);
+  const auto c = global_access_cost(a, 4, 128);
+  EXPECT_EQ(c.transactions, 32);
+}
+
+TEST(GlobalAccess, Stride2HalvesEfficiency) {
+  const auto a = byte_addrs(32, 4, 2);
+  const auto c = global_access_cost(a, 4, 128);
+  EXPECT_EQ(c.transactions, 2);
+  EXPECT_EQ(c.bytes, 128);  // only the requested elements count as bytes
+}
+
+TEST(GlobalAccess, SameSegmentDeduplicated) {
+  std::vector<std::int64_t> a(32, 64);  // all lanes same address
+  const auto c = global_access_cost(a, 4, 128);
+  EXPECT_EQ(c.transactions, 1);
+}
+
+TEST(GlobalAccess, ElementStraddlingSegmentBoundary) {
+  std::vector<std::int64_t> a{126};  // 4-byte element crossing 128B boundary
+  const auto c = global_access_cost(a, 4, 128);
+  EXPECT_EQ(c.transactions, 2);
+}
+
+TEST(GlobalAccess, InactiveLanes) {
+  std::vector<std::int64_t> a(32, kInactiveLane);
+  const auto c = global_access_cost(a, 4, 128);
+  EXPECT_EQ(c.transactions, 0);
+  EXPECT_EQ(c.bytes, 0);
+  a[5] = 1000;
+  const auto c2 = global_access_cost(a, 4, 128);
+  EXPECT_EQ(c2.transactions, 1);
+  EXPECT_EQ(c2.bytes, 4);
+}
+
+TEST(GlobalAccess, EightByteElements) {
+  const auto a = byte_addrs(32, 8, 1);
+  const auto c = global_access_cost(a, 8, 128);
+  EXPECT_EQ(c.transactions, 2);  // 256 bytes of contiguous data
+  EXPECT_EQ(c.bytes, 256);
+}
+
+TEST(GlobalAccess, RejectsBadArguments) {
+  std::vector<std::int64_t> a(4, 0);
+  EXPECT_THROW((void)global_access_cost(a, 0, 128), std::invalid_argument);
+  EXPECT_THROW((void)global_access_cost(a, 4, 0), std::invalid_argument);
+}

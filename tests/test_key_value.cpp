@@ -1,0 +1,163 @@
+// Tests of key-value sorting (sort_by_key) and the padding sentinel trait.
+#include "sort/key_value.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+
+#include "gpusim/launcher.hpp"
+#include "sort/merge_sort.hpp"
+
+using namespace cfmerge;
+using namespace cfmerge::sort;
+
+TEST(KeyValueStruct, ComparesByKeyOnly) {
+  const KeyValue<int, int> a{1, 99};
+  const KeyValue<int, int> b{2, 0};
+  const KeyValue<int, int> c{1, 0};
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_FALSE(a < c);
+  EXPECT_TRUE(a == c);  // key equality
+}
+
+TEST(PaddingSentinel, MaxForScalarsAndPairs) {
+  EXPECT_EQ(padding_sentinel<int>::value(), std::numeric_limits<int>::max());
+  EXPECT_EQ(padding_sentinel<float>::value(), std::numeric_limits<float>::max());
+  const auto kv = padding_sentinel<KeyValue<int, double>>::value();
+  EXPECT_EQ(kv.key, std::numeric_limits<int>::max());
+}
+
+namespace {
+
+struct ByKeyCase {
+  Variant variant;
+  std::int64_t n;
+};
+
+void check_sort_by_key(Variant variant, std::int64_t n, int key_range,
+                       std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<int> keys(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> values(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<int>(rng() % static_cast<std::uint64_t>(key_range));
+    values[i] = static_cast<std::int64_t>(i) * 1000 + keys[i];  // encodes its key
+  }
+  // Expected key multiset per key.
+  std::map<int, std::multiset<std::int64_t>> expect;
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    expect[keys[i]].insert(values[i]);
+
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+  MergeConfig cfg;
+  cfg.e = 5;
+  cfg.u = 16;
+  cfg.variant = variant;
+  const auto report = merge_sort_by_key(launcher, keys, values, cfg);
+  EXPECT_EQ(report.n, n);
+
+  ASSERT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  // Every value still travels with its key, and multisets per key match.
+  std::map<int, std::multiset<std::int64_t>> got;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(values[i] % 1000), keys[i]) << "value decoupled from key";
+    got[keys[i]].insert(values[i]);
+  }
+  EXPECT_EQ(got, expect);
+}
+
+}  // namespace
+
+TEST(SortByKey, BaselineVariant) {
+  check_sort_by_key(Variant::Baseline, 16 * 5 * 8, 1000, 1);
+  check_sort_by_key(Variant::Baseline, 777, 50, 2);  // ragged + duplicates
+}
+
+TEST(SortByKey, CFMergeVariant) {
+  check_sort_by_key(Variant::CFMerge, 16 * 5 * 8, 1000, 3);
+  check_sort_by_key(Variant::CFMerge, 777, 50, 4);
+}
+
+TEST(SortByKey, BaselineIsStable) {
+  // The baseline path is a stable mergesort: equal keys keep input order.
+  std::mt19937_64 rng(5);
+  const std::int64_t n = 16 * 5 * 4;
+  std::vector<int> keys(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> values(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<int>(rng() % 7);  // heavy duplicates
+    values[i] = static_cast<std::int64_t>(i);
+  }
+  std::vector<std::pair<int, std::int64_t>> expect(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) expect[i] = {keys[i], values[i]};
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+  MergeConfig cfg;
+  cfg.e = 5;
+  cfg.u = 16;
+  cfg.variant = Variant::Baseline;
+  merge_sort_by_key(launcher, keys, values, cfg);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(keys[i], expect[i].first);
+    EXPECT_EQ(values[i], expect[i].second) << "stability violated at " << i;
+  }
+}
+
+TEST(SortByKey, CFMergeCorrectForDistinctKeys) {
+  // With distinct keys the CF variant is trivially "stable" too.
+  std::mt19937_64 rng(6);
+  const std::int64_t n = 16 * 5 * 4;
+  std::vector<int> keys(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> values(static_cast<std::size_t>(n));
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = perm[i];
+    values[i] = -static_cast<std::int64_t>(perm[i]);
+  }
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+  MergeConfig cfg;
+  cfg.e = 5;
+  cfg.u = 16;
+  cfg.variant = Variant::CFMerge;
+  merge_sort_by_key(launcher, keys, values, cfg);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(keys[i], static_cast<int>(i));
+    EXPECT_EQ(values[i], -static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(SortByKey, MismatchedSizesRejected) {
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+  MergeConfig cfg;
+  cfg.e = 5;
+  cfg.u = 16;
+  std::vector<int> keys(10);
+  std::vector<int> values(9);
+  EXPECT_THROW(merge_sort_by_key(launcher, keys, values, cfg), std::invalid_argument);
+}
+
+TEST(SortByKey, CFMergeStillConflictFreeWithPairs) {
+  // 8-byte elements change the coalescing but not the bank schedule.
+  std::mt19937_64 rng(7);
+  std::vector<int> keys(16 * 6 * 8);
+  std::vector<int> values(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<int>(rng());
+    values[i] = static_cast<int>(i);
+  }
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+  MergeConfig cfg;
+  cfg.e = 6;  // non-coprime
+  cfg.u = 16;
+  cfg.variant = Variant::CFMerge;
+  const auto report = merge_sort_by_key(launcher, keys, values, cfg);
+  EXPECT_EQ(report.merge_conflicts(), 0u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}

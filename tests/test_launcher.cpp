@@ -1,0 +1,135 @@
+// Tests of the kernel launcher: grid execution, aggregation, history.
+#include "gpusim/launcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "gpusim/memory_views.hpp"
+
+using namespace cfmerge::gpusim;
+
+TEST(Launcher, RunsEveryBlockOnce) {
+  Launcher launcher(DeviceSpec::tiny(8));
+  std::vector<int> visits(10, 0);
+  const LaunchShape shape{10, 8, 0, 8};
+  launcher.launch("visit", shape, [&](BlockContext& ctx) {
+    ++visits[static_cast<std::size_t>(ctx.block_id())];
+    EXPECT_EQ(ctx.num_blocks(), 10);
+  });
+  for (int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST(Launcher, AggregatesCountersAcrossBlocks) {
+  Launcher launcher(DeviceSpec::tiny(8));
+  const LaunchShape shape{4, 8, 0, 8};
+  const auto report = launcher.launch("work", shape, [&](BlockContext& ctx) {
+    ctx.charge_compute(0, 10);
+    std::vector<std::int64_t> addrs{0, 1, 2, 3, 4, 5, 6, 7};
+    ctx.charge_shared(0, addrs);
+  });
+  EXPECT_EQ(report.total().warp_instructions, 40u);
+  EXPECT_EQ(report.total().shared_accesses, 4u);
+  EXPECT_EQ(report.name, "work");
+}
+
+TEST(Launcher, MeanAndMaxBlockChain) {
+  Launcher launcher(DeviceSpec::tiny(8));
+  const LaunchShape shape{2, 8, 0, 8};
+  const auto report = launcher.launch("chains", shape, [&](BlockContext& ctx) {
+    ctx.charge_compute(0, ctx.block_id() == 0 ? 100 : 300);
+  });
+  EXPECT_DOUBLE_EQ(report.mean_block_chain, 200.0);
+  EXPECT_DOUBLE_EQ(report.max_block_chain, 300.0);
+}
+
+TEST(Launcher, SharedBytesDiscoveredFromKernel) {
+  Launcher launcher(DeviceSpec::tiny(8));
+  const LaunchShape shape{1, 8, 0, 8};
+  const auto report = launcher.launch("alloc", shape, [&](BlockContext& ctx) {
+    SharedTile<int> tile(ctx, 256);
+    (void)tile;
+  });
+  EXPECT_EQ(report.shape.shared_bytes_per_block, 256 * sizeof(int));
+  EXPECT_GT(report.timing.occupancy.blocks_per_sm, 0);
+}
+
+TEST(Launcher, HistoryAccumulatesAndClears) {
+  Launcher launcher(DeviceSpec::tiny(8));
+  const LaunchShape shape{1, 8, 0, 8};
+  launcher.launch("a", shape, [](BlockContext& ctx) { ctx.charge_compute(0, 5); });
+  launcher.launch("b", shape, [](BlockContext& ctx) { ctx.charge_compute(0, 7); });
+  EXPECT_EQ(launcher.history().size(), 2u);
+  EXPECT_EQ(launcher.total_counters().warp_instructions, 12u);
+  EXPECT_GT(launcher.total_microseconds(), 0.0);
+  launcher.clear_history();
+  EXPECT_TRUE(launcher.history().empty());
+}
+
+TEST(Launcher, PhaseCountersMergedAcrossKernels) {
+  Launcher launcher(DeviceSpec::tiny(8));
+  const LaunchShape shape{2, 8, 0, 8};
+  launcher.launch("k1", shape, [](BlockContext& ctx) {
+    ctx.phase("load");
+    ctx.charge_compute(0, 1);
+  });
+  launcher.launch("k2", shape, [](BlockContext& ctx) {
+    ctx.phase("load");
+    ctx.charge_compute(0, 2);
+    ctx.phase("merge");
+    ctx.charge_compute(0, 3);
+  });
+  const PhaseCounters merged = launcher.phase_counters();
+  std::uint64_t load = 0, merge = 0;
+  for (const auto& [name, c] : merged.phases()) {
+    if (name == "load") load = c.warp_instructions;
+    if (name == "merge") merge = c.warp_instructions;
+  }
+  EXPECT_EQ(load, 6u);   // 1*2 blocks + 2*2 blocks
+  EXPECT_EQ(merge, 6u);  // 3*2 blocks
+}
+
+TEST(Launcher, EmptyGridRejected) {
+  Launcher launcher(DeviceSpec::tiny(8));
+  EXPECT_THROW(launcher.launch("x", LaunchShape{0, 8, 0, 8}, [](BlockContext&) {}),
+               std::invalid_argument);
+}
+
+TEST(Launcher, DataActuallyMovesThroughViews) {
+  // A miniature end-to-end kernel: each block reverses its own 16-element
+  // tile, staging through shared memory.
+  Launcher launcher(DeviceSpec::tiny(8));
+  std::vector<int> data(64);
+  std::iota(data.begin(), data.end(), 0);
+  const LaunchShape shape{4, 8, 0, 8};
+  launcher.launch("tile_reverse", shape, [&](BlockContext& ctx) {
+    GlobalView<int> view(ctx, std::span<int>(data), 0);
+    const std::int64_t base = ctx.block_id() * 16;
+    SharedTile<int> stage(ctx, 16);
+    std::vector<std::int64_t> src(8), dst(8);
+    std::vector<int> vals(8);
+    for (int half = 0; half < 2; ++half) {
+      for (int l = 0; l < 8; ++l) {
+        const std::int64_t t = half * 8 + l;
+        src[static_cast<std::size_t>(l)] = base + t;
+        dst[static_cast<std::size_t>(l)] = 15 - t;
+      }
+      view.gather(0, src, vals);
+      stage.scatter(0, dst, vals);
+    }
+    ctx.barrier();
+    for (int half = 0; half < 2; ++half) {
+      for (int l = 0; l < 8; ++l) {
+        const std::int64_t t = half * 8 + l;
+        src[static_cast<std::size_t>(l)] = t;
+        dst[static_cast<std::size_t>(l)] = base + t;
+      }
+      stage.gather(0, src, vals);
+      view.scatter(0, dst, vals);
+    }
+  });
+  for (int b = 0; b < 4; ++b)
+    for (int i = 0; i < 16; ++i)
+      EXPECT_EQ(data[static_cast<std::size_t>(b * 16 + i)], b * 16 + 15 - i);
+}

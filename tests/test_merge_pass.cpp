@@ -1,0 +1,259 @@
+// Tests of the global merge pass: partition kernel + merge kernel, for both
+// variants, including the central conflict claims.
+#include "sort/merge_pass.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+using namespace cfmerge;
+using namespace cfmerge::sort;
+
+namespace {
+
+struct PassResult {
+  std::vector<int> out;
+  gpusim::PhaseCounters phases;
+  std::uint64_t merge_conflicts = 0;
+  std::uint64_t merge_accesses = 0;
+};
+
+// Runs one full pass (partition + merge) over `data` whose runs of length
+// `run` are each sorted.
+PassResult run_pass(int w, const MergeConfig& cfg, std::vector<int> data, std::int64_t run) {
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(w));
+  const std::int64_t n = static_cast<std::int64_t>(data.size());
+  const std::int64_t tile = cfg.tile();
+  EXPECT_EQ(n % tile, 0);
+  const PassGeometry geom{n, run};
+  const int num_tiles = static_cast<int>(n / tile);
+  std::vector<std::int64_t> boundaries(static_cast<std::size_t>(num_tiles) + 1, 0);
+  std::vector<int> out(data.size());
+
+  launcher.launch("partition", gpusim::LaunchShape{1, cfg.u, 0, 24},
+                  [&](gpusim::BlockContext& ctx) {
+                    merge_partition_body<int>(ctx, std::span<const int>(data), geom, tile,
+                                              std::span<std::int64_t>(boundaries));
+                  });
+  launcher.launch("merge", gpusim::LaunchShape{num_tiles, cfg.u, 0, 32},
+                  [&](gpusim::BlockContext& ctx) {
+                    merge_tile_body<int>(ctx, std::span<const int>(data),
+                                         std::span<int>(out), geom, cfg,
+                                         std::span<const std::int64_t>(boundaries));
+                  });
+  PassResult r;
+  r.out = std::move(out);
+  r.phases = launcher.phase_counters();
+  for (const auto& [name, c] : r.phases.phases()) {
+    if (name == "merge.merge") {
+      r.merge_conflicts = c.bank_conflicts;
+      r.merge_accesses = c.shared_accesses;
+    }
+  }
+  return r;
+}
+
+std::vector<int> make_runs(std::mt19937_64& rng, std::int64_t n, std::int64_t run) {
+  std::vector<int> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<int>(rng() % 100000);
+  for (std::int64_t base = 0; base < n; base += run)
+    std::sort(v.begin() + static_cast<std::ptrdiff_t>(base),
+              v.begin() + static_cast<std::ptrdiff_t>(std::min(base + run, n)));
+  return v;
+}
+
+std::vector<int> merged_reference(const std::vector<int>& data, std::int64_t run) {
+  std::vector<int> expect(data.size());
+  const auto n = static_cast<std::int64_t>(data.size());
+  for (std::int64_t base = 0; base < n; base += 2 * run) {
+    const std::int64_t mid = std::min(base + run, n);
+    const std::int64_t end = std::min(base + 2 * run, n);
+    std::merge(data.begin() + base, data.begin() + mid, data.begin() + mid,
+               data.begin() + end, expect.begin() + base);
+  }
+  return expect;
+}
+
+}  // namespace
+
+class MergePassBothVariants : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(MergePassBothVariants, MergesRunsCorrectly) {
+  std::mt19937_64 rng(1);
+  for (const auto& [w, e, u, tiles] : std::vector<std::tuple<int, int, int, int>>{
+           {8, 5, 16, 2}, {8, 6, 16, 4}, {16, 7, 32, 2}, {8, 8, 16, 4}}) {
+    MergeConfig cfg;
+    cfg.e = e;
+    cfg.u = u;
+    cfg.variant = GetParam();
+    const std::int64_t tile = cfg.tile();
+    const std::int64_t n = tile * tiles;
+    const std::vector<int> data = make_runs(rng, n, tile);
+    const auto result = run_pass(w, cfg, data, tile);
+    EXPECT_EQ(result.out, merged_reference(data, tile))
+        << "w=" << w << " e=" << e << " u=" << u << " variant=" << static_cast<int>(GetParam());
+  }
+}
+
+TEST_P(MergePassBothVariants, HandlesLoneRunAtEnd) {
+  // 3 tiles: one pair + a lone run (empty B).
+  std::mt19937_64 rng(2);
+  MergeConfig cfg;
+  cfg.e = 5;
+  cfg.u = 16;
+  cfg.variant = GetParam();
+  const std::int64_t tile = cfg.tile();
+  const std::vector<int> data = make_runs(rng, 3 * tile, tile);
+  const auto result = run_pass(8, cfg, data, tile);
+  EXPECT_EQ(result.out, merged_reference(data, tile));
+}
+
+TEST_P(MergePassBothVariants, SecondLevelRuns) {
+  // Merging runs longer than one tile (run = 2 tiles).
+  std::mt19937_64 rng(3);
+  MergeConfig cfg;
+  cfg.e = 6;
+  cfg.u = 16;
+  cfg.variant = GetParam();
+  const std::int64_t tile = cfg.tile();
+  const std::vector<int> data = make_runs(rng, 8 * tile, 2 * tile);
+  const auto result = run_pass(8, cfg, data, 2 * tile);
+  EXPECT_EQ(result.out, merged_reference(data, 2 * tile));
+}
+
+TEST_P(MergePassBothVariants, DuplicateKeys) {
+  std::mt19937_64 rng(4);
+  MergeConfig cfg;
+  cfg.e = 5;
+  cfg.u = 16;
+  cfg.variant = GetParam();
+  const std::int64_t tile = cfg.tile();
+  std::vector<int> data(static_cast<std::size_t>(2 * tile));
+  for (auto& x : data) x = static_cast<int>(rng() % 3);
+  for (std::int64_t base = 0; base < 2 * tile; base += tile)
+    std::sort(data.begin() + base, data.begin() + base + tile);
+  const auto result = run_pass(8, cfg, data, tile);
+  EXPECT_TRUE(std::is_sorted(result.out.begin(), result.out.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, MergePassBothVariants,
+                         ::testing::Values(Variant::Baseline, Variant::CFMerge),
+                         [](const ::testing::TestParamInfo<Variant>& info) {
+                           return info.param == Variant::Baseline ? "Baseline" : "CFMerge";
+                         });
+
+TEST(MergePassConflicts, CFMergeHasZeroMergeConflicts) {
+  // The paper's nvprof validation: no bank conflicts during merging, for
+  // coprime and non-coprime E alike.
+  std::mt19937_64 rng(5);
+  for (const auto& [w, e, u] :
+       std::vector<std::tuple<int, int, int>>{{8, 5, 16}, {8, 6, 16}, {8, 8, 16},
+                                              {16, 12, 32}, {32, 15, 64}, {32, 16, 64}}) {
+    MergeConfig cfg;
+    cfg.e = e;
+    cfg.u = u;
+    cfg.variant = Variant::CFMerge;
+    const std::int64_t tile = cfg.tile();
+    const std::vector<int> data = make_runs(rng, 4 * tile, tile);
+    const auto result = run_pass(w, cfg, data, tile);
+    EXPECT_EQ(result.merge_conflicts, 0u) << "w=" << w << " e=" << e;
+    EXPECT_GT(result.merge_accesses, 0u);
+  }
+}
+
+TEST(MergePassConflicts, DisablingRhoBringsConflictsBack) {
+  // Ablation of Section 3.2: with gcd(w, E) > 1 and rho disabled, the
+  // gather conflicts again; with rho it is conflict free.
+  std::mt19937_64 rng(6);
+  MergeConfig cfg;
+  cfg.e = 6;  // gcd(8, 6) = 2
+  cfg.u = 16;
+  cfg.variant = Variant::CFMerge;
+  const std::int64_t tile = cfg.tile();
+  const std::vector<int> data = make_runs(rng, 4 * tile, tile);
+
+  cfg.disable_rho = true;
+  const auto broken = run_pass(8, cfg, data, tile);
+  EXPECT_GT(broken.merge_conflicts, 0u);
+  EXPECT_EQ(broken.out, merged_reference(data, tile));  // still correct
+
+  cfg.disable_rho = false;
+  const auto fixed = run_pass(8, cfg, data, tile);
+  EXPECT_EQ(fixed.merge_conflicts, 0u);
+}
+
+TEST(MergePassConflicts, BaselineConflictsAreSmallOnRandomInputs) {
+  // Karsin et al.: random inputs cause a small constant number of conflicts
+  // per access in the baseline (2-3 on real sizes).
+  std::mt19937_64 rng(7);
+  MergeConfig cfg;
+  cfg.e = 15;
+  cfg.u = 64;
+  cfg.variant = Variant::Baseline;
+  const std::int64_t tile = cfg.tile();
+  const std::vector<int> data = make_runs(rng, 4 * tile, tile);
+  const auto result = run_pass(32, cfg, data, tile);
+  ASSERT_GT(result.merge_accesses, 0u);
+  const double per_access = static_cast<double>(result.merge_conflicts) /
+                            static_cast<double>(result.merge_accesses);
+  EXPECT_GT(per_access, 0.1);  // conflicts do occur...
+  EXPECT_LT(per_access, 8.0);  // ...but far from the w-fold worst case
+}
+
+TEST(MergePass, PartitionBoundariesMatchHostMergePath) {
+  std::mt19937_64 rng(8);
+  MergeConfig cfg;
+  cfg.e = 5;
+  cfg.u = 16;
+  const std::int64_t tile = cfg.tile();
+  const std::int64_t n = 8 * tile;
+  const std::vector<int> data = make_runs(rng, n, 2 * tile);
+  const PassGeometry geom{n, 2 * tile};
+  std::vector<std::int64_t> boundaries(static_cast<std::size_t>(n / tile) + 1, -1);
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+  launcher.launch("partition", gpusim::LaunchShape{1, cfg.u, 0, 24},
+                  [&](gpusim::BlockContext& ctx) {
+                    merge_partition_body<int>(ctx, std::span<const int>(data), geom, tile,
+                                              std::span<std::int64_t>(boundaries));
+                  });
+  for (std::int64_t t = 0; t * tile <= n; ++t) {
+    const std::int64_t pos = t * tile;
+    const std::int64_t base = pos >= n ? n : geom.pair_base(pos);
+    const std::int64_t la = geom.a_len(base);
+    const std::int64_t lb = geom.b_len(base);
+    const std::span<const int> a(data.data() + base, static_cast<std::size_t>(la));
+    const std::span<const int> b(data.data() + base + la, static_cast<std::size_t>(lb));
+    EXPECT_EQ(boundaries[static_cast<std::size_t>(t)],
+              mergepath::merge_path<int>(std::min(pos - base, la + lb), a, b))
+        << "boundary " << t;
+  }
+}
+
+TEST(MergePass, CfOutputScatterKeepsStoreConflictFreeForNonCoprimeE) {
+  // With gcd(w,E) > 1 the baseline's stride-E output scatter conflicts;
+  // CF-Merge's rho-permuted output write (inverse dual scatter) does not.
+  std::mt19937_64 rng(9);
+  const int w = 8;
+  MergeConfig cfg;
+  cfg.e = 6;
+  cfg.u = 16;
+  const std::int64_t tile = cfg.tile();
+  const std::vector<int> data = make_runs(rng, 2 * tile, tile);
+
+  cfg.variant = Variant::Baseline;
+  const auto base = run_pass(w, cfg, data, tile);
+  cfg.variant = Variant::CFMerge;
+  cfg.cf_output_scatter = true;
+  const auto cf = run_pass(w, cfg, data, tile);
+
+  auto store_conflicts = [](const PassResult& r) {
+    for (const auto& [name, c] : r.phases.phases())
+      if (name == "merge.store") return c.bank_conflicts;
+    return std::uint64_t{0};
+  };
+  EXPECT_GT(store_conflicts(base), 0u);
+  EXPECT_EQ(store_conflicts(cf), 0u);
+  EXPECT_EQ(cf.out, base.out);
+}

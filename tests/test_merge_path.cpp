@@ -1,0 +1,166 @@
+// Tests of merge path (co-rank) search and partitioning.
+#include "mergepath/merge_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace mp = cfmerge::mergepath;
+
+namespace {
+std::vector<int> sorted_random(std::mt19937_64& rng, std::size_t n, int lo = 0, int hi = 1000) {
+  std::uniform_int_distribution<int> d(lo, hi);
+  std::vector<int> v(n);
+  for (auto& x : v) x = d(rng);
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// Reference: stable merge positions — co-rank of diag is the number of
+// A-elements among the first diag outputs of the stable merge.
+std::vector<std::int64_t> reference_coranks(const std::vector<int>& a,
+                                            const std::vector<int>& b) {
+  std::vector<std::int64_t> co(a.size() + b.size() + 1);
+  std::size_t i = 0, j = 0;
+  co[0] = 0;
+  for (std::size_t k = 0; k < a.size() + b.size(); ++k) {
+    const bool take_a = i < a.size() && (j >= b.size() || a[i] <= b[j]);
+    if (take_a)
+      ++i;
+    else
+      ++j;
+    co[k + 1] = static_cast<std::int64_t>(i);
+  }
+  return co;
+}
+}  // namespace
+
+TEST(MergePath, MatchesStableMergeOnRandomInputs) {
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = sorted_random(rng, rng() % 64);
+    const auto b = sorted_random(rng, rng() % 64);
+    const auto ref = reference_coranks(a, b);
+    for (std::int64_t diag = 0; diag <= static_cast<std::int64_t>(a.size() + b.size());
+         ++diag) {
+      EXPECT_EQ(mp::merge_path<int>(diag, a, b), ref[static_cast<std::size_t>(diag)])
+          << "diag=" << diag;
+    }
+  }
+}
+
+TEST(MergePath, TiesPreferA) {
+  // Stability: on equal keys, A's elements come first.
+  const std::vector<int> a{5, 5, 5};
+  const std::vector<int> b{5, 5};
+  EXPECT_EQ(mp::merge_path<int>(1, a, b), 1);
+  EXPECT_EQ(mp::merge_path<int>(3, a, b), 3);
+  EXPECT_EQ(mp::merge_path<int>(4, a, b), 3);
+}
+
+TEST(MergePath, EmptySides) {
+  const std::vector<int> a{1, 2, 3};
+  const std::vector<int> empty;
+  EXPECT_EQ(mp::merge_path<int>(2, a, empty), 2);
+  EXPECT_EQ(mp::merge_path<int>(2, empty, a), 0);
+  EXPECT_EQ(mp::merge_path<int>(0, a, a), 0);
+}
+
+TEST(MergePath, ExtremesConsumeEverything) {
+  std::mt19937_64 rng(8);
+  const auto a = sorted_random(rng, 40);
+  const auto b = sorted_random(rng, 25);
+  EXPECT_EQ(mp::merge_path<int>(65, a, b), 40);
+  EXPECT_EQ(mp::merge_path<int>(0, a, b), 0);
+}
+
+TEST(CoRankBounds, ClampToValidRectangle) {
+  const auto bounds = mp::corank_bounds(10, 4, 20);
+  EXPECT_EQ(bounds.lo, 0);
+  EXPECT_EQ(bounds.hi, 4);
+  const auto bounds2 = mp::corank_bounds(22, 4, 20);
+  EXPECT_EQ(bounds2.lo, 2);
+  EXPECT_EQ(bounds2.hi, 4);
+}
+
+TEST(Partition, ChunksCoverOutputExactly) {
+  std::mt19937_64 rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto a = sorted_random(rng, 64 + rng() % 64);
+    const auto b = sorted_random(rng, 64 + rng() % 64);
+    const std::int64_t chunk = 1 + static_cast<std::int64_t>(rng() % 32);
+    const auto co = mp::partition<int>(a, b, chunk);
+    EXPECT_EQ(co.front(), 0);
+    EXPECT_EQ(co.back(), static_cast<std::int64_t>(a.size()));
+    // Merging each chunk independently reproduces the full merge.
+    std::vector<int> merged;
+    for (std::size_t p = 0; p + 1 < co.size(); ++p) {
+      const std::int64_t d0 = std::min<std::int64_t>(
+          static_cast<std::int64_t>(p) * chunk, static_cast<std::int64_t>(a.size() + b.size()));
+      const std::int64_t d1 = std::min<std::int64_t>(
+          d0 + chunk, static_cast<std::int64_t>(a.size() + b.size()));
+      std::vector<int> part;
+      std::merge(a.begin() + co[p], a.begin() + co[p + 1],
+                 b.begin() + (d0 - co[p]), b.begin() + (d1 - co[p + 1]),
+                 std::back_inserter(part));
+      merged.insert(merged.end(), part.begin(), part.end());
+    }
+    std::vector<int> expect;
+    std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(expect));
+    EXPECT_EQ(merged, expect);
+  }
+}
+
+TEST(WarpCorankSearch, LockstepMatchesHostSearch) {
+  std::mt19937_64 rng(10);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto a = sorted_random(rng, 50);
+    const auto b = sorted_random(rng, 70);
+    const int w = 8;
+    std::vector<mp::LaneSearch> lanes(w);
+    std::vector<std::int64_t> diags(w);
+    for (int l = 0; l < w; ++l) {
+      diags[static_cast<std::size_t>(l)] = static_cast<std::int64_t>(rng() % 121);
+      lanes[static_cast<std::size_t>(l)].init(diags[static_cast<std::size_t>(l)],
+                                              static_cast<std::int64_t>(a.size()),
+                                              static_cast<std::int64_t>(b.size()));
+    }
+    int probe_rounds = 0;
+    auto probe = [&](std::span<const std::int64_t> a_addr, std::span<int> a_val,
+                     std::span<const std::int64_t> b_addr, std::span<int> b_val) {
+      ++probe_rounds;
+      for (int l = 0; l < w; ++l) {
+        const auto li = static_cast<std::size_t>(l);
+        if (a_addr[li] != -1) a_val[li] = a[static_cast<std::size_t>(a_addr[li])];
+        if (b_addr[li] != -1) b_val[li] = b[static_cast<std::size_t>(b_addr[li])];
+      }
+    };
+    mp::warp_corank_search<int>(std::span<mp::LaneSearch>(lanes), probe, std::less<int>{});
+    for (int l = 0; l < w; ++l) {
+      EXPECT_EQ(lanes[static_cast<std::size_t>(l)].lo,
+                mp::merge_path<int>(diags[static_cast<std::size_t>(l)], a, b));
+    }
+    // Lockstep rounds are bounded by the longest lane's binary search.
+    EXPECT_LE(probe_rounds, 8);
+  }
+}
+
+TEST(WarpCorankSearch, InactiveLanesStayUntouched) {
+  const std::vector<int> a{1, 3, 5};
+  const std::vector<int> b{2, 4, 6};
+  std::vector<mp::LaneSearch> lanes(4);  // only lane 0 active
+  lanes[0].init(3, 3, 3);
+  auto probe = [&](std::span<const std::int64_t> a_addr, std::span<int> a_val,
+                   std::span<const std::int64_t> b_addr, std::span<int> b_val) {
+    for (int l = 1; l < 4; ++l) {
+      EXPECT_EQ(a_addr[static_cast<std::size_t>(l)], -1);
+      EXPECT_EQ(b_addr[static_cast<std::size_t>(l)], -1);
+    }
+    if (a_addr[0] != -1) a_val[0] = a[static_cast<std::size_t>(a_addr[0])];
+    if (b_addr[0] != -1) b_val[0] = b[static_cast<std::size_t>(b_addr[0])];
+  };
+  mp::warp_corank_search<int>(std::span<mp::LaneSearch>(lanes), probe, std::less<int>{});
+  EXPECT_EQ(lanes[0].lo, mp::merge_path<int>(3, a, b));
+}

@@ -1,0 +1,268 @@
+// End-to-end tests of the full mergesort driver for both variants.
+#include "sort/merge_sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+using namespace cfmerge;
+using namespace cfmerge::sort;
+
+namespace {
+std::vector<int> rand_vec(std::mt19937_64& rng, std::int64_t n) {
+  std::vector<int> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<int>(rng() % 1000000) - 500000;
+  return v;
+}
+}  // namespace
+
+struct SortCase {
+  int w, e, u;
+  std::int64_t n;
+  Variant variant;
+};
+
+class MergeSortCases : public ::testing::TestWithParam<SortCase> {};
+
+TEST_P(MergeSortCases, SortsCorrectly) {
+  const SortCase c = GetParam();
+  std::mt19937_64 rng(static_cast<std::uint64_t>(c.n) * 31 + c.e);
+  std::vector<int> data = rand_vec(rng, c.n);
+  std::vector<int> expect = data;
+  std::sort(expect.begin(), expect.end());
+
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(c.w));
+  MergeConfig cfg;
+  cfg.e = c.e;
+  cfg.u = c.u;
+  cfg.variant = c.variant;
+  const SortReport report = merge_sort(launcher, data, cfg);
+  EXPECT_EQ(data, expect);
+  EXPECT_EQ(report.n, c.n);
+  EXPECT_GT(report.microseconds, 0.0);
+}
+
+namespace {
+std::vector<SortCase> sort_cases() {
+  std::vector<SortCase> cases;
+  for (const Variant v : {Variant::Baseline, Variant::CFMerge}) {
+    // Exact tile multiple, power-of-two tiles.
+    cases.push_back({8, 5, 16, 16 * 5 * 8, v});
+    // Non-coprime E.
+    cases.push_back({8, 6, 16, 16 * 6 * 4, v});
+    // Single tile (no merge pass at all).
+    cases.push_back({8, 5, 16, 16 * 5, v});
+    // Ragged n (padding path) and non-power-of-two tile counts.
+    cases.push_back({8, 5, 16, 16 * 5 * 3 + 7, v});
+    cases.push_back({8, 7, 16, 1000, v});
+    // Tiny n (smaller than one tile).
+    cases.push_back({8, 5, 16, 3, v});
+    // w = 32 with the paper's E values (scaled-down u).
+    cases.push_back({32, 15, 64, 64 * 15 * 4, v});
+    cases.push_back({32, 17, 64, 64 * 17 * 2 + 11, v});
+  }
+  return cases;
+}
+}  // namespace
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MergeSortCases, ::testing::ValuesIn(sort_cases()),
+                         [](const ::testing::TestParamInfo<SortCase>& info) {
+                           const auto& c = info.param;
+                           return std::string(c.variant == Variant::Baseline ? "base" : "cf") +
+                                  "_w" + std::to_string(c.w) + "_E" + std::to_string(c.e) +
+                                  "_u" + std::to_string(c.u) + "_n" + std::to_string(c.n);
+                         });
+
+TEST(MergeSort, EmptyAndSingleton) {
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+  MergeConfig cfg;
+  cfg.e = 5;
+  cfg.u = 16;
+  std::vector<int> empty;
+  const auto r0 = merge_sort(launcher, empty, cfg);
+  EXPECT_EQ(r0.n, 0);
+  std::vector<int> one{42};
+  merge_sort(launcher, one, cfg);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(MergeSort, AllDistributionsSortCorrectly) {
+  std::mt19937_64 rng(11);
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+  MergeConfig cfg;
+  cfg.e = 5;
+  cfg.u = 16;
+  const std::int64_t n = 16 * 5 * 8;
+  std::vector<std::vector<int>> inputs;
+  std::vector<int> sorted(static_cast<std::size_t>(n));
+  std::iota(sorted.begin(), sorted.end(), 0);
+  inputs.push_back(sorted);
+  auto rev = sorted;
+  std::reverse(rev.begin(), rev.end());
+  inputs.push_back(rev);
+  inputs.push_back(std::vector<int>(static_cast<std::size_t>(n), 7));
+  inputs.push_back(rand_vec(rng, n));
+  for (const Variant v : {Variant::Baseline, Variant::CFMerge}) {
+    cfg.variant = v;
+    for (auto input : inputs) {
+      auto expect = input;
+      std::sort(expect.begin(), expect.end());
+      merge_sort(launcher, input, cfg);
+      EXPECT_EQ(input, expect);
+    }
+  }
+}
+
+TEST(MergeSort, CFMergeHasZeroMergeConflictsEndToEnd) {
+  std::mt19937_64 rng(12);
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+  for (const int e : {5, 6, 8}) {  // coprime and non-coprime with w=8
+    MergeConfig cfg;
+    cfg.e = e;
+    cfg.u = 16;
+    cfg.variant = Variant::CFMerge;
+    std::vector<int> data = rand_vec(rng, 16LL * e * 8);
+    const SortReport report = merge_sort(launcher, data, cfg);
+    std::uint64_t cf_gather_conflicts = 0;
+    for (const auto& [name, c] : report.phases.phases())
+      if (name == "merge.merge") cf_gather_conflicts += c.bank_conflicts;
+    EXPECT_EQ(cf_gather_conflicts, 0u) << "E=" << e;
+  }
+}
+
+TEST(MergeSort, BaselineMergeConflictsNonzeroOnRandom) {
+  std::mt19937_64 rng(13);
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+  MergeConfig cfg;
+  cfg.e = 5;
+  cfg.u = 16;
+  cfg.variant = Variant::Baseline;
+  std::vector<int> data = rand_vec(rng, 16LL * 5 * 16);
+  const SortReport report = merge_sort(launcher, data, cfg);
+  EXPECT_GT(report.merge_conflicts(), 0u);
+}
+
+TEST(MergeSort, ReportAccountsAllKernels) {
+  std::mt19937_64 rng(14);
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+  MergeConfig cfg;
+  cfg.e = 5;
+  cfg.u = 16;
+  std::vector<int> data = rand_vec(rng, 16LL * 5 * 8);  // 8 tiles -> 3 passes
+  const SortReport report = merge_sort(launcher, data, cfg);
+  EXPECT_EQ(report.passes, 3);
+  // 1 block_sort + passes * (partition + merge).
+  EXPECT_EQ(report.kernels.size(), 1u + 3u * 2u);
+  double total_us = 0.0;
+  for (const auto& k : report.kernels) total_us += k.timing.microseconds;
+  EXPECT_DOUBLE_EQ(total_us, report.microseconds);
+  EXPECT_GT(report.throughput(), 0.0);
+}
+
+TEST(MergeSort, DeterministicAcrossRuns) {
+  std::mt19937_64 rng(15);
+  const std::vector<int> data = rand_vec(rng, 16LL * 5 * 4);
+  MergeConfig cfg;
+  cfg.e = 5;
+  cfg.u = 16;
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+  auto d1 = data;
+  const auto r1 = merge_sort(launcher, d1, cfg);
+  auto d2 = data;
+  const auto r2 = merge_sort(launcher, d2, cfg);
+  EXPECT_EQ(d1, d2);
+  EXPECT_DOUBLE_EQ(r1.microseconds, r2.microseconds);
+  EXPECT_EQ(r1.totals.bank_conflicts, r2.totals.bank_conflicts);
+}
+
+TEST(MergeSort, RejectsInvalidConfig) {
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+  std::vector<int> data(100);
+  MergeConfig cfg;
+  cfg.e = 0;
+  EXPECT_THROW(merge_sort(launcher, data, cfg), std::invalid_argument);
+  cfg.e = 5;
+  cfg.u = 12;  // not a multiple of w=8
+  EXPECT_THROW(merge_sort(launcher, data, cfg), std::invalid_argument);
+}
+
+TEST(MergeSort, CfBlocksortExtensionSortsAndCutsConflicts) {
+  // Extension: the dual gather applied inside the block-sort rounds whose
+  // pairs span full warps.  Must still sort, and must reduce the (shared)
+  // block-sort merge conflicts.
+  std::mt19937_64 rng(21);
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+  for (const int e : {5, 6}) {
+    MergeConfig cfg;
+    cfg.e = e;
+    cfg.u = 64;  // pairs reach >= w = 8 threads from round 2 on
+    cfg.variant = Variant::CFMerge;
+    std::vector<int> data = rand_vec(rng, 64LL * e * 4);
+    std::vector<int> expect = data;
+    std::sort(expect.begin(), expect.end());
+
+    cfg.cf_blocksort = false;
+    auto plain_in = data;
+    const auto plain = merge_sort(launcher, plain_in, cfg);
+    cfg.cf_blocksort = true;
+    auto cf_in = data;
+    const auto cf = merge_sort(launcher, cf_in, cfg);
+
+    EXPECT_EQ(plain_in, expect);
+    EXPECT_EQ(cf_in, expect);
+    std::uint64_t plain_bsort = 0, cf_bsort = 0;
+    for (const auto& [name, c] : plain.phases.phases())
+      if (name == "bsort.merge") plain_bsort = c.bank_conflicts;
+    for (const auto& [name, c] : cf.phases.phases())
+      if (name == "bsort.merge") cf_bsort = c.bank_conflicts;
+    EXPECT_LT(cf_bsort, plain_bsort) << "E=" << e;
+  }
+}
+
+TEST(MergeSort, CfBlocksortHalvesOccupancyViaStaging) {
+  std::mt19937_64 rng(22);
+  gpusim::Launcher launcher(gpusim::DeviceSpec::rtx2080ti());
+  MergeConfig cfg;
+  cfg.e = 15;
+  cfg.u = 512;
+  cfg.variant = Variant::CFMerge;
+  cfg.cf_blocksort = true;
+  std::vector<int> data = rand_vec(rng, 512LL * 15 * 2);
+  const auto report = merge_sort(launcher, data, cfg);
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+  for (const auto& k : report.kernels)
+    if (k.name == "block_sort") {
+      EXPECT_EQ(k.timing.occupancy.blocks_per_sm, 1);  // 2 blocks without staging
+      EXPECT_EQ(k.shape.shared_bytes_per_block, 2ull * 512 * 15 * sizeof(int));
+    }
+}
+
+TEST(MergeSort, SortsOtherKeyTypes) {
+  std::mt19937_64 rng(16);
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+  MergeConfig cfg;
+  cfg.e = 5;
+  cfg.u = 16;
+  std::vector<float> f(16 * 5 * 4);
+  for (auto& x : f) x = static_cast<float>(rng() % 10000) / 7.0f;
+  auto fe = f;
+  std::sort(fe.begin(), fe.end());
+  merge_sort(launcher, f, cfg);
+  EXPECT_EQ(f, fe);
+
+  std::vector<std::int64_t> l(16 * 5 * 4);
+  for (auto& x : l) x = static_cast<std::int64_t>(rng()) % 1000000;
+  auto le = l;
+  std::sort(le.begin(), le.end());
+  merge_sort(launcher, l, cfg);
+  EXPECT_EQ(l, le);
+
+  std::vector<std::uint32_t> usd(16 * 5 * 4);
+  for (auto& x : usd) x = static_cast<std::uint32_t>(rng());
+  auto ue = usd;
+  std::sort(ue.begin(), ue.end());
+  merge_sort(launcher, usd, cfg);
+  EXPECT_EQ(usd, ue);
+}

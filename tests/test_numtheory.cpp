@@ -1,0 +1,211 @@
+// Unit and property tests for the number theory primitives (Appendix A).
+#include "numtheory/numtheory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+namespace nt = cfmerge::numtheory;
+
+TEST(Mod, MatchesMathematicalDefinition) {
+  EXPECT_EQ(nt::mod(7, 3), 1);
+  EXPECT_EQ(nt::mod(-1, 5), 4);
+  EXPECT_EQ(nt::mod(-10, 5), 0);
+  EXPECT_EQ(nt::mod(0, 7), 0);
+  EXPECT_EQ(nt::mod(-13, 7), 1);
+}
+
+TEST(Mod, AlwaysInRange) {
+  std::mt19937_64 rng(1);
+  for (int t = 0; t < 1000; ++t) {
+    const auto a = static_cast<std::int64_t>(rng() % 2000001) - 1000000;
+    const auto m = static_cast<std::int64_t>(rng() % 97) + 1;
+    const std::int64_t r = nt::mod(a, m);
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, m);
+    EXPECT_EQ(nt::mod(r - a, m), 0);
+  }
+}
+
+TEST(Gcd, BasicValues) {
+  EXPECT_EQ(nt::gcd(12, 18), 6);
+  EXPECT_EQ(nt::gcd(32, 15), 1);
+  EXPECT_EQ(nt::gcd(32, 17), 1);
+  EXPECT_EQ(nt::gcd(32, 16), 16);
+  EXPECT_EQ(nt::gcd(9, 6), 3);
+  EXPECT_EQ(nt::gcd(0, 5), 5);
+  EXPECT_EQ(nt::gcd(5, 0), 5);
+  EXPECT_EQ(nt::gcd(0, 0), 0);
+  EXPECT_EQ(nt::gcd(-12, 18), 6);
+}
+
+TEST(Gcd, MatchesStdGcd) {
+  std::mt19937_64 rng(2);
+  for (int t = 0; t < 1000; ++t) {
+    const auto a = static_cast<std::int64_t>(rng() % 100000);
+    const auto b = static_cast<std::int64_t>(rng() % 100000);
+    EXPECT_EQ(nt::gcd(a, b), std::gcd(a, b));
+  }
+}
+
+TEST(Lcm, Basic) {
+  EXPECT_EQ(nt::lcm(4, 6), 12);
+  EXPECT_EQ(nt::lcm(0, 6), 0);
+  EXPECT_EQ(nt::lcm(32, 15), 480);
+}
+
+TEST(Coprime, ThrustParameterChoices) {
+  // The heuristic Thrust relies on: E in {15, 17} is coprime with w = 32.
+  EXPECT_TRUE(nt::coprime(32, 15));
+  EXPECT_TRUE(nt::coprime(32, 17));
+  EXPECT_FALSE(nt::coprime(32, 16));
+  EXPECT_FALSE(nt::coprime(12, 6));
+  EXPECT_TRUE(nt::coprime(12, 5));
+}
+
+TEST(ExtendedGcd, BezoutIdentityHolds) {
+  std::mt19937_64 rng(3);
+  for (int t = 0; t < 1000; ++t) {
+    const auto a = static_cast<std::int64_t>(rng() % 10000) - 5000;
+    const auto b = static_cast<std::int64_t>(rng() % 10000) - 5000;
+    const nt::ExtendedGcd e = nt::extended_gcd(a, b);
+    EXPECT_EQ(e.g, nt::gcd(a, b));
+    EXPECT_EQ(a * e.x + b * e.y, e.g);
+  }
+}
+
+TEST(ModInverse, Corollary16UniqueInverse) {
+  // For gcd(n, m) = 1 the inverse exists and is unique in [0, m).
+  for (std::int64_t m = 2; m <= 64; ++m) {
+    for (std::int64_t a = 1; a < m; ++a) {
+      if (nt::gcd(a, m) != 1) continue;
+      const std::int64_t inv = nt::mod_inverse(a, m);
+      EXPECT_EQ(nt::mod(a * inv, m), 1) << "a=" << a << " m=" << m;
+      EXPECT_GE(inv, 0);
+      EXPECT_LT(inv, m);
+    }
+  }
+}
+
+TEST(ModInverse, ThrowsWhenNotCoprime) {
+  EXPECT_THROW((void)nt::mod_inverse(6, 12), std::invalid_argument);
+  EXPECT_THROW((void)nt::mod_inverse(0, 5), std::invalid_argument);
+  EXPECT_THROW((void)nt::mod_inverse(3, 0), std::invalid_argument);
+}
+
+TEST(EuclidDiv, Lemma9UniqueDecomposition) {
+  std::mt19937_64 rng(4);
+  for (int t = 0; t < 1000; ++t) {
+    const auto a = static_cast<std::int64_t>(rng() % 200001) - 100000;
+    const auto b = static_cast<std::int64_t>(rng() % 97) + 1;
+    const nt::Division d = nt::euclid_div(a, b);
+    EXPECT_EQ(d.q * b + d.r, a);
+    EXPECT_GE(d.r, 0);
+    EXPECT_LT(d.r, b);
+  }
+}
+
+TEST(CompleteResidueSystem, Zm) {
+  // Corollary 14: Z_m = {0..m-1} is a complete residue system.
+  for (std::int64_t m = 1; m <= 40; ++m) {
+    std::vector<std::int64_t> zm(static_cast<std::size_t>(m));
+    std::iota(zm.begin(), zm.end(), 0);
+    EXPECT_TRUE(nt::is_complete_residue_system(zm, m));
+  }
+}
+
+TEST(CompleteResidueSystem, RejectsDuplicatesAndWrongSize) {
+  EXPECT_FALSE(nt::is_complete_residue_system(std::vector<std::int64_t>{0, 1, 1}, 3));
+  EXPECT_FALSE(nt::is_complete_residue_system(std::vector<std::int64_t>{0, 1}, 3));
+  EXPECT_FALSE(nt::is_complete_residue_system(std::vector<std::int64_t>{0, 3}, 3));
+  EXPECT_TRUE(nt::is_complete_residue_system(std::vector<std::int64_t>{3, 7, 11}, 3));
+}
+
+// Lemma 1: R_j = {j + kE : 0 <= k < w} is a CRS modulo w iff gcd(w, E) = 1.
+TEST(Lemma1, ArithmeticProgressionIsCrsIffCoprime) {
+  for (int w = 2; w <= 48; ++w) {
+    for (int e = 1; e <= w; ++e) {
+      for (std::int64_t j : {0, 1, 5, -3}) {
+        const auto r = nt::arithmetic_residues(j, e, w);
+        EXPECT_EQ(nt::is_complete_residue_system(r, w), nt::gcd(w, e) == 1)
+            << "w=" << w << " E=" << e << " j=" << j;
+      }
+    }
+  }
+}
+
+// Section 3.2: when d = gcd(w,E) > 1, every (w/d)-th element of R_j is
+// congruent, so the residue profile has d residues hit w/d times each... more
+// precisely w/d distinct residues, each with multiplicity d.
+TEST(Section32, NonCoprimeResidueProfile) {
+  const int w = 12, e = 9;  // d = 3
+  const auto r = nt::arithmetic_residues(0, e, w);
+  const auto profile = nt::residue_profile(r, w);
+  int hit = 0;
+  for (const auto c : profile) {
+    if (c == 0) continue;
+    EXPECT_EQ(c, 3);  // d
+    ++hit;
+  }
+  EXPECT_EQ(hit, 4);  // w/d
+}
+
+// Corollary 3: R'_j — the union of d consecutive-index partitions
+// R_{j+l mod E}^{(l)} — is a complete residue system modulo w.
+TEST(Corollary3, ShiftedPartitionUnionIsCrs) {
+  for (const auto& [w, e] : std::vector<std::pair<int, int>>{
+           {9, 6}, {12, 9}, {12, 8}, {32, 16}, {32, 24}, {8, 6}, {16, 12}}) {
+    const std::int64_t d = nt::gcd(w, e);
+    ASSERT_GT(d, 1);
+    const std::int64_t wd = w / d;
+    for (std::int64_t j = 0; j < e; ++j) {
+      std::vector<std::int64_t> r_prime;
+      for (std::int64_t l = 0; l < d; ++l) {
+        const std::int64_t jl = nt::mod(j + l, e);
+        // R_{jl}^{(l)} = { jl + (l*w/d + k) * E : 0 <= k < w/d }
+        for (std::int64_t k = 0; k < wd; ++k)
+          r_prime.push_back(jl + (l * wd + k) * e);
+      }
+      EXPECT_TRUE(nt::is_complete_residue_system(r_prime, w))
+          << "w=" << w << " E=" << e << " j=" << j;
+    }
+  }
+}
+
+// Lemma 2(2): within one partition R_j^{(l)}, all elements are pairwise
+// non-congruent modulo w.
+TEST(Lemma2, PartitionElementsDistinctModW) {
+  for (const auto& [w, e] : std::vector<std::pair<int, int>>{{9, 6}, {12, 9}, {32, 24}}) {
+    const std::int64_t d = nt::gcd(w, e);
+    const std::int64_t wd = w / d;
+    for (std::int64_t l = 0; l < d; ++l) {
+      for (std::int64_t j = 0; j < e; ++j) {
+        std::vector<std::int64_t> part;
+        for (std::int64_t k = 0; k < wd; ++k) part.push_back(j + (l * wd + k) * e);
+        const auto profile = nt::residue_profile(part, w);
+        for (const auto c : profile) EXPECT_LE(c, 1);
+      }
+    }
+  }
+}
+
+TEST(Corollary18, DividingByGcdYieldsCoprime) {
+  std::mt19937_64 rng(5);
+  for (int t = 0; t < 2000; ++t) {
+    const auto a = static_cast<std::int64_t>(rng() % 5000) + 1;
+    const auto b = static_cast<std::int64_t>(rng() % 5000) + 1;
+    const std::int64_t d = nt::gcd(a, b);
+    EXPECT_EQ(nt::gcd(a / d, b / d), 1);
+  }
+}
+
+TEST(Corollary17, GcdShiftByQuotient) {
+  // gcd(a, b) == gcd(b, a mod b) — the identity behind Lemma 17's use.
+  std::mt19937_64 rng(6);
+  for (int t = 0; t < 2000; ++t) {
+    const auto a = static_cast<std::int64_t>(rng() % 5000) + 1;
+    const auto b = static_cast<std::int64_t>(rng() % a) + 1;
+    EXPECT_EQ(nt::gcd(a, b), nt::gcd(b, nt::mod(a, b)));
+  }
+}

@@ -1,0 +1,170 @@
+// Tests of the occupancy calculator and the roofline timing model,
+// including the paper's two software parameter sets.
+#include <gtest/gtest.h>
+
+#include "gpusim/occupancy.hpp"
+#include "gpusim/timing.hpp"
+#include "sort/cost_model.hpp"
+
+using namespace cfmerge::gpusim;
+
+TEST(Occupancy, PaperParameterSetE15U512HasFullOccupancy) {
+  // Berney & Sitchinava: E=15, u=512 yields 100% theoretical occupancy on
+  // the RTX 2080 Ti (tile of 512*15*4B = 30 KiB shared, 2 blocks/SM).
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  const std::size_t tile_bytes = 512ull * 15 * 4;
+  const auto occ =
+      compute_occupancy(dev, 512, tile_bytes, cfmerge::sort::cost::baseline_regs_per_thread(15));
+  EXPECT_EQ(occ.blocks_per_sm, 2);
+  EXPECT_EQ(occ.warps_per_sm, 32);
+  EXPECT_DOUBLE_EQ(occ.occupancy, 1.0);
+}
+
+TEST(Occupancy, PaperParameterSetE17U256IsLower) {
+  // E=17, u=256: tile 256*17*4B = 17 KiB; shared memory allows 3 blocks/SM
+  // = 768 threads -> 75% occupancy (< 100%), matching the paper's account
+  // of why this Thrust default is slower.
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  const std::size_t tile_bytes = 256ull * 17 * 4;
+  const auto occ =
+      compute_occupancy(dev, 256, tile_bytes, cfmerge::sort::cost::baseline_regs_per_thread(17));
+  EXPECT_LT(occ.occupancy, 1.0);
+  EXPECT_EQ(occ.blocks_per_sm, 3);
+  EXPECT_EQ(occ.limiter, "shared");
+}
+
+TEST(Occupancy, ThreadLimited) {
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  const auto occ = compute_occupancy(dev, 1024, 0, 16);
+  EXPECT_EQ(occ.blocks_per_sm, 1);
+  EXPECT_EQ(occ.limiter, "threads");
+  EXPECT_DOUBLE_EQ(occ.occupancy, 1.0);
+}
+
+TEST(Occupancy, RegisterLimited) {
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  // 128 regs/thread * 256 threads = 32768 regs/block -> 2 blocks/SM.
+  const auto occ = compute_occupancy(dev, 256, 0, 128);
+  EXPECT_EQ(occ.blocks_per_sm, 2);
+  EXPECT_EQ(occ.limiter, "registers");
+}
+
+TEST(Occupancy, BlockDoesNotFit) {
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  const auto occ = compute_occupancy(dev, 256, dev.shared_bytes_per_sm + 1, 16);
+  EXPECT_EQ(occ.blocks_per_sm, 0);
+  EXPECT_EQ(occ.limiter, "none");
+}
+
+TEST(Occupancy, RejectsBadThreadCounts) {
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  EXPECT_THROW((void)compute_occupancy(dev, 100, 0, 16), std::invalid_argument);
+  EXPECT_THROW((void)compute_occupancy(dev, 0, 0, 16), std::invalid_argument);
+}
+
+namespace {
+Counters make_counters(std::uint64_t instrs, std::uint64_t shared_cycles,
+                       std::uint64_t bytes) {
+  Counters c;
+  c.warp_instructions = instrs;
+  c.shared_accesses = shared_cycles;
+  c.shared_cycles = shared_cycles;
+  c.gmem_bytes = bytes;
+  return c;
+}
+}  // namespace
+
+TEST(Timing, ComputeBoundKernel) {
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  const LaunchShape shape{1000, 256, 0, 16};
+  const auto t = simulate_timing(dev, shape, make_counters(100000000, 10, 10), 1.0);
+  EXPECT_STREQ(t.limiter, "compute");
+  // The work bound is additive (plus the fixed launch overhead); the
+  // compute term dominates here.
+  EXPECT_NEAR(t.cycles, 100000000.0 / (dev.issue_width * dev.num_sms),
+              dev.launch_overhead_cycles + 1.0);
+  EXPECT_DOUBLE_EQ(t.work_bound, t.compute_bound + t.shared_bound + t.bw_bound);
+}
+
+TEST(Timing, SharedBoundKernel) {
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  const LaunchShape shape{1000, 256, 0, 16};
+  const auto t = simulate_timing(dev, shape, make_counters(10, 200000000, 10), 1.0);
+  EXPECT_STREQ(t.limiter, "shared");
+}
+
+TEST(Timing, BandwidthBoundKernel) {
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  const LaunchShape shape{1000, 256, 0, 16};
+  const auto t = simulate_timing(dev, shape, make_counters(10, 10, 4000000000ull), 1.0);
+  EXPECT_STREQ(t.limiter, "bw");
+}
+
+TEST(Timing, LatencyBoundSmallGrid) {
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  const LaunchShape shape{1, 256, 0, 16};
+  const auto t = simulate_timing(dev, shape, make_counters(10, 10, 10), 5000.0);
+  EXPECT_STREQ(t.limiter, "latency");
+  EXPECT_EQ(t.waves, 1);
+  EXPECT_DOUBLE_EQ(t.cycles, 5000.0 + dev.launch_overhead_cycles);
+  EXPECT_GT(t.latency_bound, t.work_bound);
+}
+
+TEST(Timing, WavesQuantizeLatency) {
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  // blocks_per_sm for 256 threads / no shared / 16 regs = 4 (max_blocks? ...):
+  const auto occ = compute_occupancy(dev, 256, 0, 16);
+  const int resident = dev.num_sms * occ.blocks_per_sm;
+  const LaunchShape shape{resident + 1, 256, 0, 16};
+  const auto t = simulate_timing(dev, shape, make_counters(1, 1, 1), 1000.0);
+  EXPECT_EQ(t.waves, 2);
+  EXPECT_DOUBLE_EQ(t.latency_bound, 2000.0);
+}
+
+TEST(Timing, MicrosecondsUseClock) {
+  DeviceSpec dev = DeviceSpec::rtx2080ti();
+  dev.launch_overhead_cycles = 0;
+  const LaunchShape shape{1, 256, 0, 16};
+  const auto t = simulate_timing(dev, shape, make_counters(1, 1, 1), 1545.0);
+  EXPECT_NEAR(t.microseconds, 1.0, 1e-9);  // 1545 cycles at 1.545 GHz = 1 us
+}
+
+TEST(Timing, LaunchOverheadDominatesTinyGrids) {
+  // The fixed per-launch cost is what suppresses throughput at small n
+  // (the rising left edge of the paper's figures).
+  DeviceSpec dev = DeviceSpec::rtx2080ti();
+  const LaunchShape shape{1, 256, 0, 16};
+  const auto t = simulate_timing(dev, shape, make_counters(1, 1, 1), 1.0);
+  EXPECT_GE(t.cycles, dev.launch_overhead_cycles);
+  dev.launch_overhead_cycles = 0;
+  const auto t0 = simulate_timing(dev, shape, make_counters(1, 1, 1), 1.0);
+  EXPECT_LT(t0.cycles, 100.0);
+}
+
+TEST(Timing, BankConflictsInflateSharedBound) {
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  const LaunchShape shape{1000, 256, 0, 16};
+  Counters base = make_counters(0, 1000000, 0);
+  Counters conflicted = base;
+  conflicted.shared_cycles *= 8;
+  conflicted.bank_conflicts = conflicted.shared_cycles - conflicted.shared_accesses;
+  const auto t0 = simulate_timing(dev, shape, base, 1.0);
+  const auto t1 = simulate_timing(dev, shape, conflicted, 1.0);
+  EXPECT_GT(t1.shared_bound, t0.shared_bound * 7.9);
+  EXPECT_GT(t1.cycles, t0.cycles * 6.0);
+  EXPECT_STREQ(t1.limiter, "shared");
+}
+
+TEST(DeviceSpecTest, ValidateCatchesNonsense) {
+  DeviceSpec d = DeviceSpec::rtx2080ti();
+  d.warp_size = 0;
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  d = DeviceSpec::rtx2080ti();
+  d.max_threads_per_sm = 100;  // not a multiple of 32
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  d = DeviceSpec::rtx2080ti();
+  d.dram_bytes_per_cycle = 0;
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(DeviceSpec::rtx2080ti().validate());
+  EXPECT_NO_THROW(DeviceSpec::tiny(6).validate());
+}

@@ -1,0 +1,97 @@
+// Tests of the odd-even transposition sorting network.
+#include "sort/odd_even.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+using cfmerge::sort::odd_even_network_size;
+using cfmerge::sort::odd_even_transposition_sort;
+
+TEST(OddEven, SortsRandomInputs) {
+  std::mt19937_64 rng(1);
+  for (int n = 0; n <= 64; ++n) {
+    for (int trial = 0; trial < 10; ++trial) {
+      std::vector<int> v(static_cast<std::size_t>(n));
+      for (auto& x : v) x = static_cast<int>(rng() % 100);
+      std::vector<int> expect = v;
+      std::sort(expect.begin(), expect.end());
+      odd_even_transposition_sort(std::span<int>(v));
+      EXPECT_EQ(v, expect) << "n=" << n;
+    }
+  }
+}
+
+TEST(OddEven, SortsRotatedBitonicArrangement) {
+  // The exact shape CF-Merge feeds it: sorted A ascending and sorted B
+  // descending, rotated by an arbitrary k (the register arrangement after
+  // the gather).
+  std::mt19937_64 rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int e = 1 + static_cast<int>(rng() % 20);
+    const int asz = static_cast<int>(rng() % (e + 1));
+    std::vector<int> a(static_cast<std::size_t>(asz));
+    std::vector<int> b(static_cast<std::size_t>(e - asz));
+    for (auto& x : a) x = static_cast<int>(rng() % 50);
+    for (auto& x : b) x = static_cast<int>(rng() % 50);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end(), std::greater<int>{});
+    std::vector<int> items(static_cast<std::size_t>(e));
+    const int k = static_cast<int>(rng() % e);
+    for (int x = 0; x < asz; ++x)
+      items[static_cast<std::size_t>((k + x) % e)] = a[static_cast<std::size_t>(x)];
+    for (int y = 0; y < e - asz; ++y)
+      items[static_cast<std::size_t>(((k - 1 - y) % e + e) % e)] =
+          b[static_cast<std::size_t>(y)];
+    std::vector<int> expect = items;
+    std::sort(expect.begin(), expect.end());
+    odd_even_transposition_sort(std::span<int>(items));
+    EXPECT_EQ(items, expect);
+  }
+}
+
+TEST(OddEven, CustomComparator) {
+  std::vector<int> v{3, 1, 4, 1, 5, 9, 2, 6};
+  odd_even_transposition_sort(std::span<int>(v), std::greater<int>{});
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end(), std::greater<int>{}));
+}
+
+TEST(OddEven, NetworkSizeFormulaMatchesExecution) {
+  for (int n = 0; n <= 40; ++n) {
+    std::vector<int> v(static_cast<std::size_t>(n), 0);
+    const std::int64_t ces = odd_even_transposition_sort(std::span<int>(v));
+    EXPECT_EQ(ces, odd_even_network_size(n)) << "n=" << n;
+  }
+}
+
+TEST(OddEven, NetworkSizeKnownValues) {
+  EXPECT_EQ(odd_even_network_size(0), 0);
+  EXPECT_EQ(odd_even_network_size(1), 0);
+  EXPECT_EQ(odd_even_network_size(2), 1);   // one phase pair... 2 phases: 1 + 0
+  EXPECT_EQ(odd_even_network_size(4), 6);
+  // E = 15: 8 even phases * 7 pairs + 7 odd phases * 7 pairs = 105.
+  EXPECT_EQ(odd_even_network_size(15), 105);
+  EXPECT_EQ(odd_even_network_size(17), 136);
+}
+
+TEST(OddEven, DataObliviousSameOperationCount) {
+  // The network's cost must not depend on the data (it is what keeps the
+  // register merge conflict free and branch-uniform on a GPU).
+  std::mt19937_64 rng(3);
+  const int n = 15;
+  std::vector<std::int64_t> counts;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int> v(static_cast<std::size_t>(n));
+    for (auto& x : v) x = static_cast<int>(rng() % 1000);
+    counts.push_back(odd_even_transposition_sort(std::span<int>(v)));
+  }
+  for (const auto c : counts) EXPECT_EQ(c, counts.front());
+}
+
+TEST(OddEven, StableForEqualKeysNotRequiredButSorted) {
+  std::vector<int> v(16, 7);
+  odd_even_transposition_sort(std::span<int>(v));
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}

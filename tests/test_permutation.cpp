@@ -1,0 +1,106 @@
+// Tests of the pi (B-reversal) and rho (circular shift) permutations.
+#include "gather/permutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "numtheory/numtheory.hpp"
+
+using cfmerge::gather::BReversal;
+using cfmerge::gather::CircularShift;
+
+TEST(BReversalTest, MapsAIdentity) {
+  const BReversal pi(10, 6);
+  for (std::int64_t x = 0; x < 10; ++x) {
+    EXPECT_EQ(pi.raw_of_a(x), x);
+    EXPECT_TRUE(pi.is_a(x));
+    EXPECT_EQ(pi.a_of_raw(x), x);
+  }
+}
+
+TEST(BReversalTest, ReversesB) {
+  const BReversal pi(10, 6);
+  EXPECT_EQ(pi.raw_of_b(0), 15);  // first B element goes last
+  EXPECT_EQ(pi.raw_of_b(5), 10);  // last B element right after A
+  for (std::int64_t y = 0; y < 6; ++y) {
+    const std::int64_t m = pi.raw_of_b(y);
+    EXPECT_FALSE(pi.is_a(m));
+    EXPECT_EQ(pi.b_of_raw(m), y);
+  }
+}
+
+TEST(BReversalTest, EmptyLists) {
+  const BReversal no_b(8, 0);
+  EXPECT_TRUE(no_b.is_a(7));
+  const BReversal no_a(0, 8);
+  EXPECT_EQ(no_a.raw_of_b(0), 7);
+  EXPECT_EQ(no_a.raw_of_b(7), 0);
+}
+
+TEST(CircularShiftTest, IdentityWhenCoprime) {
+  const CircularShift rho(32, 15, 32 * 15);
+  EXPECT_TRUE(rho.identity());
+  for (std::int64_t m = 0; m < 32 * 15; m += 37) EXPECT_EQ(rho(m), m);
+}
+
+TEST(CircularShiftTest, IsAPermutationAndInverseWorks) {
+  for (const auto& [w, e] : std::vector<std::pair<int, int>>{
+           {12, 9}, {9, 6}, {32, 16}, {32, 24}, {6, 4}, {8, 8}}) {
+    const std::int64_t d = cfmerge::numtheory::gcd(w, e);
+    ASSERT_GT(d, 1);
+    const std::int64_t total = 3 * static_cast<std::int64_t>(w) * e / d;
+    const CircularShift rho(w, e, total);
+    EXPECT_FALSE(rho.identity());
+    std::set<std::int64_t> image;
+    for (std::int64_t m = 0; m < total; ++m) {
+      const std::int64_t p = rho(m);
+      EXPECT_GE(p, 0);
+      EXPECT_LT(p, total);
+      EXPECT_EQ(rho.inverse(p), m);
+      image.insert(p);
+    }
+    EXPECT_EQ(static_cast<std::int64_t>(image.size()), total);
+  }
+}
+
+TEST(CircularShiftTest, ShiftsStayWithinPartition) {
+  const CircularShift rho(9, 6, 9 * 6);  // d = 3, P = 18
+  EXPECT_EQ(rho.partition_size(), 18);
+  for (std::int64_t m = 0; m < 54; ++m) EXPECT_EQ(rho(m) / 18, m / 18);
+}
+
+TEST(CircularShiftTest, PartitionZeroUnshifted) {
+  const CircularShift rho(9, 6, 9 * 6);
+  for (std::int64_t m = 0; m < 18; ++m) EXPECT_EQ(rho(m), m);
+  // Partition 1 shifted by 1, partition 2 by 2.
+  EXPECT_EQ(rho(18), 19);
+  EXPECT_EQ(rho(35), 18);  // wraps within partition 1
+  EXPECT_EQ(rho(36), 38);
+}
+
+TEST(CircularShiftTest, AlignmentProperty) {
+  // The property Section 3.2 needs: after the shift, the element with raw
+  // index m is read in round m mod E, i.e. rho realigns each partition's
+  // schedule.  Equivalently: rho(m) is read in round (offset-in-partition
+  // minus shift) ... check the bank identity rho(m) ≡ m + (l mod d) (mod w).
+  for (const auto& [w, e] : std::vector<std::pair<int, int>>{{12, 9}, {9, 6}, {32, 24}}) {
+    const std::int64_t d = cfmerge::numtheory::gcd(w, e);
+    const std::int64_t p = static_cast<std::int64_t>(w) * e / d;
+    const CircularShift rho(w, e, 2 * d * p);
+    for (std::int64_t m = 0; m < 2 * d * p; ++m) {
+      const std::int64_t l = m / p;
+      EXPECT_EQ(cfmerge::numtheory::mod(rho(m), w),
+                cfmerge::numtheory::mod(m + l % d, w))
+          << "w=" << w << " e=" << e << " m=" << m;
+    }
+  }
+}
+
+TEST(CircularShiftTest, RejectsBadShapes) {
+  EXPECT_THROW(CircularShift(0, 5, 10), std::invalid_argument);
+  EXPECT_THROW(CircularShift(8, 0, 8), std::invalid_argument);
+  EXPECT_THROW(CircularShift(8, 6, 25), std::invalid_argument);  // not multiple of P=24
+  EXPECT_NO_THROW(CircularShift(8, 6, 48));
+}

@@ -1,0 +1,132 @@
+// Tests of the workload generators.
+#include "workloads/generators.hpp"
+
+#include "gpusim/launcher.hpp"
+#include "sort/merge_sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace cfmerge;
+using namespace cfmerge::workloads;
+
+TEST(Workloads, SizesAndDeterminism) {
+  for (const Distribution d :
+       {Distribution::UniformRandom, Distribution::Sorted, Distribution::Reverse,
+        Distribution::NearlySorted, Distribution::FewDistinct, Distribution::Sawtooth}) {
+    WorkloadSpec spec;
+    spec.dist = d;
+    spec.n = 1000;
+    spec.seed = 7;
+    const auto v1 = generate(spec);
+    const auto v2 = generate(spec);
+    EXPECT_EQ(v1.size(), 1000u) << distribution_name(d);
+    EXPECT_EQ(v1, v2) << distribution_name(d) << " must be deterministic per seed";
+  }
+}
+
+TEST(Workloads, SeedChangesRandomOutput) {
+  WorkloadSpec spec;
+  spec.dist = Distribution::UniformRandom;
+  spec.n = 1000;
+  spec.seed = 1;
+  const auto v1 = generate(spec);
+  spec.seed = 2;
+  const auto v2 = generate(spec);
+  EXPECT_NE(v1, v2);
+}
+
+TEST(Workloads, SortedIsSortedReverseIsReverse) {
+  WorkloadSpec spec;
+  spec.n = 500;
+  spec.dist = Distribution::Sorted;
+  const auto s = generate(spec);
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  spec.dist = Distribution::Reverse;
+  const auto r = generate(spec);
+  EXPECT_TRUE(std::is_sorted(r.rbegin(), r.rend()));
+}
+
+TEST(Workloads, NearlySortedIsAlmostSorted) {
+  WorkloadSpec spec;
+  spec.dist = Distribution::NearlySorted;
+  spec.n = 10000;
+  const auto v = generate(spec);
+  std::int64_t inversions_adjacent = 0;
+  for (std::size_t i = 0; i + 1 < v.size(); ++i)
+    if (v[i] > v[i + 1]) ++inversions_adjacent;
+  EXPECT_GT(inversions_adjacent, 0);
+  EXPECT_LT(inversions_adjacent, 400);  // ~1% swaps
+}
+
+TEST(Workloads, FewDistinctHasFewValues) {
+  WorkloadSpec spec;
+  spec.dist = Distribution::FewDistinct;
+  spec.n = 5000;
+  const auto v = generate(spec);
+  const std::set<std::int32_t> uniq(v.begin(), v.end());
+  EXPECT_LE(uniq.size(), 16u);
+}
+
+TEST(Workloads, WorstCaseDelegatesToBuilder) {
+  WorkloadSpec spec;
+  spec.dist = Distribution::WorstCase;
+  spec.w = 8;
+  spec.e = 5;
+  spec.u = 16;
+  spec.n = 16 * 5 * 4;
+  const auto v = generate(spec);
+  auto copy = v;
+  std::sort(copy.begin(), copy.end());
+  for (std::size_t i = 0; i < copy.size(); ++i)
+    ASSERT_EQ(copy[i], static_cast<std::int32_t>(i));
+}
+
+TEST(Workloads, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (const auto d : all_distributions()) names.insert(distribution_name(d));
+  EXPECT_EQ(names.size(), all_distributions().size());
+}
+
+TEST(Workloads, RejectsNegativeN) {
+  WorkloadSpec spec;
+  spec.n = -1;
+  EXPECT_THROW((void)generate(spec), std::invalid_argument);
+}
+
+TEST(Workloads, EmptyInput) {
+  WorkloadSpec spec;
+  spec.n = 0;
+  EXPECT_TRUE(generate(spec).empty());
+}
+
+TEST(Workloads, EveryDistributionSortsEndToEnd) {
+  // Each generator feeds the full pipeline (both variants) without tripping
+  // any invariant.
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+  sort::MergeConfig cfg;
+  cfg.e = 5;
+  cfg.u = 16;
+  for (const auto d : all_distributions()) {
+    WorkloadSpec spec;
+    spec.dist = d;
+    spec.w = 8;
+    spec.e = 5;
+    spec.u = 16;
+    spec.n = 16 * 5 * 4;  // valid shape for the worst-case builder too
+    auto data = generate(spec);
+    for (const auto v : {sort::Variant::Baseline, sort::Variant::CFMerge}) {
+      cfg.variant = v;
+      auto copy = data;
+      auto expect = data;
+      std::sort(expect.begin(), expect.end());
+      const auto report = sort::merge_sort(launcher, copy, cfg);
+      EXPECT_EQ(copy, expect) << distribution_name(d);
+      if (v == sort::Variant::CFMerge) {
+        EXPECT_EQ(report.merge_conflicts(), 0u) << distribution_name(d);
+      }
+    }
+  }
+}

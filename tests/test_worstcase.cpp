@@ -1,0 +1,316 @@
+// Tests of the Section 4 worst-case construction: the lemmas, the tuple
+// sequences, the interleavings, and the measured impact on the baseline.
+#include "worstcase/builder.hpp"
+#include "worstcase/predict.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <set>
+
+#include "gpusim/launcher.hpp"
+#include "mergepath/merge_path.hpp"
+#include "numtheory/numtheory.hpp"
+#include "sort/merge_sort.hpp"
+
+using namespace cfmerge;
+using namespace cfmerge::worstcase;
+
+namespace {
+std::vector<Params> valid_params() {
+  std::vector<Params> out;
+  for (const int w : {4, 6, 8, 9, 12, 16, 32}) {
+    for (int e = 2; e <= w; ++e) out.push_back({w, e});
+  }
+  return out;
+}
+}  // namespace
+
+TEST(Params, Validation) {
+  EXPECT_THROW(Params({8, 1}).validate(), std::invalid_argument);
+  EXPECT_THROW(Params({8, 9}).validate(), std::invalid_argument);
+  EXPECT_NO_THROW(Params({8, 8}).validate());
+  EXPECT_NO_THROW(Params({32, 15}).validate());
+}
+
+TEST(Params, EuclidDecomposition) {
+  const Params p{32, 15};
+  EXPECT_EQ(p.q(), 2);
+  EXPECT_EQ(p.r(), 2);
+  EXPECT_EQ(p.d(), 1);
+  const Params p2{12, 9};
+  EXPECT_EQ(p2.q(), 1);
+  EXPECT_EQ(p2.r(), 3);
+  EXPECT_EQ(p2.d(), 3);
+}
+
+TEST(SSequence, Lemma5AllDistinct) {
+  for (const Params& p : valid_params()) {
+    const auto s = s_sequence(p);
+    std::set<std::int64_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), s.size()) << "w=" << p.w << " E=" << p.e;
+    for (const auto v : s) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, p.e / p.d());
+    }
+  }
+}
+
+TEST(SSequence, Lemma6Symmetry) {
+  for (const Params& p : valid_params()) {
+    const auto s = s_sequence(p);
+    const std::int64_t ed = p.e / p.d();
+    for (std::int64_t i = 1; i < ed; ++i) {
+      const std::int64_t si = s[static_cast<std::size_t>(i - 1)];
+      const std::int64_t s_mirror = s[static_cast<std::size_t>(ed - i - 1)];
+      EXPECT_EQ(numtheory::mod(ed - si, ed), s_mirror) << "w=" << p.w << " E=" << p.e;
+    }
+  }
+}
+
+TEST(SequenceS, Lemma7SumsAreROrER) {
+  // x_i + y_{i+1} is r (when x_i < r) or E + r.
+  for (const Params& p : valid_params()) {
+    const auto s = s_sequence(p);
+    const std::int64_t d = p.d(), ed = p.e / d, r = p.r();
+    for (std::int64_t i = 1; i <= ed - 2; ++i) {
+      const std::int64_t x_i = (ed - s[static_cast<std::size_t>(i - 1)]) * d;
+      const std::int64_t y_next = s[static_cast<std::size_t>(i)] * d;
+      const std::int64_t sum = x_i + y_next;
+      EXPECT_TRUE(sum == r || sum == p.e + r)
+          << "w=" << p.w << " E=" << p.e << " i=" << i << " sum=" << sum;
+      EXPECT_EQ(sum == r, x_i < r);
+    }
+  }
+}
+
+TEST(TSequence, SizeIsWOverD) {
+  for (const Params& p : valid_params()) {
+    EXPECT_EQ(static_cast<std::int64_t>(t_sequence(p).size()), p.w / p.d())
+        << "w=" << p.w << " E=" << p.e;
+  }
+}
+
+TEST(TSequence, TuplesSumToE) {
+  for (const Params& p : valid_params()) {
+    for (const Tuple& t : t_sequence(p)) {
+      EXPECT_GE(t.a, 0);
+      EXPECT_GE(t.b, 0);
+      EXPECT_EQ(t.a + t.b, p.e);
+    }
+  }
+}
+
+TEST(TSequence, SubproblemElementTotals) {
+  // A subproblem covers ceil(E/2d)w ... the tuple sums give (w/d) threads *
+  // E elements = wE/d in total; A gets ceil((E/d)/2)*w ... verify totals.
+  for (const Params& p : valid_params()) {
+    const auto t = t_sequence(p);
+    const std::int64_t d = p.d(), ed = p.e / d;
+    const std::int64_t a_sum = a_total(t);
+    EXPECT_EQ(a_sum, (ed + 1) / 2 * p.w / d * d) << "w=" << p.w << " E=" << p.e;
+  }
+}
+
+TEST(WarpTuples, WarpHasWThreadsAndBalancedPairs) {
+  for (const Params& p : valid_params()) {
+    const auto normal = warp_tuples(p, false);
+    const auto flipped = warp_tuples(p, true);
+    EXPECT_EQ(static_cast<int>(normal.size()), p.w);
+    EXPECT_EQ(static_cast<int>(flipped.size()), p.w);
+    const std::int64_t wE = static_cast<std::int64_t>(p.w) * p.e;
+    // A warp pair splits its 2wE outputs evenly between A and B.
+    EXPECT_EQ(a_total(normal) + a_total(flipped), wE);
+    for (std::size_t i = 0; i < normal.size(); ++i) {
+      EXPECT_EQ(normal[i].a, flipped[i].b);
+      EXPECT_EQ(normal[i].b, flipped[i].a);
+    }
+  }
+}
+
+TEST(PaperExample, W12E5TupleSequence) {
+  // Hand-derived T for w=12, E=5 (q=2, r=2, d=1); see Section 4's recipe.
+  const Params p{12, 5};
+  const std::vector<Tuple> expect{{2, 3}, {5, 0}, {5, 0}, {1, 4}, {0, 5}, {1, 4},
+                                  {5, 0}, {5, 0}, {2, 3}, {0, 5}, {5, 0}, {5, 0}};
+  EXPECT_EQ(t_sequence(p), expect);
+}
+
+TEST(Predict, Theorem8Values) {
+  // E <= w/2: E^2 conflicts per warp.
+  EXPECT_EQ(predicted_warp_conflicts(Params{32, 15}), 15 * 15);
+  EXPECT_EQ(predicted_warp_conflicts(Params{32, 16}), 16 * 16);
+  EXPECT_EQ(predicted_warp_conflicts(Params{12, 5}), 25);
+  // w/2 < E <= w: the quadratic expression; spot-check E = w (r = 0, d = E):
+  // (E^2 + 0 + E*E - 0 - 0)/2 = E^2.
+  EXPECT_EQ(predicted_warp_conflicts(Params{8, 8}), 64);
+  // w=12, E=9: d=3, r=3 -> (81 + 54 + 27 - 9 - 9)/2 = 72.
+  EXPECT_EQ(predicted_warp_conflicts(Params{12, 9}), 72);
+}
+
+TEST(Predict, SubproblemTimesDMatchesWarpForCase1) {
+  for (const Params& p : valid_params()) {
+    if (2 * p.e > p.w) continue;
+    EXPECT_EQ(predicted_subproblem_conflicts(p) * p.d(), predicted_warp_conflicts(p));
+  }
+}
+
+TEST(Interleave, PatternHasExactlyATotalTrues) {
+  for (const Params& p : valid_params()) {
+    const auto tuples = warp_tuples(p, false);
+    const auto pat = tuples_to_pattern(tuples);
+    EXPECT_EQ(static_cast<std::int64_t>(pat.size()), static_cast<std::int64_t>(p.w) * p.e);
+    EXPECT_EQ(std::count(pat.begin(), pat.end(), true), a_total(tuples));
+  }
+}
+
+TEST(Interleave, MergePathReproducesTuplesFromPattern) {
+  // The whole point: choosing values by the pattern makes merge path assign
+  // exactly the adversarial per-thread splits.
+  for (const Params& p : std::vector<Params>{{12, 5}, {12, 9}, {8, 6}, {32, 15}, {9, 6}}) {
+    const std::int64_t len = 2LL * p.w * p.e;
+    const MergeInput in = worst_case_merge_input(p, len);
+    std::vector<Tuple> expect = warp_tuples(p, false);
+    const auto flip = warp_tuples(p, true);
+    expect.insert(expect.end(), flip.begin(), flip.end());
+    std::int64_t prev = 0;
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      const std::int64_t diag = static_cast<std::int64_t>(i + 1) * p.e;
+      const std::int64_t corank = mergepath::merge_path<std::int32_t>(
+          diag, std::span<const std::int32_t>(in.a), std::span<const std::int32_t>(in.b));
+      EXPECT_EQ(corank - prev, expect[i].a) << "w=" << p.w << " E=" << p.e << " thread " << i;
+      prev = corank;
+    }
+  }
+}
+
+TEST(Builder, MergeInputIsSortedPermutation) {
+  const Params p{12, 9};
+  const MergeInput in = worst_case_merge_input(p, 2 * 12 * 9 * 4);
+  EXPECT_TRUE(std::is_sorted(in.a.begin(), in.a.end()));
+  EXPECT_TRUE(std::is_sorted(in.b.begin(), in.b.end()));
+  std::vector<std::int32_t> all = in.a;
+  all.insert(all.end(), in.b.begin(), in.b.end());
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i < all.size(); ++i)
+    ASSERT_EQ(all[i], static_cast<std::int32_t>(i));
+}
+
+TEST(Builder, SortInputIsAPermutation) {
+  const Params p{8, 5};
+  const int u = 16;
+  const std::int64_t n = 16LL * 5 * 8;
+  const auto input = worst_case_sort_input(p, u, n);
+  std::vector<std::int32_t> copy = input;
+  std::sort(copy.begin(), copy.end());
+  for (std::size_t i = 0; i < copy.size(); ++i)
+    ASSERT_EQ(copy[i], static_cast<std::int32_t>(i));
+}
+
+TEST(Builder, ValidatesShape) {
+  const Params p{8, 5};
+  EXPECT_THROW(worst_case_sort_input(p, 12, 12 * 5), std::invalid_argument);  // u % w
+  EXPECT_THROW(worst_case_sort_input(p, 16, 16 * 5 * 3), std::invalid_argument);  // tiles=3
+  EXPECT_THROW(worst_case_sort_input(p, 8, 8 * 5 * 4), std::invalid_argument);  // u*E not 2wE mult
+  EXPECT_NO_THROW(worst_case_sort_input(p, 16, 16 * 5 * 4));
+}
+
+TEST(Measured, WorstCaseMassivelyOutConflictsRandomBaseline) {
+  // The headline phenomenon: on the adversarial input the baseline's merge
+  // conflicts grow by an order of magnitude vs. random input, while
+  // CF-Merge stays at zero on both.
+  const int w = 8, u = 16;
+  const Params p{w, 5};
+  const std::int64_t n = 16LL * 5 * 16;
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(w));
+
+  sort::MergeConfig cfg;
+  cfg.e = p.e;
+  cfg.u = u;
+
+  auto run = [&](sort::Variant v, bool worst) {
+    cfg.variant = v;
+    std::vector<int> data;
+    if (worst) {
+      const auto in32 = worst_case_sort_input(p, u, n);
+      data.assign(in32.begin(), in32.end());
+    } else {
+      std::mt19937_64 rng(99);
+      data.resize(static_cast<std::size_t>(n));
+      for (auto& x : data) x = static_cast<int>(rng() % 1000000);
+    }
+    const auto report = sort::merge_sort(launcher, data, cfg);
+    EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+    return report;
+  };
+
+  const auto base_rand = run(sort::Variant::Baseline, false);
+  const auto base_worst = run(sort::Variant::Baseline, true);
+  const auto cf_rand = run(sort::Variant::CFMerge, false);
+  const auto cf_worst = run(sort::Variant::CFMerge, true);
+
+  EXPECT_GT(base_worst.merge_conflicts(), 2 * base_rand.merge_conflicts());
+  EXPECT_EQ(cf_rand.merge_conflicts(), 0u);
+  EXPECT_EQ(cf_worst.merge_conflicts(), 0u);
+  // CF-Merge's cost profile is input-independent: identical access counts.
+  EXPECT_EQ(cf_worst.merge_shared_accesses(), cf_rand.merge_shared_accesses());
+}
+
+TEST(Measured, Theorem8PredictedVsMeasuredSingleWarpMerge) {
+  // One warp merging its worst-case window with the baseline sequential
+  // merge: measured conflicts should be at least the Theorem 8 prediction
+  // (the theorem counts only the last E banks).
+  for (const Params& p : std::vector<Params>{{8, 5}, {8, 6}, {12, 5}, {12, 9}, {16, 12},
+                                             {32, 15}, {32, 17}, {32, 16}}) {
+    const std::int64_t wE = static_cast<std::int64_t>(p.w) * p.e;
+    const MergeInput in = worst_case_merge_input(p, 2 * wE);
+    // Take only the first warp's window (the "normal" warp).
+    const auto tuples = warp_tuples(p, false);
+    const std::int64_t la = a_total(tuples);
+    const std::int64_t lb = wE - la;
+
+    gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(p.w));
+    std::uint64_t conflicts = 0;
+    launcher.launch("warp_merge", gpusim::LaunchShape{1, p.w, 0, 32},
+                    [&](gpusim::BlockContext& ctx) {
+                      gpusim::SharedTile<int> tile(ctx, static_cast<std::size_t>(wE));
+                      for (std::int64_t x = 0; x < la; ++x)
+                        tile.raw()[static_cast<std::size_t>(x)] =
+                            in.a[static_cast<std::size_t>(x)];
+                      for (std::int64_t y = 0; y < lb; ++y)
+                        tile.raw()[static_cast<std::size_t>(la + y)] =
+                            in.b[static_cast<std::size_t>(y)];
+                      std::vector<sort::MergeLaneDesc> descs(
+                          static_cast<std::size_t>(p.w));
+                      std::int64_t ao = 0, bo = 0;
+                      for (int i = 0; i < p.w; ++i) {
+                        const Tuple& t = tuples[static_cast<std::size_t>(i)];
+                        descs[static_cast<std::size_t>(i)] = {ao, t.a, bo, t.b};
+                        ao += t.a;
+                        bo += t.b;
+                      }
+                      std::vector<int> regs(static_cast<std::size_t>(wE));
+                      ctx.phase("merge");
+                      sort::warp_serial_merge(
+                          ctx, tile, std::span<const sort::MergeLaneDesc>(descs), p.e,
+                          [](std::int64_t x) { return x; },
+                          [la](std::int64_t y) { return la + y; }, std::span<int>(regs));
+                      conflicts = ctx.counters().total().bank_conflicts;
+                    });
+    // The theorem counts conflicts analytically (per-bank collisions in the
+    // last E banks); the simulator counts hardware replays (max bank degree
+    // minus one per access).  The replay count lands slightly below the
+    // analytical count but must stay within a small constant of it.
+    // Small warps deviate more (the preload steps weigh relatively more),
+    // so the floor is 60% there and 85% at the paper's w = 32.
+    const std::int64_t predicted = predicted_warp_conflicts(p);
+    const std::int64_t floor_pct = p.w >= 32 ? 85 : 60;
+    EXPECT_GE(static_cast<std::int64_t>(conflicts) * 100, floor_pct * predicted)
+        << "w=" << p.w << " E=" << p.e;
+    // Sanity: within the trivial bound times a small constant (preloads).
+    EXPECT_LE(static_cast<std::int64_t>(conflicts),
+              (p.e + 2) * static_cast<std::int64_t>(p.w)) << "w=" << p.w << " E=" << p.e;
+  }
+}

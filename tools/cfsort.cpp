@@ -1,0 +1,183 @@
+// cfsort — command-line driver for the simulated sorters.
+//
+//   cfsort [options]
+//     --algo=cf|baseline|bitonic|bitonic-padded   (default cf)
+//     --dist=uniform-random|sorted|reverse|nearly-sorted|few-distinct|
+//            sawtooth|worst-case                  (default uniform-random)
+//     --n=<count>                                 (default 245760)
+//     --e=<elements per thread>                   (default 15)
+//     --u=<threads per block>                     (default 512)
+//     --device=rtx2080ti | turing:<sms> | tiny:<w>,<sms>   (default turing:4)
+//     --seed=<seed>                               (default 42)
+//     --json                                      emit a JSON report
+//     --profile                                   print the phase profile
+//     --trace=<file.csv>                          dump the access trace
+//     --cf-blocksort                              enable the CF block-sort
+//
+// Examples:
+//   cfsort --algo=baseline --dist=worst-case --n=491520 --profile
+//   cfsort --algo=cf --json | jq .throughput_elem_per_us
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "cfmerge.hpp"
+
+using namespace cfmerge;
+
+namespace {
+
+struct Options {
+  std::string algo = "cf";
+  std::string dist = "uniform-random";
+  std::int64_t n = 245760;
+  int e = 15;
+  int u = 512;
+  std::string device = "turing:4";
+  std::uint64_t seed = 42;
+  bool json = false;
+  bool profile = false;
+  bool cf_blocksort = false;
+  std::string trace_path;
+};
+
+[[noreturn]] void usage(const char* msg) {
+  if (msg) std::fprintf(stderr, "cfsort: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: cfsort [--algo=cf|baseline|bitonic|bitonic-padded]\n"
+               "              [--dist=NAME] [--n=N] [--e=E] [--u=U]\n"
+               "              [--device=rtx2080ti|turing:SMS|tiny:W,SMS]\n"
+               "              [--seed=S] [--json] [--profile] [--trace=FILE]\n"
+               "              [--cf-blocksort]\n");
+  std::exit(msg ? 2 : 0);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto val = [&](const char* key) -> std::string {
+      const std::size_t klen = std::strlen(key);
+      if (a.rfind(key, 0) == 0 && a.size() > klen && a[klen] == '=')
+        return a.substr(klen + 1);
+      return {};
+    };
+    if (a == "--help" || a == "-h") usage(nullptr);
+    else if (auto v = val("--algo"); !v.empty()) o.algo = v;
+    else if (auto v = val("--dist"); !v.empty()) o.dist = v;
+    else if (auto v = val("--n"); !v.empty()) o.n = std::stoll(v);
+    else if (auto v = val("--e"); !v.empty()) o.e = std::stoi(v);
+    else if (auto v = val("--u"); !v.empty()) o.u = std::stoi(v);
+    else if (auto v = val("--device"); !v.empty()) o.device = v;
+    else if (auto v = val("--seed"); !v.empty()) o.seed = std::stoull(v);
+    else if (auto v = val("--trace"); !v.empty()) o.trace_path = v;
+    else if (a == "--json") o.json = true;
+    else if (a == "--profile") o.profile = true;
+    else if (a == "--cf-blocksort") o.cf_blocksort = true;
+    else usage(("unknown argument: " + a).c_str());
+  }
+  return o;
+}
+
+gpusim::DeviceSpec make_device(const std::string& name) {
+  if (name == "rtx2080ti") return gpusim::DeviceSpec::rtx2080ti();
+  if (name.rfind("turing:", 0) == 0)
+    return gpusim::DeviceSpec::scaled_turing(std::stoi(name.substr(7)));
+  if (name.rfind("tiny:", 0) == 0) {
+    const std::string rest = name.substr(5);
+    const auto comma = rest.find(',');
+    const int w = std::stoi(rest.substr(0, comma));
+    const int sms = comma == std::string::npos ? 2 : std::stoi(rest.substr(comma + 1));
+    return gpusim::DeviceSpec::tiny(w, sms);
+  }
+  usage(("unknown device: " + name).c_str());
+}
+
+workloads::Distribution parse_dist(const std::string& name) {
+  for (const auto d : workloads::all_distributions())
+    if (name == workloads::distribution_name(d)) return d;
+  usage(("unknown distribution: " + name).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  gpusim::Launcher launcher(make_device(o.device));
+  gpusim::TraceSink sink;
+  if (!o.trace_path.empty()) launcher.set_trace(&sink);
+
+  workloads::WorkloadSpec spec;
+  spec.dist = parse_dist(o.dist);
+  spec.n = o.n;
+  spec.seed = o.seed;
+  spec.w = launcher.device().warp_size;
+  spec.e = o.e;
+  spec.u = o.u;
+
+  // The worst-case builder needs exact tile shapes; round up for the user.
+  if (spec.dist == workloads::Distribution::WorstCase) {
+    const std::int64_t tile = static_cast<std::int64_t>(o.u) * o.e;
+    std::int64_t tiles = std::max<std::int64_t>((o.n + tile - 1) / tile, 1);
+    while (tiles & (tiles - 1)) ++tiles;
+    spec.n = tiles * tile;
+    if (spec.n != o.n)
+      std::fprintf(stderr, "cfsort: worst-case input rounded n to %lld\n",
+                   static_cast<long long>(spec.n));
+  }
+
+  std::vector<std::int32_t> data = workloads::generate(spec);
+
+  if (o.algo == "bitonic" || o.algo == "bitonic-padded") {
+    sort::BitonicConfig cfg;
+    cfg.u = o.u;
+    cfg.elems_per_thread = 2;
+    cfg.padded = o.algo == "bitonic-padded";
+    const auto report = sort::bitonic_sort(launcher, data, cfg);
+    if (!std::is_sorted(data.begin(), data.end())) {
+      std::fprintf(stderr, "cfsort: OUTPUT NOT SORTED (bug)\n");
+      return 1;
+    }
+    if (o.json) {
+      analysis::write_json(std::cout, report, cfg, launcher.device().name, o.dist);
+    } else {
+      std::printf("%s | %s | n=%lld | %.1f us | %.1f elements/us | conflicts=%llu\n",
+                  o.algo.c_str(), o.dist.c_str(), static_cast<long long>(report.n),
+                  report.microseconds, report.throughput(),
+                  static_cast<unsigned long long>(report.totals.bank_conflicts));
+    }
+  } else if (o.algo == "cf" || o.algo == "baseline") {
+    sort::MergeConfig cfg;
+    cfg.e = o.e;
+    cfg.u = o.u;
+    cfg.variant = o.algo == "cf" ? sort::Variant::CFMerge : sort::Variant::Baseline;
+    cfg.cf_blocksort = o.cf_blocksort;
+    const auto report = sort::merge_sort(launcher, data, cfg);
+    if (!std::is_sorted(data.begin(), data.end())) {
+      std::fprintf(stderr, "cfsort: OUTPUT NOT SORTED (bug)\n");
+      return 1;
+    }
+    if (o.json) {
+      analysis::write_json(std::cout, report, cfg, launcher.device().name, o.dist);
+    } else {
+      std::printf("%s\n", analysis::summarize(report, o.algo).c_str());
+      if (o.profile) analysis::print_phase_profile(std::cout, report.phases, report.n_padded);
+    }
+  } else {
+    usage(("unknown algorithm: " + o.algo).c_str());
+  }
+
+  if (!o.trace_path.empty()) {
+    std::ofstream f(o.trace_path);
+    if (!f) {
+      std::fprintf(stderr, "cfsort: cannot write %s\n", o.trace_path.c_str());
+      return 1;
+    }
+    sink.write_csv(f);
+    std::fprintf(stderr, "cfsort: wrote %zu trace events to %s\n", sink.size(),
+                 o.trace_path.c_str());
+  }
+  return 0;
+}
