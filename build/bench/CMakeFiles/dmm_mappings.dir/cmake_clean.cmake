@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmm_mappings.dir/dmm_mappings.cpp.o"
+  "CMakeFiles/dmm_mappings.dir/dmm_mappings.cpp.o.d"
+  "dmm_mappings"
+  "dmm_mappings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmm_mappings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

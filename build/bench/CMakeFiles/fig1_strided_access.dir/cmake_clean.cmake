@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_strided_access.dir/fig1_strided_access.cpp.o"
+  "CMakeFiles/fig1_strided_access.dir/fig1_strided_access.cpp.o.d"
+  "fig1_strided_access"
+  "fig1_strided_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_strided_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

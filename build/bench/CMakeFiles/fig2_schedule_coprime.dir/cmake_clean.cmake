@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_schedule_coprime.dir/fig2_schedule_coprime.cpp.o"
+  "CMakeFiles/fig2_schedule_coprime.dir/fig2_schedule_coprime.cpp.o.d"
+  "fig2_schedule_coprime"
+  "fig2_schedule_coprime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_schedule_coprime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

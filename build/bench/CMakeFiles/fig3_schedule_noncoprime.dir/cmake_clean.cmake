@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_schedule_noncoprime.dir/fig3_schedule_noncoprime.cpp.o"
+  "CMakeFiles/fig3_schedule_noncoprime.dir/fig3_schedule_noncoprime.cpp.o.d"
+  "fig3_schedule_noncoprime"
+  "fig3_schedule_noncoprime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_schedule_noncoprime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

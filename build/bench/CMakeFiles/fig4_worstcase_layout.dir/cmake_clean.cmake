@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_worstcase_layout.dir/fig4_worstcase_layout.cpp.o"
+  "CMakeFiles/fig4_worstcase_layout.dir/fig4_worstcase_layout.cpp.o.d"
+  "fig4_worstcase_layout"
+  "fig4_worstcase_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_worstcase_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_random_vs_worstcase.dir/fig6_random_vs_worstcase.cpp.o"
+  "CMakeFiles/fig6_random_vs_worstcase.dir/fig6_random_vs_worstcase.cpp.o.d"
+  "fig6_random_vs_worstcase"
+  "fig6_random_vs_worstcase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_random_vs_worstcase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

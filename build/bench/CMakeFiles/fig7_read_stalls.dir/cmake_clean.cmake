@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_read_stalls.dir/fig7_read_stalls.cpp.o"
+  "CMakeFiles/fig7_read_stalls.dir/fig7_read_stalls.cpp.o.d"
+  "fig7_read_stalls"
+  "fig7_read_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_read_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

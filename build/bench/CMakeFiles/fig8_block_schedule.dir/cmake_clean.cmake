@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_block_schedule.dir/fig8_block_schedule.cpp.o"
+  "CMakeFiles/fig8_block_schedule.dir/fig8_block_schedule.cpp.o.d"
+  "fig8_block_schedule"
+  "fig8_block_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_block_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

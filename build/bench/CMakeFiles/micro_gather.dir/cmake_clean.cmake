@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_gather.dir/micro_gather.cpp.o"
+  "CMakeFiles/micro_gather.dir/micro_gather.cpp.o.d"
+  "micro_gather"
+  "micro_gather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_gather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_conflict_profile.dir/random_conflict_profile.cpp.o"
+  "CMakeFiles/random_conflict_profile.dir/random_conflict_profile.cpp.o.d"
+  "random_conflict_profile"
+  "random_conflict_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_conflict_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sorter_shootout.dir/sorter_shootout.cpp.o"
+  "CMakeFiles/sorter_shootout.dir/sorter_shootout.cpp.o.d"
+  "sorter_shootout"
+  "sorter_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sorter_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

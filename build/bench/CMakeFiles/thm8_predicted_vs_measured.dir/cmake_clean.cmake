@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm8_predicted_vs_measured.dir/thm8_predicted_vs_measured.cpp.o"
+  "CMakeFiles/thm8_predicted_vs_measured.dir/thm8_predicted_vs_measured.cpp.o.d"
+  "thm8_predicted_vs_measured"
+  "thm8_predicted_vs_measured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm8_predicted_vs_measured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

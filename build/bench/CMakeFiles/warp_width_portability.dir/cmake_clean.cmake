@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warp_width_portability.dir/warp_width_portability.cpp.o"
+  "CMakeFiles/warp_width_portability.dir/warp_width_portability.cpp.o.d"
+  "warp_width_portability"
+  "warp_width_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warp_width_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conflict_profiler.dir/conflict_profiler.cpp.o"
+  "CMakeFiles/conflict_profiler.dir/conflict_profiler.cpp.o.d"
+  "conflict_profiler"
+  "conflict_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conflict_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pair_scan_gather.dir/pair_scan_gather.cpp.o"
+  "CMakeFiles/pair_scan_gather.dir/pair_scan_gather.cpp.o.d"
+  "pair_scan_gather"
+  "pair_scan_gather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pair_scan_gather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pair_scan_gather.
+# This may be replaced when dependencies are built.

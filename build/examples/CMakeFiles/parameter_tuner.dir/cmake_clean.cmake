@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parameter_tuner.dir/parameter_tuner.cpp.o"
+  "CMakeFiles/parameter_tuner.dir/parameter_tuner.cpp.o.d"
+  "parameter_tuner"
+  "parameter_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parameter_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worst_case_demo.dir/worst_case_demo.cpp.o"
+  "CMakeFiles/worst_case_demo.dir/worst_case_demo.cpp.o.d"
+  "worst_case_demo"
+  "worst_case_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worst_case_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
