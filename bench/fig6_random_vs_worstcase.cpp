@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   const auto sweep = analysis::SweepConfig::from_args(argc, argv);
   const int sms = parse_sms(argc, argv, 4);
   gpusim::Launcher launcher(gpusim::DeviceSpec::scaled_turing(sms));
+  launcher.set_threads(sweep.threads);
   const int w = launcher.device().warp_size;
 
   std::printf("Figure 6: random vs worst-case inputs (%s)\n\n",

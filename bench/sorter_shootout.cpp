@@ -19,12 +19,16 @@ using namespace cfmerge;
 
 int main(int argc, char** argv) {
   int tiles = 32;
-  for (int i = 1; i < argc; ++i)
-    if (std::sscanf(argv[i], "--tiles=%d", &tiles) == 1) break;
+  int threads = 0;  // 0 = CFMERGE_SIM_THREADS env or sequential
+  for (int i = 1; i < argc; ++i) {
+    std::sscanf(argv[i], "--tiles=%d", &tiles);
+    std::sscanf(argv[i], "--threads=%d", &threads);
+  }
   while (tiles & (tiles - 1)) ++tiles;
 
   const int e = 16, u = 512;  // shared tile geometry comparable across sorters
   gpusim::Launcher launcher(gpusim::DeviceSpec::scaled_turing(4));
+  launcher.set_threads(threads);
   const int w = launcher.device().warp_size;
   const std::int64_t n = static_cast<std::int64_t>(tiles) * u * e;
 

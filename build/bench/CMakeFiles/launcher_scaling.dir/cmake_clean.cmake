@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/launcher_scaling.dir/launcher_scaling.cpp.o"
+  "CMakeFiles/launcher_scaling.dir/launcher_scaling.cpp.o.d"
+  "launcher_scaling"
+  "launcher_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/launcher_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

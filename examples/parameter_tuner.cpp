@@ -3,7 +3,11 @@
 // faster via occupancy.  This example enumerates candidates for a device,
 // ranks them statically, measures the leaders, and prints the verdict.
 //
-//   $ ./parameter_tuner [sms]
+//   $ ./parameter_tuner [sms] [threads]
+//
+// `threads` is the host worker-thread count for block simulation (0 =
+// CFMERGE_SIM_THREADS env or sequential); the measured ranking is
+// bit-identical for every value.
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -14,7 +18,9 @@ using namespace cfmerge;
 
 int main(int argc, char** argv) {
   const int sms = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int threads = argc > 2 ? std::atoi(argv[2]) : 0;
   gpusim::Launcher launcher(gpusim::DeviceSpec::scaled_turing(sms));
+  launcher.set_threads(threads);
   std::printf("Tuning (E, u) for %s (CF-Merge variant)\n\n",
               launcher.device().name.c_str());
 

@@ -25,9 +25,11 @@ SweepConfig SweepConfig::from_args(int argc, char** argv) {
     parse(argv[i], "--imax", c.imax);
     parse(argv[i], "--reps", c.reps);
     parse(argv[i], "--seed", c.seed);
+    parse(argv[i], "--threads", c.threads);
   }
   if (c.imin < 1 || c.imax < c.imin || c.reps < 1)
     throw std::invalid_argument("SweepConfig: invalid sweep bounds");
+  if (c.threads < 0) throw std::invalid_argument("SweepConfig: invalid thread count");
   return c;
 }
 

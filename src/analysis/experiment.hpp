@@ -21,10 +21,14 @@ struct SweepConfig {
   int imax = 14;
   int reps = 3;
   std::uint64_t seed = 42;
+  /// Host worker threads for block simulation (Launcher::set_threads
+  /// semantics: 0 = CFMERGE_SIM_THREADS env or sequential).  Results are
+  /// bit-identical for every value; only wall-clock changes.
+  int threads = 0;
 
-  /// Parses --imin=N --imax=N --reps=N --seed=N; CFMERGE_BENCH_FULL=1 raises
-  /// the defaults (imax 17, reps 5).  Unknown arguments are ignored so the
-  /// harnesses coexist with test runners.
+  /// Parses --imin=N --imax=N --reps=N --seed=N --threads=N;
+  /// CFMERGE_BENCH_FULL=1 raises the defaults (imax 17, reps 5).  Unknown
+  /// arguments are ignored so the harnesses coexist with test runners.
   static SweepConfig from_args(int argc, char** argv);
 
   /// The n values of the sweep for a given E (n = 2^i * E).

@@ -59,6 +59,8 @@ void DeviceSpec::validate() const {
   if (transaction_bytes <= 0) throw std::invalid_argument("DeviceSpec: transaction_bytes must be positive");
   if (dram_bytes_per_cycle <= 0) throw std::invalid_argument("DeviceSpec: dram_bytes_per_cycle must be positive");
   if (clock_ghz <= 0) throw std::invalid_argument("DeviceSpec: clock_ghz must be positive");
+  if (sim_threads < 0)
+    throw std::invalid_argument("DeviceSpec: sim_threads must be non-negative");
 }
 
 }  // namespace cfmerge::gpusim

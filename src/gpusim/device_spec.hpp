@@ -57,6 +57,13 @@ struct DeviceSpec {
   /// left side of the paper's Figure 5/6 curves.
   double launch_overhead_cycles = 3000.0;
 
+  // --- Simulator execution (host-side; no effect on results) ------------
+  /// Host worker threads the Launcher uses to simulate blocks.  Reports are
+  /// bit-identical for every value (see launcher.hpp).  0 = resolve from
+  /// the CFMERGE_SIM_THREADS environment variable, defaulting to 1
+  /// (sequential); n >= 1 = exactly n workers.
+  int sim_threads = 0;
+
   /// The device the paper evaluated on (RTX 2080 Ti, Turing TU102).
   static DeviceSpec rtx2080ti();
   /// A small device for exhaustive tests: `w` lanes/banks, `sms` SMs.

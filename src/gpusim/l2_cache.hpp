@@ -8,9 +8,12 @@
 // repeatedly touch the same hot lines.
 //
 // Off by default: the calibrated experiment results of EXPERIMENTS.md use
-// the bare DRAM model.  The simulator runs blocks sequentially, so a shared
-// L2 sees more temporal locality between blocks than concurrent hardware
-// would — treat enabled-L2 numbers as an upper bound on cache benefit.
+// the bare DRAM model.  The cache is one order-sensitive LRU shared by all
+// blocks, so enabling it forces the Launcher's sequential fallback (blocks
+// are simulated in order even when a worker pool is configured; see
+// launcher.hpp).  A sequential block order sees more temporal locality than
+// concurrent hardware would — treat enabled-L2 numbers as an upper bound on
+// cache benefit.
 #pragma once
 
 #include <cstdint>

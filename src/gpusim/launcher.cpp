@@ -1,32 +1,128 @@
 #include "gpusim/launcher.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
 #include <stdexcept>
+#include <thread>
 
 namespace cfmerge::gpusim {
+
+namespace {
+
+int hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+/// Resolves a requested worker count (0 = environment / default) to the
+/// concrete count used by launches.  See Launcher::set_threads.
+int resolve_threads(int requested) {
+  if (requested < 0)
+    throw std::invalid_argument("Launcher: thread count must be non-negative");
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("CFMERGE_SIM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+    if (n == 0 && env[0] == '0') return hardware_threads();
+  }
+  return 1;
+}
+
+/// What one simulated block produces, reduced into the report in block
+/// order after all blocks finish.
+struct BlockOutcome {
+  PhaseCounters counters;
+  double chain = 0.0;
+  std::size_t shared_bytes = 0;
+  std::unique_ptr<TraceSink> trace;  // only when a sink is attached
+  std::exception_ptr error;
+};
+
+/// Joins the pool on scope exit so a throw never leaks running threads.
+struct PoolJoiner {
+  std::vector<std::thread>& pool;
+  ~PoolJoiner() {
+    for (std::thread& t : pool)
+      if (t.joinable()) t.join();
+  }
+};
+
+}  // namespace
+
+Launcher::Launcher(DeviceSpec dev) : dev_(std::move(dev)) {
+  dev_.validate();
+  if (dev_.l2_bytes > 0)
+    l2_ = std::make_unique<L2Cache>(dev_.l2_bytes, dev_.transaction_bytes, dev_.l2_ways);
+  threads_ = resolve_threads(dev_.sim_threads);
+}
+
+void Launcher::set_threads(int n) { threads_ = resolve_threads(n); }
 
 KernelReport Launcher::launch(const std::string& name, const LaunchShape& shape,
                               const std::function<void(BlockContext&)>& body) {
   if (shape.blocks <= 0) throw std::invalid_argument("Launcher::launch: empty grid");
 
+  const int blocks = shape.blocks;
+  // The L2 is one order-sensitive LRU shared by all blocks: its hits depend
+  // on the interleaving, so the documented fallback is sequential execution.
+  const int workers = l2_ != nullptr ? 1 : std::min(threads_, blocks);
+
+  std::vector<BlockOutcome> outcomes(static_cast<std::size_t>(blocks));
+  auto simulate = [&](int b) {
+    BlockOutcome& out = outcomes[static_cast<std::size_t>(b)];
+    if (trace_ != nullptr) out.trace = std::make_unique<TraceSink>();
+    BlockContext ctx(dev_, b, blocks, shape.threads_per_block);
+    ctx.set_trace(out.trace.get());
+    ctx.set_l2(l2_.get());
+    body(ctx);
+    out.counters = ctx.counters();
+    out.chain = ctx.block_chain();
+    out.shared_bytes = ctx.shared_bytes();
+  };
+
+  if (workers <= 1) {
+    for (int b = 0; b < blocks; ++b) simulate(b);
+  } else {
+    std::atomic<int> next{0};
+    auto drain = [&]() {
+      for (;;) {
+        const int b = next.fetch_add(1, std::memory_order_relaxed);
+        if (b >= blocks) return;
+        try {
+          simulate(b);
+        } catch (...) {
+          outcomes[static_cast<std::size_t>(b)].error = std::current_exception();
+        }
+      }
+    };
+    {
+      std::vector<std::thread> pool;
+      PoolJoiner joiner{pool};
+      pool.reserve(static_cast<std::size_t>(workers));
+      for (int t = 0; t < workers; ++t) pool.emplace_back(drain);
+    }
+  }
+  // Rethrow the lowest-id failure (deterministic across schedules); the
+  // launcher itself — history, trace sink, stats — is untouched.
+  for (const BlockOutcome& out : outcomes)
+    if (out.error) std::rethrow_exception(out.error);
+
+  // Deterministic reduction in block order: bit-identical to sequential.
   KernelReport report;
   report.name = name;
   report.shape = shape;
-
   double chain_sum = 0.0;
   std::size_t shared_bytes = shape.shared_bytes_per_block;
-  for (int b = 0; b < shape.blocks; ++b) {
-    BlockContext ctx(dev_, b, shape.blocks, shape.threads_per_block);
-    ctx.set_trace(trace_);
-    ctx.set_l2(l2_.get());
-    body(ctx);
-    report.counters.merge(ctx.counters());
-    const double chain = ctx.block_chain();
-    chain_sum += chain;
-    report.max_block_chain = std::max(report.max_block_chain, chain);
-    shared_bytes = std::max(shared_bytes, ctx.shared_bytes());
+  for (BlockOutcome& out : outcomes) {
+    report.counters.merge(out.counters);
+    chain_sum += out.chain;
+    report.max_block_chain = std::max(report.max_block_chain, out.chain);
+    shared_bytes = std::max(shared_bytes, out.shared_bytes);
+    if (out.trace != nullptr && trace_ != nullptr) trace_->merge_from(*out.trace);
   }
-  report.mean_block_chain = chain_sum / shape.blocks;
+  report.mean_block_chain = chain_sum / blocks;
 
   LaunchShape final_shape = shape;
   final_shape.shared_bytes_per_block = shared_bytes;

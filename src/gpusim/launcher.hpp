@@ -1,10 +1,28 @@
 // Kernel launcher: runs a kernel body for every block of a grid, collects
 // counters + dependency chains, and evaluates the timing model.
 //
-// A "kernel" is any callable void(BlockContext&).  Blocks are simulated
-// sequentially (the model is deterministic, so order does not matter); the
-// launcher aggregates per-phase counters and mean block critical path, then
-// applies gpusim::simulate_timing.
+// A "kernel" is any callable void(BlockContext&).  The model is
+// deterministic and blocks are independent, so the launcher may simulate
+// them on a pool of host threads (see set_threads / DeviceSpec::sim_threads).
+// Each block accumulates into private per-block state which is then reduced
+// in block order, so the resulting KernelReport — counters, chains, timing —
+// is bit-identical to the sequential execution no matter how many worker
+// threads run it.
+//
+// Determinism contract per stateful component:
+//  * PhaseCounters / dependency chains: always per-block, reduced in block
+//    order (phase name order is first-use order across ascending block ids).
+//  * TraceSink: blocks record into private per-block sinks that are merged
+//    into the attached sink in block order after all blocks finish — the
+//    event stream is identical to sequential recording, and a throwing
+//    kernel leaves the attached sink untouched.
+//  * L2Cache: a single order-sensitive LRU shared by the whole device; its
+//    hit pattern depends on the block interleaving, so when the L2 model is
+//    enabled the launcher forces the sequential fallback (workers = 1).
+//
+// Kernel bodies run concurrently and must therefore only write
+// block-disjoint data (each simulated block owns its tiles/partition slots,
+// as real GPU grids do).  Every kernel in this repository satisfies this.
 #pragma once
 
 #include <functional>
@@ -31,11 +49,7 @@ struct KernelReport {
 
 class Launcher {
  public:
-  explicit Launcher(DeviceSpec dev) : dev_(std::move(dev)) {
-    dev_.validate();
-    if (dev_.l2_bytes > 0)
-      l2_ = std::make_unique<L2Cache>(dev_.l2_bytes, dev_.transaction_bytes, dev_.l2_ways);
-  }
+  explicit Launcher(DeviceSpec dev);
 
   /// The device L2 model, or nullptr when disabled.
   [[nodiscard]] L2Cache* l2() const { return l2_.get(); }
@@ -46,8 +60,21 @@ class Launcher {
   /// (nullptr detaches).  See gpusim/trace.hpp.
   void set_trace(TraceSink* sink) { trace_ = sink; }
 
+  /// Sets the number of host worker threads used to simulate blocks.
+  ///   n >= 1  use exactly n workers (1 = sequential, the default);
+  ///   n == 0  resolve from the CFMERGE_SIM_THREADS environment variable
+  ///           (where 0 itself means std::thread::hardware_concurrency),
+  ///           falling back to 1 when unset.
+  /// Reports are bit-identical for every value; see the header comment.
+  void set_threads(int n);
+  /// The resolved worker-thread count used by subsequent launches.
+  [[nodiscard]] int threads() const { return threads_; }
+
   /// Runs `body` for each of `shape.blocks` blocks and returns the report.
-  /// The report is also appended to the launch history.
+  /// The report is also appended to the launch history.  When the body
+  /// throws for any block, the exception of the lowest-id failing block is
+  /// rethrown after all workers have been joined, and neither the history,
+  /// nor the attached trace sink, nor any launcher statistic is modified.
   KernelReport launch(const std::string& name, const LaunchShape& shape,
                       const std::function<void(BlockContext&)>& body);
 
@@ -65,6 +92,7 @@ class Launcher {
   DeviceSpec dev_;
   std::unique_ptr<L2Cache> l2_;
   TraceSink* trace_ = nullptr;
+  int threads_ = 1;
   std::vector<KernelReport> history_;
 };
 

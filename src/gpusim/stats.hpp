@@ -60,6 +60,8 @@ class PhaseCounters {
   }
   [[nodiscard]] Counters total() const;
   void merge(const PhaseCounters& o);
+  /// Equal iff the same phases appear in the same order with equal counters.
+  bool operator==(const PhaseCounters&) const = default;
 
  private:
   std::vector<std::pair<std::string, Counters>> phases_;

@@ -41,6 +41,8 @@ struct LaunchShape {
   int threads_per_block = 0;
   std::size_t shared_bytes_per_block = 0;
   int regs_per_thread = 32;
+
+  bool operator==(const LaunchShape&) const = default;
 };
 
 struct KernelTiming {

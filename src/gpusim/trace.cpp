@@ -40,6 +40,20 @@ void TraceSink::record(std::int32_t block, std::int16_t warp, AccessKind kind,
   events_.push_back(e);
 }
 
+void TraceSink::merge_from(const TraceSink& other) {
+  std::vector<std::int16_t> phase_map(other.phases_.size());
+  for (std::size_t i = 0; i < other.phases_.size(); ++i)
+    phase_map[i] = phase_id(other.phases_[i]);
+  const auto base = static_cast<std::uint32_t>(pool_.size());
+  pool_.insert(pool_.end(), other.pool_.begin(), other.pool_.end());
+  events_.reserve(events_.size() + other.events_.size());
+  for (TraceEvent e : other.events_) {
+    e.phase_id = phase_map[static_cast<std::size_t>(e.phase_id)];
+    e.first_addr += base;
+    events_.push_back(e);
+  }
+}
+
 void TraceSink::clear() {
   events_.clear();
   pool_.clear();

@@ -44,6 +44,12 @@ class TraceSink {
   [[nodiscard]] std::size_t size() const { return events_.size(); }
   void clear();
 
+  /// Appends every event of `other`, remapping phase ids and address-pool
+  /// offsets.  Used by the parallel launcher to reduce per-block sinks in
+  /// block order; the result is identical to recording the same accesses
+  /// directly in that order.
+  void merge_from(const TraceSink& other);
+
   /// Total recorded conflicts in shared accesses of a phase ("" = all).
   [[nodiscard]] std::int64_t shared_conflicts(std::string_view phase = {}) const;
 

@@ -9,7 +9,9 @@ namespace {
 // Only the pairwise-merge kernel's merge phase: this is what the paper's
 // gather replaces and what its nvprof check ("no bank conflicts during
 // merging") measured.  The block-sort stage is identical in both variants
-// and tracked separately.
+// and tracked separately.  Phase sums are computed on the launcher's
+// reduced (block-order) counters, so they are independent of the worker
+// pool size.
 bool is_merge_phase(const std::string& name) { return name == "merge.merge"; }
 }  // namespace
 

@@ -6,6 +6,12 @@
 // sentinels (Thrust clamps ragged tiles instead; padding exercises the same
 // code paths with full tiles, and the reported element counts/throughputs
 // always refer to the unpadded n).
+//
+// All kernels launched here write block-disjoint data (each block owns its
+// tile / partition slots), so the pipeline is safe under the Launcher's
+// parallel block executor and its reports are bit-identical for every
+// worker-thread count (Launcher::set_threads; asserted by
+// test_merge_sort's MergeSortParallelCases).
 #pragma once
 
 #include <cstdint>

@@ -266,3 +266,54 @@ TEST(MergeSort, SortsOtherKeyTypes) {
   merge_sort(launcher, usd, cfg);
   EXPECT_EQ(usd, ue);
 }
+
+// ---------------------------------------------------------------------------
+// Parallel block executor: every sort shape/variant must produce a report
+// bit-identical to the sequential executor (counters, per-phase breakdown,
+// simulated time) and the same sorted output.
+// ---------------------------------------------------------------------------
+
+class MergeSortParallelCases : public ::testing::TestWithParam<SortCase> {};
+
+TEST_P(MergeSortParallelCases, ParallelReportBitIdenticalToSequential) {
+  const SortCase c = GetParam();
+  std::mt19937_64 rng(static_cast<std::uint64_t>(c.n) * 31 + c.e);
+  const std::vector<int> input = rand_vec(rng, c.n);
+  MergeConfig cfg;
+  cfg.e = c.e;
+  cfg.u = c.u;
+  cfg.variant = c.variant;
+
+  gpusim::Launcher seq(gpusim::DeviceSpec::tiny(c.w));
+  seq.set_threads(1);
+  std::vector<int> seq_data = input;
+  const SortReport ref = merge_sort(seq, seq_data, cfg);
+
+  for (const int threads : {2, 4}) {
+    gpusim::Launcher par(gpusim::DeviceSpec::tiny(c.w));
+    par.set_threads(threads);
+    std::vector<int> par_data = input;
+    const SortReport r = merge_sort(par, par_data, cfg);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(par_data, seq_data);
+    EXPECT_EQ(r.totals, ref.totals);
+    EXPECT_EQ(r.phases, ref.phases);
+    EXPECT_EQ(r.passes, ref.passes);
+    EXPECT_EQ(r.microseconds, ref.microseconds);  // exact
+    ASSERT_EQ(r.kernels.size(), ref.kernels.size());
+    for (std::size_t k = 0; k < r.kernels.size(); ++k) {
+      EXPECT_EQ(r.kernels[k].counters, ref.kernels[k].counters);
+      EXPECT_EQ(r.kernels[k].mean_block_chain, ref.kernels[k].mean_block_chain);
+      EXPECT_EQ(r.kernels[k].timing.cycles, ref.kernels[k].timing.cycles);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MergeSortParallelCases,
+                         ::testing::ValuesIn(sort_cases()),
+                         [](const ::testing::TestParamInfo<SortCase>& info) {
+                           const auto& c = info.param;
+                           return std::string(c.variant == Variant::Baseline ? "base" : "cf") +
+                                  "_w" + std::to_string(c.w) + "_E" + std::to_string(c.e) +
+                                  "_u" + std::to_string(c.u) + "_n" + std::to_string(c.n);
+                         });

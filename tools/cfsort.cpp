@@ -9,6 +9,7 @@
 //     --u=<threads per block>                     (default 512)
 //     --device=rtx2080ti | turing:<sms> | tiny:<w>,<sms>   (default turing:4)
 //     --seed=<seed>                               (default 42)
+//     --threads=<host worker threads>             (default 0 = CFMERGE_SIM_THREADS or 1)
 //     --json                                      emit a JSON report
 //     --profile                                   print the phase profile
 //     --trace=<file.csv>                          dump the access trace
@@ -37,6 +38,7 @@ struct Options {
   int u = 512;
   std::string device = "turing:4";
   std::uint64_t seed = 42;
+  int threads = 0;  // 0 = CFMERGE_SIM_THREADS env or sequential
   bool json = false;
   bool profile = false;
   bool cf_blocksort = false;
@@ -49,8 +51,8 @@ struct Options {
                "usage: cfsort [--algo=cf|baseline|bitonic|bitonic-padded]\n"
                "              [--dist=NAME] [--n=N] [--e=E] [--u=U]\n"
                "              [--device=rtx2080ti|turing:SMS|tiny:W,SMS]\n"
-               "              [--seed=S] [--json] [--profile] [--trace=FILE]\n"
-               "              [--cf-blocksort]\n");
+               "              [--seed=S] [--threads=T] [--json] [--profile]\n"
+               "              [--trace=FILE] [--cf-blocksort]\n");
   std::exit(msg ? 2 : 0);
 }
 
@@ -72,6 +74,7 @@ Options parse(int argc, char** argv) {
     else if (auto v = val("--u"); !v.empty()) o.u = std::stoi(v);
     else if (auto v = val("--device"); !v.empty()) o.device = v;
     else if (auto v = val("--seed"); !v.empty()) o.seed = std::stoull(v);
+    else if (auto v = val("--threads"); !v.empty()) o.threads = std::stoi(v);
     else if (auto v = val("--trace"); !v.empty()) o.trace_path = v;
     else if (a == "--json") o.json = true;
     else if (a == "--profile") o.profile = true;
@@ -106,6 +109,7 @@ workloads::Distribution parse_dist(const std::string& name) {
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
   gpusim::Launcher launcher(make_device(o.device));
+  launcher.set_threads(o.threads);
   gpusim::TraceSink sink;
   if (!o.trace_path.empty()) launcher.set_trace(&sink);
 

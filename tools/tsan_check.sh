@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Proves the Launcher's worker pool is race-free: builds the executor tests
+# with ThreadSanitizer (CFMERGE_SANITIZE=thread, see the top-level
+# CMakeLists.txt) and runs them with a parallel default executor
+# (CFMERGE_SIM_THREADS=4), so every launch in every test — not just the
+# explicitly parallel ones — exercises the pool.  TSan aborts the test
+# binary on any data race, so a plain pass is the proof.
+#
+#   tools/tsan_check.sh [build-dir]        (default: build-tsan)
+#
+# Use CFMERGE_SANITIZE=address the same way for an ASan/leak pass.
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build-tsan}"
+
+cmake -B "$BUILD" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCFMERGE_SANITIZE=thread \
+  -DCFMERGE_BUILD_BENCH=OFF \
+  -DCFMERGE_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD" -j --target test_launcher test_merge_sort
+
+echo "== test_launcher under TSan (CFMERGE_SIM_THREADS=4) =="
+CFMERGE_SIM_THREADS=4 "./$BUILD/tests/test_launcher"
+echo "== test_merge_sort under TSan (CFMERGE_SIM_THREADS=4) =="
+CFMERGE_SIM_THREADS=4 "./$BUILD/tests/test_merge_sort"
+echo "tsan_check: OK — no data races reported"
