@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/autotune.cpp" "src/CMakeFiles/cfmerge.dir/analysis/autotune.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/analysis/autotune.cpp.o.d"
+  "/root/repo/src/analysis/experiment.cpp" "src/CMakeFiles/cfmerge.dir/analysis/experiment.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/analysis/experiment.cpp.o.d"
+  "/root/repo/src/analysis/json.cpp" "src/CMakeFiles/cfmerge.dir/analysis/json.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/analysis/json.cpp.o.d"
+  "/root/repo/src/analysis/plot.cpp" "src/CMakeFiles/cfmerge.dir/analysis/plot.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/analysis/plot.cpp.o.d"
+  "/root/repo/src/analysis/pram_model.cpp" "src/CMakeFiles/cfmerge.dir/analysis/pram_model.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/analysis/pram_model.cpp.o.d"
+  "/root/repo/src/analysis/profile.cpp" "src/CMakeFiles/cfmerge.dir/analysis/profile.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/analysis/profile.cpp.o.d"
+  "/root/repo/src/analysis/table.cpp" "src/CMakeFiles/cfmerge.dir/analysis/table.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/analysis/table.cpp.o.d"
+  "/root/repo/src/analysis/trace_replay.cpp" "src/CMakeFiles/cfmerge.dir/analysis/trace_replay.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/analysis/trace_replay.cpp.o.d"
+  "/root/repo/src/dmm/dmm.cpp" "src/CMakeFiles/cfmerge.dir/dmm/dmm.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/dmm/dmm.cpp.o.d"
+  "/root/repo/src/gather/dual_gather.cpp" "src/CMakeFiles/cfmerge.dir/gather/dual_gather.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/gather/dual_gather.cpp.o.d"
+  "/root/repo/src/gather/permutation.cpp" "src/CMakeFiles/cfmerge.dir/gather/permutation.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/gather/permutation.cpp.o.d"
+  "/root/repo/src/gather/schedule.cpp" "src/CMakeFiles/cfmerge.dir/gather/schedule.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/gather/schedule.cpp.o.d"
+  "/root/repo/src/gather/validator.cpp" "src/CMakeFiles/cfmerge.dir/gather/validator.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/gather/validator.cpp.o.d"
+  "/root/repo/src/gpusim/block_context.cpp" "src/CMakeFiles/cfmerge.dir/gpusim/block_context.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/gpusim/block_context.cpp.o.d"
+  "/root/repo/src/gpusim/device_spec.cpp" "src/CMakeFiles/cfmerge.dir/gpusim/device_spec.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/gpusim/device_spec.cpp.o.d"
+  "/root/repo/src/gpusim/global_memory.cpp" "src/CMakeFiles/cfmerge.dir/gpusim/global_memory.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/gpusim/global_memory.cpp.o.d"
+  "/root/repo/src/gpusim/l2_cache.cpp" "src/CMakeFiles/cfmerge.dir/gpusim/l2_cache.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/gpusim/l2_cache.cpp.o.d"
+  "/root/repo/src/gpusim/launcher.cpp" "src/CMakeFiles/cfmerge.dir/gpusim/launcher.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/gpusim/launcher.cpp.o.d"
+  "/root/repo/src/gpusim/occupancy.cpp" "src/CMakeFiles/cfmerge.dir/gpusim/occupancy.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/gpusim/occupancy.cpp.o.d"
+  "/root/repo/src/gpusim/shared_memory.cpp" "src/CMakeFiles/cfmerge.dir/gpusim/shared_memory.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/gpusim/shared_memory.cpp.o.d"
+  "/root/repo/src/gpusim/stats.cpp" "src/CMakeFiles/cfmerge.dir/gpusim/stats.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/gpusim/stats.cpp.o.d"
+  "/root/repo/src/gpusim/timing.cpp" "src/CMakeFiles/cfmerge.dir/gpusim/timing.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/gpusim/timing.cpp.o.d"
+  "/root/repo/src/gpusim/trace.cpp" "src/CMakeFiles/cfmerge.dir/gpusim/trace.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/gpusim/trace.cpp.o.d"
+  "/root/repo/src/mergepath/merge_path.cpp" "src/CMakeFiles/cfmerge.dir/mergepath/merge_path.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/mergepath/merge_path.cpp.o.d"
+  "/root/repo/src/numtheory/numtheory.cpp" "src/CMakeFiles/cfmerge.dir/numtheory/numtheory.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/numtheory/numtheory.cpp.o.d"
+  "/root/repo/src/sort/merge_sort.cpp" "src/CMakeFiles/cfmerge.dir/sort/merge_sort.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/sort/merge_sort.cpp.o.d"
+  "/root/repo/src/sort/odd_even.cpp" "src/CMakeFiles/cfmerge.dir/sort/odd_even.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/sort/odd_even.cpp.o.d"
+  "/root/repo/src/workloads/generators.cpp" "src/CMakeFiles/cfmerge.dir/workloads/generators.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/workloads/generators.cpp.o.d"
+  "/root/repo/src/worstcase/builder.cpp" "src/CMakeFiles/cfmerge.dir/worstcase/builder.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/worstcase/builder.cpp.o.d"
+  "/root/repo/src/worstcase/interleave.cpp" "src/CMakeFiles/cfmerge.dir/worstcase/interleave.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/worstcase/interleave.cpp.o.d"
+  "/root/repo/src/worstcase/predict.cpp" "src/CMakeFiles/cfmerge.dir/worstcase/predict.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/worstcase/predict.cpp.o.d"
+  "/root/repo/src/worstcase/sequence.cpp" "src/CMakeFiles/cfmerge.dir/worstcase/sequence.cpp.o" "gcc" "src/CMakeFiles/cfmerge.dir/worstcase/sequence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autotune.dir/test_autotune.cpp.o"
+  "CMakeFiles/test_autotune.dir/test_autotune.cpp.o.d"
+  "test_autotune"
+  "test_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

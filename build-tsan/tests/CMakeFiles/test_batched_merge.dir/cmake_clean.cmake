@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batched_merge.dir/test_batched_merge.cpp.o"
+  "CMakeFiles/test_batched_merge.dir/test_batched_merge.cpp.o.d"
+  "test_batched_merge"
+  "test_batched_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batched_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

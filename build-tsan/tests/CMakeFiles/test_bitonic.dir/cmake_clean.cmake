@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitonic.dir/test_bitonic.cpp.o"
+  "CMakeFiles/test_bitonic.dir/test_bitonic.cpp.o.d"
+  "test_bitonic"
+  "test_bitonic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitonic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

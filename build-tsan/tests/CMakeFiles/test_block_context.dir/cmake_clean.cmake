@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block_context.dir/test_block_context.cpp.o"
+  "CMakeFiles/test_block_context.dir/test_block_context.cpp.o.d"
+  "test_block_context"
+  "test_block_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block_sort.dir/test_block_sort.cpp.o"
+  "CMakeFiles/test_block_sort.dir/test_block_sort.cpp.o.d"
+  "test_block_sort"
+  "test_block_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

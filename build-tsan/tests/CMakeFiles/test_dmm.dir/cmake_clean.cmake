@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dmm.dir/test_dmm.cpp.o"
+  "CMakeFiles/test_dmm.dir/test_dmm.cpp.o.d"
+  "test_dmm"
+  "test_dmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

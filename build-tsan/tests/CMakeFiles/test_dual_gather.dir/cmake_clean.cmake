@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dual_gather.dir/test_dual_gather.cpp.o"
+  "CMakeFiles/test_dual_gather.dir/test_dual_gather.cpp.o.d"
+  "test_dual_gather"
+  "test_dual_gather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dual_gather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_global_memory.dir/test_global_memory.cpp.o"
+  "CMakeFiles/test_global_memory.dir/test_global_memory.cpp.o.d"
+  "test_global_memory"
+  "test_global_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_global_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_key_value.dir/test_key_value.cpp.o"
+  "CMakeFiles/test_key_value.dir/test_key_value.cpp.o.d"
+  "test_key_value"
+  "test_key_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_key_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

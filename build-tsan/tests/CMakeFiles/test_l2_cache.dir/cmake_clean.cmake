@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_l2_cache.dir/test_l2_cache.cpp.o"
+  "CMakeFiles/test_l2_cache.dir/test_l2_cache.cpp.o.d"
+  "test_l2_cache"
+  "test_l2_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_l2_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

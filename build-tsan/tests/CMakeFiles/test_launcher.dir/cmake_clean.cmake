@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_launcher.dir/test_launcher.cpp.o"
+  "CMakeFiles/test_launcher.dir/test_launcher.cpp.o.d"
+  "test_launcher"
+  "test_launcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_launcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

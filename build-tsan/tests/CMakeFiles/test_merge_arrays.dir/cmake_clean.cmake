@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_merge_arrays.dir/test_merge_arrays.cpp.o"
+  "CMakeFiles/test_merge_arrays.dir/test_merge_arrays.cpp.o.d"
+  "test_merge_arrays"
+  "test_merge_arrays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_merge_arrays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

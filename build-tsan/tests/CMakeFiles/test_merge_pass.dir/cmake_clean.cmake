@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_merge_pass.dir/test_merge_pass.cpp.o"
+  "CMakeFiles/test_merge_pass.dir/test_merge_pass.cpp.o.d"
+  "test_merge_pass"
+  "test_merge_pass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_merge_pass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

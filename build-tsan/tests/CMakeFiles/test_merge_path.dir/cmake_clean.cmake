@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_merge_path.dir/test_merge_path.cpp.o"
+  "CMakeFiles/test_merge_path.dir/test_merge_path.cpp.o.d"
+  "test_merge_path"
+  "test_merge_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_merge_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_merge_sort.dir/test_merge_sort.cpp.o"
+  "CMakeFiles/test_merge_sort.dir/test_merge_sort.cpp.o.d"
+  "test_merge_sort"
+  "test_merge_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_merge_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

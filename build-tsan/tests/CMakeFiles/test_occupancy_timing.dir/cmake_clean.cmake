@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_occupancy_timing.dir/test_occupancy_timing.cpp.o"
+  "CMakeFiles/test_occupancy_timing.dir/test_occupancy_timing.cpp.o.d"
+  "test_occupancy_timing"
+  "test_occupancy_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_occupancy_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

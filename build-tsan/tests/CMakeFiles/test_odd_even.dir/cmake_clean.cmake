@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_odd_even.dir/test_odd_even.cpp.o"
+  "CMakeFiles/test_odd_even.dir/test_odd_even.cpp.o.d"
+  "test_odd_even"
+  "test_odd_even.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_odd_even.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

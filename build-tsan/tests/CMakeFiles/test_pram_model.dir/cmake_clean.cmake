@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pram_model.dir/test_pram_model.cpp.o"
+  "CMakeFiles/test_pram_model.dir/test_pram_model.cpp.o.d"
+  "test_pram_model"
+  "test_pram_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pram_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

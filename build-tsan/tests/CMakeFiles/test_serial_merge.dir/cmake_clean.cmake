@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serial_merge.dir/test_serial_merge.cpp.o"
+  "CMakeFiles/test_serial_merge.dir/test_serial_merge.cpp.o.d"
+  "test_serial_merge"
+  "test_serial_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serial_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shared_memory.dir/test_shared_memory.cpp.o"
+  "CMakeFiles/test_shared_memory.dir/test_shared_memory.cpp.o.d"
+  "test_shared_memory"
+  "test_shared_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shared_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

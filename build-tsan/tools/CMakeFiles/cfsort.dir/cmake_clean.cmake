@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfsort.dir/cfsort.cpp.o"
+  "CMakeFiles/cfsort.dir/cfsort.cpp.o.d"
+  "cfsort"
+  "cfsort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfsort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

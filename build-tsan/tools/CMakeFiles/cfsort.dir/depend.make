@@ -1,0 +1,2 @@
+# Empty dependencies file for cfsort.
+# This may be replaced when dependencies are built.
