@@ -80,6 +80,8 @@ void write_json(std::ostream& os, const sort::SortReport& report,
      << "\",\"e\":" << cfg.e << ",\"u\":" << cfg.u << ",\"n\":" << report.n
      << ",\"n_padded\":" << report.n_padded << ",\"passes\":" << report.passes
      << ",\"microseconds\":" << report.microseconds
+     << ",\"makespan_microseconds\":" << report.makespan_microseconds
+     << ",\"graph_levels\":" << report.graph_levels
      << ",\"throughput_elem_per_us\":" << report.throughput()
      << ",\"merge_conflicts\":" << report.merge_conflicts()
      << ",\"blocksort_conflicts\":" << report.blocksort_conflicts() << ",\"totals\":";
@@ -102,6 +104,35 @@ void write_json(std::ostream& os, const sort::MergeReport& report,
   write_counters(os, report.totals);
   os << ",\"phases\":";
   write_phases(os, report.phases);
+  os << "}\n";
+}
+
+void write_json(std::ostream& os, const sort::SegmentedSortReport& report,
+                const sort::MergeConfig& cfg, const std::string& device,
+                const std::string& workload) {
+  os << "{\"kind\":\"segmented_sort\",\"device\":\"" << json_escape(device)
+     << "\",\"workload\":\"" << json_escape(workload) << "\",\"variant\":\""
+     << variant_name(cfg.variant) << "\",\"e\":" << cfg.e << ",\"u\":" << cfg.u
+     << ",\"segments\":" << report.segments << ",\"elements\":" << report.elements
+     << ",\"serial_microseconds\":" << report.serial_microseconds
+     << ",\"makespan_microseconds\":" << report.makespan_microseconds
+     << ",\"overlap_speedup\":" << report.overlap_speedup()
+     << ",\"graph_levels\":" << report.graph_levels
+     << ",\"throughput_elem_per_us\":" << report.throughput()
+     << ",\"merge_conflicts\":" << report.merge_conflicts() << ",\"per_segment\":[";
+  for (std::size_t s = 0; s < report.per_segment.size(); ++s) {
+    const auto& seg = report.per_segment[s];
+    if (s) os << ",";
+    os << "{\"n\":" << seg.n << ",\"passes\":" << seg.passes
+       << ",\"first_kernel\":" << seg.first_kernel
+       << ",\"kernel_count\":" << seg.kernel_count << "}";
+  }
+  os << "],\"totals\":";
+  write_counters(os, report.totals);
+  os << ",\"phases\":";
+  write_phases(os, report.phases);
+  os << ",\"kernels\":";
+  write_kernels(os, report.kernels);
   os << "}\n";
 }
 

@@ -8,6 +8,7 @@
 #include "sort/bitonic.hpp"
 #include "sort/merge_arrays.hpp"
 #include "sort/merge_sort.hpp"
+#include "sort/segmented_sort.hpp"
 
 namespace cfmerge::analysis {
 
@@ -24,6 +25,12 @@ void write_json(std::ostream& os, const sort::MergeReport& report,
 /// Same for a bitonic run.
 void write_json(std::ostream& os, const sort::BitonicReport& report,
                 const sort::BitonicConfig& cfg, const std::string& device,
+                const std::string& workload);
+
+/// Same for a segmented sort: graph timing (serial sum vs. makespan),
+/// totals, phases, and the per-segment kernel index.
+void write_json(std::ostream& os, const sort::SegmentedSortReport& report,
+                const sort::MergeConfig& cfg, const std::string& device,
                 const std::string& workload);
 
 /// Escapes a string for embedding in JSON.

@@ -49,4 +49,16 @@ std::string summarize(const sort::SortReport& report, const std::string& label) 
   return os.str();
 }
 
+std::string summarize(const sort::SegmentedSortReport& report, const std::string& label) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  os << label << ": segments=" << report.segments << " elements=" << report.elements
+     << " serial=" << report.serial_microseconds << "us"
+     << " makespan=" << report.makespan_microseconds << "us"
+     << " overlap=" << report.overlap_speedup() << "x"
+     << " throughput=" << report.throughput() << " elem/us"
+     << " merge_conflicts=" << report.merge_conflicts();
+  return os.str();
+}
+
 }  // namespace cfmerge::analysis

@@ -7,6 +7,7 @@
 
 #include "gpusim/stats.hpp"
 #include "sort/merge_sort.hpp"
+#include "sort/segmented_sort.hpp"
 
 namespace cfmerge::analysis {
 
@@ -25,5 +26,10 @@ void print_phase_profile(std::ostream& os, const gpusim::PhaseCounters& phases,
 
 /// One-line summary of a sort run.
 [[nodiscard]] std::string summarize(const sort::SortReport& report, const std::string& label);
+
+/// One-line summary of a segmented sort: serial sum vs. graph makespan and
+/// the resulting overlap speedup.
+[[nodiscard]] std::string summarize(const sort::SegmentedSortReport& report,
+                                    const std::string& label);
 
 }  // namespace cfmerge::analysis

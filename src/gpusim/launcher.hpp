@@ -9,6 +9,12 @@
 // is bit-identical to the sequential execution no matter how many worker
 // threads run it.
 //
+// Kernels can be launched one at a time (launch) or enqueued into a
+// KernelGraph with explicit dependency edges and executed as a batch (run),
+// which lets dependency-free kernels share the worker pool and adds a
+// timing-overlap model on top of the per-kernel model; see
+// gpusim/kernel_graph.hpp for the graph semantics and determinism contract.
+//
 // Determinism contract per stateful component:
 //  * PhaseCounters / dependency chains: always per-block, reduced in block
 //    order (phase name order is first-use order across ascending block ids).
@@ -31,6 +37,7 @@
 #include <vector>
 
 #include "gpusim/block_context.hpp"
+#include "gpusim/kernel_graph.hpp"
 #include "gpusim/trace.hpp"
 #include "gpusim/timing.hpp"
 
@@ -45,6 +52,35 @@ struct KernelReport {
   KernelTiming timing;
 
   [[nodiscard]] Counters total() const { return counters.total(); }
+};
+
+/// Host execution policy for Launcher::run.  Both modes produce bit-identical
+/// reports (the reduction is enqueue- and block-ordered either way); they
+/// differ only in host wall-clock behaviour.
+enum class GraphExec {
+  Serial,   ///< one kernel at a time in enqueue order (pre-graph cadence)
+  Overlap,  ///< blocks of all dependency-satisfied kernels share the pool
+};
+
+/// Result of executing a KernelGraph.
+struct GraphReport {
+  /// One report per node, in enqueue order (also appended to the history).
+  std::vector<KernelReport> kernels;
+  /// Simulated finish time of every node under the overlap model:
+  /// finish[i] = max(finish of deps) + kernel time of i.
+  std::vector<double> finish_microseconds;
+  /// Sum of kernel times — what the serial launch cadence would take.
+  double serial_microseconds = 0.0;
+  /// Critical-path time of the graph — what concurrent kernel execution
+  /// takes under the (optimistic, contention-free) overlap model.
+  double makespan_microseconds = 0.0;
+  /// Number of wavefront levels (length of the longest dependency chain).
+  int levels = 0;
+
+  /// Serial time over makespan (1.0 for a chain; > 1 when kernels overlap).
+  [[nodiscard]] double overlap_speedup() const {
+    return makespan_microseconds > 0 ? serial_microseconds / makespan_microseconds : 1.0;
+  }
 };
 
 class Launcher {
@@ -77,6 +113,18 @@ class Launcher {
   /// nor the attached trace sink, nor any launcher statistic is modified.
   KernelReport launch(const std::string& name, const LaunchShape& shape,
                       const std::function<void(BlockContext&)>& body);
+
+  /// Executes every kernel of `graph`, honouring its dependency edges, and
+  /// returns the per-node reports plus the serial-sum and graph-makespan
+  /// timings.  Node reports are appended to the launch history in enqueue
+  /// order.  Under GraphExec::Overlap, blocks of all kernels in the same
+  /// dependency wavefront share the worker pool; with the L2 model enabled
+  /// the launcher forces the sequential fallback exactly as launch does.
+  /// When any kernel body throws, the exception of the earliest failing
+  /// (enqueue id, block id) in the earliest failing wavefront is rethrown
+  /// after all workers joined, and neither the history, nor the attached
+  /// trace sink, nor any launcher statistic is modified.
+  GraphReport run(const KernelGraph& graph, GraphExec mode = GraphExec::Overlap);
 
   [[nodiscard]] const std::vector<KernelReport>& history() const { return history_; }
   void clear_history() { history_.clear(); }

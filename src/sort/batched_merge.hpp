@@ -1,9 +1,13 @@
-// Batched pairwise merge: merge many independent pairs of sorted arrays in
-// ONE simulated kernel launch (cuDF/moderngpu-style vectorized API).
+// Batched pairwise merge: merge many independent pairs of sorted arrays
+// submitted as ONE kernel graph (cuDF/moderngpu-style vectorized API).
 //
-// Each pair is padded to full runs in a concatenated staging buffer; blocks
-// are assigned to output tiles across all pairs, look up their pair
-// descriptor, and run the same merge-window core as the sort's merge pass —
+// Each pair is padded to full runs in a concatenated staging buffer and
+// contributes two graph nodes — its partition kernel and its merge kernel,
+// with one dependency edge between them.  Different pairs share no edges:
+// their kernels are independent graph nodes that the executor overlaps
+// (Launcher::run wavefronts), so the report carries both the serial kernel
+// sum and the graph makespan.  The merge blocks look up their pair
+// descriptor and run the same merge-window core as the sort's merge pass —
 // so CF-Merge's zero-conflict guarantee carries over verbatim.  This is the
 // natural library form of the paper's conclusion: the gather makes *any*
 // parallel pair-of-arrays scan conflict free, including many scans at once.
@@ -23,12 +27,20 @@ namespace cfmerge::sort {
 struct BatchedMergeReport {
   int pairs = 0;
   std::int64_t elements = 0;  ///< total merged elements across pairs
-  double microseconds = 0.0;
+  double microseconds = 0.0;  ///< serial sum of all kernels
+  /// Graph makespan: pairs are independent subgraphs, so this is the
+  /// longest single pair's partition + merge chain.
+  double makespan_microseconds = 0.0;
+  int graph_levels = 0;  ///< 2 for a non-empty batch
   gpusim::Counters totals;
   gpusim::PhaseCounters phases;
+  std::vector<gpusim::KernelReport> kernels;  ///< enqueue order, 2 per pair
 
   [[nodiscard]] double throughput() const {
     return microseconds > 0 ? static_cast<double>(elements) / microseconds : 0.0;
+  }
+  [[nodiscard]] double overlap_speedup() const {
+    return makespan_microseconds > 0 ? microseconds / makespan_microseconds : 1.0;
   }
   [[nodiscard]] std::uint64_t merge_conflicts() const;
 };
@@ -56,11 +68,9 @@ BatchedMergeReport batched_merge(gpusim::Launcher& launcher,
                                  const std::vector<std::vector<T>>& bs,
                                  std::vector<std::vector<T>>& outs,
                                  const MergeConfig& cfg) {
-  const gpusim::DeviceSpec& dev = launcher.device();
   if (as.size() != bs.size())
     throw std::invalid_argument("batched_merge: pair count mismatch");
-  if (cfg.e <= 0 || cfg.u <= 0 || cfg.u % dev.warp_size != 0)
-    throw std::invalid_argument("batched_merge: bad configuration");
+  validate_merge_config(launcher.device(), cfg);
 
   BatchedMergeReport report;
   report.pairs = static_cast<int>(as.size());
@@ -74,9 +84,11 @@ BatchedMergeReport batched_merge(gpusim::Launcher& launcher,
   // multiple of the tile, and precompute per-tile descriptors.
   std::vector<T> staging;
   std::vector<detail::BatchTile> tiles;
+  std::vector<int> pair_tile0(as.size());  ///< first descriptor of each pair
   std::vector<std::int64_t> out_sizes(as.size());
   std::int64_t packed_out = 0;
   for (std::size_t p = 0; p < as.size(); ++p) {
+    pair_tile0[p] = static_cast<int>(tiles.size());
     const auto na = static_cast<std::int64_t>(as[p].size());
     const auto nb = static_cast<std::int64_t>(bs[p].size());
     out_sizes[p] = na + nb;
@@ -97,18 +109,26 @@ BatchedMergeReport batched_merge(gpusim::Launcher& launcher,
     packed_out += 2 * run;
   }
   std::vector<T> packed(static_cast<std::size_t>(packed_out));
-
-  launcher.clear_history();
-  const auto num_tiles = static_cast<int>(tiles.size());
   std::vector<std::int64_t> boundaries(tiles.size(), 0);
 
-  // Stage 1: per-tile co-rank (each simulated thread resolves one tile's
-  // start diagonal inside its own pair; the descriptor read is charged).
-  {
-    const int pblocks = (num_tiles + cfg.u - 1) / cfg.u;
-    launcher.launch(
+  // Two graph nodes per pair — partition -> merge, no cross-pair edges —
+  // submitted as one graph.  Every wavefront therefore runs one kernel per
+  // pair, and the makespan is the slowest single pair.
+  gpusim::KernelGraph graph;
+  const int regs = cfg.variant == Variant::CFMerge ? cost::cfmerge_regs_per_thread(cfg.e)
+                                                   : cost::baseline_regs_per_thread(cfg.e);
+  for (std::size_t p = 0; p < as.size(); ++p) {
+    const int t0 = pair_tile0[p];
+    const int tcount = (p + 1 < as.size() ? pair_tile0[p + 1]
+                                          : static_cast<int>(tiles.size())) -
+                       t0;
+
+    // Stage 1: per-tile co-rank of this pair's tiles (each simulated thread
+    // resolves one tile's start diagonal; the descriptor read is charged).
+    const int pblocks = (tcount + cfg.u - 1) / cfg.u;
+    const gpusim::NodeId partition = graph.add(
         "batched_partition", gpusim::LaunchShape{pblocks, cfg.u, 0, 24},
-        [&](gpusim::BlockContext& ctx) {
+        [&, t0, tcount](gpusim::BlockContext& ctx) {
           ctx.phase("partition.search");
           const int w = ctx.lanes();
           for (int warp = 0; warp < ctx.warps(); ++warp) {
@@ -119,9 +139,10 @@ BatchedMergeReport batched_merge(gpusim::Launcher& launcher,
             std::vector<std::int64_t> daddr(static_cast<std::size_t>(w),
                                             gpusim::kInactiveLane);
             for (int lane = 0; lane < w; ++lane) {
-              const std::int64_t t =
+              const std::int64_t local =
                   static_cast<std::int64_t>(ctx.block_id()) * cfg.u + warp * w + lane;
-              if (t >= num_tiles) continue;
+              if (local >= tcount) continue;
+              const std::int64_t t = t0 + local;
               const auto& bt = tiles[static_cast<std::size_t>(t)];
               desc[static_cast<std::size_t>(lane)] = &bt;
               daddr[static_cast<std::size_t>(lane)] =
@@ -156,42 +177,37 @@ BatchedMergeReport batched_merge(gpusim::Launcher& launcher,
             mergepath::warp_corank_search<T>(std::span<mergepath::LaneSearch>(lanes),
                                              probe, std::less<T>{});
             for (int lane = 0; lane < w; ++lane) {
-              const std::int64_t t =
+              const std::int64_t local =
                   static_cast<std::int64_t>(ctx.block_id()) * cfg.u + warp * w + lane;
-              if (t >= num_tiles) continue;
-              boundaries[static_cast<std::size_t>(t)] =
+              if (local >= tcount) continue;
+              boundaries[static_cast<std::size_t>(t0 + local)] =
                   lanes[static_cast<std::size_t>(lane)].lo;
             }
           }
         });
-  }
 
-  // Stage 2: one merge block per output tile, across all pairs.
-  {
-    const int regs = cfg.variant == Variant::CFMerge
-                         ? cost::cfmerge_regs_per_thread(cfg.e)
-                         : cost::baseline_regs_per_thread(cfg.e);
-    launcher.launch(
-        "batched_merge", gpusim::LaunchShape{num_tiles, cfg.u,
-                                             static_cast<std::size_t>(tile) * sizeof(T),
-                                             regs},
-        [&](gpusim::BlockContext& ctx) {
-          const auto t = static_cast<std::size_t>(ctx.block_id());
+    // Stage 2: one merge block per output tile of this pair.
+    graph.add(
+        "batched_merge",
+        gpusim::LaunchShape{tcount, cfg.u, static_cast<std::size_t>(tile) * sizeof(T),
+                            regs},
+        [&, t0, tcount](gpusim::BlockContext& ctx) {
+          const std::int64_t local = ctx.block_id();
+          const auto t = static_cast<std::size_t>(t0 + local);
           const detail::BatchTile& bt = tiles[t];
           ctx.phase("merge.load");
           {
             // Descriptor + both boundary co-ranks: one small global read.
             std::vector<std::int64_t> addr(static_cast<std::size_t>(ctx.lanes()),
                                            gpusim::kInactiveLane);
-            addr[0] = ctx.block_id();
+            addr[0] = static_cast<std::int64_t>(t);
             gpusim::GlobalView<const std::int64_t> bv(
                 ctx, std::span<const std::int64_t>(boundaries), 0);
             std::vector<std::int64_t> tmp(static_cast<std::size_t>(ctx.lanes()));
             bv.gather(0, addr, std::span<std::int64_t>(tmp));
           }
           const std::int64_t a0 = boundaries[t];
-          const bool last_tile_of_pair =
-              t + 1 == tiles.size() || tiles[t + 1].pair != bt.pair;
+          const bool last_tile_of_pair = local + 1 == tcount;
           const std::int64_t diag1 = bt.diag0 + tile;
           const std::int64_t a1 = last_tile_of_pair && diag1 >= bt.ra + bt.rb
                                       ? bt.ra
@@ -208,8 +224,12 @@ BatchedMergeReport batched_merge(gpusim::Launcher& launcher,
               bt.out_base);
           merge_window_core<T>(ctx, gin, gout, bt.a_base + a0, bt.b_base + b0, la, lb,
                                cfg, std::less<T>{});
-        });
+        },
+        {partition});
   }
+
+  launcher.clear_history();
+  const gpusim::GraphReport g = launcher.run(graph);
 
   // Unpack (drop the sentinel tails).
   {
@@ -227,7 +247,10 @@ BatchedMergeReport batched_merge(gpusim::Launcher& launcher,
     }
   }
 
-  report.microseconds = launcher.total_microseconds();
+  report.microseconds = g.serial_microseconds;
+  report.makespan_microseconds = g.makespan_microseconds;
+  report.graph_levels = g.levels;
+  report.kernels = g.kernels;
   report.totals = launcher.total_counters();
   report.phases = launcher.phase_counters();
   return report;

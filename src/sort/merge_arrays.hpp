@@ -40,10 +40,7 @@ template <typename T>
 MergeReport merge_arrays(gpusim::Launcher& launcher, const std::vector<T>& a,
                          const std::vector<T>& b, std::vector<T>& out,
                          const MergeConfig& cfg) {
-  const gpusim::DeviceSpec& dev = launcher.device();
-  if (cfg.e <= 0) throw std::invalid_argument("merge_arrays: E must be positive");
-  if (cfg.u <= 0 || cfg.u % dev.warp_size != 0)
-    throw std::invalid_argument("merge_arrays: u must be a positive multiple of warp_size");
+  validate_merge_config(launcher.device(), cfg);
 
   MergeReport report;
   report.na = static_cast<std::int64_t>(a.size());

@@ -59,6 +59,17 @@ struct MergeConfig {
   [[nodiscard]] std::int64_t tile() const { return static_cast<std::int64_t>(u) * e; }
 };
 
+/// Validates the MergeConfig invariants shared by every sort entry point
+/// (merge_sort, merge_arrays, batched_merge, segmented_sort), so the
+/// rejection messages stay uniform.  Throws std::invalid_argument naming
+/// the first violated constraint.
+inline void validate_merge_config(const gpusim::DeviceSpec& dev, const MergeConfig& cfg) {
+  if (cfg.e <= 0) throw std::invalid_argument("MergeConfig: E must be positive");
+  if (cfg.u <= 0) throw std::invalid_argument("MergeConfig: u must be positive");
+  if (cfg.u % dev.warp_size != 0)
+    throw std::invalid_argument("MergeConfig: u must be a multiple of the warp size");
+}
+
 /// Geometry of one pass: which pair a global output position belongs to.
 struct PassGeometry {
   std::int64_t n = 0;    ///< total elements (multiple of tile)

@@ -2,6 +2,7 @@
 
 #include "sort/batched_merge.hpp"
 #include "sort/merge_arrays.hpp"
+#include "sort/segmented_sort.hpp"
 
 namespace cfmerge::sort {
 
@@ -37,6 +38,13 @@ std::uint64_t MergeReport::merge_conflicts() const {
 }
 
 std::uint64_t BatchedMergeReport::merge_conflicts() const {
+  std::uint64_t c = 0;
+  for (const auto& [name, counters] : phases.phases())
+    if (is_merge_phase(name)) c += counters.bank_conflicts;
+  return c;
+}
+
+std::uint64_t SegmentedSortReport::merge_conflicts() const {
   std::uint64_t c = 0;
   for (const auto& [name, counters] : phases.phases())
     if (is_merge_phase(name)) c += counters.bank_conflicts;

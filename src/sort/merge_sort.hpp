@@ -7,7 +7,15 @@
 // code paths with full tiles, and the reported element counts/throughputs
 // always refer to the unpadded n).
 //
-// All kernels launched here write block-disjoint data (each block owns its
+// The pipeline is *enqueued* onto a gpusim::Stream (one KernelGraph node
+// per kernel, chained in stream order) and executed with Launcher::run, so
+// the same enqueue helper serves both the standalone sort and
+// sort::segmented_sort, where many of these chains overlap in one graph.
+// For a single sort the chain is linear, every wavefront holds one kernel,
+// and the history/trace/counters are bit-identical to the old
+// launch-per-kernel cadence.
+//
+// All kernels enqueued here write block-disjoint data (each block owns its
 // tile / partition slots), so the pipeline is safe under the Launcher's
 // parallel block executor and its reports are bit-identical for every
 // worker-thread count (Launcher::set_threads; asserted by
@@ -31,7 +39,12 @@ struct SortReport {
   std::int64_t n = 0;             ///< unpadded element count
   std::int64_t n_padded = 0;
   int passes = 0;                 ///< number of global merge passes
-  double microseconds = 0.0;      ///< total simulated kernel time
+  double microseconds = 0.0;      ///< total simulated kernel time (serial sum)
+  /// Graph-overlap simulated time (Launcher::run makespan).  The sort is one
+  /// dependency chain, so this equals `microseconds` here; segmented_sort
+  /// reports a smaller makespan when independent chains overlap.
+  double makespan_microseconds = 0.0;
+  int graph_levels = 0;           ///< dependency-chain length of the kernel graph
   gpusim::Counters totals;        ///< counters summed over all kernels
   gpusim::PhaseCounters phases;   ///< per-phase breakdown
   std::vector<gpusim::KernelReport> kernels;
@@ -49,15 +62,81 @@ struct SortReport {
   [[nodiscard]] std::uint64_t blocksort_conflicts() const;
 };
 
+namespace detail {
+
+/// Enqueues the full sort pipeline for one padded buffer onto `stream`:
+/// block sort followed by the per-pass partition + merge chain.  `buf` must
+/// already hold the (sentinel-padded) input of `n_padded` elements; `tmp`
+/// and `boundaries` are resized here and must stay alive (and un-moved)
+/// until the graph executed.  Returns the buffer that holds the sorted
+/// result after execution and reports the pass count via `passes`.
+template <typename T>
+std::vector<T>* enqueue_sort_pipeline(gpusim::Stream& stream, std::vector<T>& buf,
+                                      std::vector<T>& tmp,
+                                      std::vector<std::int64_t>& boundaries,
+                                      std::int64_t n_padded, const MergeConfig& cfg,
+                                      int& passes) {
+  const std::int64_t tile = cfg.tile();
+  const int num_tiles = static_cast<int>(n_padded / tile);
+  const int regs = cfg.variant == Variant::CFMerge ? cost::cfmerge_regs_per_thread(cfg.e)
+                                                   : cost::baseline_regs_per_thread(cfg.e);
+  tmp.resize(static_cast<std::size_t>(n_padded));
+  boundaries.assign(static_cast<std::size_t>(num_tiles) + 1, 0);
+
+  // --- stage 1: block sort ------------------------------------------------
+  {
+    gpusim::LaunchShape shape{num_tiles, cfg.u,
+                              static_cast<std::size_t>(tile) * sizeof(T), regs};
+    const bool cf_rounds = cfg.variant == Variant::CFMerge && cfg.cf_blocksort;
+    if (cf_rounds) shape.shared_bytes_per_block *= 2;  // staging buffer
+    stream.enqueue("block_sort", shape,
+                   [&buf, e = cfg.e, cf_rounds](gpusim::BlockContext& ctx) {
+                     block_sort_body<T>(ctx, std::span<T>(buf), e, cf_rounds);
+                   });
+  }
+
+  // --- stage 2: merge passes ----------------------------------------------
+  // All passes are enqueued up front; each body captures the pass's source
+  // and destination buffer pointers by value (they ping-pong per pass) and
+  // the shared `boundaries` scratch by reference — the in-stream dependency
+  // chain orders every reader after its writer.
+  std::vector<T>* src = &buf;
+  std::vector<T>* dst = &tmp;
+  passes = 0;
+  for (std::int64_t run = tile; run < n_padded; run *= 2) {
+    ++passes;
+    const PassGeometry geom{n_padded, run};
+
+    const auto nb = static_cast<std::int64_t>(boundaries.size());
+    const int pblocks = static_cast<int>((nb + cfg.u - 1) / cfg.u);
+    gpusim::LaunchShape pshape{pblocks, cfg.u, 0, 24};
+    stream.enqueue("merge_partition", pshape,
+                   [src, &boundaries, geom, tile](gpusim::BlockContext& ctx) {
+                     merge_partition_body<T>(ctx, std::span<const T>(*src), geom, tile,
+                                             std::span<std::int64_t>(boundaries));
+                   });
+
+    gpusim::LaunchShape mshape{num_tiles, cfg.u,
+                               static_cast<std::size_t>(tile) * sizeof(T), regs};
+    stream.enqueue("merge_pass", mshape,
+                   [src, dst, &boundaries, geom, cfg](gpusim::BlockContext& ctx) {
+                     merge_tile_body<T>(ctx, std::span<const T>(*src), std::span<T>(*dst),
+                                        geom, cfg,
+                                        std::span<const std::int64_t>(boundaries));
+                   });
+    std::swap(src, dst);
+  }
+  return src;
+}
+
+}  // namespace detail
+
 /// Sorts `data` in place with the configured variant.  `launcher.history()`
 /// is cleared and then holds one report per launched kernel.
 template <typename T>
 SortReport merge_sort(gpusim::Launcher& launcher, std::vector<T>& data,
                       const MergeConfig& cfg) {
-  const gpusim::DeviceSpec& dev = launcher.device();
-  if (cfg.e <= 0) throw std::invalid_argument("merge_sort: E must be positive");
-  if (cfg.u <= 0 || cfg.u % dev.warp_size != 0)
-    throw std::invalid_argument("merge_sort: u must be a positive multiple of warp_size");
+  validate_merge_config(launcher.device(), cfg);
 
   SortReport report;
   report.n = static_cast<std::int64_t>(data.size());
@@ -68,52 +147,22 @@ SortReport merge_sort(gpusim::Launcher& launcher, std::vector<T>& data,
   report.n_padded = n_padded;
   std::vector<T> buf = data;
   buf.resize(static_cast<std::size_t>(n_padded), padding_sentinel<T>::value());
-  std::vector<T> tmp(static_cast<std::size_t>(n_padded));
+  std::vector<T> tmp;
+  std::vector<std::int64_t> boundaries;
+
+  gpusim::KernelGraph graph;
+  gpusim::Stream stream = graph.stream();
+  std::vector<T>* result = detail::enqueue_sort_pipeline(stream, buf, tmp, boundaries,
+                                                         n_padded, cfg, report.passes);
 
   launcher.clear_history();
-  const int regs = cfg.variant == Variant::CFMerge ? cost::cfmerge_regs_per_thread(cfg.e)
-                                                   : cost::baseline_regs_per_thread(cfg.e);
-  const int num_tiles = static_cast<int>(n_padded / tile);
+  const gpusim::GraphReport g = launcher.run(graph);
 
-  // --- stage 1: block sort ------------------------------------------------
-  {
-    gpusim::LaunchShape shape{num_tiles, cfg.u,
-                              static_cast<std::size_t>(tile) * sizeof(T), regs};
-    const bool cf_rounds = cfg.variant == Variant::CFMerge && cfg.cf_blocksort;
-    if (cf_rounds) shape.shared_bytes_per_block *= 2;  // staging buffer
-    launcher.launch("block_sort", shape, [&](gpusim::BlockContext& ctx) {
-      block_sort_body<T>(ctx, std::span<T>(buf), cfg.e, cf_rounds);
-    });
-  }
-
-  // --- stage 2: merge passes ----------------------------------------------
-  std::vector<std::int64_t> boundaries(static_cast<std::size_t>(num_tiles) + 1, 0);
-  std::vector<T>* src = &buf;
-  std::vector<T>* dst = &tmp;
-  for (std::int64_t run = tile; run < n_padded; run *= 2) {
-    ++report.passes;
-    const PassGeometry geom{n_padded, run};
-
-    const auto nb = static_cast<std::int64_t>(boundaries.size());
-    const int pblocks = static_cast<int>((nb + cfg.u - 1) / cfg.u);
-    gpusim::LaunchShape pshape{pblocks, cfg.u, 0, 24};
-    launcher.launch("merge_partition", pshape, [&](gpusim::BlockContext& ctx) {
-      merge_partition_body<T>(ctx, std::span<const T>(*src), geom, tile,
-                              std::span<std::int64_t>(boundaries));
-    });
-
-    gpusim::LaunchShape mshape{num_tiles, cfg.u,
-                               static_cast<std::size_t>(tile) * sizeof(T), regs};
-    launcher.launch("merge_pass", mshape, [&](gpusim::BlockContext& ctx) {
-      merge_tile_body<T>(ctx, std::span<const T>(*src), std::span<T>(*dst), geom, cfg,
-                         std::span<const std::int64_t>(boundaries));
-    });
-    std::swap(src, dst);
-  }
-
-  std::copy(src->begin(), src->begin() + report.n, data.begin());
-  report.kernels = launcher.history();
-  report.microseconds = launcher.total_microseconds();
+  std::copy(result->begin(), result->begin() + report.n, data.begin());
+  report.kernels = g.kernels;
+  report.microseconds = g.serial_microseconds;
+  report.makespan_microseconds = g.makespan_microseconds;
+  report.graph_levels = g.levels;
   report.totals = launcher.total_counters();
   report.phases = launcher.phase_counters();
   return report;

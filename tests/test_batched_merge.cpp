@@ -115,7 +115,7 @@ TEST(BatchedMerge, CFMergeConflictFreeAcrossWholeBatch) {
     EXPECT_EQ(outs[p], reference_merge(as[p], bs[p]));
 }
 
-TEST(BatchedMerge, LaunchesExactlyTwoKernels) {
+TEST(BatchedMerge, LaunchesTwoKernelsPerPair) {
   std::mt19937_64 rng(4);
   gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
   MergeConfig cfg;
@@ -124,6 +124,20 @@ TEST(BatchedMerge, LaunchesExactlyTwoKernels) {
   std::vector<std::vector<int>> as{sorted_random(rng, 100), sorted_random(rng, 300)};
   std::vector<std::vector<int>> bs{sorted_random(rng, 120), sorted_random(rng, 10)};
   std::vector<std::vector<int>> outs;
-  batched_merge(launcher, as, bs, outs, cfg);
-  EXPECT_EQ(launcher.history().size(), 2u);  // one partition + one merge launch
+  const auto report = batched_merge(launcher, as, bs, outs, cfg);
+  // Each pair contributes an independent partition -> merge node pair.
+  ASSERT_EQ(launcher.history().size(), 4u);
+  EXPECT_EQ(launcher.history()[0].name, "batched_partition");
+  EXPECT_EQ(launcher.history()[1].name, "batched_merge");
+  EXPECT_EQ(launcher.history()[2].name, "batched_partition");
+  EXPECT_EQ(launcher.history()[3].name, "batched_merge");
+  ASSERT_EQ(report.kernels.size(), 4u);
+  EXPECT_EQ(report.graph_levels, 2);  // partitions wave, then merges wave
+  // Independent pairs overlap: the makespan is the slowest pair's chain,
+  // strictly below the serial sum of both pairs.
+  EXPECT_LT(report.makespan_microseconds, report.microseconds);
+  EXPECT_GT(report.makespan_microseconds, 0.0);
+  double serial = 0.0;
+  for (const auto& k : report.kernels) serial += k.timing.microseconds;
+  EXPECT_DOUBLE_EQ(serial, report.microseconds);
 }

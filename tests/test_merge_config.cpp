@@ -1,0 +1,116 @@
+// Tests of validate_merge_config: one test per rejection message (verbatim)
+// and a check that every sort entry point routes through the shared
+// validator rather than carrying its own copy of the rules.
+#include "sort/merge_pass.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sort/batched_merge.hpp"
+#include "sort/merge_arrays.hpp"
+#include "sort/merge_sort.hpp"
+#include "sort/segmented_sort.hpp"
+
+using namespace cfmerge;
+using namespace cfmerge::sort;
+
+namespace {
+
+/// Runs `fn` and returns the invalid_argument message it throws (fails the
+/// test if it does not throw).
+template <typename Fn>
+std::string rejection_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected std::invalid_argument";
+  return {};
+}
+
+MergeConfig valid_cfg() {
+  MergeConfig cfg;
+  cfg.e = 5;
+  cfg.u = 16;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(MergeConfigValidation, AcceptsValidConfig) {
+  const gpusim::DeviceSpec dev = gpusim::DeviceSpec::tiny(8);
+  EXPECT_NO_THROW(validate_merge_config(dev, valid_cfg()));
+}
+
+TEST(MergeConfigValidation, RejectsNonPositiveE) {
+  const gpusim::DeviceSpec dev = gpusim::DeviceSpec::tiny(8);
+  MergeConfig cfg = valid_cfg();
+  cfg.e = 0;
+  EXPECT_EQ(rejection_message([&] { validate_merge_config(dev, cfg); }),
+            "MergeConfig: E must be positive");
+  cfg.e = -3;
+  EXPECT_EQ(rejection_message([&] { validate_merge_config(dev, cfg); }),
+            "MergeConfig: E must be positive");
+}
+
+TEST(MergeConfigValidation, RejectsNonPositiveU) {
+  const gpusim::DeviceSpec dev = gpusim::DeviceSpec::tiny(8);
+  MergeConfig cfg = valid_cfg();
+  cfg.u = 0;
+  EXPECT_EQ(rejection_message([&] { validate_merge_config(dev, cfg); }),
+            "MergeConfig: u must be positive");
+  cfg.u = -16;
+  EXPECT_EQ(rejection_message([&] { validate_merge_config(dev, cfg); }),
+            "MergeConfig: u must be positive");
+}
+
+TEST(MergeConfigValidation, RejectsUNotMultipleOfWarpSize) {
+  const gpusim::DeviceSpec dev = gpusim::DeviceSpec::tiny(8);
+  MergeConfig cfg = valid_cfg();
+  cfg.u = 12;
+  EXPECT_EQ(rejection_message([&] { validate_merge_config(dev, cfg); }),
+            "MergeConfig: u must be a multiple of the warp size");
+}
+
+TEST(MergeConfigValidation, EIsCheckedBeforeU) {
+  // The validator names the FIRST violated constraint.
+  const gpusim::DeviceSpec dev = gpusim::DeviceSpec::tiny(8);
+  MergeConfig cfg = valid_cfg();
+  cfg.e = 0;
+  cfg.u = 0;
+  EXPECT_EQ(rejection_message([&] { validate_merge_config(dev, cfg); }),
+            "MergeConfig: E must be positive");
+}
+
+TEST(MergeConfigValidation, EveryEntryPointRejectsWithTheSharedMessage) {
+  MergeConfig cfg = valid_cfg();
+  cfg.u = 12;  // warp size of tiny(8) is 8
+  const std::string expected = "MergeConfig: u must be a multiple of the warp size";
+
+  {
+    gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+    std::vector<int> data{3, 1, 2};
+    EXPECT_EQ(rejection_message([&] { merge_sort(launcher, data, cfg); }), expected);
+  }
+  {
+    gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+    std::vector<int> out;
+    EXPECT_EQ(rejection_message([&] {
+                merge_arrays(launcher, std::vector<int>{1, 2}, std::vector<int>{3}, out, cfg);
+              }),
+              expected);
+  }
+  {
+    gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+    std::vector<std::vector<int>> outs;
+    EXPECT_EQ(rejection_message([&] {
+                batched_merge<int>(launcher, {{1, 2}}, {{3}}, outs, cfg);
+              }),
+              expected);
+  }
+  {
+    gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+    std::vector<std::vector<int>> segments{{3, 1, 2}};
+    EXPECT_EQ(rejection_message([&] { segmented_sort(launcher, segments, cfg); }), expected);
+  }
+}

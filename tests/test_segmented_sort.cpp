@@ -1,0 +1,221 @@
+// Tests of sort::segmented_sort: edge-case segment shapes, bit-identity of
+// every segment against a standalone merge_sort (outputs AND per-kernel
+// reports, across worker counts and both graph execution modes), and the
+// overlap timing model on a many-segment workload.
+#include "sort/segmented_sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <tuple>
+
+#include "sort/merge_sort.hpp"
+
+using namespace cfmerge;
+using namespace cfmerge::sort;
+
+namespace {
+
+std::vector<int> random_ints(std::mt19937_64& rng, std::size_t n) {
+  std::vector<int> v(n);
+  for (auto& x : v) x = static_cast<int>(rng() % 2000000) - 1000000;
+  return v;
+}
+
+MergeConfig small_cfg(Variant v = Variant::CFMerge) {
+  MergeConfig cfg;
+  cfg.e = 5;
+  cfg.u = 16;
+  cfg.variant = v;
+  return cfg;
+}
+
+void expect_report_eq(const gpusim::KernelReport& a, const gpusim::KernelReport& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.shape, b.shape);
+  EXPECT_EQ(a.counters, b.counters);
+  EXPECT_EQ(a.mean_block_chain, b.mean_block_chain);
+  EXPECT_EQ(a.max_block_chain, b.max_block_chain);
+  EXPECT_EQ(a.timing.cycles, b.timing.cycles);
+  EXPECT_EQ(a.timing.microseconds, b.timing.microseconds);
+}
+
+}  // namespace
+
+TEST(SegmentedSort, EmptySegmentList) {
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+  std::vector<std::vector<int>> segments;
+  const auto report = segmented_sort(launcher, segments, small_cfg());
+  EXPECT_EQ(report.segments, 0);
+  EXPECT_EQ(report.elements, 0);
+  EXPECT_TRUE(report.kernels.empty());
+  EXPECT_TRUE(report.per_segment.empty());
+  EXPECT_EQ(report.serial_microseconds, 0.0);
+  EXPECT_EQ(report.makespan_microseconds, 0.0);
+  EXPECT_TRUE(launcher.history().empty());
+}
+
+TEST(SegmentedSort, ZeroLengthAndSingleElementSegments) {
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+  std::vector<std::vector<int>> segments{{}, {42}, {}, {7, 3}, {}};
+  const auto report = segmented_sort(launcher, segments, small_cfg());
+  EXPECT_EQ(report.segments, 5);
+  EXPECT_EQ(report.elements, 3);
+  EXPECT_TRUE(segments[0].empty());
+  EXPECT_EQ(segments[1], std::vector<int>{42});
+  EXPECT_TRUE(segments[2].empty());
+  EXPECT_EQ(segments[3], (std::vector<int>{3, 7}));
+  EXPECT_TRUE(segments[4].empty());
+  ASSERT_EQ(report.per_segment.size(), 5u);
+  // Empty segments contribute no kernels; both tiny segments fit in one
+  // tile, so each is a lone block_sort.
+  EXPECT_EQ(report.per_segment[0].kernel_count, 0);
+  EXPECT_EQ(report.per_segment[1].kernel_count, 1);
+  EXPECT_EQ(report.per_segment[2].kernel_count, 0);
+  EXPECT_EQ(report.per_segment[3].kernel_count, 1);
+  EXPECT_EQ(report.per_segment[4].kernel_count, 0);
+  EXPECT_EQ(report.kernels.size(), 2u);
+  EXPECT_EQ(report.graph_levels, 1);
+}
+
+TEST(SegmentedSort, OneGiantManyTiny) {
+  std::mt19937_64 rng(11);
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+  const MergeConfig cfg = small_cfg();
+  std::vector<std::vector<int>> segments;
+  segments.push_back(random_ints(rng, 4000));  // spans several merge passes
+  for (int i = 0; i < 12; ++i)
+    segments.push_back(random_ints(rng, 1 + static_cast<std::size_t>(rng() % 8)));
+
+  std::vector<std::vector<int>> expected = segments;
+  const auto report = segmented_sort(launcher, segments, cfg);
+
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    std::sort(expected[s].begin(), expected[s].end());
+    EXPECT_EQ(segments[s], expected[s]) << "segment " << s;
+  }
+  // The giant segment dominates: its chain is the graph's critical path,
+  // so the makespan equals the giant's own serial chain and every tiny
+  // segment rides along for free.
+  EXPECT_EQ(report.graph_levels, 1 + 2 * report.per_segment[0].passes);
+  EXPECT_GT(report.per_segment[0].passes, 2);
+  double giant_chain = 0.0;
+  for (int k = 0; k < report.per_segment[0].kernel_count; ++k)
+    giant_chain +=
+        report.kernels[static_cast<std::size_t>(report.per_segment[0].first_kernel + k)]
+            .timing.microseconds;
+  EXPECT_DOUBLE_EQ(report.makespan_microseconds, giant_chain);
+  EXPECT_LT(report.makespan_microseconds, report.serial_microseconds);
+}
+
+TEST(SegmentedSort, MakespanStrictlyBelowSerialOnEightSegments) {
+  // The ISSUE acceptance workload: >= 8 independent segments, graph overlap
+  // must report a strictly smaller simulated makespan than serial.
+  std::mt19937_64 rng(12);
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+  std::vector<std::vector<int>> segments;
+  for (int s = 0; s < 8; ++s)
+    segments.push_back(random_ints(rng, 200 + static_cast<std::size_t>(rng() % 600)));
+  const auto report = segmented_sort(launcher, segments, small_cfg());
+  EXPECT_GT(report.makespan_microseconds, 0.0);
+  EXPECT_LT(report.makespan_microseconds, report.serial_microseconds);
+  EXPECT_GT(report.overlap_speedup(), 1.0);
+  // Serial sum is what the launcher's history adds up to.
+  EXPECT_DOUBLE_EQ(report.serial_microseconds, launcher.total_microseconds());
+}
+
+using SegmentedParam = std::tuple<int, gpusim::GraphExec, Variant>;
+
+std::string segmented_param_name(const ::testing::TestParamInfo<SegmentedParam>& info) {
+  const int threads = std::get<0>(info.param);
+  const gpusim::GraphExec mode = std::get<1>(info.param);
+  const Variant variant = std::get<2>(info.param);
+  return std::string(variant == Variant::Baseline ? "base" : "cf") + "_" +
+         (mode == gpusim::GraphExec::Serial ? "serial" : "overlap") + "_t" +
+         std::to_string(threads);
+}
+
+class SegmentedSortBitIdentity : public ::testing::TestWithParam<SegmentedParam> {};
+
+TEST_P(SegmentedSortBitIdentity, EverySegmentMatchesStandaloneMergeSort) {
+  const auto [threads, mode, variant] = GetParam();
+  const MergeConfig cfg = small_cfg(variant);
+  std::mt19937_64 rng(13);
+
+  std::vector<std::vector<int>> segments;
+  segments.push_back(random_ints(rng, 900));
+  segments.push_back({});
+  segments.push_back(random_ints(rng, 1));
+  segments.push_back(random_ints(rng, 2500));
+  segments.push_back(random_ints(rng, 83));
+  segments.push_back(random_ints(rng, 1200));
+  const std::vector<std::vector<int>> input = segments;
+
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+  launcher.set_threads(threads);
+  const auto report = segmented_sort(launcher, segments, cfg, mode);
+
+  for (std::size_t s = 0; s < input.size(); ++s) {
+    SCOPED_TRACE("segment " + std::to_string(s));
+    // Standalone sort of the same data on a fresh launcher: the oracle.
+    gpusim::Launcher solo(gpusim::DeviceSpec::tiny(8));
+    std::vector<int> data = input[s];
+    const SortReport ref = merge_sort(solo, data, cfg);
+
+    EXPECT_EQ(segments[s], data);
+    const auto& info = report.per_segment[s];
+    EXPECT_EQ(info.n, static_cast<std::int64_t>(input[s].size()));
+    EXPECT_EQ(info.passes, ref.passes);
+    ASSERT_EQ(info.kernel_count, static_cast<int>(solo.history().size()));
+    for (int k = 0; k < info.kernel_count; ++k)
+      expect_report_eq(report.kernels[static_cast<std::size_t>(info.first_kernel + k)],
+                       solo.history()[static_cast<std::size_t>(k)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsModesVariants, SegmentedSortBitIdentity,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values(gpusim::GraphExec::Serial,
+                                         gpusim::GraphExec::Overlap),
+                       ::testing::Values(Variant::Baseline, Variant::CFMerge)),
+    segmented_param_name);
+
+TEST(SegmentedSort, ReportsIdenticalAcrossModesAndThreads) {
+  // The full report (not just outputs) is bit-identical for any execution
+  // policy; only host wall-clock may differ.
+  std::mt19937_64 rng(14);
+  std::vector<std::vector<int>> base;
+  for (int s = 0; s < 5; ++s)
+    base.push_back(random_ints(rng, 150 + static_cast<std::size_t>(rng() % 400)));
+
+  auto run = [&](int threads, gpusim::GraphExec mode) {
+    gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+    launcher.set_threads(threads);
+    std::vector<std::vector<int>> segments = base;
+    return segmented_sort(launcher, segments, small_cfg(), mode);
+  };
+  const auto ref = run(1, gpusim::GraphExec::Serial);
+  for (const int threads : {1, 2, 4}) {
+    for (const auto mode : {gpusim::GraphExec::Serial, gpusim::GraphExec::Overlap}) {
+      const auto got = run(threads, mode);
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      EXPECT_EQ(got.totals, ref.totals);
+      EXPECT_EQ(got.phases, ref.phases);
+      EXPECT_DOUBLE_EQ(got.serial_microseconds, ref.serial_microseconds);
+      EXPECT_DOUBLE_EQ(got.makespan_microseconds, ref.makespan_microseconds);
+      ASSERT_EQ(got.kernels.size(), ref.kernels.size());
+      for (std::size_t k = 0; k < ref.kernels.size(); ++k)
+        expect_report_eq(got.kernels[k], ref.kernels[k]);
+    }
+  }
+}
+
+TEST(SegmentedSort, RejectsInvalidConfig) {
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+  std::vector<std::vector<int>> segments{{3, 1, 2}};
+  MergeConfig cfg = small_cfg();
+  cfg.u = 12;  // not a multiple of the warp size (8)
+  EXPECT_THROW(segmented_sort(launcher, segments, cfg), std::invalid_argument);
+}

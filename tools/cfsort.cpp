@@ -10,6 +10,13 @@
 //     --device=rtx2080ti | turing:<sms> | tiny:<w>,<sms>   (default turing:4)
 //     --seed=<seed>                               (default 42)
 //     --threads=<host worker threads>             (default 0 = CFMERGE_SIM_THREADS or 1)
+//     --segments=<count>                          segmented sort: split the input into
+//                                                 <count> pseudo-random-sized segments
+//                                                 (deterministic in --seed) and submit
+//                                                 them as one kernel graph
+//     --serial-graph                              run the kernel graph serially (timing
+//                                                 reports are identical; host wall-clock
+//                                                 only)
 //     --json                                      emit a JSON report
 //     --profile                                   print the phase profile
 //     --trace=<file.csv>                          dump the access trace
@@ -18,10 +25,13 @@
 // Examples:
 //   cfsort --algo=baseline --dist=worst-case --n=491520 --profile
 //   cfsort --algo=cf --json | jq .throughput_elem_per_us
+//   cfsort --algo=cf --segments=16 --json | jq .overlap_speedup
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <random>
 #include <string>
 
 #include "cfmerge.hpp"
@@ -39,6 +49,8 @@ struct Options {
   std::string device = "turing:4";
   std::uint64_t seed = 42;
   int threads = 0;  // 0 = CFMERGE_SIM_THREADS env or sequential
+  int segments = 0;  // 0 = plain sort; N >= 1 = segmented sort over N segments
+  bool serial_graph = false;
   bool json = false;
   bool profile = false;
   bool cf_blocksort = false;
@@ -51,8 +63,8 @@ struct Options {
                "usage: cfsort [--algo=cf|baseline|bitonic|bitonic-padded]\n"
                "              [--dist=NAME] [--n=N] [--e=E] [--u=U]\n"
                "              [--device=rtx2080ti|turing:SMS|tiny:W,SMS]\n"
-               "              [--seed=S] [--threads=T] [--json] [--profile]\n"
-               "              [--trace=FILE] [--cf-blocksort]\n");
+               "              [--seed=S] [--threads=T] [--segments=N] [--serial-graph]\n"
+               "              [--json] [--profile] [--trace=FILE] [--cf-blocksort]\n");
   std::exit(msg ? 2 : 0);
 }
 
@@ -75,7 +87,9 @@ Options parse(int argc, char** argv) {
     else if (auto v = val("--device"); !v.empty()) o.device = v;
     else if (auto v = val("--seed"); !v.empty()) o.seed = std::stoull(v);
     else if (auto v = val("--threads"); !v.empty()) o.threads = std::stoi(v);
+    else if (auto v = val("--segments"); !v.empty()) o.segments = std::stoi(v);
     else if (auto v = val("--trace"); !v.empty()) o.trace_path = v;
+    else if (a == "--serial-graph") o.serial_graph = true;
     else if (a == "--json") o.json = true;
     else if (a == "--profile") o.profile = true;
     else if (a == "--cf-blocksort") o.cf_blocksort = true;
@@ -102,6 +116,34 @@ workloads::Distribution parse_dist(const std::string& name) {
   for (const auto d : workloads::all_distributions())
     if (name == workloads::distribution_name(d)) return d;
   usage(("unknown distribution: " + name).c_str());
+}
+
+/// Splits `data` into `count` segments with pseudo-random sizes drawn
+/// deterministically from `seed` (a request-batch shape: uneven but
+/// reproducible).  Every element of `data` lands in exactly one segment.
+std::vector<std::vector<std::int32_t>> split_segments(const std::vector<std::int32_t>& data,
+                                                      int count, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<double> weights(static_cast<std::size_t>(count));
+  double total = 0.0;
+  for (auto& w : weights) {
+    w = 1.0 + static_cast<double>(rng() % 1000);  // spread ~1:1000
+    total += w;
+  }
+  std::vector<std::vector<std::int32_t>> segments;
+  segments.reserve(weights.size());
+  std::size_t begin = 0;
+  for (int s = 0; s < count; ++s) {
+    std::size_t len = s + 1 == count
+                          ? data.size() - begin
+                          : static_cast<std::size_t>(weights[static_cast<std::size_t>(s)] /
+                                                     total * static_cast<double>(data.size()));
+    len = std::min(len, data.size() - begin);
+    segments.emplace_back(data.begin() + static_cast<std::ptrdiff_t>(begin),
+                          data.begin() + static_cast<std::ptrdiff_t>(begin + len));
+    begin += len;
+  }
+  return segments;
 }
 
 }  // namespace
@@ -134,6 +176,10 @@ int main(int argc, char** argv) {
 
   std::vector<std::int32_t> data = workloads::generate(spec);
 
+  if (o.segments < 0) usage("--segments must be positive");
+  if (o.segments > 0 && o.algo != "cf" && o.algo != "baseline")
+    usage("--segments requires --algo=cf or --algo=baseline");
+
   if (o.algo == "bitonic" || o.algo == "bitonic-padded") {
     sort::BitonicConfig cfg;
     cfg.u = o.u;
@@ -151,6 +197,28 @@ int main(int argc, char** argv) {
                   o.algo.c_str(), o.dist.c_str(), static_cast<long long>(report.n),
                   report.microseconds, report.throughput(),
                   static_cast<unsigned long long>(report.totals.bank_conflicts));
+    }
+  } else if ((o.algo == "cf" || o.algo == "baseline") && o.segments > 0) {
+    sort::MergeConfig cfg;
+    cfg.e = o.e;
+    cfg.u = o.u;
+    cfg.variant = o.algo == "cf" ? sort::Variant::CFMerge : sort::Variant::Baseline;
+    cfg.cf_blocksort = o.cf_blocksort;
+    auto segments = split_segments(data, o.segments, o.seed);
+    const auto mode =
+        o.serial_graph ? gpusim::GraphExec::Serial : gpusim::GraphExec::Overlap;
+    const auto report = sort::segmented_sort(launcher, segments, cfg, mode);
+    for (const auto& seg : segments) {
+      if (!std::is_sorted(seg.begin(), seg.end())) {
+        std::fprintf(stderr, "cfsort: SEGMENT NOT SORTED (bug)\n");
+        return 1;
+      }
+    }
+    if (o.json) {
+      analysis::write_json(std::cout, report, cfg, launcher.device().name, o.dist);
+    } else {
+      std::printf("%s\n", analysis::summarize(report, o.algo + "/segmented").c_str());
+      if (o.profile) analysis::print_phase_profile(std::cout, report.phases, report.elements);
     }
   } else if (o.algo == "cf" || o.algo == "baseline") {
     sort::MergeConfig cfg;

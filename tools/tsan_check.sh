@@ -19,10 +19,11 @@ cmake -B "$BUILD" -S . \
   -DCFMERGE_SANITIZE=thread \
   -DCFMERGE_BUILD_BENCH=OFF \
   -DCFMERGE_BUILD_EXAMPLES=OFF
-cmake --build "$BUILD" -j --target test_launcher test_merge_sort
+cmake --build "$BUILD" -j --target test_launcher test_merge_sort \
+  test_kernel_graph test_segmented_sort
 
-echo "== test_launcher under TSan (CFMERGE_SIM_THREADS=4) =="
-CFMERGE_SIM_THREADS=4 "./$BUILD/tests/test_launcher"
-echo "== test_merge_sort under TSan (CFMERGE_SIM_THREADS=4) =="
-CFMERGE_SIM_THREADS=4 "./$BUILD/tests/test_merge_sort"
+for t in test_launcher test_merge_sort test_kernel_graph test_segmented_sort; do
+  echo "== $t under TSan (CFMERGE_SIM_THREADS=4) =="
+  CFMERGE_SIM_THREADS=4 "./$BUILD/tests/$t"
+done
 echo "tsan_check: OK — no data races reported"
