@@ -1,0 +1,355 @@
+// Simulator hot-path macro-benchmark: the canonical throughput trajectory.
+//
+//   sim_hotpath [--quick] [--repeats=R] [--threads=T] [--out=FILE.json]
+//
+// Runs a fixed shape matrix over the three sort entry points —
+// merge_sort (cf and baseline), batched_merge, segmented_sort — plus a
+// traced merge_sort, measures host wall-clock per case, and reports
+// *simulated elements per host second* (how fast the simulator chews
+// through work; the number every accounting-hot-path change must move).
+// Each case is repeated --repeats times (fresh input copy each run) and
+// min/median wall times are reported so the metric is low-variance.
+//
+// Bit-identity checks are built in and gate the exit code:
+//   * every repeat of a case must produce a bit-identical report
+//     (counters, phases, per-kernel timings),
+//   * tracing on vs. off must not change any counter,
+//   * segmented serial vs. overlap execution must agree.
+// CI runs `sim_hotpath --quick` and asserts only these checks (wall
+// clock is never thresholded in CI); the committed BENCH_sim_hotpath.json
+// is the perf trajectory seed for full Release runs.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "analysis/json.hpp"
+#include "sort/batched_merge.hpp"
+#include "sort/merge_sort.hpp"
+#include "sort/segmented_sort.hpp"
+
+using namespace cfmerge;
+
+namespace {
+
+struct CaseResult {
+  std::string name;
+  std::string detail;
+  std::int64_t elements = 0;
+  double sim_microseconds = 0.0;
+  double wall_ms_min = 0.0;
+  double wall_ms_median = 0.0;
+  double elem_per_sec = 0.0;  ///< simulated elements / host second (min wall)
+  bool identity_ok = true;
+};
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<std::int32_t> random_vec(std::int64_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::int32_t> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<std::int32_t>(rng());
+  return v;
+}
+
+bool kernels_identical(const std::vector<gpusim::KernelReport>& a,
+                       const std::vector<gpusim::KernelReport>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    if (a[k].name != b[k].name || a[k].counters != b[k].counters ||
+        a[k].timing.microseconds != b[k].timing.microseconds)
+      return false;
+  }
+  return true;
+}
+
+bool identical(const sort::SortReport& a, const sort::SortReport& b) {
+  return a.totals == b.totals && a.phases == b.phases &&
+         a.microseconds == b.microseconds &&
+         a.makespan_microseconds == b.makespan_microseconds &&
+         kernels_identical(a.kernels, b.kernels);
+}
+
+bool identical(const sort::BatchedMergeReport& a, const sort::BatchedMergeReport& b) {
+  return a.totals == b.totals && a.phases == b.phases &&
+         a.microseconds == b.microseconds &&
+         a.makespan_microseconds == b.makespan_microseconds &&
+         kernels_identical(a.kernels, b.kernels);
+}
+
+bool identical(const sort::SegmentedSortReport& a, const sort::SegmentedSortReport& b) {
+  return a.totals == b.totals && a.phases == b.phases &&
+         a.serial_microseconds == b.serial_microseconds &&
+         a.makespan_microseconds == b.makespan_microseconds &&
+         kernels_identical(a.kernels, b.kernels);
+}
+
+struct WallStats {
+  double min_ms = 0.0;
+  double median_ms = 0.0;
+};
+
+WallStats wall_stats(std::vector<double> times) {
+  std::sort(times.begin(), times.end());
+  WallStats s;
+  s.min_ms = times.front();
+  s.median_ms = times[times.size() / 2];
+  return s;
+}
+
+/// Runs `body` (which returns a report) `repeats` times, fills wall stats,
+/// and checks the repeat reports are bit-identical to the first.
+template <typename Body>
+CaseResult run_case(const std::string& name, const std::string& detail, int repeats,
+                    std::int64_t elements, Body&& body) {
+  CaseResult r;
+  r.name = name;
+  r.detail = detail;
+  r.elements = elements;
+  auto first = body(&r);  // repeat 0 (also records wall via r-side channel)
+  std::vector<double> walls{r.wall_ms_min};
+  for (int i = 1; i < repeats; ++i) {
+    CaseResult tmp = r;
+    auto rep = body(&tmp);
+    walls.push_back(tmp.wall_ms_min);
+    if (!identical(first, rep)) r.identity_ok = false;
+  }
+  const WallStats s = wall_stats(walls);
+  r.wall_ms_min = s.min_ms;
+  r.wall_ms_median = s.median_ms;
+  r.elem_per_sec =
+      s.min_ms > 0 ? static_cast<double>(elements) / (s.min_ms / 1000.0) : 0.0;
+  std::printf("  %-28s %10.1f ms (median %8.1f)  %12.0f elem/s  identity %s\n",
+              name.c_str(), r.wall_ms_min, r.wall_ms_median, r.elem_per_sec,
+              r.identity_ok ? "ok" : "FAIL");
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  int repeats = 0;  // 0 = default per mode
+  int threads = 1;
+  std::string out_path = "BENCH_sim_hotpath.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--quick") quick = true;
+    else if (a.rfind("--repeats=", 0) == 0) repeats = std::stoi(a.substr(10));
+    else if (a.rfind("--threads=", 0) == 0) threads = std::stoi(a.substr(10));
+    else if (a.rfind("--out=", 0) == 0) out_path = a.substr(6);
+    else {
+      std::fprintf(stderr,
+                   "usage: sim_hotpath [--quick] [--repeats=R] [--threads=T] "
+                   "[--out=FILE.json]\n");
+      return 2;
+    }
+  }
+  if (repeats == 0) repeats = quick ? 2 : 3;
+  if (repeats < 2) repeats = 2;  // identity checks need two runs
+
+  const std::int64_t n_sort = quick ? (1 << 17) : (1 << 20);
+  const int pairs = quick ? 8 : 32;
+  const std::int64_t pair_len = quick ? 4096 : 16384;
+  const int segments = quick ? 8 : 16;
+  const std::int64_t n_segmented = quick ? (1 << 16) : (1 << 19);
+
+  sort::MergeConfig cf_cfg;
+  cf_cfg.e = 15;
+  cf_cfg.u = 512;
+  cf_cfg.variant = sort::Variant::CFMerge;
+  sort::MergeConfig base_cfg = cf_cfg;
+  base_cfg.variant = sort::Variant::Baseline;
+
+  const auto dev = [] { return gpusim::DeviceSpec::scaled_turing(4); };
+
+#ifdef CFMERGE_UNOPTIMIZED_BENCH
+  std::fprintf(stderr,
+               "sim_hotpath: WARNING — built without optimization "
+               "(CMAKE_BUILD_TYPE is not Release); wall times are not "
+               "comparable to BENCH_sim_hotpath.json\n");
+#endif
+  std::printf("sim_hotpath: %s mode, repeats=%d, threads=%d\n\n",
+              quick ? "quick" : "full", repeats, threads);
+
+  std::vector<CaseResult> results;
+
+  // --- merge_sort, CF variant, random 2^20 (the trajectory's anchor case).
+  const auto sort_input = random_vec(n_sort, 42);
+  results.push_back(run_case(
+      "merge_sort/cf/random", "n=" + std::to_string(n_sort), repeats, n_sort,
+      [&](CaseResult* r) {
+        gpusim::Launcher launcher(dev());
+        launcher.set_threads(threads);
+        auto data = sort_input;
+        const double t0 = now_ms();
+        auto rep = sort::merge_sort(launcher, data, cf_cfg);
+        r->wall_ms_min = now_ms() - t0;
+        r->sim_microseconds = rep.microseconds;
+        if (!std::is_sorted(data.begin(), data.end())) r->identity_ok = false;
+        return rep;
+      }));
+
+  // --- merge_sort, baseline variant (exercises the conflicted shared path).
+  results.push_back(run_case(
+      "merge_sort/baseline/random", "n=" + std::to_string(n_sort), repeats, n_sort,
+      [&](CaseResult* r) {
+        gpusim::Launcher launcher(dev());
+        launcher.set_threads(threads);
+        auto data = sort_input;
+        const double t0 = now_ms();
+        auto rep = sort::merge_sort(launcher, data, base_cfg);
+        r->wall_ms_min = now_ms() - t0;
+        r->sim_microseconds = rep.microseconds;
+        if (!std::is_sorted(data.begin(), data.end())) r->identity_ok = false;
+        return rep;
+      }));
+
+  // --- merge_sort with tracing attached: measures recording overhead, and
+  // the counters must match the untraced run bit for bit.
+  {
+    const auto& untraced = results.front();
+    auto traced = run_case(
+        "merge_sort/cf/random+trace", "n=" + std::to_string(n_sort), repeats, n_sort,
+        [&](CaseResult* r) {
+          gpusim::Launcher launcher(dev());
+          launcher.set_threads(threads);
+          gpusim::TraceSink sink;
+          launcher.set_trace(&sink);
+          auto data = sort_input;
+          const double t0 = now_ms();
+          auto rep = sort::merge_sort(launcher, data, cf_cfg);
+          r->wall_ms_min = now_ms() - t0;
+          r->sim_microseconds = rep.microseconds;
+          if (sink.size() == 0) r->identity_ok = false;
+          return rep;
+        });
+    // Cross-check: tracing must not change the simulated outcome.
+    if (traced.sim_microseconds != untraced.sim_microseconds) traced.identity_ok = false;
+    results.push_back(traced);
+  }
+
+  // --- batched_merge: many independent pairs, one graph.
+  {
+    std::vector<std::vector<std::int32_t>> as, bs;
+    std::int64_t elements = 0;
+    for (int p = 0; p < pairs; ++p) {
+      auto a = random_vec(pair_len, 100 + static_cast<std::uint64_t>(p));
+      auto b = random_vec(pair_len, 200 + static_cast<std::uint64_t>(p));
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      elements += 2 * pair_len;
+      as.push_back(std::move(a));
+      bs.push_back(std::move(b));
+    }
+    results.push_back(run_case(
+        "batched_merge/cf", std::to_string(pairs) + " pairs x " + std::to_string(pair_len),
+        repeats, elements, [&](CaseResult* r) {
+          gpusim::Launcher launcher(dev());
+          launcher.set_threads(threads);
+          std::vector<std::vector<std::int32_t>> outs;
+          const double t0 = now_ms();
+          auto rep = sort::batched_merge(launcher, as, bs, outs, cf_cfg);
+          r->wall_ms_min = now_ms() - t0;
+          r->sim_microseconds = rep.microseconds;
+          for (const auto& o : outs)
+            if (!std::is_sorted(o.begin(), o.end())) r->identity_ok = false;
+          return rep;
+        }));
+  }
+
+  // --- segmented_sort: request batch as one graph; serial and overlap host
+  // execution must agree bit for bit.
+  {
+    std::mt19937_64 rng(7);
+    std::vector<std::vector<std::int32_t>> proto(static_cast<std::size_t>(segments));
+    std::int64_t used = 0;
+    for (int s = 0; s < segments; ++s) {
+      const std::int64_t len = s + 1 == segments
+                                   ? n_segmented - used
+                                   : std::min<std::int64_t>(n_segmented - used,
+                                                            1 + static_cast<std::int64_t>(
+                                                                    rng() %
+                                                                    (2 * n_segmented /
+                                                                     segments)));
+      proto[static_cast<std::size_t>(s)] =
+          random_vec(len, 300 + static_cast<std::uint64_t>(s));
+      used += len;
+    }
+    sort::SegmentedSortReport serial_rep;
+    auto seg = run_case(
+        "segmented_sort/cf", std::to_string(segments) + " segments, n=" +
+                                 std::to_string(n_segmented),
+        repeats, n_segmented, [&](CaseResult* r) {
+          gpusim::Launcher launcher(dev());
+          launcher.set_threads(threads);
+          auto batch = proto;
+          const double t0 = now_ms();
+          auto rep = sort::segmented_sort(launcher, batch, cf_cfg,
+                                          gpusim::GraphExec::Overlap);
+          r->wall_ms_min = now_ms() - t0;
+          r->sim_microseconds = rep.serial_microseconds;
+          for (const auto& s2 : batch)
+            if (!std::is_sorted(s2.begin(), s2.end())) r->identity_ok = false;
+          return rep;
+        });
+    {
+      gpusim::Launcher launcher(dev());
+      launcher.set_threads(threads);
+      auto batch = proto;
+      serial_rep =
+          sort::segmented_sort(launcher, batch, cf_cfg, gpusim::GraphExec::Serial);
+      gpusim::Launcher launcher2(dev());
+      launcher2.set_threads(threads);
+      auto batch2 = proto;
+      const auto overlap_rep =
+          sort::segmented_sort(launcher2, batch2, cf_cfg, gpusim::GraphExec::Overlap);
+      if (!identical(serial_rep, overlap_rep)) seg.identity_ok = false;
+    }
+    results.push_back(seg);
+  }
+
+  const bool all_ok =
+      std::all_of(results.begin(), results.end(),
+                  [](const CaseResult& r) { return r.identity_ok; });
+
+  std::ofstream f(out_path);
+  if (!f) {
+    std::fprintf(stderr, "sim_hotpath: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  f << "{\n  \"schema\": \"cfmerge.sim_hotpath.v1\",\n";
+  f << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n";
+  f << "  \"repeats\": " << repeats << ",\n";
+  f << "  \"threads\": " << threads << ",\n";
+  f << "  \"identity_ok\": " << (all_ok ? "true" : "false") << ",\n";
+  f << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CaseResult& r = results[i];
+    f << "    {\"name\": \"" << analysis::json_escape(r.name) << "\", "
+      << "\"detail\": \"" << analysis::json_escape(r.detail) << "\", "
+      << "\"elements\": " << r.elements << ", "
+      << "\"sim_microseconds\": " << r.sim_microseconds << ", "
+      << "\"wall_ms_min\": " << r.wall_ms_min << ", "
+      << "\"wall_ms_median\": " << r.wall_ms_median << ", "
+      << "\"elem_per_sec\": " << r.elem_per_sec << ", "
+      << "\"identity_ok\": " << (r.identity_ok ? "true" : "false") << "}"
+      << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  f << "  ]\n}\n";
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (!all_ok) {
+    std::fprintf(stderr, "sim_hotpath: BIT-IDENTITY CHECK FAILED\n");
+    return 1;
+  }
+  return 0;
+}

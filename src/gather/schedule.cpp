@@ -39,26 +39,6 @@ RoundSchedule::RoundSchedule(const GatherShape& shape, std::vector<std::int64_t>
     throw std::invalid_argument("RoundSchedule: splits do not cover the A list");
 }
 
-GatherRead RoundSchedule::read(int i, int j) const {
-  const auto idx = static_cast<std::size_t>(i);
-  const std::int64_t e = shape_.e;
-  const std::int64_t k = mod(a_off_[idx], e);
-  const std::int64_t m = mod(j - k, e);
-  GatherRead r;
-  if (m < a_size_[idx]) {
-    r.from_a = true;
-    r.offset = a_off_[idx] + m;
-    r.raw = pi_.raw_of_a(r.offset);
-  } else {
-    r.from_a = false;
-    const std::int64_t eidx = mod(k - j - 1, e);
-    r.offset = b_offset(i) + eidx;
-    r.raw = pi_.raw_of_b(r.offset);
-  }
-  r.phys = rho_(r.raw);
-  return r;
-}
-
 int RoundSchedule::register_slot_of_a(int i, std::int64_t x) const {
   return static_cast<int>(mod(a_off_[static_cast<std::size_t>(i)] + x, shape_.e));
 }

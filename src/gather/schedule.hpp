@@ -65,7 +65,31 @@ class RoundSchedule {
   [[nodiscard]] const BReversal& pi() const { return pi_; }
 
   /// The element thread `i` reads in round `j` (0 <= j < E).
-  [[nodiscard]] GatherRead read(int i, int j) const;
+  ///
+  /// Inline: called once per lane per gather round — one of the simulator's
+  /// hottest loops.  The two inner mod-E reductions operate on values
+  /// already within (-E, E), so a conditional add replaces the division.
+  [[nodiscard]] GatherRead read(int i, int j) const {
+    const auto idx = static_cast<std::size_t>(i);
+    const std::int64_t e = shape_.e;
+    const std::int64_t k = a_off_[idx] % e;  // a_off is non-negative
+    const std::int64_t jk = j - k;           // in (-E, E)
+    const std::int64_t m = jk < 0 ? jk + e : jk;
+    GatherRead r;
+    if (m < a_size_[idx]) {
+      r.from_a = true;
+      r.offset = a_off_[idx] + m;
+      r.raw = pi_.raw_of_a(r.offset);
+    } else {
+      const std::int64_t kj = k - j - 1;  // in [-E, E-2]
+      const std::int64_t eidx = kj < 0 ? kj + e : kj;
+      r.from_a = false;
+      r.offset = b_offset(i) + eidx;
+      r.raw = pi_.raw_of_b(r.offset);
+    }
+    r.phys = rho_(r.raw);
+    return r;
+  }
 
   /// Register slot the round-j element lands in: items[j] (identity —
   /// documented here because the register file is indexed by round).

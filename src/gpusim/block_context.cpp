@@ -1,6 +1,7 @@
 #include "gpusim/block_context.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 #include "gpusim/global_memory.hpp"
@@ -14,74 +15,32 @@ BlockContext::BlockContext(const DeviceSpec& dev, int block_id, int num_blocks, 
     throw std::invalid_argument("BlockContext: threads must be a positive multiple of warp_size");
   if (block_id < 0 || block_id >= num_blocks)
     throw std::invalid_argument("BlockContext: block_id out of range");
-  current_ = &counters_.phase("main");
+  current_idx_ = counters_.intern("main");
+  current_ = &counters_.by_index(current_idx_);
   chains_.assign(static_cast<std::size_t>(warps()), 0.0);
+  l2_scratch_.reserve(2 * static_cast<std::size_t>(kMaxLanes));
 }
 
 void BlockContext::phase(std::string_view name) {
-  current_ = &counters_.phase(name);
-  current_phase_ = std::string(name);
+  if (name == current_phase_) return;
+  current_idx_ = counters_.intern(name);
+  current_ = &counters_.by_index(current_idx_);
+  current_phase_.assign(name);
+  trace_phase_ = -1;
 }
 
-SharedAccessCost BlockContext::charge_shared(int warp, std::span<const std::int64_t> addrs,
-                                             bool dependent, bool is_write) {
-  const SharedAccessCost c = shared_access_cost(addrs, dev_->warp_size);
-  if (c.active_lanes == 0) return c;
-  if (trace_ != nullptr)
-    trace_->record(block_id_, static_cast<std::int16_t>(warp),
-                   is_write ? AccessKind::SharedWrite : AccessKind::SharedRead,
-                   current_phase_, addrs, c.conflicts);
-  const int replay = dev_->shared_replay_cycles * c.conflicts;
-  current_->shared_accesses += 1;
-  current_->shared_cycles += static_cast<std::uint64_t>(1 + replay);
-  current_->bank_conflicts += static_cast<std::uint64_t>(c.conflicts);
-  auto& chain = chains_.at(static_cast<std::size_t>(warp));
-  if (dependent)
-    chain += dev_->shared_latency + replay;
-  else
-    chain += 1 + replay;  // throughput-pipelined: replays still occupy the unit
-  return c;
-}
-
-GlobalAccessCost BlockContext::charge_gmem(int warp, std::span<const std::int64_t> byte_addrs,
-                                           int elem_bytes, bool dependent, bool is_write) {
-  const GlobalAccessCost c =
-      global_access_cost(byte_addrs, elem_bytes, dev_->transaction_bytes);
-  if (c.active_lanes == 0) return c;
-  if (trace_ != nullptr)
-    trace_->record(block_id_, static_cast<std::int16_t>(warp),
-                   is_write ? AccessKind::GlobalWrite : AccessKind::GlobalRead,
-                   current_phase_, byte_addrs, c.transactions);
-  current_->gmem_requests += 1;
-  current_->gmem_transactions += static_cast<std::uint64_t>(c.transactions);
-  if (l2_ == nullptr) {
-    current_->gmem_bytes += static_cast<std::uint64_t>(c.bytes);
-  } else {
-    // Route each transaction segment through the device L2: only misses
-    // generate DRAM traffic.
-    global_access_segments(byte_addrs, elem_bytes, dev_->transaction_bytes, l2_scratch_);
-    for (const std::int64_t seg : l2_scratch_) {
-      if (l2_->access(seg * dev_->transaction_bytes)) {
-        current_->l2_hits += 1;
-      } else {
-        current_->l2_misses += 1;
-        current_->gmem_bytes += static_cast<std::uint64_t>(dev_->transaction_bytes);
-      }
-    }
+void BlockContext::phase(PhaseRef& ref) {
+  if (ref.idx < 0) {
+    phase(ref.name);
+    ref.idx = current_idx_;
+    return;
   }
-  auto& chain = chains_.at(static_cast<std::size_t>(warp));
-  if (dependent)
-    chain += dev_->global_latency;
-  else
-    chain += c.transactions;  // issue cost only; latency overlapped
-  return c;
-}
-
-void BlockContext::charge_compute(int warp, std::uint64_t instrs, std::int64_t chain) {
-  current_->warp_instructions += instrs;
-  const double on_chain =
-      chain < 0 ? static_cast<double>(instrs) : static_cast<double>(chain);
-  chains_.at(static_cast<std::size_t>(warp)) += on_chain;
+  assert(counters_.name_of(ref.idx) == ref.name && "PhaseRef reused across contexts");
+  if (ref.idx == current_idx_) return;
+  current_idx_ = ref.idx;
+  current_ = &counters_.by_index(ref.idx);
+  current_phase_.assign(ref.name);
+  trace_phase_ = -1;
 }
 
 void BlockContext::barrier() {

@@ -43,15 +43,36 @@ class BlockContext {
   [[nodiscard]] int warps() const { return threads_ / dev_->warp_size; }
 
   /// Switches the phase that subsequent charges are attributed to.
+  /// Switching to the already-current phase is a free no-op.
   void phase(std::string_view name);
+
+  /// Cached phase switch for kernel hot loops.  Declare one PhaseRef per
+  /// phase name in the block body; the counters slot is resolved on the
+  /// first switch and every later switch through the same ref is O(1) —
+  /// no string compares.  A PhaseRef binds to the BlockContext that first
+  /// resolved it and must not be reused across blocks/contexts.
+  struct PhaseRef {
+    std::string_view name;
+    int idx = -1;  ///< resolved counters slot, -1 until first use
+  };
+  void phase(PhaseRef& ref);
+
   [[nodiscard]] const PhaseCounters& counters() const { return counters_; }
 
   // --- charging primitives --------------------------------------------
+  // Both primitives are defined inline (below the class): they are called
+  // once per simulated warp access and inlining them — together with the
+  // inline cost models they call — collapses the whole accounting path
+  // into the kernel loops.
+
   /// One warp-wide shared memory access (element addresses, kInactiveLane
   /// for idle lanes).  Returns the access cost.  `dependent` extends the
-  /// warp's dependency chain by latency + replays.
+  /// warp's dependency chain by latency + replays.  `scattered_hint` is a
+  /// pure performance hint for data-dependent address patterns (see
+  /// shared_access_cost); it never changes the result.
   SharedAccessCost charge_shared(int warp, std::span<const std::int64_t> addrs,
-                                 bool dependent = true, bool is_write = false);
+                                 bool dependent = true, bool is_write = false,
+                                 bool scattered_hint = false);
   /// One warp-wide global access (byte addresses).  `dependent` charges the
   /// full DRAM latency on the warp chain; pass false for accesses that
   /// pipeline behind a previous one (e.g. the tail of a streaming tile
@@ -60,8 +81,14 @@ class BlockContext {
                                int elem_bytes, bool dependent = true,
                                bool is_write = false);
   /// `instrs` warp-wide ALU/control instructions; `chain` of them are on the
-  /// dependency chain (defaults to all).
-  void charge_compute(int warp, std::uint64_t instrs, std::int64_t chain = -1);
+  /// dependency chain (defaults to all).  Inline for the same reason as the
+  /// memory primitives: several calls per simulated warp step.
+  void charge_compute(int warp, std::uint64_t instrs, std::int64_t chain = -1) {
+    current_->warp_instructions += instrs;
+    const double on_chain =
+        chain < 0 ? static_cast<double>(instrs) : static_cast<double>(chain);
+    chains_[static_cast<std::size_t>(warp)] += on_chain;
+  }
   /// Block-wide barrier: all warp chains advance to the block maximum.
   void barrier();
 
@@ -70,7 +97,10 @@ class BlockContext {
   [[nodiscard]] std::size_t shared_bytes() const { return shared_bytes_; }
 
   /// Attaches a trace sink; every subsequent access is recorded.
-  void set_trace(TraceSink* sink) { trace_ = sink; }
+  void set_trace(TraceSink* sink) {
+    trace_ = sink;
+    trace_phase_ = -1;
+  }
   /// Attaches the device-level L2 cache (owned by the Launcher).
   void set_l2(L2Cache* l2) { l2_ = l2; }
   [[nodiscard]] TraceSink* trace() const { return trace_; }
@@ -80,6 +110,15 @@ class BlockContext {
   [[nodiscard]] const std::vector<double>& warp_chains() const { return chains_; }
 
  private:
+  /// The attached sink's id of the current phase, interned lazily on the
+  /// first recorded access after a phase switch (so phase_names() keeps the
+  /// historical first-record order) and reused for every access until the
+  /// next switch.
+  [[nodiscard]] std::int16_t trace_phase() {
+    if (trace_phase_ < 0) trace_phase_ = trace_->intern_phase(current_phase_);
+    return trace_phase_;
+  }
+
   const DeviceSpec* dev_;
   int block_id_;
   int num_blocks_;
@@ -87,11 +126,71 @@ class BlockContext {
   std::size_t shared_bytes_ = 0;
   PhaseCounters counters_;
   Counters* current_;
+  int current_idx_ = 0;
   std::string current_phase_ = "main";
   TraceSink* trace_ = nullptr;
+  std::int16_t trace_phase_ = -1;
   L2Cache* l2_ = nullptr;
   std::vector<std::int64_t> l2_scratch_;
   std::vector<double> chains_;
 };
+
+inline SharedAccessCost BlockContext::charge_shared(int warp,
+                                                    std::span<const std::int64_t> addrs,
+                                                    bool dependent, bool is_write,
+                                                    bool scattered_hint) {
+  const SharedAccessCost c = shared_access_cost(addrs, dev_->warp_size, scattered_hint);
+  if (c.active_lanes == 0) return c;
+  if (trace_ != nullptr)
+    trace_->record(block_id_, static_cast<std::int16_t>(warp),
+                   is_write ? AccessKind::SharedWrite : AccessKind::SharedRead,
+                   trace_phase(), addrs, c.conflicts);
+  const int replay = dev_->shared_replay_cycles * c.conflicts;
+  current_->shared_accesses += 1;
+  current_->shared_cycles += static_cast<std::uint64_t>(1 + replay);
+  current_->bank_conflicts += static_cast<std::uint64_t>(c.conflicts);
+  auto& chain = chains_[static_cast<std::size_t>(warp)];
+  if (dependent)
+    chain += dev_->shared_latency + replay;
+  else
+    chain += 1 + replay;  // throughput-pipelined: replays still occupy the unit
+  return c;
+}
+
+inline GlobalAccessCost BlockContext::charge_gmem(int warp,
+                                                  std::span<const std::int64_t> byte_addrs,
+                                                  int elem_bytes, bool dependent,
+                                                  bool is_write) {
+  const GlobalAccessCost c =
+      global_access_cost(byte_addrs, elem_bytes, dev_->transaction_bytes);
+  if (c.active_lanes == 0) return c;
+  if (trace_ != nullptr)
+    trace_->record(block_id_, static_cast<std::int16_t>(warp),
+                   is_write ? AccessKind::GlobalWrite : AccessKind::GlobalRead,
+                   trace_phase(), byte_addrs, c.transactions);
+  current_->gmem_requests += 1;
+  current_->gmem_transactions += static_cast<std::uint64_t>(c.transactions);
+  if (l2_ == nullptr) {
+    current_->gmem_bytes += static_cast<std::uint64_t>(c.bytes);
+  } else {
+    // Route each transaction segment through the device L2: only misses
+    // generate DRAM traffic.
+    global_access_segments(byte_addrs, elem_bytes, dev_->transaction_bytes, l2_scratch_);
+    for (const std::int64_t seg : l2_scratch_) {
+      if (l2_->access(seg * dev_->transaction_bytes)) {
+        current_->l2_hits += 1;
+      } else {
+        current_->l2_misses += 1;
+        current_->gmem_bytes += static_cast<std::uint64_t>(dev_->transaction_bytes);
+      }
+    }
+  }
+  auto& chain = chains_[static_cast<std::size_t>(warp)];
+  if (dependent)
+    chain += dev_->global_latency;
+  else
+    chain += c.transactions;  // issue cost only; latency overlapped
+  return c;
+}
 
 }  // namespace cfmerge::gpusim

@@ -1,56 +1,35 @@
 #include "gpusim/global_memory.hpp"
 
 #include <algorithm>
-#include <array>
-#include <cassert>
-#include <stdexcept>
-
-#include "gpusim/shared_memory.hpp"  // kInactiveLane
+#include <bit>
+#include <limits>
 
 namespace cfmerge::gpusim {
-
-namespace {
-constexpr int kMaxLanes = 64;
-}
-
-GlobalAccessCost global_access_cost(std::span<const std::int64_t> byte_addrs, int elem_bytes,
-                                    int transaction_bytes) {
-  if (elem_bytes <= 0 || transaction_bytes <= 0)
-    throw std::invalid_argument("global_access_cost: sizes must be positive");
-  if (byte_addrs.size() > static_cast<std::size_t>(kMaxLanes))
-    throw std::invalid_argument("global_access_cost: too many lanes");
-
-  std::array<std::int64_t, 2 * kMaxLanes> segments{};
-  int n = 0;
-  GlobalAccessCost cost;
-  for (const std::int64_t a : byte_addrs) {
-    if (a == kInactiveLane) continue;
-    assert(a >= 0 && "global byte address must be non-negative");
-    ++cost.active_lanes;
-    cost.bytes += elem_bytes;
-    // An element may straddle a segment boundary; count both segments.
-    const std::int64_t first = a / transaction_bytes;
-    const std::int64_t last = (a + elem_bytes - 1) / transaction_bytes;
-    for (std::int64_t s = first; s <= last; ++s)
-      segments[static_cast<std::size_t>(n++)] = s;
-  }
-  if (n == 0) return cost;
-  std::sort(segments.begin(), segments.begin() + n);
-  cost.transactions =
-      static_cast<int>(std::unique(segments.begin(), segments.begin() + n) - segments.begin());
-  return cost;
-}
 
 void global_access_segments(std::span<const std::int64_t> byte_addrs, int elem_bytes,
                             int transaction_bytes, std::vector<std::int64_t>& out) {
   out.clear();
+  // A warp expands to at most two segments per lane; one up-front reserve
+  // makes the reused per-context scratch allocation-free for good.
+  if (out.capacity() < static_cast<std::size_t>(2 * kMaxLanes))
+    out.reserve(static_cast<std::size_t>(2 * kMaxLanes));
+  const int tshift = (transaction_bytes & (transaction_bytes - 1)) == 0
+                         ? std::countr_zero(static_cast<unsigned>(transaction_bytes))
+                         : -1;
+  bool sorted = true;
+  std::int64_t prev = std::numeric_limits<std::int64_t>::min();
   for (const std::int64_t a : byte_addrs) {
     if (a == kInactiveLane) continue;
-    const std::int64_t first = a / transaction_bytes;
-    const std::int64_t last = (a + elem_bytes - 1) / transaction_bytes;
-    for (std::int64_t s = first; s <= last; ++s) out.push_back(s);
+    const std::int64_t first = tshift >= 0 ? a >> tshift : a / transaction_bytes;
+    const std::int64_t last = tshift >= 0 ? (a + elem_bytes - 1) >> tshift
+                                          : (a + elem_bytes - 1) / transaction_bytes;
+    for (std::int64_t s = first; s <= last; ++s) {
+      sorted &= s >= prev;
+      prev = s;
+      out.push_back(s);
+    }
   }
-  std::sort(out.begin(), out.end());
+  if (!sorted) std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
 }
 

@@ -32,10 +32,13 @@ class SharedTile {
   [[nodiscard]] std::span<const T> raw() const { return data_; }
 
   /// Warp-wide load: out[lane] = shared[addrs[lane]] for active lanes.
+  /// `scattered` marks data-dependent address patterns (performance hint
+  /// only; forwarded to the bank-conflict model).
   SharedAccessCost gather(int warp, std::span<const std::int64_t> addrs, std::span<T> out,
-                          bool dependent = true) {
+                          bool dependent = true, bool scattered = false) {
     assert(out.size() >= addrs.size());
-    const SharedAccessCost c = ctx_->charge_shared(warp, addrs, dependent);
+    const SharedAccessCost c =
+        ctx_->charge_shared(warp, addrs, dependent, /*is_write=*/false, scattered);
     for (std::size_t l = 0; l < addrs.size(); ++l) {
       if (addrs[l] == kInactiveLane) continue;
       assert(addrs[l] >= 0 && static_cast<std::size_t>(addrs[l]) < data_.size());

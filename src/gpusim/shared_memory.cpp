@@ -1,50 +1,9 @@
 #include "gpusim/shared_memory.hpp"
 
-#include <algorithm>
 #include <array>
-#include <cassert>
 #include <stdexcept>
 
 namespace cfmerge::gpusim {
-
-namespace {
-/// Warps wider than this are not supported (all real GPUs use w <= 64).
-constexpr int kMaxLanes = 64;
-}  // namespace
-
-SharedAccessCost shared_access_cost(std::span<const std::int64_t> addrs, int banks) {
-  if (banks <= 0 || banks > kMaxLanes)
-    throw std::invalid_argument("shared_access_cost: bank count out of range");
-  if (addrs.size() > static_cast<std::size_t>(kMaxLanes))
-    throw std::invalid_argument("shared_access_cost: too many lanes");
-
-  // Gather active addresses, sort, and count distinct addresses per bank.
-  std::array<std::int64_t, kMaxLanes> active{};
-  int n = 0;
-  for (const std::int64_t a : addrs) {
-    if (a == kInactiveLane) continue;
-    assert(a >= 0 && "shared address must be non-negative");
-    active[static_cast<std::size_t>(n++)] = a;
-  }
-  SharedAccessCost cost;
-  cost.active_lanes = n;
-  if (n == 0) return cost;
-
-  std::sort(active.begin(), active.begin() + n);
-  std::array<int, kMaxLanes> degree{};
-  std::int64_t prev = -1;
-  int max_degree = 0;
-  for (int i = 0; i < n; ++i) {
-    const std::int64_t a = active[static_cast<std::size_t>(i)];
-    if (a == prev) continue;  // broadcast: same address served once
-    prev = a;
-    const auto b = static_cast<std::size_t>(a % banks);
-    max_degree = std::max(max_degree, ++degree[b]);
-  }
-  cost.cycles = max_degree;
-  cost.conflicts = max_degree - 1;
-  return cost;
-}
 
 std::span<const int> shared_access_degrees(std::span<const std::int64_t> addrs, int banks,
                                            std::span<int> scratch) {
@@ -52,21 +11,27 @@ std::span<const int> shared_access_degrees(std::span<const std::int64_t> addrs, 
     throw std::invalid_argument("shared_access_degrees: scratch too small");
   std::fill(scratch.begin(), scratch.begin() + banks, 0);
 
-  std::array<std::int64_t, kMaxLanes> active{};
+  // Collect the distinct active addresses (broadcast dedup) with a small
+  // quadratic scan — at most kMaxLanes entries, and the callers
+  // (visualization harnesses, tests) are not on the hot path.
+  std::array<std::int64_t, kMaxLanes> distinct;
   int n = 0;
+  int active = 0;
   for (const std::int64_t a : addrs) {
     if (a == kInactiveLane) continue;
-    if (n >= kMaxLanes) throw std::invalid_argument("shared_access_degrees: too many lanes");
-    active[static_cast<std::size_t>(n++)] = a;
+    if (++active > kMaxLanes)
+      throw std::invalid_argument("shared_access_degrees: too many lanes");
+    bool dup = false;
+    for (int i = 0; i < n; ++i) {
+      if (distinct[static_cast<std::size_t>(i)] == a) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) distinct[static_cast<std::size_t>(n++)] = a;
   }
-  std::sort(active.begin(), active.begin() + n);
-  std::int64_t prev = -1;
-  for (int i = 0; i < n; ++i) {
-    const std::int64_t a = active[static_cast<std::size_t>(i)];
-    if (a == prev) continue;
-    prev = a;
-    ++scratch[static_cast<std::size_t>(a % banks)];
-  }
+  for (int i = 0; i < n; ++i)
+    ++scratch[static_cast<std::size_t>(distinct[static_cast<std::size_t>(i)] % banks)];
   return scratch.subspan(0, static_cast<std::size_t>(banks));
 }
 

@@ -11,13 +11,23 @@
 //   conflicts(access) = cost - 1
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cassert>
 #include <cstdint>
+#include <limits>
 #include <span>
+#include <stdexcept>
 
 namespace cfmerge::gpusim {
 
 /// Sentinel for a lane that does not participate in an access.
 inline constexpr std::int64_t kInactiveLane = -1;
+
+/// Warps wider than this are not supported (all real GPUs use w <= 64);
+/// the accounting hot path sizes its fixed scratch arrays off it.
+inline constexpr int kMaxLanes = 64;
 
 struct SharedAccessCost {
   /// Cycles the SM shared unit is busy (1 for a conflict-free access).
@@ -32,8 +42,117 @@ struct SharedAccessCost {
 /// Computes the cost of one warp-wide shared access.  `addrs` holds one
 /// element address per lane (kInactiveLane for idle lanes); `banks` is the
 /// number of banks (== warp size).  Addresses must be non-negative.
-[[nodiscard]] SharedAccessCost shared_access_cost(std::span<const std::int64_t> addrs,
-                                                  int banks);
+///
+/// `scattered_hint` is a pure performance hint from call sites whose
+/// addresses are data dependent (search probes, sequential merges): it skips
+/// the conflict-free screening pass — which such accesses almost never
+/// satisfy — and goes straight to the per-bank counting.  The result is
+/// identical either way.
+///
+/// Defined inline: this is the single hottest function of the simulator
+/// (one call per warp-wide shared access), and inlining it into
+/// BlockContext::charge_shared removes the call and span-passing overhead.
+[[nodiscard]] inline SharedAccessCost shared_access_cost(
+    std::span<const std::int64_t> addrs, int banks, bool scattered_hint = false) {
+  if (banks <= 0 || banks > kMaxLanes)
+    throw std::invalid_argument("shared_access_cost: bank count out of range");
+  if (addrs.size() > static_cast<std::size_t>(kMaxLanes))
+    throw std::invalid_argument("shared_access_cost: too many lanes");
+
+  // Pass 1 — O(w), no sorting and no per-bank array: a 64-bit occupancy
+  // bitmask over the banks (banks <= kMaxLanes = 64).  Every real device
+  // has a power-of-two bank count, turning the modulo into a mask.  The
+  // loop body is four independent associative reductions (add / min / max /
+  // or) with no cross-lane dependency chain, so the iterations pipeline —
+  // and can vectorize — instead of serializing on a carried bitmask.
+  // "No bank collision" falls out afterwards as popcount(seen) == active:
+  // every active lane sets exactly one bit, so the counts match iff all
+  // active lanes landed in distinct banks.
+  const std::int64_t mask = (banks & (banks - 1)) == 0 ? banks - 1 : 0;
+  SharedAccessCost cost;
+  if (!scattered_hint) {
+  std::uint64_t seen = 0;
+  // Addresses are >= 0 and the idle sentinel is -1: compared as unsigned,
+  // idle lanes become huge and never win the min; compared as signed they
+  // never win the max.  Both reductions run unconditionally on every lane.
+  std::uint64_t mn_u = std::numeric_limits<std::uint64_t>::max();
+  std::int64_t mx = std::numeric_limits<std::int64_t>::min();
+  int active = 0;
+  if (mask != 0) {
+    for (const std::int64_t a : addrs) {
+      assert(a == kInactiveLane || a >= 0);
+      const std::uint64_t act = a != kInactiveLane;
+      active += static_cast<int>(act);
+      mn_u = std::min(mn_u, static_cast<std::uint64_t>(a));
+      mx = std::max(mx, a);
+      // Inactive lanes contribute a zero bit (act == 0); a & mask is then
+      // harmless garbage that never reaches `seen`.
+      seen |= act << static_cast<unsigned>(a & mask);
+    }
+  } else {
+    for (const std::int64_t a : addrs) {
+      if (a == kInactiveLane) continue;
+      assert(a >= 0 && "shared address must be non-negative");
+      ++active;
+      mn_u = std::min(mn_u, static_cast<std::uint64_t>(a));
+      mx = std::max(mx, a);
+      seen |= std::uint64_t{1} << static_cast<unsigned>(a % banks);
+    }
+  }
+  cost.active_lanes = active;
+  if (active == 0) return cost;
+
+  // Fast path (the common case for every conflict-free kernel): no bank is
+  // hit by two lanes, or all lanes broadcast one address (min == max) —
+  // one cycle.
+  if (std::popcount(seen) == active || static_cast<std::int64_t>(mn_u) == mx) {
+    cost.cycles = 1;
+    return cost;
+  }
+  }
+
+  // General path: one pass with per-bank chains threaded through the lane
+  // indices — no counting sort and no per-bank zero-init (`used` gates the
+  // first touch of each bank).  Each lane walks its bank's chain of
+  // previously seen *distinct* addresses (same-address lanes are served by
+  // one broadcast); the walk is linear in the per-bank degree, which the
+  // replay cost this function is computing already bounds.
+  std::array<int, kMaxLanes> head;  // lane index of each bank's chain head
+  std::array<int, kMaxLanes> next;  // next lane in the same bank's chain
+  std::array<int, kMaxLanes> cnt;   // distinct addresses per bank
+  std::uint64_t used = 0;
+  int max_degree = 1;
+  int chain_active = 0;
+  const int n = static_cast<int>(addrs.size());
+  for (int i = 0; i < n; ++i) {
+    const std::int64_t a = addrs[static_cast<std::size_t>(i)];
+    if (a == kInactiveLane) continue;
+    assert(a >= 0 && "shared address must be non-negative");
+    ++chain_active;
+    const auto b = static_cast<std::size_t>(mask != 0 ? (a & mask) : (a % banks));
+    const std::uint64_t bbit = std::uint64_t{1} << b;
+    if ((used & bbit) == 0) {
+      used |= bbit;
+      head[b] = i;
+      next[static_cast<std::size_t>(i)] = -1;
+      cnt[b] = 1;
+      continue;
+    }
+    int j = head[b];
+    while (j != -1 && addrs[static_cast<std::size_t>(j)] != a)
+      j = next[static_cast<std::size_t>(j)];
+    if (j == -1) {
+      next[static_cast<std::size_t>(i)] = head[b];
+      head[b] = i;
+      max_degree = std::max(max_degree, ++cnt[b]);
+    }
+  }
+  cost.active_lanes = chain_active;
+  if (chain_active == 0) return cost;  // only reachable via scattered_hint
+  cost.cycles = max_degree;
+  cost.conflicts = max_degree - 1;
+  return cost;
+}
 
 /// Per-bank serialization degrees of one warp access: result[b] = number of
 /// distinct addresses in bank b.  Used by visualization harnesses and tests.

@@ -23,11 +23,15 @@ Counters Counters::operator+(const Counters& o) const {
 }
 
 Counters& PhaseCounters::phase(std::string_view name) {
-  for (auto& [n, c] : phases_) {
-    if (n == name) return c;
+  return by_index(intern(name));
+}
+
+int PhaseCounters::intern(std::string_view name) {
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (phases_[i].first == name) return static_cast<int>(i);
   }
   phases_.emplace_back(std::string(name), Counters{});
-  return phases_.back().second;
+  return static_cast<int>(phases_.size() - 1);
 }
 
 Counters PhaseCounters::total() const {

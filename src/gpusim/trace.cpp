@@ -1,5 +1,6 @@
 #include "gpusim/trace.hpp"
 
+#include <cassert>
 #include <ostream>
 #include <stdexcept>
 
@@ -28,11 +29,17 @@ std::int16_t TraceSink::phase_id(std::string_view phase) {
 void TraceSink::record(std::int32_t block, std::int16_t warp, AccessKind kind,
                        std::string_view phase, std::span<const std::int64_t> addrs,
                        int cost) {
+  record(block, warp, kind, phase_id(phase), addrs, cost);
+}
+
+void TraceSink::record(std::int32_t block, std::int16_t warp, AccessKind kind,
+                       std::int16_t phase, std::span<const std::int64_t> addrs, int cost) {
+  assert(phase >= 0 && static_cast<std::size_t>(phase) < phases_.size());
   TraceEvent e;
   e.block = block;
   e.warp = warp;
   e.kind = kind;
-  e.phase_id = phase_id(phase);
+  e.phase_id = phase;
   e.cost = cost;
   e.first_addr = static_cast<std::uint32_t>(pool_.size());
   e.lanes = static_cast<std::uint16_t>(addrs.size());
@@ -40,13 +47,25 @@ void TraceSink::record(std::int32_t block, std::int16_t warp, AccessKind kind,
   events_.push_back(e);
 }
 
+void TraceSink::reserve(std::size_t events, std::size_t pool_elems) {
+  events_.reserve(events);
+  pool_.reserve(pool_elems);
+}
+
 void TraceSink::merge_from(const TraceSink& other) {
   std::vector<std::int16_t> phase_map(other.phases_.size());
   for (std::size_t i = 0; i < other.phases_.size(); ++i)
     phase_map[i] = phase_id(other.phases_[i]);
+  // Grow geometrically: an exact-fit reserve here would force a full
+  // realloc + copy on every per-block merge (quadratic over a launch).
+  const auto grow = [](auto& v, std::size_t extra) {
+    const std::size_t need = v.size() + extra;
+    if (need > v.capacity()) v.reserve(std::max(need, 2 * v.capacity()));
+  };
   const auto base = static_cast<std::uint32_t>(pool_.size());
+  grow(pool_, other.pool_.size());
   pool_.insert(pool_.end(), other.pool_.begin(), other.pool_.end());
-  events_.reserve(events_.size() + other.events_.size());
+  grow(events_, other.events_.size());
   for (TraceEvent e : other.events_) {
     e.phase_id = phase_map[static_cast<std::size_t>(e.phase_id)];
     e.first_addr += base;

@@ -36,6 +36,19 @@ class TraceSink {
   void record(std::int32_t block, std::int16_t warp, AccessKind kind,
               std::string_view phase, std::span<const std::int64_t> addrs, int cost);
 
+  /// Hot-path variant: `phase` is an id previously returned by
+  /// `intern_phase` on *this* sink.  Skips the per-record name lookup —
+  /// BlockContext interns once per phase switch and records by id.
+  void record(std::int32_t block, std::int16_t warp, AccessKind kind,
+              std::int16_t phase, std::span<const std::int64_t> addrs, int cost);
+
+  /// Id of `phase` in phase_names(), appending it on first use.
+  std::int16_t intern_phase(std::string_view phase) { return phase_id(phase); }
+
+  /// Pre-sizes the flat event/address buffers (events and pooled lane
+  /// addresses respectively) so recording never reallocates mid-kernel.
+  void reserve(std::size_t events, std::size_t pool_elems);
+
   [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
   [[nodiscard]] const std::vector<std::string>& phase_names() const { return phases_; }
   [[nodiscard]] std::span<const std::int64_t> addresses(const TraceEvent& e) const {

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cstdint>
 #include <functional>
@@ -104,9 +105,20 @@ struct LaneSearch {
 /// charges the accesses.
 template <typename T, typename Probe, typename Cmp>
 void warp_corank_search(std::span<LaneSearch> lanes, Probe&& probe, Cmp&& cmp) {
+  // Warps never exceed 64 lanes on any device this simulates; fixed stack
+  // buffers keep the per-warp search allocation-free.
+  constexpr std::size_t kMaxSearchLanes = 64;
   const std::size_t w = lanes.size();
-  std::vector<std::int64_t> a_addr(w), b_addr(w);
-  std::vector<T> a_val(w), b_val(w);
+  assert(w <= kMaxSearchLanes);
+  std::array<std::int64_t, kMaxSearchLanes> a_addr_buf;
+  std::array<std::int64_t, kMaxSearchLanes> b_addr_buf;
+  std::array<std::int64_t, kMaxSearchLanes> mid_buf;
+  std::array<T, kMaxSearchLanes> a_val_buf;
+  std::array<T, kMaxSearchLanes> b_val_buf;
+  const std::span<std::int64_t> a_addr(a_addr_buf.data(), w);
+  const std::span<std::int64_t> b_addr(b_addr_buf.data(), w);
+  const std::span<T> a_val(a_val_buf.data(), w);
+  const std::span<T> b_val(b_val_buf.data(), w);
   bool any = true;
   while (any) {
     any = false;
@@ -118,6 +130,7 @@ void warp_corank_search(std::span<LaneSearch> lanes, Probe&& probe, Cmp&& cmp) {
       }
       any = true;
       const std::int64_t mid = lanes[l].lo + (lanes[l].hi - lanes[l].lo) / 2;
+      mid_buf[l] = mid;
       a_addr[l] = mid;
       b_addr[l] = lanes[l].diag - 1 - mid;
     }
@@ -125,8 +138,8 @@ void warp_corank_search(std::span<LaneSearch> lanes, Probe&& probe, Cmp&& cmp) {
     probe(std::span<const std::int64_t>(a_addr), std::span<T>(a_val),
           std::span<const std::int64_t>(b_addr), std::span<T>(b_val));
     for (std::size_t l = 0; l < w; ++l) {
-      if (lanes[l].done()) continue;
-      const std::int64_t mid = lanes[l].lo + (lanes[l].hi - lanes[l].lo) / 2;
+      if (a_addr[l] < 0) continue;  // was done before the probe
+      const std::int64_t mid = mid_buf[l];
       if (cmp(b_val[l], a_val[l]))
         lanes[l].hi = mid;
       else

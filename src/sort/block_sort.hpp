@@ -18,6 +18,7 @@
 // overhead-versus-conflicts tension the paper's Section 2 discusses.
 #pragma once
 
+#include <array>
 #include <bit>
 #include <functional>
 #include <stdexcept>
@@ -109,26 +110,37 @@ void block_sort_body(gpusim::BlockContext& ctx, std::span<T> data, int e,
   for (std::int64_t run = e; run < tile; run *= 2) {
     ctx.phase("bsort.search");
     std::vector<ThreadSplit> splits(static_cast<std::size_t>(u));
+    std::array<LanePair, gpusim::kMaxLanes> pairs;
+    std::array<LanePair, gpusim::kMaxLanes> end_pairs;
+    std::array<std::int64_t, gpusim::kMaxLanes> pbase;
+    std::array<std::int64_t, gpusim::kMaxLanes> start;
+    std::array<std::int64_t, gpusim::kMaxLanes> end;
+    const auto pos_a = [&pbase](int lane, std::int64_t x) {
+      return pbase[static_cast<std::size_t>(lane)] + x;
+    };
+    const auto pos_b = [&pbase, run](int lane, std::int64_t y) {
+      return pbase[static_cast<std::size_t>(lane)] + run + y;
+    };
     for (int warp = 0; warp < ctx.warps(); ++warp) {
-      std::vector<LanePair> pairs(static_cast<std::size_t>(w));
-      std::vector<LanePair> end_pairs(static_cast<std::size_t>(w));
       for (int lane = 0; lane < w; ++lane) {
         const int i = warp * w + lane;
         const std::int64_t out0 = static_cast<std::int64_t>(i) * e;
         const std::int64_t pair_base = out0 / (2 * run) * (2 * run);
-        auto pos_a = [pair_base](std::int64_t x) { return pair_base + x; };
-        auto pos_b = [pair_base, run](std::int64_t y) { return pair_base + run + y; };
-        pairs[static_cast<std::size_t>(lane)] = {run, run, out0 - pair_base, pos_a, pos_b};
-        end_pairs[static_cast<std::size_t>(lane)] = {run, run, out0 - pair_base + e, pos_a,
-                                                     pos_b};
+        pbase[static_cast<std::size_t>(lane)] = pair_base;
+        pairs[static_cast<std::size_t>(lane)] = {run, run, out0 - pair_base};
+        end_pairs[static_cast<std::size_t>(lane)] = {run, run, out0 - pair_base + e};
       }
       // Two lockstep searches per warp: the start and end diagonals of every
       // lane (the end co-rank equals the next thread's start, but a lane
       // cannot read a different warp's result without extra traffic).
-      const std::vector<std::int64_t> start = warp_shared_corank(ctx, warp, shmem,
-                                                                 std::span<const LanePair>(pairs), cmp);
-      const std::vector<std::int64_t> end = warp_shared_corank(
-          ctx, warp, shmem, std::span<const LanePair>(end_pairs), cmp);
+      warp_shared_corank(ctx, warp, shmem,
+                         std::span<const LanePair>(pairs.data(), static_cast<std::size_t>(w)),
+                         pos_a, pos_b, cmp,
+                         std::span<std::int64_t>(start.data(), static_cast<std::size_t>(w)));
+      warp_shared_corank(
+          ctx, warp, shmem,
+          std::span<const LanePair>(end_pairs.data(), static_cast<std::size_t>(w)), pos_a,
+          pos_b, cmp, std::span<std::int64_t>(end.data(), static_cast<std::size_t>(w)));
       for (int lane = 0; lane < w; ++lane) {
         const int i = warp * w + lane;
         const std::int64_t out0 = static_cast<std::int64_t>(i) * e;

@@ -10,9 +10,9 @@
 //                          (stride-E pattern, optionally through rho).
 #pragma once
 
+#include <array>
 #include <cassert>
 #include <cstdint>
-#include <functional>
 #include <span>
 #include <vector>
 
@@ -131,45 +131,55 @@ struct ThreadSplit {
 
 /// Per-lane list geometry for the lockstep search: each lane may work on its
 /// own pair of lists (block sort rounds have several pairs per warp).
+/// A plain aggregate — the shared-position translators are passed to
+/// warp_shared_corank as inlineable callables, not stored per lane.
 struct LanePair {
-  std::int64_t na = 0;        ///< size of the lane's A list
-  std::int64_t nb = 0;        ///< size of the lane's B list
-  std::int64_t diag = 0;      ///< output diagonal to resolve
-  /// Translators from list offsets to physical shared positions.
-  std::function<std::int64_t(std::int64_t)> pos_a;
-  std::function<std::int64_t(std::int64_t)> pos_b;
+  std::int64_t na = 0;    ///< size of the lane's A list
+  std::int64_t nb = 0;    ///< size of the lane's B list
+  std::int64_t diag = 0;  ///< output diagonal to resolve (< 0 = masked lane)
 };
 
 /// Lockstep merge-path search for one warp: resolves lane l's co-rank for
-/// pairs[l].diag.  Issues two charged shared accesses per iteration
-/// (probe of A and of B); idle lanes are masked.  Returns the co-ranks.
-template <typename T, typename Cmp>
-std::vector<std::int64_t> warp_shared_corank(gpusim::BlockContext& ctx, int warp,
-                                             gpusim::SharedTile<T>& shmem,
-                                             std::span<const LanePair> pairs, Cmp cmp) {
+/// pairs[l].diag into out_co[l].  `pos_a(lane, x)` / `pos_b(lane, y)`
+/// translate list offsets to physical shared positions.  Issues two charged
+/// shared accesses per iteration (probe of A and of B); idle lanes are
+/// masked.  Allocation-free: all per-lane state lives on the stack.
+template <typename T, typename PosA, typename PosB, typename Cmp>
+void warp_shared_corank(gpusim::BlockContext& ctx, int warp,
+                        gpusim::SharedTile<T>& shmem, std::span<const LanePair> pairs,
+                        PosA&& pos_a, PosB&& pos_b, Cmp cmp,
+                        std::span<std::int64_t> out_co) {
   const std::size_t w = pairs.size();
-  std::vector<mergepath::LaneSearch> lanes(w);
+  assert(w <= static_cast<std::size_t>(gpusim::kMaxLanes));
+  assert(out_co.size() >= w);
+  std::array<mergepath::LaneSearch, gpusim::kMaxLanes> lanes{};
   for (std::size_t l = 0; l < w; ++l) {
     if (pairs[l].diag < 0) continue;  // masked lane
     lanes[l].init(pairs[l].diag, pairs[l].na, pairs[l].nb);
   }
-  std::vector<std::int64_t> pa(w), pb(w);
+  std::array<std::int64_t, gpusim::kMaxLanes> pa;
+  std::array<std::int64_t, gpusim::kMaxLanes> pb;
   auto probe = [&](std::span<const std::int64_t> a_addr, std::span<T> a_val,
                    std::span<const std::int64_t> b_addr, std::span<T> b_val) {
     for (std::size_t l = 0; l < w; ++l) {
-      pa[l] = a_addr[l] == gpusim::kInactiveLane ? gpusim::kInactiveLane
-                                                 : pairs[l].pos_a(a_addr[l]);
-      pb[l] = b_addr[l] == gpusim::kInactiveLane ? gpusim::kInactiveLane
-                                                 : pairs[l].pos_b(b_addr[l]);
+      pa[l] = a_addr[l] == gpusim::kInactiveLane
+                  ? gpusim::kInactiveLane
+                  : pos_a(static_cast<int>(l), a_addr[l]);
+      pb[l] = b_addr[l] == gpusim::kInactiveLane
+                  ? gpusim::kInactiveLane
+                  : pos_b(static_cast<int>(l), b_addr[l]);
     }
     ctx.charge_compute(warp, cost::kSearchIterInstrs);
-    shmem.gather(warp, pa, a_val);
-    shmem.gather(warp, pb, b_val);
+    // Probe addresses are data dependent — tell the bank-conflict model to
+    // skip its conflict-free screening pass.
+    shmem.gather(warp, std::span<const std::int64_t>(pa.data(), w), a_val,
+                 /*dependent=*/true, /*scattered=*/true);
+    shmem.gather(warp, std::span<const std::int64_t>(pb.data(), w), b_val,
+                 /*dependent=*/true, /*scattered=*/true);
   };
-  mergepath::warp_corank_search<T>(std::span<mergepath::LaneSearch>(lanes), probe, cmp);
-  std::vector<std::int64_t> co(w, 0);
-  for (std::size_t l = 0; l < w; ++l) co[l] = lanes[l].lo;
-  return co;
+  mergepath::warp_corank_search<T>(std::span<mergepath::LaneSearch>(lanes.data(), w),
+                                   probe, cmp);
+  for (std::size_t l = 0; l < w; ++l) out_co[l] = lanes[l].lo;
 }
 
 }  // namespace cfmerge::sort

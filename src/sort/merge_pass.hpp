@@ -22,6 +22,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <functional>
 #include <stdexcept>
 #include <vector>
@@ -134,12 +135,8 @@ void merge_partition_body(gpusim::BlockContext& ctx, std::span<const T> input,
                                                    : bbase[l] + b_addr[l];
       }
       ctx.charge_compute(warp, cost::kSearchIterInstrs);
-      std::vector<T> av(static_cast<std::size_t>(w)), bv(static_cast<std::size_t>(w));
-      gpusim::GlobalView<const T> g(ctx, input, 0);
-      g.gather(warp, pa, std::span<T>(av), /*dependent=*/true);
-      g.gather(warp, pb, std::span<T>(bv), /*dependent=*/false);
-      std::copy(av.begin(), av.end(), a_val.begin());
-      std::copy(bv.begin(), bv.end(), b_val.begin());
+      global.gather(warp, pa, a_val, /*dependent=*/true);
+      global.gather(warp, pb, b_val, /*dependent=*/false);
     };
     mergepath::warp_corank_search<T>(std::span<mergepath::LaneSearch>(lanes), probe, cmp);
     for (int lane = 0; lane < w; ++lane) {
@@ -188,20 +185,26 @@ void merge_window_core(gpusim::BlockContext& ctx, GIn& gin, gpusim::GlobalView<T
   ctx.phase("merge.search");
   std::vector<ThreadSplit> splits(static_cast<std::size_t>(u));
   {
-    auto pos_a = [&](std::int64_t x) { return layout.pos_a(x); };
-    auto pos_b = [&](std::int64_t y) { return layout.pos_b(y); };
+    const auto pos_a = [&](int, std::int64_t x) { return layout.pos_a(x); };
+    const auto pos_b = [&](int, std::int64_t y) { return layout.pos_b(y); };
+    std::array<LanePair, gpusim::kMaxLanes> pairs;
+    std::array<LanePair, gpusim::kMaxLanes> end_pairs;
+    std::array<std::int64_t, gpusim::kMaxLanes> start;
+    std::array<std::int64_t, gpusim::kMaxLanes> end;
     for (int warp = 0; warp < ctx.warps(); ++warp) {
-      std::vector<LanePair> pairs(static_cast<std::size_t>(w));
-      std::vector<LanePair> end_pairs(static_cast<std::size_t>(w));
       for (int lane = 0; lane < w; ++lane) {
         const std::int64_t d = static_cast<std::int64_t>(warp * w + lane) * e;
-        pairs[static_cast<std::size_t>(lane)] = {la, lb, d, pos_a, pos_b};
-        end_pairs[static_cast<std::size_t>(lane)] = {la, lb, d + e, pos_a, pos_b};
+        pairs[static_cast<std::size_t>(lane)] = {la, lb, d};
+        end_pairs[static_cast<std::size_t>(lane)] = {la, lb, d + e};
       }
-      const std::vector<std::int64_t> start =
-          warp_shared_corank(ctx, warp, shmem, std::span<const LanePair>(pairs), cmp);
-      const std::vector<std::int64_t> end =
-          warp_shared_corank(ctx, warp, shmem, std::span<const LanePair>(end_pairs), cmp);
+      warp_shared_corank(ctx, warp, shmem,
+                         std::span<const LanePair>(pairs.data(), static_cast<std::size_t>(w)),
+                         pos_a, pos_b, cmp,
+                         std::span<std::int64_t>(start.data(), static_cast<std::size_t>(w)));
+      warp_shared_corank(
+          ctx, warp, shmem,
+          std::span<const LanePair>(end_pairs.data(), static_cast<std::size_t>(w)), pos_a,
+          pos_b, cmp, std::span<std::int64_t>(end.data(), static_cast<std::size_t>(w)));
       for (int lane = 0; lane < w; ++lane) {
         const int i = warp * w + lane;
         auto& s = splits[static_cast<std::size_t>(i)];

@@ -27,7 +27,14 @@ std::int64_t odd_even_transposition_sort(std::span<T> items, Cmp cmp = Cmp{}) {
     for (std::int64_t i = phase % 2; i + 1 < n; i += 2) {
       auto& x = items[static_cast<std::size_t>(i)];
       auto& y = items[static_cast<std::size_t>(i + 1)];
-      if (cmp(y, x)) std::swap(x, y);
+      // Branch-free exchange: the comparison outcome is data dependent and
+      // ~50/50 on random inputs, so a select beats a mispredicted swap (it
+      // also mirrors the predicated min/max a real network compiles to).
+      const T a = x;
+      const T b = y;
+      const bool out_of_order = cmp(b, a);
+      x = out_of_order ? b : a;
+      y = out_of_order ? a : b;
       ++ces;
     }
   }

@@ -68,7 +68,7 @@ void warp_serial_merge(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& shmem,
       addr[static_cast<std::size_t>(lane)] =
           d.a_size > 0 ? a_pos(d.a_begin) : gpusim::kInactiveLane;
     }
-    shmem.gather(warp, addr, fetched);
+    shmem.gather(warp, addr, fetched, /*dependent=*/true, /*scattered=*/true);
     for (int lane = 0; lane < w; ++lane)
       if (st[static_cast<std::size_t>(lane)].has_a)
         st[static_cast<std::size_t>(lane)].head_a = fetched[static_cast<std::size_t>(lane)];
@@ -78,7 +78,7 @@ void warp_serial_merge(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& shmem,
       addr[static_cast<std::size_t>(lane)] =
           d.b_size > 0 ? b_pos(d.b_begin) : gpusim::kInactiveLane;
     }
-    shmem.gather(warp, addr, fetched);
+    shmem.gather(warp, addr, fetched, /*dependent=*/true, /*scattered=*/true);
     for (int lane = 0; lane < w; ++lane)
       if (st[static_cast<std::size_t>(lane)].has_b)
         st[static_cast<std::size_t>(lane)].head_b = fetched[static_cast<std::size_t>(lane)];
@@ -113,15 +113,14 @@ void warp_serial_merge(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& shmem,
         }
       }
       ctx.charge_compute(warp, cost::kMergeStepInstrs);
-      shmem.gather(warp, addr, fetched);
+      shmem.gather(warp, addr, fetched, /*dependent=*/true, /*scattered=*/true);
       for (int lane = 0; lane < w; ++lane) {
-        if (addr[static_cast<std::size_t>(lane)] == gpusim::kInactiveLane) continue;
         auto& s = st[static_cast<std::size_t>(lane)];
+        const bool act = addr[static_cast<std::size_t>(lane)] != gpusim::kInactiveLane;
+        const bool ca = consumed_a[static_cast<std::size_t>(lane)] != 0;
         // The fetched value replaces the head that was just consumed.
-        if (consumed_a[static_cast<std::size_t>(lane)])
-          s.head_a = fetched[static_cast<std::size_t>(lane)];
-        else
-          s.head_b = fetched[static_cast<std::size_t>(lane)];
+        s.head_a = act && ca ? fetched[static_cast<std::size_t>(lane)] : s.head_a;
+        s.head_b = act && !ca ? fetched[static_cast<std::size_t>(lane)] : s.head_b;
       }
     }
   }

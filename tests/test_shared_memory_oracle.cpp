@@ -1,0 +1,165 @@
+// Randomized equivalence tests for the bank conflict model.
+//
+// The hot-path implementations in shared_memory.hpp (bucketed counters with
+// a conflict-free screening pass, per-bank chain scan for the general case)
+// replaced a straightforward sort-based formulation.  These tests keep a
+// local copy of the sort-based oracle and check the shipped implementations
+// against it on randomized warps covering every width the simulator
+// supports, idle lanes, duplicated (broadcast) addresses and the degenerate
+// all-same-address warp — for both values of the scattered_hint, which must
+// never change the result.
+#include "gpusim/shared_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <utility>
+#include <vector>
+
+using cfmerge::gpusim::kInactiveLane;
+using cfmerge::gpusim::kMaxLanes;
+using cfmerge::gpusim::shared_access_cost;
+using cfmerge::gpusim::shared_access_degrees;
+using cfmerge::gpusim::SharedAccessCost;
+
+namespace {
+
+/// Sort-based oracle: sort the active (bank, address) pairs, drop duplicate
+/// addresses (broadcast) and count the run length per bank.
+SharedAccessCost oracle_cost(std::span<const std::int64_t> addrs, int banks) {
+  SharedAccessCost c;
+  std::vector<std::pair<std::int64_t, std::int64_t>> pairs;  // (bank, addr)
+  for (const std::int64_t a : addrs) {
+    if (a == kInactiveLane) continue;
+    ++c.active_lanes;
+    pairs.emplace_back(a % banks, a);
+  }
+  if (c.active_lanes == 0) return c;
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  int max_degree = 0;
+  for (std::size_t i = 0; i < pairs.size();) {
+    std::size_t j = i;
+    while (j < pairs.size() && pairs[j].first == pairs[i].first) ++j;
+    max_degree = std::max(max_degree, static_cast<int>(j - i));
+    i = j;
+  }
+  c.cycles = max_degree;
+  c.conflicts = max_degree - 1;
+  return c;
+}
+
+/// Sort-based oracle for the per-bank degree histogram.
+std::vector<int> oracle_degrees(std::span<const std::int64_t> addrs, int banks) {
+  std::vector<std::int64_t> distinct;
+  for (const std::int64_t a : addrs)
+    if (a != kInactiveLane) distinct.push_back(a);
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+  std::vector<int> deg(static_cast<std::size_t>(banks), 0);
+  for (const std::int64_t a : distinct) ++deg[static_cast<std::size_t>(a % banks)];
+  return deg;
+}
+
+void expect_matches_oracle(std::span<const std::int64_t> addrs, int banks) {
+  const SharedAccessCost want = oracle_cost(addrs, banks);
+  for (const bool hint : {false, true}) {
+    const SharedAccessCost got = shared_access_cost(addrs, banks, hint);
+    ASSERT_EQ(got.cycles, want.cycles) << "banks=" << banks << " hint=" << hint;
+    ASSERT_EQ(got.conflicts, want.conflicts) << "banks=" << banks << " hint=" << hint;
+    ASSERT_EQ(got.active_lanes, want.active_lanes)
+        << "banks=" << banks << " hint=" << hint;
+  }
+  std::vector<int> scratch(static_cast<std::size_t>(banks));
+  const auto got_deg = shared_access_degrees(addrs, banks, scratch);
+  const auto want_deg = oracle_degrees(addrs, banks);
+  ASSERT_EQ(std::vector<int>(got_deg.begin(), got_deg.end()), want_deg)
+      << "banks=" << banks;
+}
+
+constexpr int kWidths[] = {4, 8, 16, 32, 64};
+
+}  // namespace
+
+TEST(SharedAccessOracle, RandomizedUniformAddresses) {
+  std::mt19937_64 rng(20260805);
+  for (const int w : kWidths) {
+    for (int trial = 0; trial < 400; ++trial) {
+      std::uniform_int_distribution<std::int64_t> addr(0, 4 * w - 1);
+      std::vector<std::int64_t> addrs(static_cast<std::size_t>(w));
+      for (auto& a : addrs) a = addr(rng);
+      expect_matches_oracle(addrs, w);
+    }
+  }
+}
+
+TEST(SharedAccessOracle, RandomizedWithInactiveLanes) {
+  std::mt19937_64 rng(99);
+  for (const int w : kWidths) {
+    for (int trial = 0; trial < 400; ++trial) {
+      std::uniform_int_distribution<std::int64_t> addr(0, 8 * w - 1);
+      std::uniform_real_distribution<double> coin(0.0, 1.0);
+      const double p_idle = coin(rng);  // from almost-full to almost-empty warps
+      std::vector<std::int64_t> addrs(static_cast<std::size_t>(w));
+      for (auto& a : addrs) a = coin(rng) < p_idle ? kInactiveLane : addr(rng);
+      expect_matches_oracle(addrs, w);
+    }
+  }
+}
+
+TEST(SharedAccessOracle, RandomizedHeavyDuplicates) {
+  // Draw from a tiny address pool so broadcasts and conflicts are dense.
+  std::mt19937_64 rng(7);
+  for (const int w : kWidths) {
+    for (int trial = 0; trial < 400; ++trial) {
+      std::uniform_int_distribution<std::int64_t> addr(0, 2);
+      std::vector<std::int64_t> addrs(static_cast<std::size_t>(w));
+      for (auto& a : addrs) a = addr(rng) == 0 ? kInactiveLane : addr(rng) * w + 5;
+      expect_matches_oracle(addrs, w);
+    }
+  }
+}
+
+TEST(SharedAccessOracle, AllLanesSameAddress) {
+  for (const int w : kWidths) {
+    const std::vector<std::int64_t> addrs(static_cast<std::size_t>(w), 1234567);
+    expect_matches_oracle(addrs, w);
+  }
+}
+
+TEST(SharedAccessOracle, AllLanesInactive) {
+  for (const int w : kWidths) {
+    const std::vector<std::int64_t> addrs(static_cast<std::size_t>(w), kInactiveLane);
+    expect_matches_oracle(addrs, w);
+  }
+}
+
+TEST(SharedAccessOracle, WorstCaseStrides) {
+  // Stride-w (full serialization), stride-1 (conflict free) and every stride
+  // in between, with and without a masked tail.
+  for (const int w : kWidths) {
+    for (std::int64_t stride = 1; stride <= w; ++stride) {
+      std::vector<std::int64_t> addrs(static_cast<std::size_t>(w));
+      for (int l = 0; l < w; ++l) addrs[static_cast<std::size_t>(l)] = l * stride;
+      expect_matches_oracle(addrs, w);
+      for (int l = w / 2; l < w; ++l) addrs[static_cast<std::size_t>(l)] = kInactiveLane;
+      expect_matches_oracle(addrs, w);
+    }
+  }
+}
+
+TEST(SharedAccessOracle, PartialWarpsAndOddBankCounts) {
+  // Fewer address slots than banks, plus a non-power-of-two bank count
+  // (exercises the modulo path instead of the mask).
+  std::mt19937_64 rng(4242);
+  for (const int banks : {4, 24, 32, 48, 64}) {
+    for (int n = 0; n <= banks; n += 3) {
+      std::uniform_int_distribution<std::int64_t> addr(0, 5 * banks);
+      std::vector<std::int64_t> addrs(static_cast<std::size_t>(n));
+      for (auto& a : addrs) a = addr(rng);
+      expect_matches_oracle(addrs, banks);
+    }
+  }
+}

@@ -17,6 +17,11 @@
 //     --serial-graph                              run the kernel graph serially (timing
 //                                                 reports are identical; host wall-clock
 //                                                 only)
+//     --repeat=<count>                            run the sort <count> times on fresh
+//                                                 copies of the input and print min and
+//                                                 median host wall-clock to stderr
+//                                                 (simulated reports are identical across
+//                                                 repeats; this measures the simulator)
 //     --json                                      emit a JSON report
 //     --profile                                   print the phase profile
 //     --trace=<file.csv>                          dump the access trace
@@ -27,10 +32,12 @@
 //   cfsort --algo=cf --json | jq .throughput_elem_per_us
 //   cfsort --algo=cf --segments=16 --json | jq .overlap_speedup
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <random>
 #include <string>
 
@@ -50,6 +57,7 @@ struct Options {
   std::uint64_t seed = 42;
   int threads = 0;  // 0 = CFMERGE_SIM_THREADS env or sequential
   int segments = 0;  // 0 = plain sort; N >= 1 = segmented sort over N segments
+  int repeat = 1;
   bool serial_graph = false;
   bool json = false;
   bool profile = false;
@@ -64,7 +72,8 @@ struct Options {
                "              [--dist=NAME] [--n=N] [--e=E] [--u=U]\n"
                "              [--device=rtx2080ti|turing:SMS|tiny:W,SMS]\n"
                "              [--seed=S] [--threads=T] [--segments=N] [--serial-graph]\n"
-               "              [--json] [--profile] [--trace=FILE] [--cf-blocksort]\n");
+               "              [--repeat=N] [--json] [--profile] [--trace=FILE]\n"
+               "              [--cf-blocksort]\n");
   std::exit(msg ? 2 : 0);
 }
 
@@ -88,6 +97,7 @@ Options parse(int argc, char** argv) {
     else if (auto v = val("--seed"); !v.empty()) o.seed = std::stoull(v);
     else if (auto v = val("--threads"); !v.empty()) o.threads = std::stoi(v);
     else if (auto v = val("--segments"); !v.empty()) o.segments = std::stoi(v);
+    else if (auto v = val("--repeat"); !v.empty()) o.repeat = std::stoi(v);
     else if (auto v = val("--trace"); !v.empty()) o.trace_path = v;
     else if (a == "--serial-graph") o.serial_graph = true;
     else if (a == "--json") o.json = true;
@@ -179,13 +189,41 @@ int main(int argc, char** argv) {
   if (o.segments < 0) usage("--segments must be positive");
   if (o.segments > 0 && o.algo != "cf" && o.algo != "baseline")
     usage("--segments requires --algo=cf or --algo=baseline");
+  if (o.repeat < 1) usage("--repeat must be >= 1");
+
+  // Runs the sort `o.repeat` times, each on a fresh copy of the unsorted
+  // input, and prints min/median host wall-clock to stderr (simulated
+  // reports are deterministic, so repeats only measure the simulator
+  // itself).  Leaves the last run's output in `data` and returns its report.
+  auto repeat_wall = [&](auto&& run_once) {
+    using Report = std::decay_t<decltype(run_once(data))>;
+    std::optional<Report> report;
+    std::vector<double> ms(static_cast<std::size_t>(o.repeat));
+    for (int r = 0; r < o.repeat; ++r) {
+      std::vector<std::int32_t> work = r + 1 == o.repeat ? std::move(data) : data;
+      const auto t0 = std::chrono::steady_clock::now();
+      report = run_once(work);
+      const auto t1 = std::chrono::steady_clock::now();
+      ms[static_cast<std::size_t>(r)] =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      if (r + 1 == o.repeat) data = std::move(work);
+    }
+    if (o.repeat > 1) {
+      std::sort(ms.begin(), ms.end());
+      std::fprintf(stderr, "cfsort: repeat=%d host wall min=%.3f ms median=%.3f ms\n",
+                   o.repeat, ms.front(), ms[ms.size() / 2]);
+    }
+    return *report;
+  };
 
   if (o.algo == "bitonic" || o.algo == "bitonic-padded") {
     sort::BitonicConfig cfg;
     cfg.u = o.u;
     cfg.elems_per_thread = 2;
     cfg.padded = o.algo == "bitonic-padded";
-    const auto report = sort::bitonic_sort(launcher, data, cfg);
+    const auto report = repeat_wall([&](std::vector<std::int32_t>& work) {
+      return sort::bitonic_sort(launcher, work, cfg);
+    });
     if (!std::is_sorted(data.begin(), data.end())) {
       std::fprintf(stderr, "cfsort: OUTPUT NOT SORTED (bug)\n");
       return 1;
@@ -204,10 +242,13 @@ int main(int argc, char** argv) {
     cfg.u = o.u;
     cfg.variant = o.algo == "cf" ? sort::Variant::CFMerge : sort::Variant::Baseline;
     cfg.cf_blocksort = o.cf_blocksort;
-    auto segments = split_segments(data, o.segments, o.seed);
     const auto mode =
         o.serial_graph ? gpusim::GraphExec::Serial : gpusim::GraphExec::Overlap;
-    const auto report = sort::segmented_sort(launcher, segments, cfg, mode);
+    std::vector<std::vector<std::int32_t>> segments;
+    const auto report = repeat_wall([&](std::vector<std::int32_t>& work) {
+      segments = split_segments(work, o.segments, o.seed);
+      return sort::segmented_sort(launcher, segments, cfg, mode);
+    });
     for (const auto& seg : segments) {
       if (!std::is_sorted(seg.begin(), seg.end())) {
         std::fprintf(stderr, "cfsort: SEGMENT NOT SORTED (bug)\n");
@@ -226,7 +267,9 @@ int main(int argc, char** argv) {
     cfg.u = o.u;
     cfg.variant = o.algo == "cf" ? sort::Variant::CFMerge : sort::Variant::Baseline;
     cfg.cf_blocksort = o.cf_blocksort;
-    const auto report = sort::merge_sort(launcher, data, cfg);
+    const auto report = repeat_wall([&](std::vector<std::int32_t>& work) {
+      return sort::merge_sort(launcher, work, cfg);
+    });
     if (!std::is_sorted(data.begin(), data.end())) {
       std::fprintf(stderr, "cfsort: OUTPUT NOT SORTED (bug)\n");
       return 1;
