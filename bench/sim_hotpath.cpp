@@ -10,9 +10,15 @@
 // Each case is repeated --repeats times (fresh input copy each run) and
 // min/median wall times are reported so the metric is low-variance.
 //
+// Every case runs through one shared SortEngine, so repeat 0 is the
+// *cold* row (plan build + execute) and later repeats are *warm* rows
+// (cached-plan replay); both land in the JSON along with the engine's
+// aggregate plan-cache hit rate.
+//
 // Bit-identity checks are built in and gate the exit code:
 //   * every repeat of a case must produce a bit-identical report
-//     (counters, phases, per-kernel timings),
+//     (counters, phases, per-kernel timings) — since repeat 0 builds the
+//     plan and later repeats replay it, this also proves replay identity,
 //   * tracing on vs. off must not change any counter,
 //   * segmented serial vs. overlap execution must agree.
 // CI runs `sim_hotpath --quick` and asserts only these checks (wall
@@ -29,6 +35,7 @@
 
 #include "analysis/json.hpp"
 #include "sort/batched_merge.hpp"
+#include "sort/engine.hpp"
 #include "sort/merge_sort.hpp"
 #include "sort/segmented_sort.hpp"
 
@@ -43,6 +50,9 @@ struct CaseResult {
   double sim_microseconds = 0.0;
   double wall_ms_min = 0.0;
   double wall_ms_median = 0.0;
+  double wall_ms_cold = 0.0;  ///< repeat 0: plan build + execute on a fresh engine
+  double wall_ms_warm = 0.0;  ///< min over repeats 1..: cached-plan replay
+  double warm_speedup = 0.0;  ///< wall_ms_cold / wall_ms_warm
   double elem_per_sec = 0.0;  ///< simulated elements / host second (min wall)
   bool identity_ok = true;
 };
@@ -125,11 +135,15 @@ CaseResult run_case(const std::string& name, const std::string& detail, int repe
   const WallStats s = wall_stats(walls);
   r.wall_ms_min = s.min_ms;
   r.wall_ms_median = s.median_ms;
+  r.wall_ms_cold = walls.front();
+  r.wall_ms_warm = *std::min_element(walls.begin() + 1, walls.end());
+  r.warm_speedup = r.wall_ms_warm > 0 ? r.wall_ms_cold / r.wall_ms_warm : 0.0;
   r.elem_per_sec =
       s.min_ms > 0 ? static_cast<double>(elements) / (s.min_ms / 1000.0) : 0.0;
-  std::printf("  %-28s %10.1f ms (median %8.1f)  %12.0f elem/s  identity %s\n",
-              name.c_str(), r.wall_ms_min, r.wall_ms_median, r.elem_per_sec,
-              r.identity_ok ? "ok" : "FAIL");
+  std::printf(
+      "  %-28s cold %8.1f ms  warm %8.1f ms (x%4.2f)  %12.0f elem/s  identity %s\n",
+      name.c_str(), r.wall_ms_cold, r.wall_ms_warm, r.warm_speedup, r.elem_per_sec,
+      r.identity_ok ? "ok" : "FAIL");
   return r;
 }
 
@@ -182,59 +196,84 @@ int main(int argc, char** argv) {
 
   std::vector<CaseResult> results;
 
+  // Plan-cache counters summed over every case's engine (each case gets its
+  // own launcher + engine so cold rows really are cold).
+  sort::EngineStats tally;
+  auto accumulate = [&tally](const sort::EngineStats& es) {
+    tally.plan_hits += es.plan_hits;
+    tally.plan_misses += es.plan_misses;
+    tally.plan_evictions += es.plan_evictions;
+    tally.plans_cached += es.plans_cached;
+    tally.plan_bytes += es.plan_bytes;
+    tally.arena_bytes += es.arena_bytes;
+    tally.arena_allocs += es.arena_allocs;
+    tally.arena_reuses += es.arena_reuses;
+  };
+
   // --- merge_sort, CF variant, random 2^20 (the trajectory's anchor case).
   const auto sort_input = random_vec(n_sort, 42);
-  results.push_back(run_case(
-      "merge_sort/cf/random", "n=" + std::to_string(n_sort), repeats, n_sort,
-      [&](CaseResult* r) {
-        gpusim::Launcher launcher(dev());
-        launcher.set_threads(threads);
-        auto data = sort_input;
-        const double t0 = now_ms();
-        auto rep = sort::merge_sort(launcher, data, cf_cfg);
-        r->wall_ms_min = now_ms() - t0;
-        r->sim_microseconds = rep.microseconds;
-        if (!std::is_sorted(data.begin(), data.end())) r->identity_ok = false;
-        return rep;
-      }));
+  {
+    gpusim::Launcher launcher(dev());
+    launcher.set_threads(threads);
+    sort::SortEngine engine(launcher);
+    results.push_back(run_case(
+        "merge_sort/cf/random", "n=" + std::to_string(n_sort), repeats, n_sort,
+        [&](CaseResult* r) {
+          auto data = sort_input;
+          const double t0 = now_ms();
+          auto rep = engine.sort(data, cf_cfg);
+          r->wall_ms_min = now_ms() - t0;
+          r->sim_microseconds = rep.microseconds;
+          if (!std::is_sorted(data.begin(), data.end())) r->identity_ok = false;
+          return rep;
+        }));
+    accumulate(engine.stats());
+  }
 
   // --- merge_sort, baseline variant (exercises the conflicted shared path).
-  results.push_back(run_case(
-      "merge_sort/baseline/random", "n=" + std::to_string(n_sort), repeats, n_sort,
-      [&](CaseResult* r) {
-        gpusim::Launcher launcher(dev());
-        launcher.set_threads(threads);
-        auto data = sort_input;
-        const double t0 = now_ms();
-        auto rep = sort::merge_sort(launcher, data, base_cfg);
-        r->wall_ms_min = now_ms() - t0;
-        r->sim_microseconds = rep.microseconds;
-        if (!std::is_sorted(data.begin(), data.end())) r->identity_ok = false;
-        return rep;
-      }));
+  {
+    gpusim::Launcher launcher(dev());
+    launcher.set_threads(threads);
+    sort::SortEngine engine(launcher);
+    results.push_back(run_case(
+        "merge_sort/baseline/random", "n=" + std::to_string(n_sort), repeats, n_sort,
+        [&](CaseResult* r) {
+          auto data = sort_input;
+          const double t0 = now_ms();
+          auto rep = engine.sort(data, base_cfg);
+          r->wall_ms_min = now_ms() - t0;
+          r->sim_microseconds = rep.microseconds;
+          if (!std::is_sorted(data.begin(), data.end())) r->identity_ok = false;
+          return rep;
+        }));
+    accumulate(engine.stats());
+  }
 
   // --- merge_sort with tracing attached: measures recording overhead, and
   // the counters must match the untraced run bit for bit.
   {
     const auto& untraced = results.front();
+    gpusim::Launcher launcher(dev());
+    launcher.set_threads(threads);
+    sort::SortEngine engine(launcher);
     auto traced = run_case(
         "merge_sort/cf/random+trace", "n=" + std::to_string(n_sort), repeats, n_sort,
         [&](CaseResult* r) {
-          gpusim::Launcher launcher(dev());
-          launcher.set_threads(threads);
           gpusim::TraceSink sink;
           launcher.set_trace(&sink);
           auto data = sort_input;
           const double t0 = now_ms();
-          auto rep = sort::merge_sort(launcher, data, cf_cfg);
+          auto rep = engine.sort(data, cf_cfg);
           r->wall_ms_min = now_ms() - t0;
           r->sim_microseconds = rep.microseconds;
           if (sink.size() == 0) r->identity_ok = false;
+          launcher.set_trace(nullptr);
           return rep;
         });
     // Cross-check: tracing must not change the simulated outcome.
     if (traced.sim_microseconds != untraced.sim_microseconds) traced.identity_ok = false;
     results.push_back(traced);
+    accumulate(engine.stats());
   }
 
   // --- batched_merge: many independent pairs, one graph.
@@ -250,20 +289,22 @@ int main(int argc, char** argv) {
       as.push_back(std::move(a));
       bs.push_back(std::move(b));
     }
+    gpusim::Launcher launcher(dev());
+    launcher.set_threads(threads);
+    sort::SortEngine engine(launcher);
     results.push_back(run_case(
         "batched_merge/cf", std::to_string(pairs) + " pairs x " + std::to_string(pair_len),
         repeats, elements, [&](CaseResult* r) {
-          gpusim::Launcher launcher(dev());
-          launcher.set_threads(threads);
           std::vector<std::vector<std::int32_t>> outs;
           const double t0 = now_ms();
-          auto rep = sort::batched_merge(launcher, as, bs, outs, cf_cfg);
+          auto rep = engine.batched_merge(as, bs, outs, cf_cfg);
           r->wall_ms_min = now_ms() - t0;
           r->sim_microseconds = rep.microseconds;
           for (const auto& o : outs)
             if (!std::is_sorted(o.begin(), o.end())) r->identity_ok = false;
           return rep;
         }));
+    accumulate(engine.stats());
   }
 
   // --- segmented_sort: request batch as one graph; serial and overlap host
@@ -285,22 +326,24 @@ int main(int argc, char** argv) {
       used += len;
     }
     sort::SegmentedSortReport serial_rep;
+    gpusim::Launcher seg_launcher(dev());
+    seg_launcher.set_threads(threads);
+    sort::SortEngine seg_engine(seg_launcher);
     auto seg = run_case(
         "segmented_sort/cf", std::to_string(segments) + " segments, n=" +
                                  std::to_string(n_segmented),
         repeats, n_segmented, [&](CaseResult* r) {
-          gpusim::Launcher launcher(dev());
-          launcher.set_threads(threads);
           auto batch = proto;
           const double t0 = now_ms();
-          auto rep = sort::segmented_sort(launcher, batch, cf_cfg,
-                                          gpusim::GraphExec::Overlap);
+          auto rep = seg_engine.segmented_sort(batch, cf_cfg,
+                                               gpusim::GraphExec::Overlap);
           r->wall_ms_min = now_ms() - t0;
           r->sim_microseconds = rep.serial_microseconds;
           for (const auto& s2 : batch)
             if (!std::is_sorted(s2.begin(), s2.end())) r->identity_ok = false;
           return rep;
         });
+    accumulate(seg_engine.stats());
     {
       gpusim::Launcher launcher(dev());
       launcher.set_threads(threads);
@@ -326,11 +369,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "sim_hotpath: cannot write %s\n", out_path.c_str());
     return 1;
   }
-  f << "{\n  \"schema\": \"cfmerge.sim_hotpath.v1\",\n";
+  f << "{\n  \"schema\": \"cfmerge.sim_hotpath.v2\",\n";
   f << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n";
   f << "  \"repeats\": " << repeats << ",\n";
   f << "  \"threads\": " << threads << ",\n";
   f << "  \"identity_ok\": " << (all_ok ? "true" : "false") << ",\n";
+  f << "  \"engine\": ";
+  analysis::write_json(f, tally);
+  f << ",\n";
   f << "  \"cases\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const CaseResult& r = results[i];
@@ -340,12 +386,18 @@ int main(int argc, char** argv) {
       << "\"sim_microseconds\": " << r.sim_microseconds << ", "
       << "\"wall_ms_min\": " << r.wall_ms_min << ", "
       << "\"wall_ms_median\": " << r.wall_ms_median << ", "
+      << "\"wall_ms_cold\": " << r.wall_ms_cold << ", "
+      << "\"wall_ms_warm\": " << r.wall_ms_warm << ", "
+      << "\"warm_speedup\": " << r.warm_speedup << ", "
       << "\"elem_per_sec\": " << r.elem_per_sec << ", "
       << "\"identity_ok\": " << (r.identity_ok ? "true" : "false") << "}"
       << (i + 1 < results.size() ? "," : "") << "\n";
   }
   f << "  ]\n}\n";
-  std::printf("\nwrote %s\n", out_path.c_str());
+  std::printf("\nplan cache: hits=%llu misses=%llu hit_rate=%.3f\n",
+              static_cast<unsigned long long>(tally.plan_hits),
+              static_cast<unsigned long long>(tally.plan_misses), tally.hit_rate());
+  std::printf("wrote %s\n", out_path.c_str());
 
   if (!all_ok) {
     std::fprintf(stderr, "sim_hotpath: BIT-IDENTITY CHECK FAILED\n");

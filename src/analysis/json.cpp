@@ -74,7 +74,7 @@ std::string json_escape(const std::string& s) {
 
 void write_json(std::ostream& os, const sort::SortReport& report,
                 const sort::MergeConfig& cfg, const std::string& device,
-                const std::string& workload) {
+                const std::string& workload, const sort::EngineStats* engine) {
   os << "{\"kind\":\"sort\",\"device\":\"" << json_escape(device) << "\",\"workload\":\""
      << json_escape(workload) << "\",\"variant\":\"" << variant_name(cfg.variant)
      << "\",\"e\":" << cfg.e << ",\"u\":" << cfg.u << ",\"n\":" << report.n
@@ -90,6 +90,10 @@ void write_json(std::ostream& os, const sort::SortReport& report,
   write_phases(os, report.phases);
   os << ",\"kernels\":";
   write_kernels(os, report.kernels);
+  if (engine != nullptr) {
+    os << ",\"engine\":";
+    write_json(os, *engine);
+  }
   os << "}\n";
 }
 
@@ -109,7 +113,7 @@ void write_json(std::ostream& os, const sort::MergeReport& report,
 
 void write_json(std::ostream& os, const sort::SegmentedSortReport& report,
                 const sort::MergeConfig& cfg, const std::string& device,
-                const std::string& workload) {
+                const std::string& workload, const sort::EngineStats* engine) {
   os << "{\"kind\":\"segmented_sort\",\"device\":\"" << json_escape(device)
      << "\",\"workload\":\"" << json_escape(workload) << "\",\"variant\":\""
      << variant_name(cfg.variant) << "\",\"e\":" << cfg.e << ",\"u\":" << cfg.u
@@ -133,7 +137,22 @@ void write_json(std::ostream& os, const sort::SegmentedSortReport& report,
   write_phases(os, report.phases);
   os << ",\"kernels\":";
   write_kernels(os, report.kernels);
+  if (engine != nullptr) {
+    os << ",\"engine\":";
+    write_json(os, *engine);
+  }
   os << "}\n";
+}
+
+void write_json(std::ostream& os, const sort::EngineStats& stats) {
+  os << "{\"plan_hits\":" << stats.plan_hits << ",\"plan_misses\":" << stats.plan_misses
+     << ",\"plan_evictions\":" << stats.plan_evictions
+     << ",\"plan_hit_rate\":" << stats.hit_rate()
+     << ",\"plans_cached\":" << stats.plans_cached
+     << ",\"plan_bytes\":" << stats.plan_bytes
+     << ",\"arena_bytes\":" << stats.arena_bytes
+     << ",\"arena_allocs\":" << stats.arena_allocs
+     << ",\"arena_reuses\":" << stats.arena_reuses << "}";
 }
 
 void write_json(std::ostream& os, const sort::BitonicReport& report,

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "sort/bitonic.hpp"
+#include "sort/engine.hpp"
 #include "sort/merge_arrays.hpp"
 #include "sort/merge_sort.hpp"
 #include "sort/segmented_sort.hpp"
@@ -13,10 +14,12 @@
 namespace cfmerge::analysis {
 
 /// Writes a JSON object describing a full sort run: configuration echo,
-/// timing, totals, per-phase counters and per-kernel timings.
+/// timing, totals, per-phase counters and per-kernel timings.  When
+/// `engine` is given, an "engine" field carries the plan-cache / arena
+/// counters of the SortEngine that served the run.
 void write_json(std::ostream& os, const sort::SortReport& report,
                 const sort::MergeConfig& cfg, const std::string& device,
-                const std::string& workload);
+                const std::string& workload, const sort::EngineStats* engine = nullptr);
 
 /// Same for a standalone merge.
 void write_json(std::ostream& os, const sort::MergeReport& report,
@@ -28,10 +31,15 @@ void write_json(std::ostream& os, const sort::BitonicReport& report,
                 const std::string& workload);
 
 /// Same for a segmented sort: graph timing (serial sum vs. makespan),
-/// totals, phases, and the per-segment kernel index.
+/// totals, phases, and the per-segment kernel index.  `engine` as above.
 void write_json(std::ostream& os, const sort::SegmentedSortReport& report,
                 const sort::MergeConfig& cfg, const std::string& device,
-                const std::string& workload);
+                const std::string& workload, const sort::EngineStats* engine = nullptr);
+
+/// Writes the engine's plan-cache / scratch-arena counters as one JSON
+/// object (no trailing newline) — an embeddable fragment, e.g. the
+/// "engine" field of the cfsort and sim_hotpath reports.
+void write_json(std::ostream& os, const sort::EngineStats& stats);
 
 /// Escapes a string for embedding in JSON.
 [[nodiscard]] std::string json_escape(const std::string& s);

@@ -11,16 +11,18 @@
 // so CF-Merge's zero-conflict guarantee carries over verbatim.  This is the
 // natural library form of the paper's conclusion: the gather makes *any*
 // parallel pair-of-arrays scan conflict free, including many scans at once.
+//
+// This header holds the report and descriptor types; the entry point is a
+// thin wrapper over sort::SortEngine (engine.hpp, included at the bottom).
+// The engine keys batched plans by the full (|A|, |B|) shape list, so a
+// repeated batch shape reuses its staging layout, tile descriptors, and
+// kernel nodes.
 #pragma once
 
 #include <cstdint>
-#include <numeric>
-#include <stdexcept>
 #include <vector>
 
 #include "gpusim/launcher.hpp"
-#include "sort/key_value.hpp"
-#include "sort/merge_pass.hpp"
 
 namespace cfmerge::sort {
 
@@ -59,201 +61,9 @@ struct BatchTile {
 };
 }  // namespace detail
 
-/// Merges as[i] with bs[i] into outs[i] for every i, in one partition
-/// launch + one merge launch.  Lists may have arbitrary (including zero and
-/// mutually different) lengths.
-template <typename T>
-BatchedMergeReport batched_merge(gpusim::Launcher& launcher,
-                                 const std::vector<std::vector<T>>& as,
-                                 const std::vector<std::vector<T>>& bs,
-                                 std::vector<std::vector<T>>& outs,
-                                 const MergeConfig& cfg) {
-  if (as.size() != bs.size())
-    throw std::invalid_argument("batched_merge: pair count mismatch");
-  validate_merge_config(launcher.device(), cfg);
-
-  BatchedMergeReport report;
-  report.pairs = static_cast<int>(as.size());
-  outs.assign(as.size(), {});
-  if (as.empty()) return report;
-
-  const std::int64_t tile = cfg.tile();
-  const T sentinel = padding_sentinel<T>::value();
-
-  // Stage every pair as [A pad | B pad] with both runs padded to the same
-  // multiple of the tile, and precompute per-tile descriptors.
-  std::vector<T> staging;
-  std::vector<detail::BatchTile> tiles;
-  std::vector<int> pair_tile0(as.size());  ///< first descriptor of each pair
-  std::vector<std::int64_t> out_sizes(as.size());
-  std::int64_t packed_out = 0;
-  for (std::size_t p = 0; p < as.size(); ++p) {
-    pair_tile0[p] = static_cast<int>(tiles.size());
-    const auto na = static_cast<std::int64_t>(as[p].size());
-    const auto nb = static_cast<std::int64_t>(bs[p].size());
-    out_sizes[p] = na + nb;
-    report.elements += na + nb;
-    const std::int64_t run =
-        std::max<std::int64_t>({(na + tile - 1) / tile * tile,
-                                (nb + tile - 1) / tile * tile, tile});
-    const std::int64_t a_base = static_cast<std::int64_t>(staging.size());
-    staging.insert(staging.end(), as[p].begin(), as[p].end());
-    staging.resize(static_cast<std::size_t>(a_base + run), sentinel);
-    const std::int64_t b_base = static_cast<std::int64_t>(staging.size());
-    staging.insert(staging.end(), bs[p].begin(), bs[p].end());
-    staging.resize(static_cast<std::size_t>(b_base + run), sentinel);
-    for (std::int64_t d = 0; d < 2 * run; d += tile) {
-      tiles.push_back({static_cast<std::int32_t>(p), a_base, b_base, run, run, d,
-                       packed_out + d});
-    }
-    packed_out += 2 * run;
-  }
-  std::vector<T> packed(static_cast<std::size_t>(packed_out));
-  std::vector<std::int64_t> boundaries(tiles.size(), 0);
-
-  // Two graph nodes per pair — partition -> merge, no cross-pair edges —
-  // submitted as one graph.  Every wavefront therefore runs one kernel per
-  // pair, and the makespan is the slowest single pair.
-  gpusim::KernelGraph graph;
-  const int regs = cfg.variant == Variant::CFMerge ? cost::cfmerge_regs_per_thread(cfg.e)
-                                                   : cost::baseline_regs_per_thread(cfg.e);
-  for (std::size_t p = 0; p < as.size(); ++p) {
-    const int t0 = pair_tile0[p];
-    const int tcount = (p + 1 < as.size() ? pair_tile0[p + 1]
-                                          : static_cast<int>(tiles.size())) -
-                       t0;
-
-    // Stage 1: per-tile co-rank of this pair's tiles (each simulated thread
-    // resolves one tile's start diagonal; the descriptor read is charged).
-    const int pblocks = (tcount + cfg.u - 1) / cfg.u;
-    const gpusim::NodeId partition = graph.add(
-        "batched_partition", gpusim::LaunchShape{pblocks, cfg.u, 0, 24},
-        [&, t0, tcount](gpusim::BlockContext& ctx) {
-          ctx.phase("partition.search");
-          const int w = ctx.lanes();
-          for (int warp = 0; warp < ctx.warps(); ++warp) {
-            std::vector<mergepath::LaneSearch> lanes(static_cast<std::size_t>(w));
-            std::vector<const detail::BatchTile*> desc(static_cast<std::size_t>(w),
-                                                       nullptr);
-            bool any = false;
-            std::vector<std::int64_t> daddr(static_cast<std::size_t>(w),
-                                            gpusim::kInactiveLane);
-            for (int lane = 0; lane < w; ++lane) {
-              const std::int64_t local =
-                  static_cast<std::int64_t>(ctx.block_id()) * cfg.u + warp * w + lane;
-              if (local >= tcount) continue;
-              const std::int64_t t = t0 + local;
-              const auto& bt = tiles[static_cast<std::size_t>(t)];
-              desc[static_cast<std::size_t>(lane)] = &bt;
-              daddr[static_cast<std::size_t>(lane)] =
-                  t * static_cast<std::int64_t>(sizeof(detail::BatchTile));
-              lanes[static_cast<std::size_t>(lane)].init(bt.diag0, bt.ra, bt.rb);
-              any = true;
-            }
-            if (!any) continue;
-            ctx.charge_gmem(warp, daddr, 8, /*dependent=*/true);  // descriptor fetch
-            std::vector<std::int64_t> pa(static_cast<std::size_t>(w));
-            std::vector<std::int64_t> pb(static_cast<std::size_t>(w));
-            gpusim::GlobalView<const T> g(ctx, std::span<const T>(staging), 0);
-            auto probe = [&](std::span<const std::int64_t> a_addr, std::span<T> a_val,
-                             std::span<const std::int64_t> b_addr, std::span<T> b_val) {
-              for (int lane = 0; lane < w; ++lane) {
-                const auto l = static_cast<std::size_t>(lane);
-                pa[l] = a_addr[l] == gpusim::kInactiveLane || desc[l] == nullptr
-                            ? gpusim::kInactiveLane
-                            : desc[l]->a_base + a_addr[l];
-                pb[l] = b_addr[l] == gpusim::kInactiveLane || desc[l] == nullptr
-                            ? gpusim::kInactiveLane
-                            : desc[l]->b_base + b_addr[l];
-              }
-              ctx.charge_compute(warp, cost::kSearchIterInstrs);
-              std::vector<T> av(static_cast<std::size_t>(w)),
-                  bv(static_cast<std::size_t>(w));
-              g.gather(warp, pa, std::span<T>(av), /*dependent=*/true);
-              g.gather(warp, pb, std::span<T>(bv), /*dependent=*/false);
-              std::copy(av.begin(), av.end(), a_val.begin());
-              std::copy(bv.begin(), bv.end(), b_val.begin());
-            };
-            mergepath::warp_corank_search<T>(std::span<mergepath::LaneSearch>(lanes),
-                                             probe, std::less<T>{});
-            for (int lane = 0; lane < w; ++lane) {
-              const std::int64_t local =
-                  static_cast<std::int64_t>(ctx.block_id()) * cfg.u + warp * w + lane;
-              if (local >= tcount) continue;
-              boundaries[static_cast<std::size_t>(t0 + local)] =
-                  lanes[static_cast<std::size_t>(lane)].lo;
-            }
-          }
-        });
-
-    // Stage 2: one merge block per output tile of this pair.
-    graph.add(
-        "batched_merge",
-        gpusim::LaunchShape{tcount, cfg.u, static_cast<std::size_t>(tile) * sizeof(T),
-                            regs},
-        [&, t0, tcount](gpusim::BlockContext& ctx) {
-          const std::int64_t local = ctx.block_id();
-          const auto t = static_cast<std::size_t>(t0 + local);
-          const detail::BatchTile& bt = tiles[t];
-          ctx.phase("merge.load");
-          {
-            // Descriptor + both boundary co-ranks: one small global read.
-            std::vector<std::int64_t> addr(static_cast<std::size_t>(ctx.lanes()),
-                                           gpusim::kInactiveLane);
-            addr[0] = static_cast<std::int64_t>(t);
-            gpusim::GlobalView<const std::int64_t> bv(
-                ctx, std::span<const std::int64_t>(boundaries), 0);
-            std::vector<std::int64_t> tmp(static_cast<std::size_t>(ctx.lanes()));
-            bv.gather(0, addr, std::span<std::int64_t>(tmp));
-          }
-          const std::int64_t a0 = boundaries[t];
-          const bool last_tile_of_pair = local + 1 == tcount;
-          const std::int64_t diag1 = bt.diag0 + tile;
-          const std::int64_t a1 = last_tile_of_pair && diag1 >= bt.ra + bt.rb
-                                      ? bt.ra
-                                      : boundaries[t + 1];
-          const std::int64_t b0 = bt.diag0 - a0;
-          const std::int64_t la = a1 - a0;
-          const std::int64_t lb = tile - la;
-
-          gpusim::GlobalView<const T> gin(ctx, std::span<const T>(staging), 0);
-          gpusim::GlobalView<T> gout(
-              ctx,
-              std::span<T>(packed).subspan(static_cast<std::size_t>(bt.out_base),
-                                           static_cast<std::size_t>(tile)),
-              bt.out_base);
-          merge_window_core<T>(ctx, gin, gout, bt.a_base + a0, bt.b_base + b0, la, lb,
-                               cfg, std::less<T>{});
-        },
-        {partition});
-  }
-
-  launcher.clear_history();
-  const gpusim::GraphReport g = launcher.run(graph);
-
-  // Unpack (drop the sentinel tails).
-  {
-    std::int64_t off = 0;
-    for (std::size_t p = 0; p < as.size(); ++p) {
-      outs[p].assign(packed.begin() + static_cast<std::ptrdiff_t>(off),
-                     packed.begin() + static_cast<std::ptrdiff_t>(off + out_sizes[p]));
-      // Advance past the pair's 2*run padded output.
-      const auto na = static_cast<std::int64_t>(as[p].size());
-      const auto nb = static_cast<std::int64_t>(bs[p].size());
-      const std::int64_t prun =
-          std::max<std::int64_t>({(na + tile - 1) / tile * tile,
-                                  (nb + tile - 1) / tile * tile, tile});
-      off += 2 * prun;
-    }
-  }
-
-  report.microseconds = g.serial_microseconds;
-  report.makespan_microseconds = g.makespan_microseconds;
-  report.graph_levels = g.levels;
-  report.kernels = g.kernels;
-  report.totals = launcher.total_counters();
-  report.phases = launcher.phase_counters();
-  return report;
-}
-
 }  // namespace cfmerge::sort
+
+// The entry point (batched_merge) is a thin wrapper over sort::SortEngine
+// and lives there; pulled in here so that including this header keeps
+// providing it.
+#include "sort/engine.hpp"

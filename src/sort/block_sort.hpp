@@ -69,15 +69,18 @@ void block_sort_body(gpusim::BlockContext& ctx, std::span<T> data, int e,
   // Thread i reads shared[i*E + j] in round j: a stride-E access, the
   // pattern the coprime-E heuristic keeps conflict-free.
   ctx.phase("bsort.thread_sort");
-  std::vector<std::int64_t> addr(static_cast<std::size_t>(w));
-  std::vector<T> vals(static_cast<std::size_t>(w));
+  assert(w <= gpusim::kMaxLanes);
+  std::array<std::int64_t, gpusim::kMaxLanes> addr;
+  std::array<T, gpusim::kMaxLanes> vals{};
+  const std::span<const std::int64_t> aspan(addr.data(), static_cast<std::size_t>(w));
+  const std::span<T> vspan(vals.data(), static_cast<std::size_t>(w));
   for (int warp = 0; warp < ctx.warps(); ++warp) {
     for (int j = 0; j < e; ++j) {
       for (int lane = 0; lane < w; ++lane)
         addr[static_cast<std::size_t>(lane)] =
             static_cast<std::int64_t>(warp * w + lane) * e + j;
       ctx.charge_compute(warp, cost::kCopyChunkInstrs);
-      shmem.gather(warp, addr, vals);
+      shmem.gather(warp, aspan, vspan);
       for (int lane = 0; lane < w; ++lane)
         regs[static_cast<std::size_t>((warp * w + lane)) * static_cast<std::size_t>(e) +
              static_cast<std::size_t>(j)] = vals[static_cast<std::size_t>(lane)];
@@ -101,7 +104,7 @@ void block_sort_body(gpusim::BlockContext& ctx, std::span<T> data, int e,
                  static_cast<std::size_t>(j)];
       }
       ctx.charge_compute(warp, cost::kCopyChunkInstrs);
-      shmem.scatter(warp, addr, vals);
+      shmem.scatter(warp, aspan, vspan);
     }
   }
   ctx.barrier();
@@ -163,9 +166,10 @@ void block_sort_body(gpusim::BlockContext& ctx, std::span<T> data, int e,
       {
         // Copy linear -> CF layout; reads are contiguous (conflict free),
         // writes are contiguous runs through pi/rho (also conflict free).
-        std::vector<std::int64_t> src_addr(static_cast<std::size_t>(w));
-        std::vector<std::int64_t> dst_addr(static_cast<std::size_t>(w));
-        std::vector<T> tmp(static_cast<std::size_t>(w));
+        std::array<std::int64_t, gpusim::kMaxLanes> src_addr;
+        std::array<std::int64_t, gpusim::kMaxLanes> dst_addr;
+        std::array<T, gpusim::kMaxLanes> tmp{};
+        const std::span<T> tspan(tmp.data(), static_cast<std::size_t>(w));
         for (int warp = 0; warp < ctx.warps(); ++warp) {
           for (std::int64_t basepos = static_cast<std::int64_t>(warp) * w;
                basepos < tile; basepos += u) {
@@ -179,8 +183,12 @@ void block_sort_body(gpusim::BlockContext& ctx, std::span<T> data, int e,
               dst_addr[static_cast<std::size_t>(lane)] = pair_base + pair_rho(raw);
             }
             ctx.charge_compute(warp, cost::kCopyChunkInstrs);
-            shmem.gather(warp, src_addr, tmp, /*dependent=*/false);
-            staging->scatter(warp, dst_addr, tmp, /*dependent=*/false);
+            shmem.gather(warp,
+                         std::span<const std::int64_t>(src_addr.data(), tspan.size()),
+                         tspan, /*dependent=*/false);
+            staging->scatter(warp,
+                             std::span<const std::int64_t>(dst_addr.data(), tspan.size()),
+                             tspan, /*dependent=*/false);
           }
         }
       }
@@ -188,8 +196,6 @@ void block_sort_body(gpusim::BlockContext& ctx, std::span<T> data, int e,
       ctx.phase("bsort.merge");
       // One RoundSchedule per pair; gather every warp of the pair.
       const std::int64_t pairs_count = tile / (2 * run);
-      std::vector<std::int64_t> addr(static_cast<std::size_t>(w));
-      std::vector<T> vals(static_cast<std::size_t>(w));
       for (std::int64_t pr = 0; pr < pairs_count; ++pr) {
         const std::int64_t pair_base = pr * 2 * run;
         const int u_pair = static_cast<int>(threads_per_pair);
@@ -211,7 +217,7 @@ void block_sort_body(gpusim::BlockContext& ctx, std::span<T> data, int e,
               addr[static_cast<std::size_t>(lane)] =
                   pair_base + sched.read(pw * w + lane, j).phys;
             ctx.charge_compute(warp, cost::kGatherRoundInstrs);
-            staging->gather(warp, addr, vals);
+            staging->gather(warp, aspan, vspan);
             for (int lane = 0; lane < w; ++lane)
               regs[static_cast<std::size_t>(first_thread + pw * w + lane) *
                        static_cast<std::size_t>(e) +
@@ -259,7 +265,7 @@ void block_sort_body(gpusim::BlockContext& ctx, std::span<T> data, int e,
                    static_cast<std::size_t>(j)];
         }
         ctx.charge_compute(warp, cost::kCopyChunkInstrs);
-        shmem.scatter(warp, addr, vals);
+        shmem.scatter(warp, aspan, vspan);
       }
     }
     ctx.barrier();

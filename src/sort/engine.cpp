@@ -1,0 +1,60 @@
+#include "sort/engine.hpp"
+
+namespace cfmerge::sort {
+
+std::uint64_t ScratchArena::pooled_bytes() const {
+  std::uint64_t total = 0;
+  for (const Slot& s : slots_) total += s.measure(s.storage.get());
+  return total;
+}
+
+void ScratchArena::clear() {
+  std::erase_if(slots_, [](const Slot& s) { return !s.in_use; });
+}
+
+void ScratchArena::release(std::size_t slot) {
+  Slot& s = slots_[slot];
+  s.in_use = false;
+  s.bytes = s.measure(s.storage.get());
+}
+
+EngineStats SortEngine::stats() const {
+  EngineStats s = stats_;
+  s.plans_cached = free_plans_.size();
+  for (const CachedPlan& c : free_plans_) s.plan_bytes += c.bytes;
+  s.arena_bytes = arena_.pooled_bytes();
+  s.arena_allocs = arena_.allocs();
+  s.arena_reuses = arena_.reuses();
+  return s;
+}
+
+void SortEngine::clear_plans() { free_plans_.clear(); }
+
+void SortEngine::set_plan_cache_enabled(bool enabled) {
+  cache_enabled_ = enabled;
+  if (!enabled) free_plans_.clear();
+}
+
+void SortEngine::set_plan_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  evict_to_capacity(capacity_);
+}
+
+void SortEngine::release_plan(const detail::PlanKey& key, std::shared_ptr<void> plan,
+                              std::uint64_t bytes) {
+  if (!cache_enabled_ || capacity_ == 0) return;  // plan is dropped here
+  free_plans_.push_back({key, std::move(plan), bytes, ++clock_});
+  evict_to_capacity(capacity_);
+}
+
+void SortEngine::evict_to_capacity(std::size_t capacity) {
+  while (free_plans_.size() > capacity) {
+    std::size_t lru = 0;
+    for (std::size_t i = 1; i < free_plans_.size(); ++i)
+      if (free_plans_[i].released_at < free_plans_[lru].released_at) lru = i;
+    free_plans_.erase(free_plans_.begin() + static_cast<std::ptrdiff_t>(lru));
+    ++stats_.plan_evictions;
+  }
+}
+
+}  // namespace cfmerge::sort

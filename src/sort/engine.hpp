@@ -1,0 +1,745 @@
+// Plan/execute split for every sort entry point — the cuFFT/CUB two-phase
+// shape, applied to the simulated mergesort library.
+//
+// A SortEngine is a long-lived object owning
+//
+//  * a **plan cache**: plans are keyed by (shape class, padded length /
+//    batch shape digest, MergeConfig) — the kernel-graph structure is a
+//    pure function of that key (merge-path partitioning fixes the pass and
+//    tile decisions from n_padded and cfg alone), so a plan built once can
+//    execute any input of the same shape.  A plan owns BOTH its
+//    KernelGraph template and every buffer the graph's bodies capture
+//    (buf/tmp/boundaries, or the batched staging/packed/descriptor
+//    arrays), which closes the latent lifetime footgun of the free
+//    functions: the storage a body references can no longer die or move
+//    while the graph is still runnable.  Executing a cached plan is
+//    "rebind by refilling": copy the new input into the plan's buffers
+//    (sentinel tails refreshed) and Launcher::run the graph again — the
+//    KernelGraph replay contract (kernel_graph.hpp) guarantees reports
+//    bit-identical to a freshly enqueued pipeline.
+//
+//  * a **scratch arena**: a pool of typed, reusable vectors for per-call
+//    scratch that is not part of any plan (today: merge_sort_by_key's
+//    KeyValue pair buffer).  acquire<T>(n) hands out an RAII Lease; the
+//    backing allocation returns to the pool when the lease drops.
+//
+// Cache semantics: the cache holds *idle* plan instances.  acquire removes
+// an instance from the free list (a hit), so two same-shaped segments of
+// one segmented_sort batch get two distinct instances — both are returned
+// afterwards and the next batch hits twice.  Instances beyond the
+// configured capacity are evicted least-recently-released; disabling the
+// cache (set_plan_cache_enabled(false)) drops all idle plans and makes
+// every acquire a miss, which is what `cfsort --no-plan-cache` uses to
+// show the un-amortized cost.
+//
+// The four free entry points (merge_sort, merge_sort_by_key, batched_merge,
+// segmented_sort) are thin wrappers: one-shot engine use, reports
+// bit-identical to the pre-engine implementations (asserted by
+// test_sort_engine across thread counts and GraphExec modes).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <typeindex>
+#include <utility>
+#include <vector>
+
+#include "gpusim/launcher.hpp"
+#include "sort/batched_merge.hpp"
+#include "sort/key_value.hpp"
+#include "sort/merge_pass.hpp"
+#include "sort/merge_sort.hpp"
+#include "sort/segmented_sort.hpp"
+
+namespace cfmerge::sort {
+
+/// Engine counters: cumulative plan-cache traffic plus a snapshot of what
+/// the cache and arena currently hold.  Emitted into the cfsort /
+/// sim_hotpath JSON reports.
+struct EngineStats {
+  std::uint64_t plan_hits = 0;       ///< acquires served from the cache
+  std::uint64_t plan_misses = 0;     ///< acquires that built a new plan
+  std::uint64_t plan_evictions = 0;  ///< idle plans dropped over capacity
+  std::uint64_t plans_cached = 0;    ///< idle plan instances held right now
+  std::uint64_t plan_bytes = 0;      ///< storage owned by those idle plans
+  std::uint64_t arena_bytes = 0;     ///< pooled scratch-arena storage
+  std::uint64_t arena_allocs = 0;    ///< arena acquires that allocated
+  std::uint64_t arena_reuses = 0;    ///< arena acquires served from the pool
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = plan_hits + plan_misses;
+    return total > 0 ? static_cast<double>(plan_hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+/// Typed pool of reusable scratch vectors.  acquire<T>(n) returns an RAII
+/// lease on a std::vector<T> resized to n; dropping the lease returns the
+/// allocation (capacity intact) to the pool for the next same-typed
+/// acquire.  Not thread-safe — an engine, like a Launcher, serves one
+/// caller at a time.
+class ScratchArena {
+ public:
+  template <typename T>
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& o) noexcept : arena_(o.arena_), slot_(o.slot_), vec_(o.vec_) {
+      o.arena_ = nullptr;
+      o.vec_ = nullptr;
+    }
+    Lease& operator=(Lease&& o) noexcept {
+      if (this != &o) {
+        reset();
+        arena_ = std::exchange(o.arena_, nullptr);
+        slot_ = o.slot_;
+        vec_ = std::exchange(o.vec_, nullptr);
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { reset(); }
+
+    [[nodiscard]] std::vector<T>& operator*() const { return *vec_; }
+    [[nodiscard]] std::vector<T>* operator->() const { return vec_; }
+
+   private:
+    friend class ScratchArena;
+    Lease(ScratchArena* arena, std::size_t slot, std::vector<T>* vec)
+        : arena_(arena), slot_(slot), vec_(vec) {}
+    void reset() {
+      if (arena_ != nullptr) arena_->release(slot_);
+      arena_ = nullptr;
+      vec_ = nullptr;
+    }
+
+    ScratchArena* arena_ = nullptr;
+    std::size_t slot_ = 0;
+    std::vector<T>* vec_ = nullptr;
+  };
+
+  template <typename T>
+  [[nodiscard]] Lease<T> acquire(std::size_t n) {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      Slot& s = slots_[i];
+      if (!s.in_use && s.type == std::type_index(typeid(T))) {
+        s.in_use = true;
+        ++reuses_;
+        auto* vec = static_cast<std::vector<T>*>(s.storage.get());
+        vec->resize(n);
+        return Lease<T>(this, i, vec);
+      }
+    }
+    ++allocs_;
+    auto storage = std::make_shared<std::vector<T>>(n);
+    auto* vec = storage.get();
+    slots_.push_back(Slot{std::type_index(typeid(T)), true, 0, std::move(storage),
+                          [](const void* p) -> std::uint64_t {
+                            const auto* v = static_cast<const std::vector<T>*>(p);
+                            return v->capacity() * sizeof(T);
+                          }});
+    return Lease<T>(this, slots_.size() - 1, vec);
+  }
+
+  /// Bytes currently held by the pool (leased or idle).
+  [[nodiscard]] std::uint64_t pooled_bytes() const;
+  [[nodiscard]] std::uint64_t allocs() const { return allocs_; }
+  [[nodiscard]] std::uint64_t reuses() const { return reuses_; }
+
+  /// Drops every idle slot.  Leased slots survive until their lease ends.
+  void clear();
+
+ private:
+  struct Slot {
+    std::type_index type;
+    bool in_use = false;
+    std::uint64_t bytes = 0;  ///< measured at release (capacity * sizeof)
+    std::shared_ptr<void> storage;
+    std::uint64_t (*measure)(const void*) = nullptr;
+  };
+
+  void release(std::size_t slot);
+
+  std::vector<Slot> slots_;
+  std::uint64_t allocs_ = 0;
+  std::uint64_t reuses_ = 0;
+};
+
+namespace detail {
+
+/// Cache key: everything the kernel-graph structure depends on.  Two calls
+/// with equal keys produce graphs with identical node names, shapes,
+/// dependency edges, and pass/tile decisions — only the buffer *contents*
+/// differ, which is exactly what plan reuse rebinds.
+struct PlanKey {
+  enum class Kind : std::uint8_t { Sort = 0, Batched = 1 };
+
+  Kind kind = Kind::Sort;
+  std::type_index type = std::type_index(typeid(void));
+  /// Sort: padded element count.  Batched: number of pairs (the per-pair
+  /// run lengths live in `shape_digest`).
+  std::int64_t n_padded = 0;
+  std::uint64_t shape_digest = 0;  ///< Batched: FNV-1a over every (|A|,|B|)
+  MergeConfig cfg;
+
+  [[nodiscard]] bool operator==(const PlanKey& o) const {
+    return kind == o.kind && type == o.type && n_padded == o.n_padded &&
+           shape_digest == o.shape_digest && cfg.e == o.cfg.e && cfg.u == o.cfg.u &&
+           cfg.variant == o.cfg.variant && cfg.disable_rho == o.cfg.disable_rho &&
+           cfg.cf_output_scatter == o.cfg.cf_output_scatter &&
+           cfg.cf_blocksort == o.cfg.cf_blocksort;
+  }
+};
+
+/// FNV-1a, the digest under PlanKey::shape_digest.
+inline std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+
+/// A cached single-array sort plan: the enqueued pipeline of
+/// enqueue_sort_pipeline plus the storage its bodies capture.  Plans are
+/// heap-allocated and pinned (no copy/move): the graph's kernel bodies
+/// hold references into buf/tmp/boundaries.
+template <typename T>
+struct SortPlanT {
+  MergeConfig cfg;
+  std::int64_t n_padded = 0;
+  int passes = 0;
+  std::vector<T> buf, tmp;
+  std::vector<std::int64_t> boundaries;
+  std::vector<T>* result = nullptr;  ///< buf or tmp, fixed by the pass count
+  gpusim::KernelGraph graph;
+
+  SortPlanT(const MergeConfig& c, std::int64_t np) : cfg(c), n_padded(np) {
+    buf.assign(static_cast<std::size_t>(np), padding_sentinel<T>::value());
+    gpusim::Stream stream = graph.stream();
+    result = enqueue_sort_pipeline(stream, buf, tmp, boundaries, np, cfg, passes);
+  }
+  SortPlanT(const SortPlanT&) = delete;
+  SortPlanT& operator=(const SortPlanT&) = delete;
+
+  /// Rebind: load the next input.  The sentinel tail is rewritten because a
+  /// previous execution leaves buf holding that run's intermediate data.
+  void load(const std::vector<T>& data) {
+    std::copy(data.begin(), data.end(), buf.begin());
+    std::fill(buf.begin() + static_cast<std::ptrdiff_t>(data.size()), buf.end(),
+              padding_sentinel<T>::value());
+  }
+
+  [[nodiscard]] std::uint64_t footprint_bytes() const {
+    return (buf.capacity() + tmp.capacity()) * sizeof(T) +
+           boundaries.capacity() * sizeof(std::int64_t);
+  }
+};
+
+/// A cached batched-merge plan: the staging layout, per-tile descriptors,
+/// both kernel nodes per pair, and the packed output buffer.  The staging
+/// sentinel pads are written once at build time — kernels only read
+/// staging, so rebinding just overwrites the real |A| / |B| prefixes.
+template <typename T>
+struct BatchedPlanT {
+  MergeConfig cfg;
+  std::int64_t elements = 0;  ///< total real output elements of the shape
+  std::vector<T> staging;
+  std::vector<T> packed;
+  std::vector<BatchTile> tiles;
+  std::vector<int> pair_tile0;
+  std::vector<std::int64_t> out_sizes;
+  std::vector<std::int64_t> boundaries;
+  gpusim::KernelGraph graph;
+
+  BatchedPlanT(const std::vector<std::vector<T>>& as, const std::vector<std::vector<T>>& bs,
+               const MergeConfig& c)
+      : cfg(c) {
+    const std::int64_t tile = cfg.tile();
+    const T sentinel = padding_sentinel<T>::value();
+
+    // Stage every pair as [A pad | B pad] with both runs padded to the same
+    // multiple of the tile, and precompute per-tile descriptors.
+    pair_tile0.resize(as.size());
+    out_sizes.resize(as.size());
+    std::int64_t packed_out = 0;
+    for (std::size_t p = 0; p < as.size(); ++p) {
+      pair_tile0[p] = static_cast<int>(tiles.size());
+      const auto na = static_cast<std::int64_t>(as[p].size());
+      const auto nb = static_cast<std::int64_t>(bs[p].size());
+      out_sizes[p] = na + nb;
+      elements += na + nb;
+      const std::int64_t run = std::max<std::int64_t>(
+          {(na + tile - 1) / tile * tile, (nb + tile - 1) / tile * tile, tile});
+      const std::int64_t a_base = static_cast<std::int64_t>(staging.size());
+      staging.insert(staging.end(), as[p].begin(), as[p].end());
+      staging.resize(static_cast<std::size_t>(a_base + run), sentinel);
+      const std::int64_t b_base = static_cast<std::int64_t>(staging.size());
+      staging.insert(staging.end(), bs[p].begin(), bs[p].end());
+      staging.resize(static_cast<std::size_t>(b_base + run), sentinel);
+      for (std::int64_t d = 0; d < 2 * run; d += tile) {
+        tiles.push_back({static_cast<std::int32_t>(p), a_base, b_base, run, run, d,
+                         packed_out + d});
+      }
+      packed_out += 2 * run;
+    }
+    packed.resize(static_cast<std::size_t>(packed_out));
+    boundaries.assign(tiles.size(), 0);
+
+    // Two graph nodes per pair — partition -> merge, no cross-pair edges —
+    // exactly the free batched_merge's enqueue, with the bodies capturing
+    // plan members instead of stack locals.
+    const int regs = cfg.variant == Variant::CFMerge
+                         ? cost::cfmerge_regs_per_thread(cfg.e)
+                         : cost::baseline_regs_per_thread(cfg.e);
+    for (std::size_t p = 0; p < as.size(); ++p) {
+      const int t0 = pair_tile0[p];
+      const int tcount =
+          (p + 1 < as.size() ? pair_tile0[p + 1] : static_cast<int>(tiles.size())) - t0;
+
+      // Stage 1: per-tile co-rank of this pair's tiles (each simulated
+      // thread resolves one tile's start diagonal; the descriptor read is
+      // charged).
+      const int pblocks = (tcount + cfg.u - 1) / cfg.u;
+      const gpusim::NodeId partition = graph.add(
+          "batched_partition", gpusim::LaunchShape{pblocks, cfg.u, 0, 24},
+          [this, t0, tcount](gpusim::BlockContext& ctx) {
+            ctx.phase("partition.search");
+            const int w = ctx.lanes();
+            assert(w <= gpusim::kMaxLanes);
+            for (int warp = 0; warp < ctx.warps(); ++warp) {
+              std::array<mergepath::LaneSearch, gpusim::kMaxLanes> lanes{};
+              std::array<const BatchTile*, gpusim::kMaxLanes> desc{};
+              bool any = false;
+              std::array<std::int64_t, gpusim::kMaxLanes> daddr;
+              daddr.fill(gpusim::kInactiveLane);
+              for (int lane = 0; lane < w; ++lane) {
+                const std::int64_t local =
+                    static_cast<std::int64_t>(ctx.block_id()) * cfg.u + warp * w + lane;
+                if (local >= tcount) continue;
+                const std::int64_t t = t0 + local;
+                const auto& bt = tiles[static_cast<std::size_t>(t)];
+                desc[static_cast<std::size_t>(lane)] = &bt;
+                daddr[static_cast<std::size_t>(lane)] =
+                    t * static_cast<std::int64_t>(sizeof(BatchTile));
+                lanes[static_cast<std::size_t>(lane)].init(bt.diag0, bt.ra, bt.rb);
+                any = true;
+              }
+              if (!any) continue;
+              ctx.charge_gmem(
+                  warp,
+                  std::span<const std::int64_t>(daddr.data(), static_cast<std::size_t>(w)),
+                  8, /*dependent=*/true);  // descriptor fetch
+              std::array<std::int64_t, gpusim::kMaxLanes> pa;
+              std::array<std::int64_t, gpusim::kMaxLanes> pb;
+              gpusim::GlobalView<const T> g(ctx, std::span<const T>(staging), 0);
+              auto probe = [&](std::span<const std::int64_t> a_addr, std::span<T> a_val,
+                               std::span<const std::int64_t> b_addr, std::span<T> b_val) {
+                for (int lane = 0; lane < w; ++lane) {
+                  const auto l = static_cast<std::size_t>(lane);
+                  pa[l] = a_addr[l] == gpusim::kInactiveLane || desc[l] == nullptr
+                              ? gpusim::kInactiveLane
+                              : desc[l]->a_base + a_addr[l];
+                  pb[l] = b_addr[l] == gpusim::kInactiveLane || desc[l] == nullptr
+                              ? gpusim::kInactiveLane
+                              : desc[l]->b_base + b_addr[l];
+                }
+                ctx.charge_compute(warp, cost::kSearchIterInstrs);
+                std::array<T, gpusim::kMaxLanes> av{};
+                std::array<T, gpusim::kMaxLanes> bv{};
+                g.gather(warp, std::span<const std::int64_t>(pa.data(), a_val.size()),
+                         std::span<T>(av.data(), a_val.size()), /*dependent=*/true);
+                g.gather(warp, std::span<const std::int64_t>(pb.data(), b_val.size()),
+                         std::span<T>(bv.data(), b_val.size()), /*dependent=*/false);
+                std::copy(av.begin(), av.begin() + static_cast<std::ptrdiff_t>(w),
+                          a_val.begin());
+                std::copy(bv.begin(), bv.begin() + static_cast<std::ptrdiff_t>(w),
+                          b_val.begin());
+              };
+              mergepath::warp_corank_search<T>(
+                  std::span<mergepath::LaneSearch>(lanes.data(),
+                                                   static_cast<std::size_t>(w)),
+                  probe, std::less<T>{});
+              for (int lane = 0; lane < w; ++lane) {
+                const std::int64_t local =
+                    static_cast<std::int64_t>(ctx.block_id()) * cfg.u + warp * w + lane;
+                if (local >= tcount) continue;
+                boundaries[static_cast<std::size_t>(t0 + local)] =
+                    lanes[static_cast<std::size_t>(lane)].lo;
+              }
+            }
+          });
+
+      // Stage 2: one merge block per output tile of this pair.
+      graph.add(
+          "batched_merge",
+          gpusim::LaunchShape{tcount, cfg.u, static_cast<std::size_t>(tile) * sizeof(T),
+                              regs},
+          [this, t0, tcount, tile](gpusim::BlockContext& ctx) {
+            const std::int64_t local = ctx.block_id();
+            const auto t = static_cast<std::size_t>(t0 + local);
+            const BatchTile& bt = tiles[t];
+            ctx.phase("merge.load");
+            {
+              // Descriptor + both boundary co-ranks: one small global read.
+              const auto w = static_cast<std::size_t>(ctx.lanes());
+              assert(w <= static_cast<std::size_t>(gpusim::kMaxLanes));
+              std::array<std::int64_t, gpusim::kMaxLanes> addr;
+              addr.fill(gpusim::kInactiveLane);
+              addr[0] = static_cast<std::int64_t>(t);
+              gpusim::GlobalView<const std::int64_t> bv(
+                  ctx, std::span<const std::int64_t>(boundaries), 0);
+              std::array<std::int64_t, gpusim::kMaxLanes> tmp;
+              bv.gather(0, std::span<const std::int64_t>(addr.data(), w),
+                        std::span<std::int64_t>(tmp.data(), w));
+            }
+            const std::int64_t a0 = boundaries[t];
+            const bool last_tile_of_pair = local + 1 == tcount;
+            const std::int64_t diag1 = bt.diag0 + tile;
+            const std::int64_t a1 = last_tile_of_pair && diag1 >= bt.ra + bt.rb
+                                        ? bt.ra
+                                        : boundaries[t + 1];
+            const std::int64_t b0 = bt.diag0 - a0;
+            const std::int64_t la = a1 - a0;
+            const std::int64_t lb = tile - la;
+
+            gpusim::GlobalView<const T> gin(ctx, std::span<const T>(staging), 0);
+            gpusim::GlobalView<T> gout(
+                ctx,
+                std::span<T>(packed).subspan(static_cast<std::size_t>(bt.out_base),
+                                             static_cast<std::size_t>(tile)),
+                bt.out_base);
+            merge_window_core<T>(ctx, gin, gout, bt.a_base + a0, bt.b_base + b0, la, lb,
+                                 cfg, std::less<T>{});
+          },
+          {partition});
+    }
+  }
+  BatchedPlanT(const BatchedPlanT&) = delete;
+  BatchedPlanT& operator=(const BatchedPlanT&) = delete;
+
+  /// Rebind: overwrite each run's real prefix.  The sentinel pads between
+  /// runs persist from build time (kernels never write staging).
+  void load(const std::vector<std::vector<T>>& as, const std::vector<std::vector<T>>& bs) {
+    for (std::size_t p = 0; p < as.size(); ++p) {
+      const BatchTile& first = tiles[static_cast<std::size_t>(pair_tile0[p])];
+      std::copy(as[p].begin(), as[p].end(),
+                staging.begin() + static_cast<std::ptrdiff_t>(first.a_base));
+      std::copy(bs[p].begin(), bs[p].end(),
+                staging.begin() + static_cast<std::ptrdiff_t>(first.b_base));
+    }
+  }
+
+  /// Unpack the packed output (dropping sentinel tails) into `outs`.
+  void unpack(std::vector<std::vector<T>>& outs) const {
+    for (std::size_t p = 0; p < out_sizes.size(); ++p) {
+      const std::int64_t off = tiles[static_cast<std::size_t>(pair_tile0[p])].out_base;
+      outs[p].assign(packed.begin() + static_cast<std::ptrdiff_t>(off),
+                     packed.begin() + static_cast<std::ptrdiff_t>(off + out_sizes[p]));
+    }
+  }
+
+  [[nodiscard]] std::uint64_t footprint_bytes() const {
+    return (staging.capacity() + packed.capacity()) * sizeof(T) +
+           tiles.capacity() * sizeof(BatchTile) + pair_tile0.capacity() * sizeof(int) +
+           (out_sizes.capacity() + boundaries.capacity()) * sizeof(std::int64_t);
+  }
+};
+
+}  // namespace detail
+
+/// The engine.  Owns the plan cache and the scratch arena; executes
+/// against one Launcher (whose history/trace it manages exactly like the
+/// free entry points: cleared per call, then holding that call's kernels).
+class SortEngine {
+ public:
+  static constexpr std::size_t kDefaultPlanCapacity = 64;
+
+  explicit SortEngine(gpusim::Launcher& launcher,
+                      std::size_t plan_capacity = kDefaultPlanCapacity)
+      : launcher_(&launcher), capacity_(plan_capacity) {}
+  SortEngine(const SortEngine&) = delete;
+  SortEngine& operator=(const SortEngine&) = delete;
+
+  /// merge_sort through the engine: bit-identical report, cached plan.
+  template <typename T>
+  SortReport sort(std::vector<T>& data, const MergeConfig& cfg,
+                  gpusim::GraphExec mode = gpusim::GraphExec::Overlap) {
+    validate_merge_config(launcher_->device(), cfg);
+
+    SortReport report;
+    report.n = static_cast<std::int64_t>(data.size());
+    if (report.n == 0) return report;
+
+    const std::int64_t tile = cfg.tile();
+    const std::int64_t n_padded = (report.n + tile - 1) / tile * tile;
+    report.n_padded = n_padded;
+
+    const detail::PlanKey key{detail::PlanKey::Kind::Sort, std::type_index(typeid(T)),
+                              n_padded, 0, cfg};
+    auto plan = acquire_plan<detail::SortPlanT<T>>(
+        key, [&] { return std::make_shared<detail::SortPlanT<T>>(cfg, n_padded); });
+    plan->load(data);
+    report.passes = plan->passes;
+
+    launcher_->clear_history();
+    const gpusim::GraphReport g = launcher_->run(plan->graph, mode);
+
+    std::copy(plan->result->begin(), plan->result->begin() + report.n, data.begin());
+    report.kernels = g.kernels;
+    report.microseconds = g.serial_microseconds;
+    report.makespan_microseconds = g.makespan_microseconds;
+    report.graph_levels = g.levels;
+    report.totals = launcher_->total_counters();
+    report.phases = launcher_->phase_counters();
+    cache_plan(key, std::move(plan));
+    return report;
+  }
+
+  /// merge_sort_by_key through the engine: the KeyValue pair buffer comes
+  /// from the scratch arena instead of a per-call allocation.
+  template <typename K, typename V>
+  SortReport sort_by_key(std::vector<K>& keys, std::vector<V>& values,
+                         const MergeConfig& cfg,
+                         gpusim::GraphExec mode = gpusim::GraphExec::Overlap) {
+    if (keys.size() != values.size())
+      throw std::invalid_argument("merge_sort_by_key: keys/values size mismatch");
+    auto lease = arena_.acquire<KeyValue<K, V>>(keys.size());
+    std::vector<KeyValue<K, V>>& pairs = *lease;
+    for (std::size_t i = 0; i < keys.size(); ++i) pairs[i] = {keys[i], values[i]};
+    const SortReport report = sort(pairs, cfg, mode);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      keys[i] = pairs[i].key;
+      values[i] = pairs[i].value;
+    }
+    return report;
+  }
+
+  /// segmented_sort through the engine: every non-empty segment acquires a
+  /// plan (same-length segments across batches hit the cache) and its
+  /// graph template is instantiated into one batch graph via
+  /// KernelGraph::append — no kernels are re-enqueued on a hit.
+  template <typename T>
+  SegmentedSortReport segmented_sort(std::vector<std::vector<T>>& segments,
+                                     const MergeConfig& cfg,
+                                     gpusim::GraphExec mode = gpusim::GraphExec::Overlap) {
+    validate_merge_config(launcher_->device(), cfg);
+
+    SegmentedSortReport report;
+    report.segments = static_cast<int>(segments.size());
+    report.per_segment.reserve(segments.size());
+
+    struct Held {
+      detail::PlanKey key;
+      std::shared_ptr<detail::SortPlanT<T>> plan;
+    };
+    std::vector<Held> held;
+
+    const std::int64_t tile = cfg.tile();
+    gpusim::KernelGraph graph;
+    for (std::vector<T>& seg : segments) {
+      SegmentedSortReport::Segment info;
+      info.n = static_cast<std::int64_t>(seg.size());
+      info.first_kernel = graph.size();
+      report.elements += info.n;
+      if (info.n > 0) {
+        const std::int64_t n_padded = (info.n + tile - 1) / tile * tile;
+        const detail::PlanKey key{detail::PlanKey::Kind::Sort,
+                                  std::type_index(typeid(T)), n_padded, 0, cfg};
+        auto plan = acquire_plan<detail::SortPlanT<T>>(
+            key, [&] { return std::make_shared<detail::SortPlanT<T>>(cfg, n_padded); });
+        plan->load(seg);
+        info.passes = plan->passes;
+        graph.append(plan->graph);
+        info.kernel_count = graph.size() - info.first_kernel;
+        held.push_back({key, std::move(plan)});
+      }
+      report.per_segment.push_back(info);
+    }
+
+    launcher_->clear_history();
+    const gpusim::GraphReport g = launcher_->run(graph, mode);
+
+    std::size_t si = 0;
+    for (std::vector<T>& seg : segments) {
+      if (seg.empty()) continue;
+      const detail::SortPlanT<T>& plan = *held[si++].plan;
+      std::copy(plan.result->begin(),
+                plan.result->begin() + static_cast<std::ptrdiff_t>(seg.size()),
+                seg.begin());
+    }
+
+    report.serial_microseconds = g.serial_microseconds;
+    report.makespan_microseconds = g.makespan_microseconds;
+    report.graph_levels = g.levels;
+    report.kernels = g.kernels;
+    report.totals = launcher_->total_counters();
+    report.phases = launcher_->phase_counters();
+    for (Held& h : held) cache_plan(h.key, std::move(h.plan));
+    return report;
+  }
+
+  /// batched_merge through the engine: the plan key digests every pair's
+  /// (|A|, |B|), so a repeated batch shape reuses its staging layout,
+  /// descriptors, and both kernel nodes per pair.
+  template <typename T>
+  BatchedMergeReport batched_merge(const std::vector<std::vector<T>>& as,
+                                   const std::vector<std::vector<T>>& bs,
+                                   std::vector<std::vector<T>>& outs,
+                                   const MergeConfig& cfg,
+                                   gpusim::GraphExec mode = gpusim::GraphExec::Overlap) {
+    if (as.size() != bs.size())
+      throw std::invalid_argument("batched_merge: pair count mismatch");
+    validate_merge_config(launcher_->device(), cfg);
+
+    BatchedMergeReport report;
+    report.pairs = static_cast<int>(as.size());
+    outs.assign(as.size(), {});
+    if (as.empty()) return report;
+
+    std::uint64_t digest = detail::kFnvOffset;
+    for (std::size_t p = 0; p < as.size(); ++p) {
+      digest = detail::fnv1a(digest, as[p].size());
+      digest = detail::fnv1a(digest, bs[p].size());
+    }
+    const detail::PlanKey key{detail::PlanKey::Kind::Batched, std::type_index(typeid(T)),
+                              static_cast<std::int64_t>(as.size()), digest, cfg};
+    auto plan = acquire_plan<detail::BatchedPlanT<T>>(
+        key, [&] { return std::make_shared<detail::BatchedPlanT<T>>(as, bs, cfg); });
+    plan->load(as, bs);
+    report.elements = plan->elements;
+
+    launcher_->clear_history();
+    const gpusim::GraphReport g = launcher_->run(plan->graph, mode);
+
+    plan->unpack(outs);
+    report.microseconds = g.serial_microseconds;
+    report.makespan_microseconds = g.makespan_microseconds;
+    report.graph_levels = g.levels;
+    report.kernels = g.kernels;
+    report.totals = launcher_->total_counters();
+    report.phases = launcher_->phase_counters();
+    cache_plan(key, std::move(plan));
+    return report;
+  }
+
+  [[nodiscard]] gpusim::Launcher& launcher() const { return *launcher_; }
+  [[nodiscard]] ScratchArena& arena() { return arena_; }
+
+  /// Cumulative counters plus a snapshot of current cache/arena contents.
+  [[nodiscard]] EngineStats stats() const;
+
+  /// Drops every idle plan (stats counters are kept).
+  void clear_plans();
+
+  /// Disabling also drops the idle plans; every subsequent acquire is a
+  /// build (counted as a miss).  `cfsort --no-plan-cache`.
+  void set_plan_cache_enabled(bool enabled);
+  [[nodiscard]] bool plan_cache_enabled() const { return cache_enabled_; }
+
+  /// Maximum idle plan instances kept; least-recently-released instances
+  /// beyond it are evicted.
+  void set_plan_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t plan_capacity() const { return capacity_; }
+
+ private:
+  struct CachedPlan {
+    detail::PlanKey key;
+    std::shared_ptr<void> plan;
+    std::uint64_t bytes = 0;
+    std::uint64_t released_at = 0;
+  };
+
+  template <typename Plan, typename Build>
+  std::shared_ptr<Plan> acquire_plan(const detail::PlanKey& key, Build&& build) {
+    if (cache_enabled_) {
+      for (std::size_t i = 0; i < free_plans_.size(); ++i) {
+        if (free_plans_[i].key == key) {
+          auto plan = std::static_pointer_cast<Plan>(std::move(free_plans_[i].plan));
+          free_plans_.erase(free_plans_.begin() + static_cast<std::ptrdiff_t>(i));
+          ++stats_.plan_hits;
+          return plan;
+        }
+      }
+    }
+    ++stats_.plan_misses;
+    return build();
+  }
+
+  template <typename Plan>
+  void cache_plan(const detail::PlanKey& key, std::shared_ptr<Plan> plan) {
+    const std::uint64_t bytes = plan->footprint_bytes();
+    release_plan(key, std::move(plan), bytes);
+  }
+
+  void release_plan(const detail::PlanKey& key, std::shared_ptr<void> plan,
+                    std::uint64_t bytes);
+  void evict_to_capacity(std::size_t capacity);
+
+  gpusim::Launcher* launcher_;
+  ScratchArena arena_;
+  std::vector<CachedPlan> free_plans_;  ///< idle instances, linear-scanned
+  bool cache_enabled_ = true;
+  std::size_t capacity_;
+  std::uint64_t clock_ = 0;
+  EngineStats stats_;  ///< cumulative fields only; snapshots added in stats()
+};
+
+// ---------------------------------------------------------------------------
+// The classic free entry points: one-shot engine use.  A fresh engine per
+// call means plan build + execute, which is exactly the pre-engine cost and
+// produces bit-identical reports; callers with repeated shapes should hold
+// a SortEngine instead.
+
+/// Sorts `data` in place with the configured variant.  `launcher.history()`
+/// is cleared and then holds one report per launched kernel.
+template <typename T>
+SortReport merge_sort(gpusim::Launcher& launcher, std::vector<T>& data,
+                      const MergeConfig& cfg) {
+  SortEngine engine(launcher);
+  return engine.sort(data, cfg);
+}
+
+/// Sorts `keys` and applies the same permutation to `values` (Thrust's
+/// sort_by_key).  Sizes must match.  See key_value.hpp for the stability
+/// guarantees per variant.
+template <typename K, typename V>
+SortReport merge_sort_by_key(gpusim::Launcher& launcher, std::vector<K>& keys,
+                             std::vector<V>& values, const MergeConfig& cfg) {
+  SortEngine engine(launcher);
+  return engine.sort_by_key(keys, values, cfg);
+}
+
+/// Sorts every segment in place, all submitted as one kernel graph.
+/// Zero-length segments are legal and contribute no kernels.
+/// `launcher.history()` is cleared and then holds every kernel in enqueue
+/// order (segment by segment).  `mode` selects the host execution policy
+/// only — reports are bit-identical for both modes and any worker count.
+template <typename T>
+SegmentedSortReport segmented_sort(gpusim::Launcher& launcher,
+                                   std::vector<std::vector<T>>& segments,
+                                   const MergeConfig& cfg,
+                                   gpusim::GraphExec mode = gpusim::GraphExec::Overlap) {
+  SortEngine engine(launcher);
+  return engine.segmented_sort(segments, cfg, mode);
+}
+
+/// Merges as[i] with bs[i] into outs[i] for every i, in one partition
+/// launch + one merge launch.  Lists may have arbitrary (including zero and
+/// mutually different) lengths.
+template <typename T>
+BatchedMergeReport batched_merge(gpusim::Launcher& launcher,
+                                 const std::vector<std::vector<T>>& as,
+                                 const std::vector<std::vector<T>>& bs,
+                                 std::vector<std::vector<T>>& outs,
+                                 const MergeConfig& cfg) {
+  SortEngine engine(launcher);
+  return engine.batched_merge(as, bs, outs, cfg);
+}
+
+}  // namespace cfmerge::sort

@@ -73,9 +73,11 @@ void load_tile(gpusim::BlockContext& ctx, GV& global, gpusim::SharedTile<T>& shm
                std::int64_t count, Src&& src, Dst&& dst) {
   const int w = ctx.lanes();
   const int u = ctx.threads();
-  std::vector<std::int64_t> gaddr(static_cast<std::size_t>(w));
-  std::vector<std::int64_t> saddr(static_cast<std::size_t>(w));
-  std::vector<T> vals(static_cast<std::size_t>(w));
+  assert(w <= gpusim::kMaxLanes);
+  std::array<std::int64_t, gpusim::kMaxLanes> gaddr;
+  std::array<std::int64_t, gpusim::kMaxLanes> saddr;
+  std::array<T, gpusim::kMaxLanes> vals{};
+  const std::span<T> vspan(vals.data(), static_cast<std::size_t>(w));
   for (int warp = 0; warp < ctx.warps(); ++warp) {
     bool first = true;
     for (std::int64_t base = static_cast<std::int64_t>(warp) * w; base < count;
@@ -87,8 +89,10 @@ void load_tile(gpusim::BlockContext& ctx, GV& global, gpusim::SharedTile<T>& shm
         saddr[static_cast<std::size_t>(lane)] = active ? dst(t) : gpusim::kInactiveLane;
       }
       ctx.charge_compute(warp, cost::kCopyChunkInstrs);
-      global.gather(warp, gaddr, vals, /*dependent=*/first);
-      shmem.scatter(warp, saddr, vals, /*dependent=*/false);
+      global.gather(warp, std::span<const std::int64_t>(gaddr.data(), vspan.size()),
+                    vspan, /*dependent=*/first);
+      shmem.scatter(warp, std::span<const std::int64_t>(saddr.data(), vspan.size()),
+                    vspan, /*dependent=*/false);
       first = false;
     }
   }
@@ -100,9 +104,11 @@ void store_tile(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& shmem, GV& glo
                 std::int64_t count, Src&& src, Dst&& dst) {
   const int w = ctx.lanes();
   const int u = ctx.threads();
-  std::vector<std::int64_t> gaddr(static_cast<std::size_t>(w));
-  std::vector<std::int64_t> saddr(static_cast<std::size_t>(w));
-  std::vector<T> vals(static_cast<std::size_t>(w));
+  assert(w <= gpusim::kMaxLanes);
+  std::array<std::int64_t, gpusim::kMaxLanes> gaddr;
+  std::array<std::int64_t, gpusim::kMaxLanes> saddr;
+  std::array<T, gpusim::kMaxLanes> vals{};
+  const std::span<T> vspan(vals.data(), static_cast<std::size_t>(w));
   for (int warp = 0; warp < ctx.warps(); ++warp) {
     bool first = true;
     for (std::int64_t base = static_cast<std::int64_t>(warp) * w; base < count;
@@ -114,8 +120,10 @@ void store_tile(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& shmem, GV& glo
         gaddr[static_cast<std::size_t>(lane)] = active ? dst(t) : gpusim::kInactiveLane;
       }
       ctx.charge_compute(warp, cost::kCopyChunkInstrs);
-      shmem.gather(warp, saddr, vals, /*dependent=*/first);
-      global.scatter(warp, gaddr, vals, /*dependent=*/false);
+      shmem.gather(warp, std::span<const std::int64_t>(saddr.data(), vspan.size()),
+                   vspan, /*dependent=*/first);
+      global.scatter(warp, std::span<const std::int64_t>(gaddr.data(), vspan.size()),
+                     vspan, /*dependent=*/false);
       first = false;
     }
   }

@@ -103,12 +103,19 @@ void merge_partition_body(gpusim::BlockContext& ctx, std::span<const T> input,
   gpusim::GlobalView<const T> global(ctx, input, 0);
 
   ctx.phase("partition.search");
+  assert(w <= gpusim::kMaxLanes);
+  std::array<mergepath::LaneSearch, gpusim::kMaxLanes> lanes;
+  std::array<std::int64_t, gpusim::kMaxLanes> abase;
+  std::array<std::int64_t, gpusim::kMaxLanes> bbase;
+  std::array<std::int64_t, gpusim::kMaxLanes> pa;
+  std::array<std::int64_t, gpusim::kMaxLanes> pb;
   for (int warp = 0; warp < ctx.warps(); ++warp) {
-    std::vector<mergepath::LaneSearch> lanes(static_cast<std::size_t>(w));
-    std::vector<std::int64_t> abase(static_cast<std::size_t>(w), 0);
-    std::vector<std::int64_t> bbase(static_cast<std::size_t>(w), 0);
     bool any = false;
     for (int lane = 0; lane < w; ++lane) {
+      const auto l = static_cast<std::size_t>(lane);
+      lanes[l] = mergepath::LaneSearch{};
+      abase[l] = 0;
+      bbase[l] = 0;
       const std::int64_t t =
           static_cast<std::int64_t>(ctx.block_id()) * u + warp * w + lane;
       if (t >= nb) continue;
@@ -117,14 +124,12 @@ void merge_partition_body(gpusim::BlockContext& ctx, std::span<const T> input,
       const std::int64_t diag = pos - base;
       const std::int64_t la = geom.a_len(base);
       const std::int64_t lb = geom.b_len(base);
-      lanes[static_cast<std::size_t>(lane)].init(std::min(diag, la + lb), la, lb);
-      abase[static_cast<std::size_t>(lane)] = base;
-      bbase[static_cast<std::size_t>(lane)] = base + la;
+      lanes[l].init(std::min(diag, la + lb), la, lb);
+      abase[l] = base;
+      bbase[l] = base + la;
       any = true;
     }
     if (!any) continue;
-    std::vector<std::int64_t> pa(static_cast<std::size_t>(w));
-    std::vector<std::int64_t> pb(static_cast<std::size_t>(w));
     auto probe = [&](std::span<const std::int64_t> a_addr, std::span<T> a_val,
                      std::span<const std::int64_t> b_addr, std::span<T> b_val) {
       for (int lane = 0; lane < w; ++lane) {
@@ -135,10 +140,14 @@ void merge_partition_body(gpusim::BlockContext& ctx, std::span<const T> input,
                                                    : bbase[l] + b_addr[l];
       }
       ctx.charge_compute(warp, cost::kSearchIterInstrs);
-      global.gather(warp, pa, a_val, /*dependent=*/true);
-      global.gather(warp, pb, b_val, /*dependent=*/false);
+      global.gather(warp, std::span<const std::int64_t>(pa.data(), a_val.size()), a_val,
+                    /*dependent=*/true);
+      global.gather(warp, std::span<const std::int64_t>(pb.data(), b_val.size()), b_val,
+                    /*dependent=*/false);
     };
-    mergepath::warp_corank_search<T>(std::span<mergepath::LaneSearch>(lanes), probe, cmp);
+    mergepath::warp_corank_search<T>(
+        std::span<mergepath::LaneSearch>(lanes.data(), static_cast<std::size_t>(w)),
+        probe, cmp);
     for (int lane = 0; lane < w; ++lane) {
       const std::int64_t t =
           static_cast<std::int64_t>(ctx.block_id()) * u + warp * w + lane;
@@ -231,8 +240,8 @@ void merge_window_core(gpusim::BlockContext& ctx, GIn& gin, gpusim::GlobalView<T
       // Ablation path: emulate the schedule with rho = identity by reading
       // through the layout's raw indices directly.
       gather::RoundSchedule sched(shape, a_off, a_size);
-      std::vector<std::int64_t> addr(static_cast<std::size_t>(w));
-      std::vector<T> vals(static_cast<std::size_t>(w));
+      std::array<std::int64_t, gpusim::kMaxLanes> addr;
+      std::array<T, gpusim::kMaxLanes> vals{};
       for (int warp = 0; warp < ctx.warps(); ++warp) {
         ctx.charge_compute(warp, cost::kThreadSetupInstrs);
         for (int j = 0; j < e; ++j) {
@@ -240,7 +249,9 @@ void merge_window_core(gpusim::BlockContext& ctx, GIn& gin, gpusim::GlobalView<T
             addr[static_cast<std::size_t>(lane)] =
                 sched.read(warp * w + lane, j).raw;  // no rho applied
           ctx.charge_compute(warp, cost::kGatherRoundInstrs);
-          shmem.gather(warp, addr, std::span<T>(vals));
+          shmem.gather(warp, std::span<const std::int64_t>(addr.data(),
+                                                           static_cast<std::size_t>(w)),
+                       std::span<T>(vals.data(), static_cast<std::size_t>(w)));
           for (int lane = 0; lane < w; ++lane)
             regs[static_cast<std::size_t>(warp * w + lane) * static_cast<std::size_t>(e) +
                  static_cast<std::size_t>(j)] = vals[static_cast<std::size_t>(lane)];
@@ -281,8 +292,8 @@ void merge_window_core(gpusim::BlockContext& ctx, GIn& gin, gpusim::GlobalView<T
   const gather::CircularShift out_shift(w, e, tile);
   auto out_pos = [&](std::int64_t t) { return out_rho ? out_shift(t) : t; };
   {
-    std::vector<std::int64_t> addr(static_cast<std::size_t>(w));
-    std::vector<T> vals(static_cast<std::size_t>(w));
+    std::array<std::int64_t, gpusim::kMaxLanes> addr;
+    std::array<T, gpusim::kMaxLanes> vals{};
     for (int warp = 0; warp < ctx.warps(); ++warp) {
       for (int j = 0; j < e; ++j) {
         for (int lane = 0; lane < w; ++lane) {
@@ -294,7 +305,10 @@ void merge_window_core(gpusim::BlockContext& ctx, GIn& gin, gpusim::GlobalView<T
                    static_cast<std::size_t>(j)];
         }
         ctx.charge_compute(warp, cost::kCopyChunkInstrs);
-        shmem.scatter(warp, addr, vals);
+        shmem.scatter(warp,
+                      std::span<const std::int64_t>(addr.data(),
+                                                    static_cast<std::size_t>(w)),
+                      std::span<const T>(vals.data(), static_cast<std::size_t>(w)));
       }
     }
   }
@@ -319,12 +333,15 @@ void merge_tile_body(gpusim::BlockContext& ctx, std::span<const T> input,
   // read; one element per block boundary).
   ctx.phase("merge.load");
   {
-    std::vector<std::int64_t> addr(static_cast<std::size_t>(w), gpusim::kInactiveLane);
+    std::array<std::int64_t, gpusim::kMaxLanes> addr;
+    addr.fill(gpusim::kInactiveLane);
     addr[0] = static_cast<std::int64_t>(ctx.block_id());
-    addr[1 % w] = static_cast<std::int64_t>(ctx.block_id()) + 1;
-    std::vector<std::int64_t> vals(static_cast<std::size_t>(w));
+    addr[static_cast<std::size_t>(1 % w)] = static_cast<std::int64_t>(ctx.block_id()) + 1;
+    std::array<std::int64_t, gpusim::kMaxLanes> vals;
     gpusim::GlobalView<const std::int64_t> bview(ctx, boundaries, 0);
-    bview.gather(0, addr, std::span<std::int64_t>(vals));
+    bview.gather(0,
+                 std::span<const std::int64_t>(addr.data(), static_cast<std::size_t>(w)),
+                 std::span<std::int64_t>(vals.data(), static_cast<std::size_t>(w)));
   }
   const std::int64_t diag0 = out0 - base;
   const std::int64_t diag1 = diag0 + tile;

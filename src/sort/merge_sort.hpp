@@ -131,59 +131,9 @@ std::vector<T>* enqueue_sort_pipeline(gpusim::Stream& stream, std::vector<T>& bu
 
 }  // namespace detail
 
-/// Sorts `data` in place with the configured variant.  `launcher.history()`
-/// is cleared and then holds one report per launched kernel.
-template <typename T>
-SortReport merge_sort(gpusim::Launcher& launcher, std::vector<T>& data,
-                      const MergeConfig& cfg) {
-  validate_merge_config(launcher.device(), cfg);
-
-  SortReport report;
-  report.n = static_cast<std::int64_t>(data.size());
-  if (report.n == 0) return report;
-
-  const std::int64_t tile = cfg.tile();
-  const std::int64_t n_padded = (report.n + tile - 1) / tile * tile;
-  report.n_padded = n_padded;
-  std::vector<T> buf = data;
-  buf.resize(static_cast<std::size_t>(n_padded), padding_sentinel<T>::value());
-  std::vector<T> tmp;
-  std::vector<std::int64_t> boundaries;
-
-  gpusim::KernelGraph graph;
-  gpusim::Stream stream = graph.stream();
-  std::vector<T>* result = detail::enqueue_sort_pipeline(stream, buf, tmp, boundaries,
-                                                         n_padded, cfg, report.passes);
-
-  launcher.clear_history();
-  const gpusim::GraphReport g = launcher.run(graph);
-
-  std::copy(result->begin(), result->begin() + report.n, data.begin());
-  report.kernels = g.kernels;
-  report.microseconds = g.serial_microseconds;
-  report.makespan_microseconds = g.makespan_microseconds;
-  report.graph_levels = g.levels;
-  report.totals = launcher.total_counters();
-  report.phases = launcher.phase_counters();
-  return report;
-}
-
-/// Sorts `keys` and applies the same permutation to `values` (Thrust's
-/// sort_by_key).  Sizes must match.  See key_value.hpp for the stability
-/// guarantees per variant.
-template <typename K, typename V>
-SortReport merge_sort_by_key(gpusim::Launcher& launcher, std::vector<K>& keys,
-                             std::vector<V>& values, const MergeConfig& cfg) {
-  if (keys.size() != values.size())
-    throw std::invalid_argument("merge_sort_by_key: keys/values size mismatch");
-  std::vector<KeyValue<K, V>> pairs(keys.size());
-  for (std::size_t i = 0; i < keys.size(); ++i) pairs[i] = {keys[i], values[i]};
-  const SortReport report = merge_sort(launcher, pairs, cfg);
-  for (std::size_t i = 0; i < keys.size(); ++i) {
-    keys[i] = pairs[i].key;
-    values[i] = pairs[i].value;
-  }
-  return report;
-}
-
 }  // namespace cfmerge::sort
+
+// The entry points (merge_sort, merge_sort_by_key) are thin wrappers over
+// sort::SortEngine and live there; pulled in here so that including this
+// header keeps providing them.
+#include "sort/engine.hpp"

@@ -2,26 +2,30 @@
 // kernel graph — the serving-shape workload (a request batch where every
 // request brings its own array to sort).
 //
-// Every non-empty segment gets its own gpusim::Stream carrying the exact
-// pipeline of sort::merge_sort (block sort, then partition + merge per
-// pass) over its own buffers.  Streams share no edges, so the graph
-// executor overlaps them: kernels of different segments sit in the same
-// wavefront and the report carries both the serial kernel sum (launching
-// every segment back to back, the pre-graph cadence) and the graph
-// makespan (the longest single segment's chain under concurrent kernel
-// execution).  Because the per-segment kernels are bit-identical to a
-// standalone merge_sort of that segment — same bodies, shapes, names, and
-// block-ordered reduction — each segment's output and per-kernel report
-// match the standalone sort exactly (asserted by test_segmented_sort).
+// Every non-empty segment gets its own pipeline graph — exactly the chain
+// of sort::merge_sort (block sort, then partition + merge per pass) over
+// its own buffers — instantiated into one batch graph.  Per-segment
+// subgraphs share no edges, so the graph executor overlaps them: kernels
+// of different segments sit in the same wavefront and the report carries
+// both the serial kernel sum (launching every segment back to back, the
+// pre-graph cadence) and the graph makespan (the longest single segment's
+// chain under concurrent kernel execution).  Because the per-segment
+// kernels are bit-identical to a standalone merge_sort of that segment —
+// same bodies, shapes, names, and block-ordered reduction — each segment's
+// output and per-kernel report match the standalone sort exactly (asserted
+// by test_segmented_sort).
+//
+// This header holds the report type; the entry point is a thin wrapper
+// over sort::SortEngine (engine.hpp, included at the bottom), which also
+// serves the repeated-batch case: per-segment plans persist in the
+// engine's cache, so the next batch with the same segment lengths skips
+// validation, allocation, and graph building entirely.
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <stdexcept>
 #include <vector>
 
 #include "gpusim/launcher.hpp"
-#include "sort/merge_sort.hpp"
 
 namespace cfmerge::sort {
 
@@ -62,70 +66,9 @@ struct SegmentedSortReport {
   [[nodiscard]] std::uint64_t merge_conflicts() const;
 };
 
-/// Sorts every segment in place, all submitted as one kernel graph.
-/// Zero-length segments are legal and contribute no kernels.
-/// `launcher.history()` is cleared and then holds every kernel in enqueue
-/// order (segment by segment).  `mode` selects the host execution policy
-/// only — reports are bit-identical for both modes and any worker count.
-template <typename T>
-SegmentedSortReport segmented_sort(gpusim::Launcher& launcher,
-                                   std::vector<std::vector<T>>& segments,
-                                   const MergeConfig& cfg,
-                                   gpusim::GraphExec mode = gpusim::GraphExec::Overlap) {
-  validate_merge_config(launcher.device(), cfg);
-
-  SegmentedSortReport report;
-  report.segments = static_cast<int>(segments.size());
-  report.per_segment.reserve(segments.size());
-
-  // Per-segment pipeline buffers; unique_ptr keeps addresses stable while
-  // the graph holds references into them.
-  struct State {
-    std::vector<T> buf, tmp;
-    std::vector<std::int64_t> boundaries;
-    std::vector<T>* result = nullptr;
-  };
-  std::vector<std::unique_ptr<State>> states;
-
-  const std::int64_t tile = cfg.tile();
-  gpusim::KernelGraph graph;
-  for (std::vector<T>& seg : segments) {
-    SegmentedSortReport::Segment info;
-    info.n = static_cast<std::int64_t>(seg.size());
-    info.first_kernel = graph.size();
-    report.elements += info.n;
-    if (info.n > 0) {
-      states.push_back(std::make_unique<State>());
-      State& st = *states.back();
-      const std::int64_t n_padded = (info.n + tile - 1) / tile * tile;
-      st.buf = seg;
-      st.buf.resize(static_cast<std::size_t>(n_padded), padding_sentinel<T>::value());
-      gpusim::Stream stream = graph.stream();
-      st.result = detail::enqueue_sort_pipeline(stream, st.buf, st.tmp, st.boundaries,
-                                                n_padded, cfg, info.passes);
-      info.kernel_count = graph.size() - info.first_kernel;
-    }
-    report.per_segment.push_back(info);
-  }
-
-  launcher.clear_history();
-  const gpusim::GraphReport g = launcher.run(graph, mode);
-
-  std::size_t si = 0;
-  for (std::vector<T>& seg : segments) {
-    if (seg.empty()) continue;
-    const State& st = *states[si++];
-    std::copy(st.result->begin(),
-              st.result->begin() + static_cast<std::ptrdiff_t>(seg.size()), seg.begin());
-  }
-
-  report.serial_microseconds = g.serial_microseconds;
-  report.makespan_microseconds = g.makespan_microseconds;
-  report.graph_levels = g.levels;
-  report.kernels = g.kernels;
-  report.totals = launcher.total_counters();
-  report.phases = launcher.phase_counters();
-  return report;
-}
-
 }  // namespace cfmerge::sort
+
+// The entry point (segmented_sort) is a thin wrapper over sort::SortEngine
+// and lives there; pulled in here so that including this header keeps
+// providing it.
+#include "sort/engine.hpp"

@@ -21,8 +21,14 @@
 //                                                 copies of the input and print min and
 //                                                 median host wall-clock to stderr
 //                                                 (simulated reports are identical across
-//                                                 repeats; this measures the simulator)
-//     --json                                      emit a JSON report
+//                                                 repeats; this measures the simulator).
+//                                                 Repeats share one SortEngine, so runs
+//                                                 after the first replay a cached plan.
+//     --no-plan-cache                             disable the engine's plan cache (every
+//                                                 repeat rebuilds its kernel graph)
+//     --json                                      emit a JSON report (includes an
+//                                                 "engine" field with plan-cache stats
+//                                                 for cf/baseline runs)
 //     --profile                                   print the phase profile
 //     --trace=<file.csv>                          dump the access trace
 //     --cf-blocksort                              enable the CF block-sort
@@ -58,6 +64,7 @@ struct Options {
   int threads = 0;  // 0 = CFMERGE_SIM_THREADS env or sequential
   int segments = 0;  // 0 = plain sort; N >= 1 = segmented sort over N segments
   int repeat = 1;
+  bool no_plan_cache = false;
   bool serial_graph = false;
   bool json = false;
   bool profile = false;
@@ -72,8 +79,8 @@ struct Options {
                "              [--dist=NAME] [--n=N] [--e=E] [--u=U]\n"
                "              [--device=rtx2080ti|turing:SMS|tiny:W,SMS]\n"
                "              [--seed=S] [--threads=T] [--segments=N] [--serial-graph]\n"
-               "              [--repeat=N] [--json] [--profile] [--trace=FILE]\n"
-               "              [--cf-blocksort]\n");
+               "              [--repeat=N] [--no-plan-cache] [--json] [--profile]\n"
+               "              [--trace=FILE] [--cf-blocksort]\n");
   std::exit(msg ? 2 : 0);
 }
 
@@ -99,6 +106,7 @@ Options parse(int argc, char** argv) {
     else if (auto v = val("--segments"); !v.empty()) o.segments = std::stoi(v);
     else if (auto v = val("--repeat"); !v.empty()) o.repeat = std::stoi(v);
     else if (auto v = val("--trace"); !v.empty()) o.trace_path = v;
+    else if (a == "--no-plan-cache") o.no_plan_cache = true;
     else if (a == "--serial-graph") o.serial_graph = true;
     else if (a == "--json") o.json = true;
     else if (a == "--profile") o.profile = true;
@@ -216,6 +224,22 @@ int main(int argc, char** argv) {
     return *report;
   };
 
+  // One engine shared across all repeats: the first run builds (and caches)
+  // the plan, later runs replay it.  The stats land on stderr and in the
+  // JSON report's "engine" field.
+  sort::SortEngine engine(launcher);
+  engine.set_plan_cache_enabled(!o.no_plan_cache);
+  auto print_engine_stats = [&] {
+    if (o.repeat <= 1 && !o.no_plan_cache) return;
+    const sort::EngineStats es = engine.stats();
+    std::fprintf(stderr,
+                 "cfsort: plan cache hits=%llu misses=%llu hit_rate=%.3f "
+                 "arena=%llu B\n",
+                 static_cast<unsigned long long>(es.plan_hits),
+                 static_cast<unsigned long long>(es.plan_misses), es.hit_rate(),
+                 static_cast<unsigned long long>(es.arena_bytes));
+  };
+
   if (o.algo == "bitonic" || o.algo == "bitonic-padded") {
     sort::BitonicConfig cfg;
     cfg.u = o.u;
@@ -247,8 +271,9 @@ int main(int argc, char** argv) {
     std::vector<std::vector<std::int32_t>> segments;
     const auto report = repeat_wall([&](std::vector<std::int32_t>& work) {
       segments = split_segments(work, o.segments, o.seed);
-      return sort::segmented_sort(launcher, segments, cfg, mode);
+      return engine.segmented_sort(segments, cfg, mode);
     });
+    print_engine_stats();
     for (const auto& seg : segments) {
       if (!std::is_sorted(seg.begin(), seg.end())) {
         std::fprintf(stderr, "cfsort: SEGMENT NOT SORTED (bug)\n");
@@ -256,7 +281,8 @@ int main(int argc, char** argv) {
       }
     }
     if (o.json) {
-      analysis::write_json(std::cout, report, cfg, launcher.device().name, o.dist);
+      const sort::EngineStats es = engine.stats();
+      analysis::write_json(std::cout, report, cfg, launcher.device().name, o.dist, &es);
     } else {
       std::printf("%s\n", analysis::summarize(report, o.algo + "/segmented").c_str());
       if (o.profile) analysis::print_phase_profile(std::cout, report.phases, report.elements);
@@ -268,14 +294,16 @@ int main(int argc, char** argv) {
     cfg.variant = o.algo == "cf" ? sort::Variant::CFMerge : sort::Variant::Baseline;
     cfg.cf_blocksort = o.cf_blocksort;
     const auto report = repeat_wall([&](std::vector<std::int32_t>& work) {
-      return sort::merge_sort(launcher, work, cfg);
+      return engine.sort(work, cfg);
     });
+    print_engine_stats();
     if (!std::is_sorted(data.begin(), data.end())) {
       std::fprintf(stderr, "cfsort: OUTPUT NOT SORTED (bug)\n");
       return 1;
     }
     if (o.json) {
-      analysis::write_json(std::cout, report, cfg, launcher.device().name, o.dist);
+      const sort::EngineStats es = engine.stats();
+      analysis::write_json(std::cout, report, cfg, launcher.device().name, o.dist, &es);
     } else {
       std::printf("%s\n", analysis::summarize(report, o.algo).c_str());
       if (o.profile) analysis::print_phase_profile(std::cout, report.phases, report.n_padded);
