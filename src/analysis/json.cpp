@@ -155,6 +155,104 @@ void write_json(std::ostream& os, const sort::EngineStats& stats) {
      << ",\"arena_reuses\":" << stats.arena_reuses << "}";
 }
 
+namespace {
+
+const char* verdict_name(verify::Verdict v) {
+  switch (v) {
+    case verify::Verdict::kProved: return "proved";
+    case verify::Verdict::kCounterexample: return "counterexample";
+    case verify::Verdict::kRefutedNoWitness: return "refuted-no-witness";
+  }
+  return "?";
+}
+
+const char* step_status_name(verify::StepStatus s) {
+  switch (s) {
+    case verify::StepStatus::kPassed: return "passed";
+    case verify::StepStatus::kFailed: return "failed";
+    case verify::StepStatus::kSkipped: return "skipped";
+  }
+  return "?";
+}
+
+void write_counterexample(std::ostream& os, const verify::Counterexample& cx) {
+  os << "{\"w\":" << cx.w << ",\"e\":" << cx.e << ",\"u\":" << cx.u
+     << ",\"la\":" << cx.la << ",\"a_sizes\":[";
+  for (std::size_t i = 0; i < cx.a_sizes.size(); ++i) {
+    if (i) os << ",";
+    os << cx.a_sizes[i];
+  }
+  os << "],\"round\":" << cx.round << ",\"lane1\":" << cx.lane1
+     << ",\"lane2\":" << cx.lane2 << ",\"addr1\":" << cx.addr1
+     << ",\"addr2\":" << cx.addr2 << ",\"bank\":" << cx.bank
+     << ",\"text\":\"" << json_escape(cx.str()) << "\"}";
+}
+
+void write_proof(std::ostream& os, const verify::ProofObject& p) {
+  os << "{\"schedule\":\"" << json_escape(p.schedule) << "\",\"w\":" << p.w
+     << ",\"e\":" << p.e << ",\"d\":" << p.d << ",\"verdict\":\""
+     << verdict_name(p.verdict) << "\",\"scope\":\"" << json_escape(p.scope)
+     << "\",\"steps\":[";
+  for (std::size_t i = 0; i < p.steps.size(); ++i) {
+    const verify::ProofStep& s = p.steps[i];
+    if (i) os << ",";
+    os << "{\"name\":\"" << json_escape(s.name) << "\",\"status\":\""
+       << step_status_name(s.status) << "\",\"detail\":\"" << json_escape(s.detail)
+       << "\"}";
+  }
+  os << "]";
+  if (p.verdict == verify::Verdict::kCounterexample) {
+    os << ",\"counterexample\":";
+    write_counterexample(os, p.counterexample);
+  }
+  os << "}";
+}
+
+void write_proof_list(std::ostream& os, const std::vector<verify::ProofObject>& v) {
+  os << "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ",";
+    write_proof(os, v[i]);
+  }
+  os << "]";
+}
+
+}  // namespace
+
+void write_json(std::ostream& os, const verify::VerifyReport& report) {
+  os << "{\"kind\":\"verify\",\"ok\":" << (report.ok() ? "true" : "false")
+     << ",\"all_proved\":" << (report.all_proved() ? "true" : "false")
+     << ",\"all_refuted\":" << (report.all_refuted() ? "true" : "false")
+     << ",\"proofs\":";
+  write_proof_list(os, report.proofs);
+  os << ",\"refutations\":";
+  write_proof_list(os, report.refutations);
+  os << ",\"worstcase\":[";
+  for (std::size_t i = 0; i < report.worstcase.size(); ++i) {
+    const verify::WorstCaseAnalysis& wc = report.worstcase[i];
+    if (i) os << ",";
+    os << "{\"w\":" << wc.w << ",\"e\":" << wc.e
+       << ",\"exact_conflicts\":" << wc.exact_conflicts
+       << ",\"closed_form\":" << wc.closed_form << ",\"min_bound\":" << wc.min_bound
+       << ",\"max_bound\":" << wc.max_bound << ",\"accesses\":" << wc.accesses << "}";
+  }
+  os << "],\"shadow\":{\"enabled\":" << (report.shadow.enabled ? "true" : "false")
+     << ",\"clean\":" << (report.shadow.clean() ? "true" : "false")
+     << ",\"shared_accesses\":" << report.shadow.shared_accesses
+     << ",\"checked_words\":" << report.shadow.checked_words
+     << ",\"dropped_violations\":" << report.shadow.dropped_violations
+     << ",\"violations\":[";
+  for (std::size_t i = 0; i < report.shadow.violations.size(); ++i) {
+    const verify::ShadowViolation& v = report.shadow.violations[i];
+    if (i) os << ",";
+    os << "{\"kind\":\"" << json_escape(v.kind) << "\",\"block\":" << v.block
+       << ",\"warp\":" << v.warp << ",\"phase\":\"" << json_escape(v.phase)
+       << "\",\"addr\":" << v.addr << ",\"detail\":\"" << json_escape(v.detail)
+       << "\"}";
+  }
+  os << "]}}\n";
+}
+
 void write_json(std::ostream& os, const sort::BitonicReport& report,
                 const sort::BitonicConfig& cfg, const std::string& device,
                 const std::string& workload) {

@@ -10,6 +10,7 @@
 #include "sort/merge_arrays.hpp"
 #include "sort/merge_sort.hpp"
 #include "sort/segmented_sort.hpp"
+#include "verify/proof.hpp"
 
 namespace cfmerge::analysis {
 
@@ -40,6 +41,11 @@ void write_json(std::ostream& os, const sort::SegmentedSortReport& report,
 /// object (no trailing newline) — an embeddable fragment, e.g. the
 /// "engine" field of the cfsort and sim_hotpath reports.
 void write_json(std::ostream& os, const sort::EngineStats& stats);
+
+/// Writes a cfverify run: every proof object with its steps (and
+/// counterexample, if refuted), the Theorem 8 worst-case analyses, and the
+/// shadow-checker summary.  Top-level "ok" mirrors VerifyReport::ok().
+void write_json(std::ostream& os, const verify::VerifyReport& report);
 
 /// Escapes a string for embedding in JSON.
 [[nodiscard]] std::string json_escape(const std::string& s);

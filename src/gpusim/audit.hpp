@@ -1,0 +1,52 @@
+// Memory-audit hook interface (opt-in instrumentation).
+//
+// A MemoryAuditor observes every simulated memory event — shared tile
+// allocations, warp-wide shared/global accesses, barriers — without taking
+// part in cost accounting.  The simulator core only ever talks to this
+// abstract interface; the concrete shadow-state checker lives in
+// src/verify/shadow.* so gpusim carries no dependency on the verifier.
+//
+// Auditors attached to a Launcher are shared by all blocks of a launch, and
+// blocks may be simulated on a pool of host threads: implementations must be
+// internally synchronized.  All hooks are called after the access's cost has
+// been computed (and before data movement), with the same address span the
+// cost model saw.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace cfmerge::gpusim {
+
+class MemoryAuditor {
+ public:
+  virtual ~MemoryAuditor() = default;
+
+  /// A SharedTile of `words` elements came to life in `block`.  `tile_id` is
+  /// unique within the block (allocation order).
+  virtual void on_shared_alloc(int block, std::uint64_t tile_id, std::size_t words) = 0;
+
+  /// The whole tile was handed out as a raw span (test setup / verification
+  /// escape hatch): its contents must be treated as externally initialized.
+  virtual void on_shared_raw(int block, std::uint64_t tile_id) = 0;
+
+  /// One warp-wide shared access on a tile: element addresses per lane
+  /// (kInactiveLane idle), whether it writes, the bank count, and the
+  /// conflict count the cost model charged for it.
+  virtual void on_shared_access(int block, std::uint64_t tile_id, int warp,
+                                std::string_view phase,
+                                std::span<const std::int64_t> addrs, bool is_write,
+                                int banks, int charged_conflicts) = 0;
+
+  /// One warp-wide access through a GlobalView: element indices per lane
+  /// (kInactiveLane idle) and the view's element count.
+  virtual void on_global_access(int block, int warp, std::string_view phase,
+                                std::span<const std::int64_t> idxs,
+                                std::int64_t view_size, bool is_write) = 0;
+
+  /// Block-wide barrier (ends a write epoch for race checking).
+  virtual void on_barrier(int block) = 0;
+};
+
+}  // namespace cfmerge::gpusim

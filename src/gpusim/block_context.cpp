@@ -47,6 +47,7 @@ void BlockContext::barrier() {
   current_->barriers += 1;
   const double mx = block_chain();
   std::fill(chains_.begin(), chains_.end(), mx);
+  if (audit_ != nullptr) audit_->on_barrier(block_id_);
 }
 
 double BlockContext::block_chain() const {

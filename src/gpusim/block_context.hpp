@@ -21,6 +21,7 @@
 #include <string_view>
 #include <vector>
 
+#include "gpusim/audit.hpp"
 #include "gpusim/device_spec.hpp"
 #include "gpusim/trace.hpp"
 #include "gpusim/global_memory.hpp"
@@ -105,6 +106,15 @@ class BlockContext {
   void set_l2(L2Cache* l2) { l2_ = l2; }
   [[nodiscard]] TraceSink* trace() const { return trace_; }
 
+  /// Attaches a memory auditor (opt-in shadow checking; see gpusim/audit.hpp).
+  /// The auditor is shared across blocks and must be internally synchronized.
+  void set_audit(MemoryAuditor* audit) { audit_ = audit; }
+  [[nodiscard]] MemoryAuditor* audit() const { return audit_; }
+  /// Name of the phase charges are currently attributed to (for auditors).
+  [[nodiscard]] std::string_view current_phase() const { return current_phase_; }
+  /// Allocation-ordered id for a new SharedTile of this block.
+  [[nodiscard]] std::uint64_t next_tile_id() { return tile_counter_++; }
+
   /// Critical path of the block in cycles: max over warp chains.
   [[nodiscard]] double block_chain() const;
   [[nodiscard]] const std::vector<double>& warp_chains() const { return chains_; }
@@ -130,6 +140,8 @@ class BlockContext {
   std::string current_phase_ = "main";
   TraceSink* trace_ = nullptr;
   std::int16_t trace_phase_ = -1;
+  MemoryAuditor* audit_ = nullptr;
+  std::uint64_t tile_counter_ = 0;
   L2Cache* l2_ = nullptr;
   std::vector<std::int64_t> l2_scratch_;
   std::vector<double> chains_;

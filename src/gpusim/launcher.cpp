@@ -56,13 +56,14 @@ struct PoolJoiner {
 };
 
 /// Simulates one block of one kernel into its private outcome slot.
-void simulate_block(const DeviceSpec& dev, L2Cache* l2, bool tracing,
-                    const LaunchShape& shape, const KernelBody& body, int block,
-                    BlockOutcome& out) {
+void simulate_block(const DeviceSpec& dev, L2Cache* l2, MemoryAuditor* audit,
+                    bool tracing, const LaunchShape& shape, const KernelBody& body,
+                    int block, BlockOutcome& out) {
   if (tracing) out.trace = std::make_unique<TraceSink>();
   BlockContext ctx(dev, block, shape.blocks, shape.threads_per_block);
   ctx.set_trace(out.trace.get());
   ctx.set_l2(l2);
+  ctx.set_audit(audit);
   body(ctx);
   out.counters = ctx.counters();
   out.chain = ctx.block_chain();
@@ -129,8 +130,8 @@ GraphReport Launcher::run(const KernelGraph& graph, GraphExec mode) {
   const bool tracing = trace_ != nullptr;
   auto simulate = [&](const WorkItem& it) {
     const auto i = static_cast<std::size_t>(it.node);
-    simulate_block(dev_, l2_.get(), tracing, nodes[i].shape, nodes[i].body, it.block,
-                   outcomes[i][static_cast<std::size_t>(it.block)]);
+    simulate_block(dev_, l2_.get(), audit_, tracing, nodes[i].shape, nodes[i].body,
+                   it.block, outcomes[i][static_cast<std::size_t>(it.block)]);
   };
 
   // The L2 is one order-sensitive LRU shared by all blocks: its hits depend

@@ -96,6 +96,12 @@ class Launcher {
   /// (nullptr detaches).  See gpusim/trace.hpp.
   void set_trace(TraceSink* sink) { trace_ = sink; }
 
+  /// Attaches a memory auditor observing every access of subsequent launches
+  /// (nullptr detaches).  Shared by all blocks — implementations must be
+  /// internally synchronized.  See gpusim/audit.hpp.
+  void set_audit(MemoryAuditor* audit) { audit_ = audit; }
+  [[nodiscard]] MemoryAuditor* audit() const { return audit_; }
+
   /// Sets the number of host worker threads used to simulate blocks.
   ///   n >= 1  use exactly n workers (1 = sequential, the default);
   ///   n == 0  resolve from the CFMERGE_SIM_THREADS environment variable
@@ -140,6 +146,7 @@ class Launcher {
   DeviceSpec dev_;
   std::unique_ptr<L2Cache> l2_;
   TraceSink* trace_ = nullptr;
+  MemoryAuditor* audit_ = nullptr;
   int threads_ = 1;
   std::vector<KernelReport> history_;
 };

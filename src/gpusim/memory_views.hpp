@@ -23,12 +23,19 @@ namespace cfmerge::gpusim {
 template <typename T>
 class SharedTile {
  public:
-  SharedTile(BlockContext& ctx, std::size_t n) : ctx_(&ctx), data_(n) {
+  SharedTile(BlockContext& ctx, std::size_t n)
+      : ctx_(&ctx), data_(n), tile_id_(ctx.next_tile_id()) {
     ctx.add_shared_bytes(n * sizeof(T));
+    if (auto* au = ctx.audit()) au->on_shared_alloc(ctx.block_id(), tile_id_, n);
   }
 
   [[nodiscard]] std::size_t size() const { return data_.size(); }
-  [[nodiscard]] std::span<T> raw() { return data_; }
+  [[nodiscard]] std::span<T> raw() {
+    // The raw escape hatch bypasses the access model; the shadow checker
+    // must treat the whole tile as externally initialized from here on.
+    if (auto* au = ctx_->audit()) au->on_shared_raw(ctx_->block_id(), tile_id_);
+    return data_;
+  }
   [[nodiscard]] std::span<const T> raw() const { return data_; }
 
   /// Warp-wide load: out[lane] = shared[addrs[lane]] for active lanes.
@@ -39,6 +46,9 @@ class SharedTile {
     assert(out.size() >= addrs.size());
     const SharedAccessCost c =
         ctx_->charge_shared(warp, addrs, dependent, /*is_write=*/false, scattered);
+    if (auto* au = ctx_->audit())
+      au->on_shared_access(ctx_->block_id(), tile_id_, warp, ctx_->current_phase(),
+                           addrs, /*is_write=*/false, ctx_->lanes(), c.conflicts);
     for (std::size_t l = 0; l < addrs.size(); ++l) {
       if (addrs[l] == kInactiveLane) continue;
       assert(addrs[l] >= 0 && static_cast<std::size_t>(addrs[l]) < data_.size());
@@ -54,6 +64,9 @@ class SharedTile {
                            std::span<const T> in, bool dependent = true) {
     assert(in.size() >= addrs.size());
     const SharedAccessCost c = ctx_->charge_shared(warp, addrs, dependent, /*is_write=*/true);
+    if (auto* au = ctx_->audit())
+      au->on_shared_access(ctx_->block_id(), tile_id_, warp, ctx_->current_phase(),
+                           addrs, /*is_write=*/true, ctx_->lanes(), c.conflicts);
     for (std::size_t l = 0; l < addrs.size(); ++l) {
       if (addrs[l] == kInactiveLane) continue;
       assert(addrs[l] >= 0 && static_cast<std::size_t>(addrs[l]) < data_.size());
@@ -65,6 +78,7 @@ class SharedTile {
  private:
   BlockContext* ctx_;
   std::vector<T> data_;
+  std::uint64_t tile_id_;
 };
 
 template <typename T>
@@ -115,6 +129,9 @@ class GlobalView {
  private:
   GlobalAccessCost charge(int warp, std::span<const std::int64_t> idxs, bool dependent,
                           bool is_write) {
+    if (auto* au = ctx_->audit())
+      au->on_global_access(ctx_->block_id(), warp, ctx_->current_phase(), idxs, size(),
+                           is_write);
     std::int64_t bytes[64];
     assert(idxs.size() <= 64);
     for (std::size_t l = 0; l < idxs.size(); ++l)

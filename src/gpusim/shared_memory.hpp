@@ -155,7 +155,9 @@ struct SharedAccessCost {
 }
 
 /// Per-bank serialization degrees of one warp access: result[b] = number of
-/// distinct addresses in bank b.  Used by visualization harnesses and tests.
+/// distinct addresses in bank b.  Shares the per-bank chain machinery of
+/// shared_access_cost (banks <= kMaxLanes, like every charge path).  Used by
+/// visualization harnesses and tests.
 [[nodiscard]] std::span<const int> shared_access_degrees(std::span<const std::int64_t> addrs,
                                                          int banks,
                                                          std::span<int> scratch);

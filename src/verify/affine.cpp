@@ -1,0 +1,298 @@
+#include "verify/affine.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "numtheory/numtheory.hpp"
+
+namespace cfmerge::verify {
+
+using numtheory::mod;
+
+std::int64_t Env::get(SymId s) const {
+  const auto it = values_.find(s);
+  if (it == values_.end())
+    throw std::invalid_argument("verify::Env: unbound symbol id " + std::to_string(s));
+  return it->second;
+}
+
+struct AffineExpr::Node {
+  enum class Op { kConst, kSym, kAdd, kMulC, kModC, kDivC, kSelect };
+  Op op;
+  std::int64_t c = 0;     // kConst value; kMulC/kModC/kDivC constant
+  SymId sym = -1;         // kSym
+  std::string name;       // kSym display name
+  std::shared_ptr<const Node> a, b, t, f;  // operands (select: a<b ? t : f)
+};
+
+namespace {
+
+using Node = AffineExpr::Node;
+using Op = Node::Op;
+
+std::shared_ptr<const Node> make(Node n) {
+  return std::make_shared<const Node>(std::move(n));
+}
+
+std::int64_t eval_node(const Node& n, const Env& env) {
+  switch (n.op) {
+    case Op::kConst: return n.c;
+    case Op::kSym: return env.get(n.sym);
+    case Op::kAdd: return eval_node(*n.a, env) + eval_node(*n.b, env);
+    case Op::kMulC: return eval_node(*n.a, env) * n.c;
+    case Op::kModC: return mod(eval_node(*n.a, env), n.c);
+    case Op::kDivC: {
+      const auto d = numtheory::euclid_div(eval_node(*n.a, env), n.c);
+      return d.q;
+    }
+    case Op::kSelect:
+      return eval_node(*n.a, env) < eval_node(*n.b, env) ? eval_node(*n.t, env)
+                                                         : eval_node(*n.f, env);
+  }
+  throw std::logic_error("AffineExpr: bad node");
+}
+
+void str_node(const Node& n, std::ostream& os) {
+  switch (n.op) {
+    case Op::kConst: os << n.c; return;
+    case Op::kSym: os << n.name; return;
+    case Op::kAdd:
+      os << '(';
+      str_node(*n.a, os);
+      os << " + ";
+      str_node(*n.b, os);
+      os << ')';
+      return;
+    case Op::kMulC:
+      str_node(*n.a, os);
+      os << '*' << n.c;
+      return;
+    case Op::kModC:
+      os << '(';
+      str_node(*n.a, os);
+      os << " mod " << n.c << ')';
+      return;
+    case Op::kDivC:
+      os << '(';
+      str_node(*n.a, os);
+      os << " div " << n.c << ')';
+      return;
+    case Op::kSelect:
+      os << '[';
+      str_node(*n.a, os);
+      os << " < ";
+      str_node(*n.b, os);
+      os << " ? ";
+      str_node(*n.t, os);
+      os << " : ";
+      str_node(*n.f, os);
+      os << ']';
+      return;
+  }
+}
+
+std::optional<LinearResidue> residue_node(const Node& n, std::int64_t m,
+                                          const SymbolFacts& facts);
+
+/// Reduce a residue's coefficients mod m, dropping symbols whose multiple-of
+/// fact makes their whole contribution vanish (s = k·t ⟹ coeff·s ≡ 0 (mod m)
+/// whenever m | coeff·k).
+LinearResidue normalize(LinearResidue r, std::int64_t m, const SymbolFacts& facts) {
+  r.c0 = mod(r.c0, m);
+  for (auto it = r.coeffs.begin(); it != r.coeffs.end();) {
+    std::int64_t c = mod(it->second, m);
+    const auto fact = facts.find(it->first);
+    if (c != 0 && fact != facts.end() && mod(c * fact->second, m) == 0) c = 0;
+    if (c == 0) {
+      it = r.coeffs.erase(it);
+    } else {
+      it->second = c;
+      ++it;
+    }
+  }
+  return r;
+}
+
+std::optional<LinearResidue> residue_node(const Node& n, std::int64_t m,
+                                          const SymbolFacts& facts) {
+  switch (n.op) {
+    case Op::kConst: return normalize({n.c, {}}, m, facts);
+    case Op::kSym: return normalize({0, {{n.sym, 1}}}, m, facts);
+    case Op::kAdd: {
+      auto ra = residue_node(*n.a, m, facts);
+      auto rb = residue_node(*n.b, m, facts);
+      if (!ra || !rb) return std::nullopt;
+      LinearResidue out = *ra;
+      out.c0 += rb->c0;
+      for (const auto& [s, c] : rb->coeffs) out.coeffs[s] += c;
+      return normalize(std::move(out), m, facts);
+    }
+    case Op::kMulC: {
+      auto ra = residue_node(*n.a, m, facts);
+      if (!ra) return std::nullopt;
+      LinearResidue out;
+      out.c0 = ra->c0 * n.c;
+      for (const auto& [s, c] : ra->coeffs) out.coeffs[s] = c * n.c;
+      return normalize(std::move(out), m, facts);
+    }
+    case Op::kModC: {
+      // (x mod c): if the inner residue mod c is a known constant r, the
+      // node's value *is* r (mathematical mod), so its residue mod m is
+      // r mod m.  Otherwise, when m | c, (x mod c) ≡ x (mod m).
+      if (auto rc = residue_node(*n.a, n.c, facts); rc && rc->constant())
+        return normalize({rc->c0, {}}, m, facts);
+      if (mod(n.c, m) == 0) return residue_node(*n.a, m, facts);
+      return std::nullopt;
+    }
+    case Op::kDivC: return std::nullopt;
+    case Op::kSelect: {
+      // Branches that agree mod m make the guard irrelevant.
+      auto rt = residue_node(*n.t, m, facts);
+      auto rf = residue_node(*n.f, m, facts);
+      if (rt && rf && *rt == *rf) return rt;
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+AffineExpr AffineExpr::constant(std::int64_t c) {
+  Node n;
+  n.op = Op::kConst;
+  n.c = c;
+  return AffineExpr(make(std::move(n)));
+}
+
+AffineExpr AffineExpr::sym(SymId id, std::string name) {
+  Node n;
+  n.op = Op::kSym;
+  n.sym = id;
+  n.name = std::move(name);
+  return AffineExpr(make(std::move(n)));
+}
+
+AffineExpr AffineExpr::operator+(const AffineExpr& o) const {
+  Node n;
+  n.op = Op::kAdd;
+  n.a = node_;
+  n.b = o.node_;
+  return AffineExpr(make(std::move(n)));
+}
+
+AffineExpr AffineExpr::operator-(const AffineExpr& o) const {
+  return *this + o.times(-1);
+}
+
+AffineExpr AffineExpr::times(std::int64_t c) const {
+  Node n;
+  n.op = Op::kMulC;
+  n.a = node_;
+  n.c = c;
+  return AffineExpr(make(std::move(n)));
+}
+
+AffineExpr AffineExpr::mod(std::int64_t m) const {
+  if (m <= 0) throw std::invalid_argument("AffineExpr::mod: modulus must be positive");
+  Node n;
+  n.op = Op::kModC;
+  n.a = node_;
+  n.c = m;
+  return AffineExpr(make(std::move(n)));
+}
+
+AffineExpr AffineExpr::div(std::int64_t m) const {
+  if (m <= 0) throw std::invalid_argument("AffineExpr::div: divisor must be positive");
+  Node n;
+  n.op = Op::kDivC;
+  n.a = node_;
+  n.c = m;
+  return AffineExpr(make(std::move(n)));
+}
+
+AffineExpr AffineExpr::select(const AffineExpr& lhs, const AffineExpr& rhs,
+                              const AffineExpr& then_e, const AffineExpr& else_e) {
+  Node n;
+  n.op = Op::kSelect;
+  n.a = lhs.node_;
+  n.b = rhs.node_;
+  n.t = then_e.node_;
+  n.f = else_e.node_;
+  return AffineExpr(make(std::move(n)));
+}
+
+std::int64_t AffineExpr::eval(const Env& env) const {
+  if (!node_) throw std::logic_error("AffineExpr: empty expression");
+  return eval_node(*node_, env);
+}
+
+bool AffineExpr::select_takes_then(const Env& env) const {
+  if (!node_ || node_->op != Op::kSelect) return true;
+  return eval_node(*node_->a, env) < eval_node(*node_->b, env);
+}
+
+std::string AffineExpr::str() const {
+  if (!node_) return "<empty>";
+  std::ostringstream os;
+  str_node(*node_, os);
+  return os.str();
+}
+
+std::optional<LinearResidue> residue_mod(const AffineExpr& e, std::int64_t m,
+                                         const SymbolFacts& facts) {
+  if (m <= 0) throw std::invalid_argument("residue_mod: modulus must be positive");
+  if (!e.node_) return std::nullopt;
+  return residue_node(*e.node_, m, facts);
+}
+
+std::string LinearResidue::str(std::int64_t m) const {
+  std::ostringstream os;
+  os << c0;
+  for (const auto& [s, c] : coeffs) os << " + " << c << "*sym" << s;
+  os << " (mod " << m << ")";
+  return os.str();
+}
+
+LinearForm LinearForm::operator+(const LinearForm& o) const {
+  LinearForm out = *this;
+  out.c0 += o.c0;
+  for (const auto& [s, c] : o.coeffs) {
+    out.coeffs[s] += c;
+    if (out.coeffs[s] == 0) out.coeffs.erase(s);
+  }
+  return out;
+}
+
+LinearForm LinearForm::operator-(const LinearForm& o) const {
+  return *this + o.times(-1);
+}
+
+LinearForm LinearForm::times(std::int64_t c) const {
+  if (c == 0) return constant(0);
+  LinearForm out;
+  out.c0 = c0 * c;
+  for (const auto& [s, k] : coeffs) out.coeffs[s] = k * c;
+  return out;
+}
+
+std::optional<std::int64_t> LinearForm::residue(std::int64_t m,
+                                                const SymbolFacts& facts) const {
+  const std::int64_t r = mod(c0, m);
+  for (const auto& [s, c] : coeffs) {
+    if (mod(c, m) == 0) continue;  // coefficient itself vanishes mod m
+    const auto fact = facts.find(s);
+    if (fact == facts.end() || mod(c * fact->second, m) != 0) return std::nullopt;
+  }
+  return r;
+}
+
+std::string LinearForm::str() const {
+  std::ostringstream os;
+  os << c0;
+  for (const auto& [s, c] : coeffs) os << (c >= 0 ? " + " : " - ") << (c >= 0 ? c : -c)
+                                       << "*sym" << s;
+  return os.str();
+}
+
+}  // namespace cfmerge::verify

@@ -1,0 +1,20 @@
+#include "verify/proof.hpp"
+
+#include <sstream>
+
+namespace cfmerge::verify {
+
+std::string Counterexample::str() const {
+  std::ostringstream os;
+  os << "w=" << w << " E=" << e << " u=" << u << " la=" << la << " round=" << round
+     << ": lanes " << lane1 << " and " << lane2 << " read shared positions " << addr1
+     << " and " << addr2 << " — both in bank " << bank;
+  return os.str();
+}
+
+ProofStep& ProofObject::add_step(std::string name) {
+  steps.push_back(ProofStep{std::move(name), StepStatus::kPassed, {}});
+  return steps.back();
+}
+
+}  // namespace cfmerge::verify

@@ -1,0 +1,128 @@
+// Proof objects and reports of the static bank-conflict verifier.
+//
+// A ProofObject is a machine-checked derivation: a list of named steps, each
+// of which either passed (with the evidence recorded in `detail`) or failed.
+// A schedule is *proved* conflict-free only when every step passed; a failed
+// derivation carries a concrete Counterexample — a lane pair, round and
+// address pair that collide in a bank — which the tests replay dynamically
+// against shared_access_cost.
+//
+// VerifyReport aggregates Pass 1 proofs and the Pass 2 shadow-checker
+// results for one cfverify run; analysis::write_json knows how to emit it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cfmerge::verify {
+
+enum class StepStatus { kPassed, kFailed, kSkipped };
+
+struct ProofStep {
+  std::string name;    ///< e.g. "residue-invariant"
+  StepStatus status = StepStatus::kPassed;
+  std::string detail;  ///< evidence (derivation, table summary) or failure reason
+};
+
+/// A concrete bank collision: two lanes of one warp whose round-j reads land
+/// in the same bank, together with the schedule instance that produces it.
+struct Counterexample {
+  int w = 0;
+  int e = 0;
+  int u = 0;                           ///< threads per block of the witness
+  std::int64_t la = 0;                 ///< witness |A|
+  std::vector<std::int64_t> a_sizes;   ///< witness per-thread |A_i|
+  int round = 0;                       ///< round j of the collision
+  int lane1 = 0;
+  int lane2 = 0;
+  std::int64_t addr1 = 0;              ///< physical shared positions
+  std::int64_t addr2 = 0;
+  int bank = 0;
+
+  [[nodiscard]] std::string str() const;
+};
+
+enum class Verdict {
+  kProved,          ///< conflict-free for the whole (w, E) family
+  kCounterexample,  ///< refuted, concrete witness attached
+  kRefutedNoWitness ///< a proof step failed but bounded search found no witness
+};
+
+struct ProofObject {
+  std::string schedule;  ///< "cf_gather", "cf_gather_no_pi", "bitonic_padded", ...
+  int w = 0;
+  int e = 0;
+  std::int64_t d = 0;    ///< gcd(w, E)
+  Verdict verdict = Verdict::kProved;
+  std::vector<ProofStep> steps;
+  Counterexample counterexample;  ///< meaningful iff verdict == kCounterexample
+  /// What the proof quantifies over, e.g. "all u = k*w, all merge-path splits".
+  std::string scope;
+
+  [[nodiscard]] bool proved() const { return verdict == Verdict::kProved; }
+  ProofStep& add_step(std::string name);
+};
+
+/// Static analysis of the baseline serial merge on a Theorem 8 worst-case
+/// warp: the exact conflict count derived from the access-pattern walk, the
+/// paper's closed form, and data-independent degree bounds.
+struct WorstCaseAnalysis {
+  int w = 0;
+  int e = 0;
+  std::int64_t exact_conflicts = 0;   ///< static walk over the forced decisions
+  std::int64_t closed_form = 0;       ///< predicted_warp_conflicts (Theorem 8)
+  std::int64_t min_bound = 0;         ///< guaranteed lower bound, any data
+  std::int64_t max_bound = 0;         ///< guaranteed upper bound, any data
+  std::int64_t accesses = 0;          ///< warp-wide shared accesses walked
+};
+
+/// One shadow-checker violation (Pass 2).
+struct ShadowViolation {
+  std::string kind;   ///< "uninitialized-read", "write-write-race",
+                      ///< "out-of-bounds", "conflict-mismatch"
+  int block = 0;
+  int warp = 0;
+  std::string phase;
+  std::int64_t addr = 0;
+  std::string detail;
+};
+
+struct ShadowSummary {
+  bool enabled = false;
+  std::uint64_t shared_accesses = 0;
+  std::uint64_t checked_words = 0;
+  std::vector<ShadowViolation> violations;  ///< capped; see dropped_violations
+  std::uint64_t dropped_violations = 0;
+
+  [[nodiscard]] bool clean() const {
+    return violations.empty() && dropped_violations == 0;
+  }
+};
+
+/// Aggregate result of one cfverify run.
+struct VerifyReport {
+  /// Schedules that must be conflict-free: every entry must be kProved.
+  std::vector<ProofObject> proofs;
+  /// Deliberately broken / known-conflicted schedules: every entry must be
+  /// refuted (non-proved); the analyzer aims for a concrete witness.
+  std::vector<ProofObject> refutations;
+  std::vector<WorstCaseAnalysis> worstcase;
+  ShadowSummary shadow;
+
+  [[nodiscard]] bool all_proved() const {
+    for (const auto& p : proofs)
+      if (!p.proved()) return false;
+    return true;
+  }
+  [[nodiscard]] bool all_refuted() const {
+    for (const auto& p : refutations)
+      if (p.proved()) return false;
+    return true;
+  }
+  [[nodiscard]] bool ok() const {
+    return all_proved() && all_refuted() && shadow.clean();
+  }
+};
+
+}  // namespace cfmerge::verify

@@ -1,0 +1,163 @@
+#include "verify/shadow.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "gpusim/shared_memory.hpp"
+#include "numtheory/numtheory.hpp"
+
+namespace cfmerge::verify {
+
+namespace {
+
+/// Independent naive recount of one access's replay cost: distinct addresses
+/// per bank, max over banks.  Deliberately the simplest possible
+/// formulation — it cross-checks the optimized chain-scan hot path.
+int naive_conflicts(std::span<const std::int64_t> addrs, int banks) {
+  std::vector<std::int64_t> distinct;
+  for (const std::int64_t a : addrs) {
+    if (a == gpusim::kInactiveLane) continue;
+    if (std::find(distinct.begin(), distinct.end(), a) == distinct.end())
+      distinct.push_back(a);
+  }
+  if (distinct.empty()) return 0;
+  int worst = 1;
+  for (std::size_t i = 0; i < distinct.size(); ++i) {
+    int degree = 0;
+    for (const std::int64_t a : distinct)
+      if (numtheory::mod(a, banks) == numtheory::mod(distinct[i], banks)) ++degree;
+    worst = std::max(worst, degree);
+  }
+  return worst - 1;
+}
+
+}  // namespace
+
+void ShadowChecker::report(std::string kind, int block, int warp,
+                           std::string_view phase, std::int64_t addr,
+                           std::string detail) {
+  if (summary_.violations.size() >= max_violations_) {
+    ++summary_.dropped_violations;
+    return;
+  }
+  summary_.violations.push_back(ShadowViolation{
+      std::move(kind), block, warp, std::string(phase), addr, std::move(detail)});
+}
+
+void ShadowChecker::on_shared_alloc(int block, std::uint64_t tile_id,
+                                    std::size_t words) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  summary_.enabled = true;
+  summary_.checked_words += words;
+  tiles_[{block, tile_id}].words.assign(words, Word{});
+}
+
+void ShadowChecker::on_shared_raw(int block, std::uint64_t tile_id) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tiles_.find({block, tile_id});
+  if (it == tiles_.end()) return;
+  for (Word& w : it->second.words) {
+    w.written = true;
+    w.writer_warp = -2;
+    w.epoch = -1;
+  }
+}
+
+void ShadowChecker::on_shared_access(int block, std::uint64_t tile_id, int warp,
+                                     std::string_view phase,
+                                     std::span<const std::int64_t> addrs,
+                                     bool is_write, int banks, int charged_conflicts) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++summary_.shared_accesses;
+
+  const int recount = naive_conflicts(addrs, banks);
+  if (recount != charged_conflicts) {
+    std::ostringstream os;
+    os << "cost model charged " << charged_conflicts << " conflicts, naive recount says "
+       << recount;
+    report("conflict-mismatch", block, warp, phase, -1, os.str());
+  }
+
+  const auto it = tiles_.find({block, tile_id});
+  if (it == tiles_.end()) return;
+  auto& words = it->second.words;
+  const std::int64_t epoch = epoch_[block];
+
+  for (std::size_t lane = 0; lane < addrs.size(); ++lane) {
+    const std::int64_t a = addrs[lane];
+    if (a == gpusim::kInactiveLane) continue;
+    if (a < 0 || a >= static_cast<std::int64_t>(words.size())) {
+      std::ostringstream os;
+      os << "lane " << lane << " addresses slot " << a << " of a "
+         << words.size() << "-word tile";
+      report("out-of-bounds", block, warp, phase, a, os.str());
+      continue;
+    }
+    Word& w = words[static_cast<std::size_t>(a)];
+    if (!is_write) {
+      if (!w.written) {
+        std::ostringstream os;
+        os << "lane " << lane << " reads word " << a << " before any write reached it";
+        report("uninitialized-read", block, warp, phase, a, os.str());
+      }
+      continue;
+    }
+    // Intra-access duplicate: two active lanes of one scatter on one word.
+    for (std::size_t prev = 0; prev < lane; ++prev) {
+      if (addrs[prev] == a) {
+        std::ostringstream os;
+        os << "lanes " << prev << " and " << lane << " both write word " << a
+           << " in one scatter";
+        report("write-write-race", block, warp, phase, a, os.str());
+        break;
+      }
+    }
+    // Cross-warp same-epoch write: unsynchronized warps racing on one word.
+    if (w.written && w.writer_warp >= 0 && w.writer_warp != warp && w.epoch == epoch) {
+      std::ostringstream os;
+      os << "warps " << w.writer_warp << " and " << warp << " write word " << a
+         << " in the same barrier epoch";
+      report("write-write-race", block, warp, phase, a, os.str());
+    }
+    w.written = true;
+    w.writer_warp = warp;
+    w.epoch = epoch;
+  }
+}
+
+void ShadowChecker::on_global_access(int block, int warp, std::string_view phase,
+                                     std::span<const std::int64_t> idxs,
+                                     std::int64_t view_size, bool is_write) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t lane = 0; lane < idxs.size(); ++lane) {
+    const std::int64_t i = idxs[lane];
+    if (i == gpusim::kInactiveLane) continue;
+    if (i < 0 || i >= view_size) {
+      std::ostringstream os;
+      os << "lane " << lane << (is_write ? " writes" : " reads") << " global index "
+         << i << " of a " << view_size << "-element view";
+      report("out-of-bounds", block, warp, phase, i, os.str());
+    }
+  }
+}
+
+void ShadowChecker::on_barrier(int block) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++epoch_[block];
+}
+
+ShadowSummary ShadowChecker::summary() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return summary_;
+}
+
+void ShadowChecker::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  tiles_.clear();
+  epoch_.clear();
+  const bool enabled = summary_.enabled;
+  summary_ = ShadowSummary{};
+  summary_.enabled = enabled;
+}
+
+}  // namespace cfmerge::verify

@@ -1,0 +1,76 @@
+// Pass 2 — the shared-memory shadow-state checker.
+//
+// ShadowChecker implements gpusim::MemoryAuditor: attach one to a Launcher
+// (launcher.set_audit(&checker)) and every simulated shared access is
+// validated against a per-word shadow of the tile:
+//
+//   uninitialized-read   a lane reads a word no charged write (and no raw()
+//                        escape) ever produced
+//   write-write-race     two active lanes of one scatter target the same
+//                        word, or two different warps write the same word
+//                        within one barrier epoch
+//   out-of-bounds        a lane addresses beyond the tile (or a GlobalView
+//                        index beyond the view)
+//   conflict-mismatch    the hot-path cost accounting disagrees with an
+//                        independent naive recount of the same access — the
+//                        dynamic cross-check of Pass 1's cost model
+//
+// The checker is shared by all blocks of a launch (blocks may run on a host
+// thread pool), so every hook takes one internal mutex; attach it only when
+// verifying, not when benchmarking.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "gpusim/audit.hpp"
+#include "verify/proof.hpp"
+
+namespace cfmerge::verify {
+
+class ShadowChecker final : public gpusim::MemoryAuditor {
+ public:
+  /// At most `max_violations` are stored verbatim; the rest only counted.
+  explicit ShadowChecker(std::size_t max_violations = 64)
+      : max_violations_(max_violations) {}
+
+  void on_shared_alloc(int block, std::uint64_t tile_id, std::size_t words) override;
+  void on_shared_raw(int block, std::uint64_t tile_id) override;
+  void on_shared_access(int block, std::uint64_t tile_id, int warp,
+                        std::string_view phase, std::span<const std::int64_t> addrs,
+                        bool is_write, int banks, int charged_conflicts) override;
+  void on_global_access(int block, int warp, std::string_view phase,
+                        std::span<const std::int64_t> idxs, std::int64_t view_size,
+                        bool is_write) override;
+  void on_barrier(int block) override;
+
+  /// Snapshot of everything observed so far.
+  [[nodiscard]] ShadowSummary summary() const;
+  /// Drops all shadow state and violations (e.g. between launches).
+  void reset();
+
+ private:
+  struct Word {
+    bool written = false;
+    int writer_warp = -1;   ///< -2 = raw() escape hatch
+    std::int64_t epoch = -1;
+  };
+  struct Tile {
+    std::vector<Word> words;
+  };
+
+  void report(std::string kind, int block, int warp, std::string_view phase,
+              std::int64_t addr, std::string detail);
+
+  const std::size_t max_violations_;
+  mutable std::mutex mu_;
+  std::map<std::pair<int, std::uint64_t>, Tile> tiles_;
+  std::map<int, std::int64_t> epoch_;  ///< per-block barrier epoch
+  ShadowSummary summary_;
+};
+
+}  // namespace cfmerge::verify

@@ -1,0 +1,169 @@
+// Tests of the Pass 2 shared-memory shadow checker: clean runs on the real
+// kernels, and each violation class triggered by a crafted kernel or (for
+// the classes the simulated kernels cannot reach without corrupting memory)
+// by driving the auditor interface directly.
+#include "verify/shadow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "gpusim/launcher.hpp"
+#include "gpusim/memory_views.hpp"
+#include "sort/merge_sort.hpp"
+
+using namespace cfmerge;
+using namespace cfmerge::verify;
+
+namespace {
+
+/// Counts violations of one kind in a summary.
+std::size_t count_kind(const ShadowSummary& s, const std::string& kind) {
+  return static_cast<std::size_t>(
+      std::count_if(s.violations.begin(), s.violations.end(),
+                    [&](const ShadowViolation& v) { return v.kind == kind; }));
+}
+
+}  // namespace
+
+TEST(Shadow, CleanOnRealMergeSort) {
+  ShadowChecker checker;
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+  launcher.set_audit(&checker);
+  sort::MergeConfig cfg;
+  cfg.e = 3;
+  cfg.u = 16;
+  std::vector<int> data(static_cast<std::size_t>(4 * cfg.tile()));
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<int>((i * 131) % 257);
+  auto expect = data;
+  std::sort(expect.begin(), expect.end());
+  sort::merge_sort(launcher, data, cfg);
+  EXPECT_EQ(data, expect);
+
+  const ShadowSummary s = checker.summary();
+  EXPECT_TRUE(s.enabled);
+  EXPECT_GT(s.shared_accesses, 0u);
+  EXPECT_GT(s.checked_words, 0u);
+  EXPECT_TRUE(s.clean()) << (s.violations.empty() ? "" : s.violations.front().detail);
+}
+
+TEST(Shadow, UninitializedReadFlagged) {
+  ShadowChecker checker;
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(4));
+  launcher.set_audit(&checker);
+  launcher.launch("uninit_read", gpusim::LaunchShape{1, 4, 0, 8},
+                  [&](gpusim::BlockContext& ctx) {
+                    gpusim::SharedTile<int> tile(ctx, 16);
+                    std::vector<std::int64_t> addrs{0, 1, 2, 3};
+                    std::vector<int> vals{10, 11, 12, 13};
+                    tile.scatter(0, addrs, vals);
+                    // Words 4..7 were never written by anyone.
+                    std::vector<std::int64_t> bad{4, 5, 6, 7};
+                    tile.gather(0, bad, vals);
+                  });
+  const ShadowSummary s = checker.summary();
+  EXPECT_EQ(count_kind(s, "uninitialized-read"), 4u);
+  EXPECT_FALSE(s.clean());
+}
+
+TEST(Shadow, RawEscapeMarksTileInitialized) {
+  ShadowChecker checker;
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(4));
+  launcher.set_audit(&checker);
+  launcher.launch("raw_then_read", gpusim::LaunchShape{1, 4, 0, 8},
+                  [&](gpusim::BlockContext& ctx) {
+                    gpusim::SharedTile<int> tile(ctx, 16);
+                    for (auto& x : tile.raw()) x = 1;
+                    std::vector<std::int64_t> addrs{4, 5, 6, 7};
+                    std::vector<int> vals(4);
+                    tile.gather(0, addrs, vals);
+                  });
+  EXPECT_TRUE(checker.summary().clean());
+}
+
+TEST(Shadow, IntraScatterDuplicateIsARace) {
+  ShadowChecker checker;
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(4));
+  launcher.set_audit(&checker);
+  launcher.launch("dup_scatter", gpusim::LaunchShape{1, 4, 0, 8},
+                  [&](gpusim::BlockContext& ctx) {
+                    gpusim::SharedTile<int> tile(ctx, 8);
+                    std::vector<std::int64_t> addrs{2, 2, 5, 6};  // lanes 0,1 collide
+                    std::vector<int> vals{1, 2, 3, 4};
+                    tile.scatter(0, addrs, vals);
+                  });
+  const ShadowSummary s = checker.summary();
+  EXPECT_EQ(count_kind(s, "write-write-race"), 1u);
+}
+
+TEST(Shadow, CrossWarpSameEpochWriteIsARaceBarrierClearsIt) {
+  for (const bool with_barrier : {false, true}) {
+    ShadowChecker checker;
+    gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(4));
+    launcher.set_audit(&checker);
+    launcher.launch("cross_warp", gpusim::LaunchShape{1, 8, 0, 8},
+                    [&](gpusim::BlockContext& ctx) {
+                      gpusim::SharedTile<int> tile(ctx, 8);
+                      std::vector<std::int64_t> addrs{0, 1, 2, 3};
+                      std::vector<int> vals{1, 2, 3, 4};
+                      tile.scatter(0, addrs, vals);
+                      if (with_barrier) ctx.barrier();
+                      tile.scatter(1, addrs, vals);  // warp 1, same words
+                    });
+    const ShadowSummary s = checker.summary();
+    if (with_barrier)
+      EXPECT_TRUE(s.clean());
+    else
+      EXPECT_EQ(count_kind(s, "write-write-race"), 4u);
+  }
+}
+
+TEST(Shadow, OutOfBoundsAndConflictMismatchAtAuditorLevel) {
+  // The SharedTile data movement asserts in-bounds, so these two classes are
+  // exercised through the auditor interface the hooks feed.
+  ShadowChecker checker;
+  checker.on_shared_alloc(0, 0, 8);
+
+  // (charged_conflicts matches the naive recount — banks of 1, 9, -3 alias —
+  // so only the bounds violations are flagged here.)
+  const std::vector<std::int64_t> oob{1, 9, -3, 2};
+  checker.on_shared_access(0, 0, 0, "unit", oob, /*is_write=*/true, 4,
+                           /*charged_conflicts=*/2);
+  EXPECT_EQ(count_kind(checker.summary(), "out-of-bounds"), 2u);
+
+  // Addresses 1 and 5 share bank 1 of 4: the true replay cost is 1 conflict;
+  // charging anything else must be flagged.
+  const std::vector<std::int64_t> conflicted{1, 5, 2, 3};
+  checker.on_shared_access(0, 0, 0, "unit", conflicted, /*is_write=*/false, 4,
+                           /*charged_conflicts=*/0);
+  EXPECT_EQ(count_kind(checker.summary(), "conflict-mismatch"), 1u);
+  checker.on_shared_access(0, 0, 1, "unit", conflicted, /*is_write=*/false, 4,
+                           /*charged_conflicts=*/1);
+  EXPECT_EQ(count_kind(checker.summary(), "conflict-mismatch"), 1u);  // unchanged
+}
+
+TEST(Shadow, ViolationCapCountsDrops) {
+  ShadowChecker checker(/*max_violations=*/2);
+  checker.on_shared_alloc(0, 0, 4);
+  const std::vector<std::int64_t> bad{10, 11, 12};
+  checker.on_shared_access(0, 0, 0, "unit", bad, /*is_write=*/true, 4, 0);
+  const ShadowSummary s = checker.summary();
+  EXPECT_EQ(s.violations.size(), 2u);
+  EXPECT_EQ(s.dropped_violations, 1u);
+  EXPECT_FALSE(s.clean());
+}
+
+TEST(Shadow, ResetKeepsEnabledDropsState) {
+  ShadowChecker checker;
+  checker.on_shared_alloc(0, 0, 4);
+  const std::vector<std::int64_t> bad{10};
+  checker.on_shared_access(0, 0, 0, "unit", bad, /*is_write=*/true, 4, 0);
+  EXPECT_FALSE(checker.summary().clean());
+  checker.reset();
+  const ShadowSummary s = checker.summary();
+  EXPECT_TRUE(s.enabled);
+  EXPECT_TRUE(s.clean());
+  EXPECT_EQ(s.shared_accesses, 0u);
+}

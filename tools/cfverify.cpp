@@ -1,0 +1,250 @@
+// cfverify — static bank-conflict verifier + shared-memory shadow checker.
+//
+//   cfverify [options]
+//     --all                        full sweep: CF gather proofs for every
+//                                  w in {4,8,16,32,64} x 1 < E <= w, broken-
+//                                  variant refutations, Theorem 8 analyses
+//                                  and bitonic profiles (the default when no
+//                                  --w/--e is given)
+//     --w=W --e=E                  verify one (w, E) family only (plus its
+//                                  broken variants and Theorem 8 analysis)
+//     --widths=4,8,16              override the sweep widths
+//     --no-broken                  skip the deliberately-broken refutations
+//     --no-worstcase               skip the Theorem 8 analyses
+//     --no-bitonic                 skip the bitonic exchange profiles
+//     --shadow                     also run dynamic launches (a CF merge sort
+//                                  and a Theorem 8 baseline warp merge) with
+//                                  the shared-memory shadow checker attached,
+//                                  and fold its summary into the report
+//     --json                       emit the machine-readable report
+//     --quiet                      suppress the per-proof text table
+//
+// Exit status: 0 when every required proof holds, every broken schedule is
+// refuted and the shadow checker is clean; 1 otherwise; 2 on usage errors.
+//
+// Examples:
+//   cfverify --all --json | jq .ok
+//   cfverify --w=32 --e=15
+//   cfverify --all --shadow
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cfmerge.hpp"
+
+using namespace cfmerge;
+
+namespace {
+
+struct Options {
+  bool all = false;
+  int w = 0;
+  int e = 0;
+  std::vector<int> widths = {4, 8, 16, 32, 64};
+  bool broken = true;
+  bool worstcase = true;
+  bool bitonic = true;
+  bool shadow = false;
+  bool json = false;
+  bool quiet = false;
+};
+
+[[noreturn]] void usage(const char* msg) {
+  if (msg) std::fprintf(stderr, "cfverify: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: cfverify [--all] [--w=W --e=E] [--widths=4,8,...]\n"
+               "                [--no-broken] [--no-worstcase] [--no-bitonic]\n"
+               "                [--shadow] [--json] [--quiet]\n");
+  std::exit(msg ? 2 : 0);
+}
+
+std::vector<int> parse_widths(const std::string& csv) {
+  std::vector<int> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(std::stoi(item));
+  if (out.empty()) usage("--widths: empty list");
+  return out;
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto val = [&](const char* key) -> std::string {
+      const std::size_t klen = std::strlen(key);
+      if (a.rfind(key, 0) == 0 && a.size() > klen && a[klen] == '=')
+        return a.substr(klen + 1);
+      return {};
+    };
+    if (a == "--help" || a == "-h") usage(nullptr);
+    else if (a == "--all") o.all = true;
+    else if (auto v = val("--w"); !v.empty()) o.w = std::stoi(v);
+    else if (auto v = val("--e"); !v.empty()) o.e = std::stoi(v);
+    else if (auto v = val("--widths"); !v.empty()) o.widths = parse_widths(v);
+    else if (a == "--no-broken") o.broken = false;
+    else if (a == "--no-worstcase") o.worstcase = false;
+    else if (a == "--no-bitonic") o.bitonic = false;
+    else if (a == "--shadow") o.shadow = true;
+    else if (a == "--json") o.json = true;
+    else if (a == "--quiet") o.quiet = true;
+    else usage(("unknown argument: " + a).c_str());
+  }
+  if ((o.w != 0) != (o.e != 0)) usage("--w and --e must be given together");
+  if (o.w != 0 && o.all) usage("--all and --w/--e are mutually exclusive");
+  return o;
+}
+
+/// Single-family report: the same shape verify_all produces for one (w, E).
+verify::VerifyReport verify_one(const Options& o) {
+  verify::VerifyReport report;
+  report.proofs.push_back(verify::verify_cf_gather(o.w, o.e));
+  if (o.broken) {
+    report.refutations.push_back(
+        verify::verify_cf_gather(o.w, o.e, verify::ScheduleVariant::kNoBReversal));
+    if (numtheory::gcd(static_cast<std::int64_t>(o.w), static_cast<std::int64_t>(o.e)) > 1)
+      report.refutations.push_back(
+          verify::verify_cf_gather(o.w, o.e, verify::ScheduleVariant::kNoRhoShift));
+  }
+  if (o.worstcase)
+    report.worstcase.push_back(
+        verify::analyze_worstcase_warp(worstcase::Params{o.w, o.e}));
+  if (o.bitonic) {
+    const std::int64_t tile = 4 * static_cast<std::int64_t>(o.w);
+    report.proofs.push_back(verify::verify_bitonic_exchange(tile, o.w, true));
+    report.proofs.push_back(verify::verify_bitonic_exchange(tile, o.w, false));
+    report.refutations.push_back(verify::refute_bitonic_unpadded(tile, o.w));
+  }
+  return report;
+}
+
+/// Dynamic shadow-checked launches: a small CF merge sort end to end plus a
+/// Theorem 8 baseline warp merge, everything audited word by word.
+verify::ShadowSummary run_shadow() {
+  verify::ShadowChecker checker;
+
+  {
+    gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(32));
+    launcher.set_audit(&checker);
+    sort::MergeConfig cfg;
+    cfg.e = 4;
+    cfg.u = 64;
+    std::vector<int> data(static_cast<std::size_t>(4 * cfg.tile()));
+    std::uint64_t s = 0x5eedULL;
+    for (int& x : data) {
+      s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+      x = static_cast<int>(s >> 40);
+    }
+    sort::merge_sort(launcher, data, cfg);
+  }
+
+  {
+    const worstcase::Params p{8, 6};
+    const std::int64_t wE = static_cast<std::int64_t>(p.w) * p.e;
+    const worstcase::MergeInput in = worstcase::worst_case_merge_input(p, 2 * wE);
+    const auto tuples = worstcase::warp_tuples(p, false);
+    const std::int64_t la = worstcase::a_total(tuples);
+    const std::int64_t lb = wE - la;
+
+    gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(p.w));
+    launcher.set_audit(&checker);
+    launcher.launch("warp_merge", gpusim::LaunchShape{1, p.w, 0, 32},
+                    [&](gpusim::BlockContext& ctx) {
+                      gpusim::SharedTile<int> tile(ctx, static_cast<std::size_t>(wE));
+                      for (std::int64_t x = 0; x < la; ++x)
+                        tile.raw()[static_cast<std::size_t>(x)] =
+                            in.a[static_cast<std::size_t>(x)];
+                      for (std::int64_t y = 0; y < lb; ++y)
+                        tile.raw()[static_cast<std::size_t>(la + y)] =
+                            in.b[static_cast<std::size_t>(y)];
+                      std::vector<sort::MergeLaneDesc> descs(static_cast<std::size_t>(p.w));
+                      std::int64_t ao = 0, bo = 0;
+                      for (int i = 0; i < p.w; ++i) {
+                        const worstcase::Tuple& t = tuples[static_cast<std::size_t>(i)];
+                        descs[static_cast<std::size_t>(i)] = {ao, t.a, bo, t.b};
+                        ao += t.a;
+                        bo += t.b;
+                      }
+                      std::vector<int> regs(static_cast<std::size_t>(wE));
+                      sort::warp_serial_merge(ctx, tile,
+                                              std::span<const sort::MergeLaneDesc>(descs),
+                                              p.e, [](std::int64_t x) { return x; },
+                                              [la](std::int64_t y) { return la + y; },
+                                              std::span<int>(regs));
+                    });
+  }
+
+  return checker.summary();
+}
+
+void print_text(const verify::VerifyReport& report) {
+  auto line = [](const verify::ProofObject& p, bool want_proved) {
+    const char* mark = (p.proved() == want_proved) ? "ok " : "FAIL";
+    std::printf("  [%s] %-22s w=%-3d E=%-3d d=%lld  %s\n", mark, p.schedule.c_str(),
+                p.w, p.e, static_cast<long long>(p.d),
+                p.verdict == verify::Verdict::kProved          ? "proved"
+                : p.verdict == verify::Verdict::kCounterexample ? "counterexample"
+                                                                : "refuted (no witness)");
+    if (p.verdict == verify::Verdict::kCounterexample && !want_proved)
+      std::printf("         %s\n", p.counterexample.str().c_str());
+    for (const verify::ProofStep& s : p.steps)
+      if (s.status == verify::StepStatus::kFailed)
+        std::printf("         step %s FAILED: %s\n", s.name.c_str(), s.detail.c_str());
+  };
+
+  std::printf("proofs (%zu, must all be proved):\n", report.proofs.size());
+  for (const auto& p : report.proofs) line(p, true);
+  std::printf("refutations (%zu, must all be refuted):\n", report.refutations.size());
+  for (const auto& p : report.refutations) line(p, false);
+  if (!report.worstcase.empty()) {
+    std::printf("Theorem 8 worst-case analyses:\n");
+    for (const auto& wc : report.worstcase)
+      std::printf("  w=%-3d E=%-3d exact=%-6lld closed-form=%-6lld bounds=[%lld, %lld]"
+                  " accesses=%lld\n",
+                  wc.w, wc.e, static_cast<long long>(wc.exact_conflicts),
+                  static_cast<long long>(wc.closed_form),
+                  static_cast<long long>(wc.min_bound),
+                  static_cast<long long>(wc.max_bound),
+                  static_cast<long long>(wc.accesses));
+  }
+  if (report.shadow.enabled) {
+    std::printf("shadow checker: %llu shared accesses over %llu words — %s\n",
+                static_cast<unsigned long long>(report.shadow.shared_accesses),
+                static_cast<unsigned long long>(report.shadow.checked_words),
+                report.shadow.clean() ? "clean" : "VIOLATIONS");
+    for (const auto& v : report.shadow.violations)
+      std::printf("  [%s] block %d warp %d phase %s: %s\n", v.kind.c_str(), v.block,
+                  v.warp, v.phase.c_str(), v.detail.c_str());
+  }
+  std::printf("verdict: %s\n", report.ok() ? "OK" : "FAIL");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+
+  verify::VerifyReport report;
+  if (o.w != 0) {
+    report = verify_one(o);
+  } else {
+    verify::VerifyOptions vo;
+    vo.widths = o.widths;
+    vo.broken = o.broken;
+    vo.worstcase = o.worstcase;
+    vo.bitonic = o.bitonic;
+    report = verify_all(vo);
+  }
+  if (o.shadow) report.shadow = run_shadow();
+
+  if (o.json)
+    analysis::write_json(std::cout, report);
+  else if (!o.quiet)
+    print_text(report);
+
+  return report.ok() ? 0 : 1;
+}
