@@ -2,9 +2,10 @@
 //
 //   sim_hotpath [--quick] [--repeats=R] [--threads=T] [--out=FILE.json]
 //
-// Runs a fixed shape matrix over the three sort entry points —
-// merge_sort (cf and baseline), batched_merge, segmented_sort — plus a
-// traced merge_sort, measures host wall-clock per case, and reports
+// Runs a fixed shape matrix over the sort entry points — merge_sort (cf
+// and baseline), the k-way multiway cascade, batched_merge,
+// segmented_sort — plus a traced merge_sort, measures host wall-clock per
+// case, and reports
 // *simulated elements per host second* (how fast the simulator chews
 // through work; the number every accounting-hot-path change must move).
 // Each case is repeated --repeats times (fresh input copy each run) and
@@ -241,6 +242,31 @@ int main(int argc, char** argv) {
           auto data = sort_input;
           const double t0 = now_ms();
           auto rep = engine.sort(data, base_cfg);
+          r->wall_ms_min = now_ms() - t0;
+          r->sim_microseconds = rep.microseconds;
+          if (!std::is_sorted(data.begin(), data.end())) r->identity_ok = false;
+          return rep;
+        }));
+    accumulate(engine.stats());
+  }
+
+  // --- merge_sort, k-way multiway cascade: fewer global passes than the
+  // 2-way pipeline at the same tile geometry, same plan-cache machinery.
+  {
+    sort::MultiwayConfig mw_cfg;
+    mw_cfg.e = 15;
+    mw_cfg.u = 256;  // cascade double-buffering needs 2(tile + (k/2)wE) words
+    mw_cfg.k = 4;
+    mw_cfg.variant = sort::MultiwayVariant::CFCascade;
+    gpusim::Launcher launcher(dev());
+    launcher.set_threads(threads);
+    sort::SortEngine engine(launcher);
+    results.push_back(run_case(
+        "merge_sort/multiway-k4/random", "n=" + std::to_string(n_sort), repeats,
+        n_sort, [&](CaseResult* r) {
+          auto data = sort_input;
+          const double t0 = now_ms();
+          auto rep = engine.sort_multiway(data, mw_cfg);
           r->wall_ms_min = now_ms() - t0;
           r->sim_microseconds = rep.microseconds;
           if (!std::is_sorted(data.begin(), data.end())) r->identity_ok = false;

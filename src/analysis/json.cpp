@@ -1,6 +1,8 @@
 #include "analysis/json.hpp"
 
+#include <array>
 #include <iomanip>
+#include <map>
 #include <ostream>
 #include <sstream>
 
@@ -47,6 +49,10 @@ const char* variant_name(sort::Variant v) {
   return v == sort::Variant::Baseline ? "baseline" : "cf-merge";
 }
 
+const char* multiway_variant_name(sort::MultiwayVariant v) {
+  return v == sort::MultiwayVariant::CFCascade ? "cf-cascade" : "loser-tree";
+}
+
 }  // namespace
 
 std::string json_escape(const std::string& s) {
@@ -78,6 +84,32 @@ void write_json(std::ostream& os, const sort::SortReport& report,
   os << "{\"kind\":\"sort\",\"device\":\"" << json_escape(device) << "\",\"workload\":\""
      << json_escape(workload) << "\",\"variant\":\"" << variant_name(cfg.variant)
      << "\",\"e\":" << cfg.e << ",\"u\":" << cfg.u << ",\"n\":" << report.n
+     << ",\"n_padded\":" << report.n_padded << ",\"passes\":" << report.passes
+     << ",\"microseconds\":" << report.microseconds
+     << ",\"makespan_microseconds\":" << report.makespan_microseconds
+     << ",\"graph_levels\":" << report.graph_levels
+     << ",\"throughput_elem_per_us\":" << report.throughput()
+     << ",\"merge_conflicts\":" << report.merge_conflicts()
+     << ",\"blocksort_conflicts\":" << report.blocksort_conflicts() << ",\"totals\":";
+  write_counters(os, report.totals);
+  os << ",\"phases\":";
+  write_phases(os, report.phases);
+  os << ",\"kernels\":";
+  write_kernels(os, report.kernels);
+  if (engine != nullptr) {
+    os << ",\"engine\":";
+    write_json(os, *engine);
+  }
+  os << "}\n";
+}
+
+void write_json(std::ostream& os, const sort::SortReport& report,
+                const sort::MultiwayConfig& cfg, const std::string& device,
+                const std::string& workload, const sort::EngineStats* engine) {
+  os << "{\"kind\":\"multiway_sort\",\"device\":\"" << json_escape(device)
+     << "\",\"workload\":\"" << json_escape(workload) << "\",\"variant\":\""
+     << multiway_variant_name(cfg.variant) << "\",\"e\":" << cfg.e
+     << ",\"u\":" << cfg.u << ",\"k\":" << cfg.k << ",\"n\":" << report.n
      << ",\"n_padded\":" << report.n_padded << ",\"passes\":" << report.passes
      << ",\"microseconds\":" << report.microseconds
      << ",\"makespan_microseconds\":" << report.makespan_microseconds
@@ -190,7 +222,9 @@ void write_counterexample(std::ostream& os, const verify::Counterexample& cx) {
 
 void write_proof(std::ostream& os, const verify::ProofObject& p) {
   os << "{\"schedule\":\"" << json_escape(p.schedule) << "\",\"w\":" << p.w
-     << ",\"e\":" << p.e << ",\"d\":" << p.d << ",\"verdict\":\""
+     << ",\"e\":" << p.e;
+  if (p.k > 0) os << ",\"k\":" << p.k;
+  os << ",\"d\":" << p.d << ",\"verdict\":\""
      << verdict_name(p.verdict) << "\",\"scope\":\"" << json_escape(p.scope)
      << "\",\"steps\":[";
   for (std::size_t i = 0; i < p.steps.size(); ++i) {
@@ -217,6 +251,29 @@ void write_proof_list(std::ostream& os, const std::vector<verify::ProofObject>& 
   os << "]";
 }
 
+/// Per-arity rollup of the k-way proof objects: how many cascade schedules
+/// were proved and how many direct-CF claims were refuted (with a concrete
+/// lane-pair witness) at each k.
+void write_multiway_summary(std::ostream& os, const verify::VerifyReport& report) {
+  std::map<int, std::array<std::int64_t, 3>> per_k;  // proved, refuted, witnesses
+  for (const auto& p : report.proofs)
+    if (p.k > 0 && p.verdict == verify::Verdict::kProved) ++per_k[p.k][0];
+  for (const auto& p : report.refutations)
+    if (p.k > 0) {
+      ++per_k[p.k][1];
+      if (p.verdict == verify::Verdict::kCounterexample) ++per_k[p.k][2];
+    }
+  os << "[";
+  bool first = true;
+  for (const auto& [k, counts] : per_k) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"k\":" << k << ",\"proved\":" << counts[0]
+       << ",\"refuted\":" << counts[1] << ",\"witnesses\":" << counts[2] << "}";
+  }
+  os << "]";
+}
+
 }  // namespace
 
 void write_json(std::ostream& os, const verify::VerifyReport& report) {
@@ -227,6 +284,8 @@ void write_json(std::ostream& os, const verify::VerifyReport& report) {
   write_proof_list(os, report.proofs);
   os << ",\"refutations\":";
   write_proof_list(os, report.refutations);
+  os << ",\"multiway\":";
+  write_multiway_summary(os, report);
   os << ",\"worstcase\":[";
   for (std::size_t i = 0; i < report.worstcase.size(); ++i) {
     const verify::WorstCaseAnalysis& wc = report.worstcase[i];

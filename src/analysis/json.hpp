@@ -9,6 +9,7 @@
 #include "sort/engine.hpp"
 #include "sort/merge_arrays.hpp"
 #include "sort/merge_sort.hpp"
+#include "sort/multiway_pass.hpp"
 #include "sort/segmented_sort.hpp"
 #include "verify/proof.hpp"
 
@@ -20,6 +21,13 @@ namespace cfmerge::analysis {
 /// counters of the SortEngine that served the run.
 void write_json(std::ostream& os, const sort::SortReport& report,
                 const sort::MergeConfig& cfg, const std::string& device,
+                const std::string& workload, const sort::EngineStats* engine = nullptr);
+
+/// Same for a k-way multiway sort run — emits `kind:"multiway_sort"` with
+/// the merge arity `k`, the multiway variant name, and the global pass
+/// count alongside the usual totals / phases / kernels sections.
+void write_json(std::ostream& os, const sort::SortReport& report,
+                const sort::MultiwayConfig& cfg, const std::string& device,
                 const std::string& workload, const sort::EngineStats* engine = nullptr);
 
 /// Same for a standalone merge.
@@ -43,8 +51,10 @@ void write_json(std::ostream& os, const sort::SegmentedSortReport& report,
 void write_json(std::ostream& os, const sort::EngineStats& stats);
 
 /// Writes a cfverify run: every proof object with its steps (and
-/// counterexample, if refuted), the Theorem 8 worst-case analyses, and the
-/// shadow-checker summary.  Top-level "ok" mirrors VerifyReport::ok().
+/// counterexample, if refuted), a per-arity "multiway" rollup of the k-way
+/// cascade proofs and direct-claim refutations, the Theorem 8 worst-case
+/// analyses, and the shadow-checker summary.  Top-level "ok" mirrors
+/// VerifyReport::ok().
 void write_json(std::ostream& os, const verify::VerifyReport& report);
 
 /// Escapes a string for embedding in JSON.

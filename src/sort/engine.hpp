@@ -54,6 +54,7 @@
 #include "sort/key_value.hpp"
 #include "sort/merge_pass.hpp"
 #include "sort/merge_sort.hpp"
+#include "sort/multiway_sort.hpp"
 #include "sort/segmented_sort.hpp"
 
 namespace cfmerge::sort {
@@ -176,7 +177,7 @@ namespace detail {
 /// dependency edges, and pass/tile decisions — only the buffer *contents*
 /// differ, which is exactly what plan reuse rebinds.
 struct PlanKey {
-  enum class Kind : std::uint8_t { Sort = 0, Batched = 1 };
+  enum class Kind : std::uint8_t { Sort = 0, Batched = 1, Multiway = 2 };
 
   Kind kind = Kind::Sort;
   std::type_index type = std::type_index(typeid(void));
@@ -229,6 +230,42 @@ struct SortPlanT {
 
   /// Rebind: load the next input.  The sentinel tail is rewritten because a
   /// previous execution leaves buf holding that run's intermediate data.
+  void load(const std::vector<T>& data) {
+    std::copy(data.begin(), data.end(), buf.begin());
+    std::fill(buf.begin() + static_cast<std::ptrdiff_t>(data.size()), buf.end(),
+              padding_sentinel<T>::value());
+  }
+
+  [[nodiscard]] std::uint64_t footprint_bytes() const {
+    return (buf.capacity() + tmp.capacity()) * sizeof(T) +
+           boundaries.capacity() * sizeof(std::int64_t);
+  }
+};
+
+/// A cached k-way sort plan: enqueue_multiway_pipeline's graph plus the
+/// storage its bodies capture.  Keyed under Kind::Multiway with the
+/// (k, variant) pair folded into shape_digest (PlanKey::cfg only carries the
+/// pairwise knobs the multiway pipeline shares: e, u, cf_blocksort).
+template <typename T>
+struct MultiwayPlanT {
+  MultiwayConfig cfg;
+  std::int64_t n_padded = 0;
+  int passes = 0;
+  std::vector<T> buf, tmp;
+  std::vector<std::int64_t> boundaries;
+  std::vector<T>* result = nullptr;  ///< buf or tmp, fixed by the pass count
+  gpusim::KernelGraph graph;
+
+  MultiwayPlanT(const MultiwayConfig& c, std::int64_t np, int warp_size)
+      : cfg(c), n_padded(np) {
+    buf.assign(static_cast<std::size_t>(np), padding_sentinel<T>::value());
+    gpusim::Stream stream = graph.stream();
+    result = enqueue_multiway_pipeline(stream, buf, tmp, boundaries, np, cfg, warp_size,
+                                       passes);
+  }
+  MultiwayPlanT(const MultiwayPlanT&) = delete;
+  MultiwayPlanT& operator=(const MultiwayPlanT&) = delete;
+
   void load(const std::vector<T>& data) {
     std::copy(data.begin(), data.end(), buf.begin());
     std::fill(buf.begin() + static_cast<std::ptrdiff_t>(data.size()), buf.end(),
@@ -501,6 +538,69 @@ class SortEngine {
     return report;
   }
 
+  /// merge_sort_multiway through the engine: the k-way pipeline under the
+  /// same plan cache.  The (k, variant) pair is digested into the key.
+  template <typename T>
+  SortReport sort_multiway(std::vector<T>& data, const MultiwayConfig& cfg,
+                           gpusim::GraphExec mode = gpusim::GraphExec::Overlap) {
+    validate_multiway_config(launcher_->device(), cfg);
+
+    SortReport report;
+    report.n = static_cast<std::int64_t>(data.size());
+    if (report.n == 0) return report;
+
+    const std::int64_t tile = cfg.tile();
+    const std::int64_t n_padded = (report.n + tile - 1) / tile * tile;
+    report.n_padded = n_padded;
+
+    MergeConfig base;
+    base.e = cfg.e;
+    base.u = cfg.u;
+    base.cf_blocksort = cfg.cf_blocksort;
+    std::uint64_t digest = detail::fnv1a(detail::kFnvOffset,
+                                         static_cast<std::uint64_t>(cfg.k));
+    digest = detail::fnv1a(digest, static_cast<std::uint64_t>(cfg.variant));
+    const detail::PlanKey key{detail::PlanKey::Kind::Multiway,
+                              std::type_index(typeid(T)), n_padded, digest, base};
+    const int warp_size = launcher_->device().warp_size;
+    auto plan = acquire_plan<detail::MultiwayPlanT<T>>(key, [&] {
+      return std::make_shared<detail::MultiwayPlanT<T>>(cfg, n_padded, warp_size);
+    });
+    plan->load(data);
+    report.passes = plan->passes;
+
+    launcher_->clear_history();
+    const gpusim::GraphReport g = launcher_->run(plan->graph, mode);
+
+    std::copy(plan->result->begin(), plan->result->begin() + report.n, data.begin());
+    report.kernels = g.kernels;
+    report.microseconds = g.serial_microseconds;
+    report.makespan_microseconds = g.makespan_microseconds;
+    report.graph_levels = g.levels;
+    report.totals = launcher_->total_counters();
+    report.phases = launcher_->phase_counters();
+    cache_plan(key, std::move(plan));
+    return report;
+  }
+
+  /// sort_multiway for key-value pairs, arena-staged like sort_by_key.
+  template <typename K, typename V>
+  SortReport sort_multiway_by_key(std::vector<K>& keys, std::vector<V>& values,
+                                  const MultiwayConfig& cfg,
+                                  gpusim::GraphExec mode = gpusim::GraphExec::Overlap) {
+    if (keys.size() != values.size())
+      throw std::invalid_argument("merge_sort_multiway_by_key: keys/values size mismatch");
+    auto lease = arena_.acquire<KeyValue<K, V>>(keys.size());
+    std::vector<KeyValue<K, V>>& pairs = *lease;
+    for (std::size_t i = 0; i < keys.size(); ++i) pairs[i] = {keys[i], values[i]};
+    const SortReport report = sort_multiway(pairs, cfg, mode);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      keys[i] = pairs[i].key;
+      values[i] = pairs[i].value;
+    }
+    return report;
+  }
+
   /// merge_sort_by_key through the engine: the KeyValue pair buffer comes
   /// from the scratch arena instead of a per-call allocation.
   template <typename K, typename V>
@@ -713,6 +813,24 @@ SortReport merge_sort_by_key(gpusim::Launcher& launcher, std::vector<K>& keys,
                              std::vector<V>& values, const MergeConfig& cfg) {
   SortEngine engine(launcher);
   return engine.sort_by_key(keys, values, cfg);
+}
+
+/// Sorts `data` in place with the k-way multiway pipeline: ceil(log_k)
+/// global passes instead of ceil(log2).  See multiway_pass.hpp for the two
+/// merge variants.  Results are bit-identical to merge_sort for plain keys.
+template <typename T>
+SortReport merge_sort_multiway(gpusim::Launcher& launcher, std::vector<T>& data,
+                               const MultiwayConfig& cfg) {
+  SortEngine engine(launcher);
+  return engine.sort_multiway(data, cfg);
+}
+
+/// merge_sort_multiway for key-value pairs (sorted by key).
+template <typename K, typename V>
+SortReport merge_sort_multiway_by_key(gpusim::Launcher& launcher, std::vector<K>& keys,
+                                      std::vector<V>& values, const MultiwayConfig& cfg) {
+  SortEngine engine(launcher);
+  return engine.sort_multiway_by_key(keys, values, cfg);
 }
 
 /// Sorts every segment in place, all submitted as one kernel graph.

@@ -797,7 +797,11 @@ VerifyReport verify_all(const VerifyOptions& opts) {
   VerifyReport rep;
   for (const int w : opts.widths) {
     for (int e = 2; e <= w; ++e) {
-      rep.proofs.push_back(verify_cf_gather(w, e, ScheduleVariant::kFull));
+      const ProofObject two_way = verify_cf_gather(w, e, ScheduleVariant::kFull);
+      rep.proofs.push_back(two_way);
+      if (opts.multiway)
+        for (const int k : opts.ks)
+          rep.proofs.push_back(verify_multiway_cascade(w, e, k, &two_way));
       if (opts.broken) {
         rep.refutations.push_back(verify_cf_gather(w, e, ScheduleVariant::kNoBReversal));
         if (numtheory::gcd(w, e) > 1)
@@ -806,6 +810,9 @@ VerifyReport verify_all(const VerifyOptions& opts) {
       }
       if (opts.worstcase) rep.worstcase.push_back(analyze_worstcase_warp({w, e}));
     }
+    if (opts.multiway && opts.broken)
+      for (const int k : opts.ks)
+        rep.refutations.push_back(refute_multiway_direct(w, std::max(2, w / 2), k));
     if (opts.bitonic) {
       const std::int64_t tile = 4 * static_cast<std::int64_t>(w);
       rep.proofs.push_back(verify_bitonic_exchange(tile, w, /*padded=*/true));

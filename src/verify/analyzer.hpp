@@ -41,6 +41,24 @@ namespace cfmerge::verify {
                                            ScheduleVariant variant =
                                                ScheduleVariant::kFull);
 
+/// Machine-checked conflict-freedom proof for the k-way cascade merge
+/// (multiway_cascade_core): every cascade stage is an instance of the proven
+/// 2-way schedule, the inter-stage rank scatter is a lane-invariant stride-E
+/// stream under rho (a complete residue system per round), and the
+/// CascadePlan's pair bases and padded lengths are wE-aligned so none of it
+/// shifts banks.  `k` must be a power of two >= 2.  When the caller already
+/// holds the (w, E) 2-way proof it can pass it via `stage_proof` to avoid
+/// recomputing it (verify_all does).
+[[nodiscard]] ProofObject verify_multiway_cascade(int w, int e, int k,
+                                                  const ProofObject* stage_proof = nullptr);
+
+/// Refutes the (false) claim that a *single-phase* k-ary gather over a linear
+/// k-segment shared layout — the access pattern of the multiway_losertree
+/// baseline's head fill — is conflict free for every merge-path split.  The
+/// witness is constructive: a realizable split puts two lanes' sequence-0
+/// heads at shared offsets 0 and w, the same bank.  Works for any k >= 2.
+[[nodiscard]] ProofObject refute_multiway_direct(int w, int e, int k);
+
 /// Static analysis of the bitonic compare-exchange kernel on one tile:
 /// machine-checks the kernel's structural conflict profile — measured degree
 /// equals the closed form (1 for j >= w; 1 for padded j = 1; otherwise 2)
@@ -75,6 +93,8 @@ struct VerifyOptions {
   bool broken = true;     ///< include no-pi / no-rho refutations
   bool worstcase = true;  ///< include Theorem 8 analyses
   bool bitonic = true;    ///< include bitonic exchange profiles
+  bool multiway = true;   ///< include k-way cascade proofs + direct refutations
+  std::vector<int> ks = {2, 4, 8};  ///< merge arities for the multiway sweep
 };
 [[nodiscard]] VerifyReport verify_all(const VerifyOptions& opts = {});
 

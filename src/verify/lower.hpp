@@ -31,6 +31,8 @@ inline constexpr SymId kSymAOff = 2;    ///< a — thread's merge-path A offset 
 inline constexpr SymId kSymASize = 3;   ///< asz — |A_i|
 inline constexpr SymId kSymU = 4;       ///< u — threads per block
 inline constexpr SymId kSymLa = 5;      ///< la — block's |A|
+inline constexpr SymId kSymPairLen = 6; ///< padded cascade-pair length la'+lb'
+                                        ///< (a multiple of wE by construction)
 
 /// Which schedule the lowering models.
 enum class ScheduleVariant {

@@ -1,0 +1,504 @@
+// Pass 1 extension — conflict-freedom of the k-way cascade merge.
+//
+// verify_multiway_cascade machine-checks that multiway_cascade_core is
+// conflict free for a whole (w, E, k) family at once.  The argument reduces
+// to the proven 2-way schedule plus three new obligations:
+//
+//   stage-gather-reduction  every cascade stage gathers through the 2-way
+//                           cf_gather layout of its pair; the (w, E) proof
+//                           applies verbatim because pair bases are wE
+//                           multiples (banks unchanged by the shift)
+//   pad-alignment           CascadePlan only pads at level 0 and keeps every
+//                           pair base and padded length a multiple of wE,
+//                           within the static capacity bound
+//   scatter-residue         the inter-stage rank scatter raw streams are
+//                           r = iE + j (left child, root) and
+//                           la'+lb'-1-r (right child): lane-invariant
+//                           residues mod E, derived symbolically
+//   scatter-bank-crs        every stride-E lane progression through rho hits
+//                           w distinct banks, exhaustively over one wE period
+//                           (covers both scatter directions by periodicity)
+//   plan-faithfulness       the closed forms above equal CascadePlan's
+//                           scatter_pos on sampled plans, and the concrete
+//                           gather/scatter/store rows of sampled tiles are
+//                           conflict free under the dynamic cost model
+//
+// refute_multiway_direct is the impossibility half: a single-phase k-ary
+// gather over a linear k-segment layout (the LoserTree baseline's head fill)
+// admits no residue invariant, and a realizable merge-path split puts two
+// lanes' sequence-0 heads in the same bank — a constructive witness the
+// tests replay against shared_access_cost.
+#include "verify/analyzer.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "gather/multiway_schedule.hpp"
+#include "gather/schedule.hpp"
+#include "gpusim/shared_memory.hpp"
+#include "numtheory/numtheory.hpp"
+
+namespace cfmerge::verify {
+
+namespace {
+
+using numtheory::mod;
+
+/// Deterministic generator, mirroring the analyzer's reproducibility rule.
+class Lcg {
+ public:
+  explicit Lcg(std::uint64_t seed) : x_(seed) {}
+  std::uint64_t next() {
+    x_ = x_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return x_ >> 33;
+  }
+
+ private:
+  std::uint64_t x_;
+};
+
+void fail(ProofStep& st, std::string detail) {
+  st.status = StepStatus::kFailed;
+  st.detail = std::move(detail);
+}
+
+/// Structured + seeded-random k-way segment windows summing to at most
+/// `tile` (the merge-path splits a tile can present to CascadePlan).
+std::vector<std::vector<std::int64_t>> sample_seglens(std::int64_t tile, int k,
+                                                      int random_trials,
+                                                      std::uint64_t seed) {
+  const auto kn = static_cast<std::size_t>(k);
+  std::vector<std::vector<std::int64_t>> out;
+  std::vector<std::int64_t> balanced(kn, tile / k);
+  balanced[kn - 1] += tile % k;
+  out.push_back(std::move(balanced));
+  std::vector<std::int64_t> front(kn, 0);
+  front[0] = tile;
+  out.push_back(std::move(front));
+  std::vector<std::int64_t> back(kn, 0);
+  back[kn - 1] = tile;
+  out.push_back(std::move(back));
+  std::vector<std::int64_t> skew(kn, 0);  // one element per odd segment
+  skew[0] = tile - k / 2;
+  for (std::size_t s = 1; s < kn; s += 2) skew[s] = 1;
+  out.push_back(std::move(skew));
+  std::vector<std::int64_t> ragged(kn, 0);  // short final tile: sum == tile/2
+  for (std::size_t s = 0; s < kn; ++s) {
+    const auto i = static_cast<std::int64_t>(s);
+    ragged[s] = (tile / 2) * (i + 1) / k - (tile / 2) * i / k;
+  }
+  out.push_back(std::move(ragged));
+  Lcg rng(seed);
+  for (int t = 0; t < random_trials; ++t) {
+    std::vector<std::int64_t> cuts(kn - 1);
+    for (auto& c : cuts)
+      c = static_cast<std::int64_t>(rng.next() % static_cast<std::uint64_t>(tile + 1));
+    std::sort(cuts.begin(), cuts.end());
+    std::vector<std::int64_t> v(kn);
+    std::int64_t prev = 0;
+    for (std::size_t s = 0; s + 1 < kn; ++s) {
+      v[s] = cuts[s] - prev;
+      prev = cuts[s];
+    }
+    v[kn - 1] = tile - prev;
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+void validate_multiway_family(int w, int e, int k) {
+  if (w <= 0 || e <= 1 || e > w)
+    throw std::invalid_argument("verify_multiway: need w > 0 and 1 < E <= w");
+  if (k < 2 || !std::has_single_bit(static_cast<std::uint64_t>(k)))
+    throw std::invalid_argument("verify_multiway: k must be a power of two >= 2");
+}
+
+/// True iff the warp row of addresses serializes (degree > 1).
+bool row_conflicted(const std::vector<std::int64_t>& addrs, int w) {
+  return gpusim::shared_access_cost(addrs, w).cycles > 1;
+}
+
+// ---------------------------------------------------------------------------
+// verify_multiway_cascade steps
+// ---------------------------------------------------------------------------
+
+void check_pad_alignment(ProofStep& st, int w, int e, int k,
+                         const std::vector<std::vector<std::int64_t>>& samples,
+                         std::int64_t tile_cap) {
+  const std::int64_t we = static_cast<std::int64_t>(w) * e;
+  const std::int64_t cap = gather::CascadePlan::capacity(tile_cap, w, e, k);
+  std::int64_t checked = 0;
+  for (const auto& segs : samples) {
+    const gather::CascadePlan plan(w, e, segs);
+    std::int64_t sum = 0;
+    for (const auto s : segs) sum += s;
+    if (plan.total_len() != sum) {
+      fail(st, "total_len != sum of segment windows");
+      return;
+    }
+    if (plan.padded_len() % we != 0 || plan.padded_len() > cap) {
+      fail(st, "root padded length " + std::to_string(plan.padded_len()) +
+                   " not a wE multiple within capacity " + std::to_string(cap));
+      return;
+    }
+    for (int l = 0; l < plan.levels(); ++l) {
+      std::int64_t base = 0;
+      for (std::size_t p = 0; p < plan.pairs(l).size(); ++p) {
+        const gather::CascadePair& pr = plan.pairs(l)[p];
+        const bool aligned = pr.base == base && pr.base % we == 0 &&
+                             pr.size() % we == 0 &&
+                             (l == 0 || (pr.la % we == 0 && pr.lb % we == 0));
+        if (!aligned) {
+          std::ostringstream os;
+          os << "level " << l << " pair " << p << " misaligned: base=" << pr.base
+             << " la=" << pr.la << " lb=" << pr.lb << " (wE=" << we << ")";
+          fail(st, os.str());
+          return;
+        }
+        // Run bookkeeping: the pair output is the next level's padded run.
+        const gather::CascadeRun& out = plan.runs(l + 1)[p];
+        const gather::CascadeRun& lc = plan.runs(l)[2 * p];
+        const gather::CascadeRun& rc = plan.runs(l)[2 * p + 1];
+        if (out.pad_len != pr.size() || out.len != lc.len + rc.len) {
+          fail(st, "run bookkeeping broken at level " + std::to_string(l));
+          return;
+        }
+        base += pr.size();
+        ++checked;
+      }
+      if (base > cap) {
+        fail(st, "level " + std::to_string(l) + " storage " + std::to_string(base) +
+                     " exceeds static capacity " + std::to_string(cap));
+        return;
+      }
+    }
+  }
+  std::ostringstream os;
+  os << checked << " pairs over " << samples.size()
+     << " sampled splits: bases contiguous and ≡ 0 (mod " << we
+     << "), padded lengths ≡ 0 (mod " << we
+     << "), level >= 1 adds no sentinels, all within capacity " << cap;
+  st.detail = os.str();
+}
+
+void check_scatter_residue(ProofStep& st, int e, int w) {
+  const AffineExpr i = AffineExpr::sym(kSymThread, "i");
+  const AffineExpr j = AffineExpr::sym(kSymRound, "j");
+  const AffineExpr plen = AffineExpr::sym(kSymPairLen, "plen");
+  const AffineExpr r = i.times(e) + j;
+  const AffineExpr raw_left = r;  // parent pos_a and the root layout
+  const AffineExpr raw_right = plen - AffineExpr::constant(1) - r;  // pi'
+  const SymbolFacts facts = {{kSymPairLen, static_cast<std::int64_t>(w) * e}};
+
+  const LinearResidue want_left{0, {{kSymRound, 1}}};
+  const LinearResidue want_right{static_cast<std::int64_t>(e) - 1,
+                                 {{kSymRound, static_cast<std::int64_t>(e) - 1}}};
+  const auto got_left = residue_mod(raw_left, e, facts);
+  const auto got_right = residue_mod(raw_right, e, facts);
+  if (!got_left || !(*got_left == want_left) || !got_right ||
+      !(*got_right == want_right)) {
+    std::ostringstream os;
+    os << "scatter residues underivable: left "
+       << (got_left ? got_left->str(e) : "<irreducible>") << ", right "
+       << (got_right ? got_right->str(e) : "<irreducible>");
+    fail(st, os.str());
+    return;
+  }
+  std::ostringstream os;
+  os << "rank r = iE + j: left-child/root scatter raw ≡ " << want_left.str(e)
+     << ", right-child raw ≡ " << want_right.str(e)
+     << " (mod E) — lane-invariant because E | iE and wE | la'+lb'; every "
+        "scatter round is a stride-E lane progression";
+  st.detail = os.str();
+}
+
+void check_scatter_bank_crs(ProofStep& st, int w, int e) {
+  const std::int64_t we = static_cast<std::int64_t>(w) * e;
+  const gather::CircularShift rho(w, e, 2 * we);
+  for (std::int64_t m = 0; m < we; ++m) {
+    if (mod(rho(m), w) != mod(rho(m + we), w)) {
+      fail(st, "bank(rho(m)) not wE-periodic at m=" + std::to_string(m));
+      return;
+    }
+  }
+  for (std::int64_t x0 = 0; x0 < we; ++x0) {
+    std::vector<int> owner(static_cast<std::size_t>(w), -1);
+    for (int lane = 0; lane < w; ++lane) {
+      const std::int64_t raw = x0 + static_cast<std::int64_t>(lane) * e;
+      const auto bank = static_cast<std::size_t>(mod(rho(raw), w));
+      if (owner[bank] >= 0) {
+        std::ostringstream os;
+        os << "alignment x0=" << x0 << ": lanes " << owner[bank] << " and " << lane
+           << " both map to bank " << bank;
+        fail(st, os.str());
+        return;
+      }
+      owner[bank] = lane;
+    }
+  }
+  std::ostringstream os;
+  os << "bank∘rho is wE-periodic and all " << we
+     << " alignments of the stride-E lane progression occupy " << w
+     << " distinct banks — covers ascending (left child, root) and "
+        "pi-reflected descending (right child) scatter streams";
+  st.detail = os.str();
+}
+
+/// Concrete cross-check of the symbolic model against CascadePlan plus a
+/// dynamic-cost screening of sampled gather/scatter/store rows.  `thorough`
+/// sweeps every virtual warp and round of the sampled tiles; otherwise a
+/// boundary subset keeps the full (w, E, k) sweep affordable.
+void check_plan_faithfulness(ProofStep& st, int w, int e, int k,
+                             const std::vector<std::vector<std::int64_t>>& samples,
+                             bool thorough) {
+  const std::int64_t we = static_cast<std::int64_t>(w) * e;
+  std::int64_t closed_checked = 0;
+  std::int64_t rows_checked = 0;
+  std::vector<std::int64_t> addrs(static_cast<std::size_t>(w));
+
+  for (const auto& segs : samples) {
+    const gather::CascadePlan plan(w, e, segs);
+    for (int l = 0; l < plan.levels(); ++l) {
+      for (std::size_t p = 0; p < plan.pairs(l).size(); ++p) {
+        const gather::CascadePair& pr = plan.pairs(l)[p];
+        if (pr.size() == 0) continue;
+        const std::int64_t u_pair = pr.size() / e;  // a multiple of w
+        const std::int64_t vwarps = u_pair / w;
+
+        // Closed form used by the symbolic steps == CascadePlan::scatter_pos.
+        const bool last = l + 1 == plan.levels();
+        const gather::CascadePair* parent =
+            last ? nullptr : &plan.pairs(l + 1)[p / 2];
+        for (std::int64_t r = 0; r < pr.size(); r += thorough ? 1 : 7) {
+          std::int64_t want;
+          if (last) {
+            want = plan.out_pos(r);
+          } else if (p % 2 == 0) {
+            want = parent->base + parent->rho(r);
+          } else {
+            want = parent->base + parent->rho(parent->size() - 1 - r);
+          }
+          if (plan.scatter_pos(l, static_cast<int>(p), r) != want) {
+            fail(st, "scatter_pos != closed form at level " + std::to_string(l) +
+                         " pair " + std::to_string(p) + " rank " + std::to_string(r));
+            return;
+          }
+          ++closed_checked;
+        }
+
+        // Scatter rows: rank r = (vw*w + lane)*E + j per virtual warp.
+        for (std::int64_t vw = 0; vw < vwarps; thorough ? ++vw : vw += std::max<std::int64_t>(1, vwarps - 1)) {
+          for (int j = 0; j < e; ++j) {
+            for (int lane = 0; lane < w; ++lane) {
+              const std::int64_t r = (vw * w + lane) * e + j;
+              addrs[static_cast<std::size_t>(lane)] =
+                  plan.scatter_pos(l, static_cast<int>(p), r);
+            }
+            if (row_conflicted(addrs, w)) {
+              fail(st, "conflicted scatter row at level " + std::to_string(l) +
+                           " pair " + std::to_string(p) + " vw " + std::to_string(vw) +
+                           " round " + std::to_string(j));
+              return;
+            }
+            ++rows_checked;
+          }
+          if (!thorough && vwarps <= 1) break;
+        }
+
+        // Stage-gather rows through the pair's 2-way schedule, all-A and a
+        // seeded-random merge-path split.
+        const auto un = static_cast<std::size_t>(u_pair);
+        std::vector<std::vector<std::int64_t>> asz_samples;
+        asz_samples.emplace_back(un, static_cast<std::int64_t>(e));
+        {
+          Lcg rng(0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(l * 131 + p));
+          std::vector<std::int64_t> v(un);
+          for (auto& x : v)
+            x = static_cast<std::int64_t>(rng.next() % static_cast<std::uint64_t>(e + 1));
+          asz_samples.push_back(std::move(v));
+        }
+        for (const auto& asz : asz_samples) {
+          std::vector<std::int64_t> aoff(un);
+          std::int64_t acc = 0;
+          for (std::size_t t = 0; t < un; ++t) {
+            aoff[t] = acc;
+            acc += asz[t];
+          }
+          // Clamp the sampled |A| to the pair's real la by rescaling: the
+          // schedule only needs a_off/a_size consistent with *some* split of
+          // [0, la+lb); use the sampled sizes verbatim with la = acc.
+          const gather::GatherShape shape{w, e, static_cast<int>(u_pair), acc,
+                                          pr.size() - acc};
+          const gather::RoundSchedule sched(shape, aoff, asz);
+          for (std::int64_t vw = 0; vw < vwarps; thorough ? ++vw : vw += std::max<std::int64_t>(1, vwarps - 1)) {
+            for (int j = 0; j < e; ++j) {
+              for (int lane = 0; lane < w; ++lane) {
+                const auto i = static_cast<int>(vw * w + lane);
+                addrs[static_cast<std::size_t>(lane)] =
+                    pr.base + sched.read(i, j).phys;
+              }
+              if (row_conflicted(addrs, w)) {
+                fail(st, "conflicted stage-gather row at level " + std::to_string(l) +
+                             " pair " + std::to_string(p) + " vw " +
+                             std::to_string(vw) + " round " + std::to_string(j));
+                return;
+              }
+              ++rows_checked;
+            }
+            if (!thorough && vwarps <= 1) break;
+          }
+        }
+      }
+    }
+
+    // Root store rows: out_pos over w-aligned rank rows of the real tile.
+    for (std::int64_t t0 = 0; t0 < plan.total_len(); t0 += thorough ? w : std::max<std::int64_t>(w, we)) {
+      for (int lane = 0; lane < w; ++lane) {
+        const std::int64_t t = t0 + lane;
+        addrs[static_cast<std::size_t>(lane)] =
+            t < plan.total_len() ? plan.out_pos(t) : gpusim::kInactiveLane;
+      }
+      if (row_conflicted(addrs, w)) {
+        fail(st, "conflicted root store row at t0=" + std::to_string(t0));
+        return;
+      }
+      ++rows_checked;
+    }
+  }
+  std::ostringstream os;
+  os << "scatter_pos == base' + rho'(±r + C) on " << closed_checked
+     << " ranks and " << rows_checked
+     << " concrete gather/scatter/store rows are conflict free under the "
+        "dynamic cost model ("
+     << (thorough ? "full" : "boundary") << " sweep of " << samples.size()
+     << " sampled splits)";
+  st.detail = os.str();
+}
+
+}  // namespace
+
+ProofObject verify_multiway_cascade(int w, int e, int k,
+                                    const ProofObject* stage_proof) {
+  validate_multiway_family(w, e, k);
+  ProofObject po;
+  po.schedule = "multiway_cascade";
+  po.w = w;
+  po.e = e;
+  po.k = k;
+  po.d = numtheory::gcd(w, e);
+  po.scope =
+      "all tiles u = m*w, all k-way merge-path splits, all log2(k) cascade "
+      "stages and inter-stage scatters";
+
+  // Step 1: every stage gather is the proven 2-way schedule.
+  {
+    auto& st = po.add_step("stage-gather-reduction");
+    ProofObject local;
+    const ProofObject* two = stage_proof;
+    if (two == nullptr || two->w != w || two->e != e || two->schedule != "cf_gather") {
+      local = verify_cf_gather(w, e, ScheduleVariant::kFull);
+      two = &local;
+    }
+    if (two->proved()) {
+      std::ostringstream os;
+      os << "each of the " << std::bit_width(static_cast<unsigned>(k)) - 1
+         << " cascade stages gathers through the 2-way cf_gather layout of its "
+            "pair; the (w=" << w << ", E=" << e << ") proof ("
+         << two->steps.size()
+         << " steps) applies verbatim since pair bases are wE multiples";
+      st.detail = os.str();
+    } else {
+      fail(st, "underlying 2-way cf_gather proof is not proved at (w=" +
+                   std::to_string(w) + ", E=" + std::to_string(e) + ")");
+    }
+  }
+
+  const std::int64_t tile_cap = static_cast<std::int64_t>(w) * e;  // u = w
+  const auto samples = sample_seglens(tile_cap, k, 4, 0xcafef00dULL);
+  check_pad_alignment(po.add_step("pad-alignment"), w, e, k, samples, tile_cap);
+  check_scatter_residue(po.add_step("scatter-residue"), e, w);
+  check_scatter_bank_crs(po.add_step("scatter-bank-crs"), w, e);
+  const bool thorough = e == std::max(2, w / 2);
+  check_plan_faithfulness(po.add_step("plan-faithfulness"), w, e, k, samples,
+                          thorough);
+
+  bool any_failed = false;
+  for (const auto& st : po.steps) any_failed |= st.status == StepStatus::kFailed;
+  po.verdict = any_failed ? Verdict::kRefutedNoWitness : Verdict::kProved;
+  return po;
+}
+
+ProofObject refute_multiway_direct(int w, int e, int k) {
+  if (w <= 0 || e <= 1 || e > w)
+    throw std::invalid_argument("refute_multiway_direct: need w > 0 and 1 < E <= w");
+  if (k < 2) throw std::invalid_argument("refute_multiway_direct: k >= 2");
+  ProofObject po;
+  po.schedule = "multiway_direct_cf_claim";
+  po.w = w;
+  po.e = e;
+  po.k = k;
+  po.d = numtheory::gcd(w, e);
+  po.scope =
+      "claim: a single-phase k-ary gather over a linear k-segment shared "
+      "layout (the LoserTree head fill) is conflict free for every "
+      "merge-path split";
+
+  // A realizable split: sequence 0 holds the w globally smallest values,
+  // sequence 1 the next ceil(w/E)*E - w, then sequence 0 the next E.  Lane 0
+  // (diagonal 0) and lane j0 = ceil(w/E) (diagonal j0*E) then read their
+  // sequence-0 heads at shared offsets 0 and w — distinct addresses, same
+  // bank.  Needs only E >= 2 and k >= 2.
+  const int j0 = (w + e - 1) / e;
+  std::vector<std::int64_t> addrs(static_cast<std::size_t>(w), gpusim::kInactiveLane);
+  addrs[0] = 0;
+  addrs[static_cast<std::size_t>(j0)] = w;
+
+  bool refuted = false;
+  {
+    auto& st = po.add_step("head-fill-banks");
+    if (gpusim::shared_access_cost(addrs, w).cycles > 1) {
+      std::ostringstream os;
+      os << "lanes 0 and " << j0 << " read sequence-0 heads at offsets 0 and "
+         << w << " — same bank 0, realized by the split {|S_0 ∩ prefix| = w "
+         << "at diagonal " << j0 * e << "}";
+      fail(st, os.str());
+      refuted = true;
+    } else {
+      st.detail = "witness row unexpectedly conflict free";
+    }
+  }
+  {
+    auto& st = po.add_step("no-residue-invariant");
+    fail(st,
+         "the k per-lane heads are independent co-ranks: raw - j is "
+         "lane-dependent, so no fixed permutation of the linear layout can "
+         "restore a per-round complete residue system (contrast Lemma 2's "
+         "raw ≡ j (mod E) for the pairwise schedule)");
+  }
+
+  if (refuted) {
+    Counterexample ce;
+    ce.w = w;
+    ce.e = e;
+    ce.u = w;
+    ce.la = static_cast<std::int64_t>(w) + e;  // sequence-0 window length
+    ce.round = 0;
+    ce.lane1 = 0;
+    ce.lane2 = j0;
+    ce.addr1 = 0;
+    ce.addr2 = w;
+    ce.bank = 0;
+    po.counterexample = ce;
+    po.verdict = Verdict::kCounterexample;
+  } else {
+    po.verdict = Verdict::kRefutedNoWitness;
+  }
+  return po;
+}
+
+}  // namespace cfmerge::verify

@@ -53,6 +53,7 @@ struct ProofObject {
   std::string schedule;  ///< "cf_gather", "cf_gather_no_pi", "bitonic_padded", ...
   int w = 0;
   int e = 0;
+  int k = 0;             ///< merge arity (0 for the pairwise schedules)
   std::int64_t d = 0;    ///< gcd(w, E)
   Verdict verdict = Verdict::kProved;
   std::vector<ProofStep> steps;

@@ -255,6 +255,48 @@ TEST(CfVerify, BitonicUnpaddedWitnessReplays) {
   }
 }
 
+TEST(CfVerify, MultiwayCascadeSweepProved) {
+  // Representative E values keep the full w x k sweep affordable; the
+  // VerifyAll test below covers every E for the small widths.
+  for (const int w : kWidths) {
+    for (const int k : {2, 4, 8}) {
+      for (const int e : {2, 3, w / 2, w}) {
+        if (e < 2 || e > w) continue;
+        const ProofObject po = verify_multiway_cascade(w, e, k);
+        ASSERT_EQ(po.verdict, Verdict::kProved)
+            << "w=" << w << " E=" << e << " k=" << k;
+        EXPECT_EQ(po.k, k);
+        ASSERT_FALSE(po.steps.empty());
+        for (const ProofStep& st : po.steps)
+          EXPECT_EQ(st.status, StepStatus::kPassed)
+              << "w=" << w << " E=" << e << " k=" << k << " step " << st.name
+              << ": " << st.detail;
+      }
+    }
+  }
+}
+
+TEST(CfVerify, MultiwayDirectRefutationWitnessReplays) {
+  for (const int w : kWidths) {
+    const int e = std::max(2, w / 2);
+    for (const int k : {2, 3, 4, 8}) {
+      const ProofObject po = refute_multiway_direct(w, e, k);
+      ASSERT_EQ(po.verdict, Verdict::kCounterexample)
+          << "w=" << w << " E=" << e << " k=" << k;
+      const Counterexample& ce = po.counterexample;
+      // Lane 0 and lane ceil(w/E) read sequence-0 heads at offsets 0 and w.
+      EXPECT_EQ(ce.lane1, 0);
+      EXPECT_EQ(ce.lane2, (w + e - 1) / e);
+      ASSERT_NE(ce.addr1, ce.addr2);
+      EXPECT_EQ(numtheory::mod(ce.addr1, w), static_cast<std::int64_t>(ce.bank));
+      EXPECT_EQ(numtheory::mod(ce.addr2, w), static_cast<std::int64_t>(ce.bank));
+      const std::vector<std::int64_t> pair{ce.addr1, ce.addr2};
+      EXPECT_GE(gpusim::shared_access_cost(pair, w).conflicts, 1)
+          << "w=" << w << " k=" << k;
+    }
+  }
+}
+
 TEST(CfVerify, VerifyAllReportIsOkAndSerializes) {
   VerifyOptions opts;
   opts.widths = {4, 8};
@@ -263,15 +305,21 @@ TEST(CfVerify, VerifyAllReportIsOkAndSerializes) {
   EXPECT_TRUE(report.all_refuted());
   EXPECT_TRUE(report.ok());
   // Every d > 1 family contributes a no-rho refutation, every family a
-  // no-pi one, every width an unpadded-bitonic one.
+  // no-pi one, every width an unpadded-bitonic one plus one direct k-ary
+  // claim per merge arity; proofs add a multiway cascade per (E, k).
   std::size_t want_refutations = 0;
+  std::size_t want_proofs = 0;
   for (const int w : opts.widths) {
     ++want_refutations;  // bitonic cf claim
+    want_refutations += opts.ks.size();  // direct k-ary claims
+    want_proofs += 2;  // bitonic padded + unpadded profile
     for (int e = 2; e <= w; ++e) {
+      want_proofs += 1 + opts.ks.size();  // cf_gather + multiway cascades
       ++want_refutations;
       if (numtheory::gcd(w, e) > 1) ++want_refutations;
     }
   }
+  EXPECT_EQ(report.proofs.size(), want_proofs);
   EXPECT_EQ(report.refutations.size(), want_refutations);
 
   std::ostringstream os;
@@ -288,4 +336,9 @@ TEST(CfVerify, InvalidParametersThrow) {
   EXPECT_THROW((void)verify_cf_gather(0, 2), std::invalid_argument);
   EXPECT_THROW((void)verify_bitonic_exchange(24, 8, true), std::invalid_argument);
   EXPECT_THROW((void)verify_bitonic_exchange(8, 8, true), std::invalid_argument);
+  EXPECT_THROW((void)verify_multiway_cascade(8, 4, 3), std::invalid_argument);
+  EXPECT_THROW((void)verify_multiway_cascade(8, 4, 1), std::invalid_argument);
+  EXPECT_THROW((void)verify_multiway_cascade(8, 1, 4), std::invalid_argument);
+  EXPECT_THROW((void)refute_multiway_direct(8, 1, 4), std::invalid_argument);
+  EXPECT_THROW((void)refute_multiway_direct(8, 4, 1), std::invalid_argument);
 }

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "gpusim/launcher.hpp"
+#include "verify/analyzer.hpp"
 
 using namespace cfmerge;
 using namespace cfmerge::analysis;
@@ -67,6 +68,50 @@ TEST(Json, SortReportSerializes) {
   for (const char* key :
        {"\"kind\":\"sort\"", "\"variant\":\"cf-merge\"", "\"merge_conflicts\":0",
         "\"phases\"", "\"kernels\"", "\"throughput_elem_per_us\"", "\"passes\":2"}) {
+    EXPECT_NE(j.find(key), std::string::npos) << key << " missing in " << j;
+  }
+}
+
+TEST(Json, MultiwaySortReportSerializes) {
+  std::mt19937_64 rng(7);
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8));
+  sort::MultiwayConfig cfg;
+  cfg.e = 5;
+  cfg.u = 16;
+  cfg.k = 4;
+  cfg.variant = sort::MultiwayVariant::CFCascade;
+  std::vector<int> data(16 * 5 * 8);
+  for (auto& x : data) x = static_cast<int>(rng());
+  const auto report = sort::merge_sort_multiway(launcher, data, cfg);
+
+  std::ostringstream os;
+  write_json(os, report, cfg, launcher.device().name, "uniform-random");
+  const std::string j = os.str();
+  EXPECT_TRUE(balanced(j)) << j;
+  for (const char* key :
+       {"\"kind\":\"multiway_sort\"", "\"variant\":\"cf-cascade\"", "\"k\":4",
+        "\"passes\":", "\"phases\"", "\"kernels\"", "\"throughput_elem_per_us\""}) {
+    EXPECT_NE(j.find(key), std::string::npos) << key << " missing in " << j;
+  }
+}
+
+TEST(Json, VerifyReportCarriesMultiwaySummary) {
+  verify::VerifyOptions opts;
+  opts.widths = {8};
+  opts.ks = {2, 4};
+  opts.broken = true;
+  opts.worstcase = false;
+  opts.bitonic = false;
+  const auto report = verify::verify_all(opts);
+  std::ostringstream os;
+  write_json(os, report);
+  const std::string j = os.str();
+  EXPECT_TRUE(balanced(j)) << j;
+  // w = 8 sweeps e = 2..8, so each arity carries seven cascade proofs and
+  // one refuted direct claim with a concrete witness.
+  for (const char* key :
+       {"\"multiway\":[", "\"k\":2", "\"k\":4", "\"proved\":7", "\"witnesses\":1",
+        "\"schedule\":\"multiway_cascade\""}) {
     EXPECT_NE(j.find(key), std::string::npos) << key << " missing in " << j;
   }
 }

@@ -1,0 +1,143 @@
+// Tests of the k-dimensional merge-path partitioner against a stable-merge
+// oracle, plus its k = 2 agreement with the pairwise merge_path.
+#include "mergepath/multiway_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <tuple>
+#include <vector>
+
+#include "mergepath/merge_path.hpp"
+
+using namespace cfmerge;
+
+namespace {
+
+/// Oracle: sort (value, seq, index) tuples — exactly the stable order the
+/// partitioner is specified against — and count per-sequence prefix members.
+std::vector<std::int64_t> oracle_coranks(const std::vector<std::vector<int>>& seqs,
+                                         std::int64_t diag) {
+  std::vector<std::tuple<int, int, std::int64_t>> all;
+  for (std::size_t s = 0; s < seqs.size(); ++s)
+    for (std::size_t i = 0; i < seqs[s].size(); ++i)
+      all.emplace_back(seqs[s][i], static_cast<int>(s), static_cast<std::int64_t>(i));
+  std::sort(all.begin(), all.end());
+  std::vector<std::int64_t> co(seqs.size(), 0);
+  for (std::int64_t p = 0; p < diag; ++p)
+    ++co[static_cast<std::size_t>(std::get<1>(all[static_cast<std::size_t>(p)]))];
+  return co;
+}
+
+std::vector<std::vector<int>> random_seqs(std::mt19937_64& rng, int k,
+                                          std::int64_t max_len, int value_range) {
+  std::vector<std::vector<int>> seqs(static_cast<std::size_t>(k));
+  for (auto& s : seqs) {
+    const auto len = static_cast<std::int64_t>(rng() % static_cast<std::uint64_t>(max_len + 1));
+    s.resize(static_cast<std::size_t>(len));
+    for (auto& x : s) x = static_cast<int>(rng() % static_cast<std::uint64_t>(value_range));
+    std::sort(s.begin(), s.end());
+  }
+  return seqs;
+}
+
+std::vector<std::span<const int>> as_spans(const std::vector<std::vector<int>>& seqs) {
+  std::vector<std::span<const int>> spans;
+  spans.reserve(seqs.size());
+  for (const auto& s : seqs) spans.emplace_back(s);
+  return spans;
+}
+
+}  // namespace
+
+TEST(MultiwayPath, CoranksMatchStableMergeOracle) {
+  std::mt19937_64 rng(0xc0ffee);
+  for (const int k : {2, 3, 4, 8}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      // Small value range forces heavy duplication across sequences; ragged
+      // lengths include empty sequences.
+      const auto seqs = random_seqs(rng, k, 24, 8);
+      const auto spans = as_spans(seqs);
+      std::int64_t total = 0;
+      for (const auto& s : seqs) total += static_cast<std::int64_t>(s.size());
+      for (std::int64_t diag = 0; diag <= total; ++diag) {
+        const auto co = mergepath::multiway_path<int>(
+            diag, std::span<const std::span<const int>>(spans));
+        const auto want = oracle_coranks(seqs, diag);
+        ASSERT_EQ(co, want) << "k=" << k << " trial=" << trial << " diag=" << diag;
+        std::int64_t sum = 0;
+        for (const auto r : co) sum += r;
+        ASSERT_EQ(sum, diag);
+      }
+    }
+  }
+}
+
+TEST(MultiwayPath, KTwoMatchesPairwiseMergePath) {
+  std::mt19937_64 rng(0xbee);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto seqs = random_seqs(rng, 2, 40, 10);
+    const auto spans = as_spans(seqs);
+    const std::int64_t total =
+        static_cast<std::int64_t>(seqs[0].size() + seqs[1].size());
+    for (std::int64_t diag = 0; diag <= total; ++diag) {
+      const auto co = mergepath::multiway_path<int>(
+          diag, std::span<const std::span<const int>>(spans));
+      const std::int64_t a = mergepath::merge_path(
+          diag, std::span<const int>(seqs[0]), std::span<const int>(seqs[1]));
+      EXPECT_EQ(co[0], a) << "diag=" << diag;
+      EXPECT_EQ(co[1], diag - a);
+    }
+  }
+}
+
+TEST(MultiwayPath, RanksAreStrictlyIncreasingPositions) {
+  std::mt19937_64 rng(0xfeed);
+  const auto seqs = random_seqs(rng, 4, 16, 5);
+  const auto spans = as_spans(seqs);
+  std::vector<std::int64_t> sizes(seqs.size());
+  for (std::size_t s = 0; s < seqs.size(); ++s)
+    sizes[s] = static_cast<std::int64_t>(seqs[s].size());
+  const auto get = [&](int s, std::int64_t i) {
+    return spans[static_cast<std::size_t>(s)][static_cast<std::size_t>(i)];
+  };
+  for (int s = 0; s < 4; ++s) {
+    std::int64_t prev = -1;
+    for (std::int64_t m = 0; m < sizes[static_cast<std::size_t>(s)]; ++m) {
+      const std::int64_t pos = mergepath::multiway_rank<int>(
+          std::span<const std::int64_t>(sizes), s, m, get, std::less<int>{});
+      EXPECT_GT(pos, prev) << "s=" << s << " m=" << m;
+      prev = pos;
+    }
+  }
+}
+
+TEST(MultiwayPath, PartitionTableIsMonotoneWithExactBorders) {
+  std::mt19937_64 rng(0xabcd);
+  for (const int k : {2, 4, 8}) {
+    const auto seqs = random_seqs(rng, k, 50, 20);
+    const auto spans = as_spans(seqs);
+    std::int64_t total = 0;
+    for (const auto& s : seqs) total += static_cast<std::int64_t>(s.size());
+    const std::int64_t chunk = 16;
+    const auto table = mergepath::multiway_partition<int>(
+        std::span<const std::span<const int>>(spans), chunk);
+    const std::int64_t parts = (total + chunk - 1) / chunk;
+    ASSERT_EQ(table.size(), static_cast<std::size_t>((parts + 1) * k));
+    for (int s = 0; s < k; ++s) {
+      EXPECT_EQ(table[static_cast<std::size_t>(s)], 0);
+      EXPECT_EQ(table[static_cast<std::size_t>(parts * k + s)],
+                static_cast<std::int64_t>(seqs[static_cast<std::size_t>(s)].size()));
+      for (std::int64_t p = 0; p < parts; ++p)
+        EXPECT_LE(table[static_cast<std::size_t>(p * k + s)],
+                  table[static_cast<std::size_t>((p + 1) * k + s)]);
+    }
+    // Each row's co-ranks sum to its diagonal.
+    for (std::int64_t p = 0; p <= parts; ++p) {
+      std::int64_t sum = 0;
+      for (int s = 0; s < k; ++s) sum += table[static_cast<std::size_t>(p * k + s)];
+      EXPECT_EQ(sum, std::min(p * chunk, total));
+    }
+  }
+}

@@ -7,6 +7,13 @@
 //     --n=<count>                                 (default 245760)
 //     --e=<elements per thread>                   (default 15)
 //     --u=<threads per block>                     (default 512)
+//     --k=<merge arity>                           k-way multiway sort (requires
+//                                                 --algo=cf; k=0, the default,
+//                                                 keeps the pairwise pipeline)
+//     --multiway=cascade|losertree                multiway variant (default
+//                                                 cascade — the conflict-free
+//                                                 in-shared cascade; losertree
+//                                                 is the conflicted baseline)
 //     --device=rtx2080ti | turing:<sms> | tiny:<w>,<sms>   (default turing:4)
 //     --seed=<seed>                               (default 42)
 //     --threads=<host worker threads>             (default 0 = CFMERGE_SIM_THREADS or 1)
@@ -37,6 +44,8 @@
 //   cfsort --algo=baseline --dist=worst-case --n=491520 --profile
 //   cfsort --algo=cf --json | jq .throughput_elem_per_us
 //   cfsort --algo=cf --segments=16 --json | jq .overlap_speedup
+//   cfsort --algo=cf --k=4 --json | jq .passes
+//   cfsort --algo=cf --k=4 --multiway=losertree --profile
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -59,6 +68,8 @@ struct Options {
   std::int64_t n = 245760;
   int e = 15;
   int u = 512;
+  int k = 0;  // 0 = pairwise pipeline; >= 2 = k-way multiway sort
+  std::string multiway = "cascade";
   std::string device = "turing:4";
   std::uint64_t seed = 42;
   int threads = 0;  // 0 = CFMERGE_SIM_THREADS env or sequential
@@ -77,6 +88,7 @@ struct Options {
   std::fprintf(stderr,
                "usage: cfsort [--algo=cf|baseline|bitonic|bitonic-padded]\n"
                "              [--dist=NAME] [--n=N] [--e=E] [--u=U]\n"
+               "              [--k=K] [--multiway=cascade|losertree]\n"
                "              [--device=rtx2080ti|turing:SMS|tiny:W,SMS]\n"
                "              [--seed=S] [--threads=T] [--segments=N] [--serial-graph]\n"
                "              [--repeat=N] [--no-plan-cache] [--json] [--profile]\n"
@@ -100,6 +112,8 @@ Options parse(int argc, char** argv) {
     else if (auto v = val("--n"); !v.empty()) o.n = std::stoll(v);
     else if (auto v = val("--e"); !v.empty()) o.e = std::stoi(v);
     else if (auto v = val("--u"); !v.empty()) o.u = std::stoi(v);
+    else if (auto v = val("--k"); !v.empty()) o.k = std::stoi(v);
+    else if (auto v = val("--multiway"); !v.empty()) o.multiway = v;
     else if (auto v = val("--device"); !v.empty()) o.device = v;
     else if (auto v = val("--seed"); !v.empty()) o.seed = std::stoull(v);
     else if (auto v = val("--threads"); !v.empty()) o.threads = std::stoi(v);
@@ -198,6 +212,11 @@ int main(int argc, char** argv) {
   if (o.segments > 0 && o.algo != "cf" && o.algo != "baseline")
     usage("--segments requires --algo=cf or --algo=baseline");
   if (o.repeat < 1) usage("--repeat must be >= 1");
+  if (o.k != 0 && o.k < 2) usage("--k must be 0 (pairwise) or an arity >= 2");
+  if (o.k > 0 && o.algo != "cf") usage("--k requires --algo=cf");
+  if (o.k > 0 && o.segments > 0) usage("--k and --segments are mutually exclusive");
+  if (o.multiway != "cascade" && o.multiway != "losertree")
+    usage(("unknown multiway variant: " + o.multiway).c_str());
 
   // Runs the sort `o.repeat` times, each on a fresh copy of the unsorted
   // input, and prints min/median host wall-clock to stderr (simulated
@@ -286,6 +305,33 @@ int main(int argc, char** argv) {
     } else {
       std::printf("%s\n", analysis::summarize(report, o.algo + "/segmented").c_str());
       if (o.profile) analysis::print_phase_profile(std::cout, report.phases, report.elements);
+    }
+  } else if (o.algo == "cf" && o.k > 0) {
+    sort::MultiwayConfig cfg;
+    cfg.e = o.e;
+    cfg.u = o.u;
+    cfg.k = o.k;
+    cfg.variant = o.multiway == "cascade" ? sort::MultiwayVariant::CFCascade
+                                          : sort::MultiwayVariant::LoserTree;
+    cfg.cf_blocksort = o.cf_blocksort;
+    const auto mode =
+        o.serial_graph ? gpusim::GraphExec::Serial : gpusim::GraphExec::Overlap;
+    const auto report = repeat_wall([&](std::vector<std::int32_t>& work) {
+      return engine.sort_multiway(work, cfg, mode);
+    });
+    print_engine_stats();
+    if (!std::is_sorted(data.begin(), data.end())) {
+      std::fprintf(stderr, "cfsort: OUTPUT NOT SORTED (bug)\n");
+      return 1;
+    }
+    if (o.json) {
+      const sort::EngineStats es = engine.stats();
+      analysis::write_json(std::cout, report, cfg, launcher.device().name, o.dist, &es);
+    } else {
+      const std::string label =
+          o.algo + "/" + o.multiway + "-k" + std::to_string(o.k);
+      std::printf("%s\n", analysis::summarize(report, label).c_str());
+      if (o.profile) analysis::print_phase_profile(std::cout, report.phases, report.n_padded);
     }
   } else if (o.algo == "cf" || o.algo == "baseline") {
     sort::MergeConfig cfg;

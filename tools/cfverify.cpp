@@ -9,9 +9,13 @@
 //     --w=W --e=E                  verify one (w, E) family only (plus its
 //                                  broken variants and Theorem 8 analysis)
 //     --widths=4,8,16              override the sweep widths
+//     --ks=2,4,8                   override the multiway merge arities (each
+//                                  must be a power of two >= 2)
 //     --no-broken                  skip the deliberately-broken refutations
 //     --no-worstcase               skip the Theorem 8 analyses
 //     --no-bitonic                 skip the bitonic exchange profiles
+//     --no-multiway                skip the k-way cascade proofs and the
+//                                  direct k-ary CF-claim refutations
 //     --shadow                     also run dynamic launches (a CF merge sort
 //                                  and a Theorem 8 baseline warp merge) with
 //                                  the shared-memory shadow checker attached,
@@ -26,9 +30,11 @@
 //   cfverify --all --json | jq .ok
 //   cfverify --w=32 --e=15
 //   cfverify --all --shadow
+#include <array>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -44,9 +50,11 @@ struct Options {
   int w = 0;
   int e = 0;
   std::vector<int> widths = {4, 8, 16, 32, 64};
+  std::vector<int> ks = {2, 4, 8};
   bool broken = true;
   bool worstcase = true;
   bool bitonic = true;
+  bool multiway = true;
   bool shadow = false;
   bool json = false;
   bool quiet = false;
@@ -55,19 +63,19 @@ struct Options {
 [[noreturn]] void usage(const char* msg) {
   if (msg) std::fprintf(stderr, "cfverify: %s\n", msg);
   std::fprintf(stderr,
-               "usage: cfverify [--all] [--w=W --e=E] [--widths=4,8,...]\n"
+               "usage: cfverify [--all] [--w=W --e=E] [--widths=4,8,...] [--ks=2,4,...]\n"
                "                [--no-broken] [--no-worstcase] [--no-bitonic]\n"
-               "                [--shadow] [--json] [--quiet]\n");
+               "                [--no-multiway] [--shadow] [--json] [--quiet]\n");
   std::exit(msg ? 2 : 0);
 }
 
-std::vector<int> parse_widths(const std::string& csv) {
+std::vector<int> parse_int_list(const std::string& csv, const char* flag) {
   std::vector<int> out;
   std::stringstream ss(csv);
   std::string item;
   while (std::getline(ss, item, ','))
     if (!item.empty()) out.push_back(std::stoi(item));
-  if (out.empty()) usage("--widths: empty list");
+  if (out.empty()) usage((std::string(flag) + ": empty list").c_str());
   return out;
 }
 
@@ -85,10 +93,12 @@ Options parse(int argc, char** argv) {
     else if (a == "--all") o.all = true;
     else if (auto v = val("--w"); !v.empty()) o.w = std::stoi(v);
     else if (auto v = val("--e"); !v.empty()) o.e = std::stoi(v);
-    else if (auto v = val("--widths"); !v.empty()) o.widths = parse_widths(v);
+    else if (auto v = val("--widths"); !v.empty()) o.widths = parse_int_list(v, "--widths");
+    else if (auto v = val("--ks"); !v.empty()) o.ks = parse_int_list(v, "--ks");
     else if (a == "--no-broken") o.broken = false;
     else if (a == "--no-worstcase") o.worstcase = false;
     else if (a == "--no-bitonic") o.bitonic = false;
+    else if (a == "--no-multiway") o.multiway = false;
     else if (a == "--shadow") o.shadow = true;
     else if (a == "--json") o.json = true;
     else if (a == "--quiet") o.quiet = true;
@@ -96,13 +106,23 @@ Options parse(int argc, char** argv) {
   }
   if ((o.w != 0) != (o.e != 0)) usage("--w and --e must be given together");
   if (o.w != 0 && o.all) usage("--all and --w/--e are mutually exclusive");
+  for (const int k : o.ks)
+    if (k < 2 || (k & (k - 1)) != 0)
+      usage("--ks: every arity must be a power of two >= 2");
   return o;
 }
 
 /// Single-family report: the same shape verify_all produces for one (w, E).
 verify::VerifyReport verify_one(const Options& o) {
   verify::VerifyReport report;
-  report.proofs.push_back(verify::verify_cf_gather(o.w, o.e));
+  const verify::ProofObject two_way = verify::verify_cf_gather(o.w, o.e);
+  report.proofs.push_back(two_way);
+  if (o.multiway)
+    for (const int k : o.ks) {
+      report.proofs.push_back(verify::verify_multiway_cascade(o.w, o.e, k, &two_way));
+      if (o.broken)
+        report.refutations.push_back(verify::refute_multiway_direct(o.w, o.e, k));
+    }
   if (o.broken) {
     report.refutations.push_back(
         verify::verify_cf_gather(o.w, o.e, verify::ScheduleVariant::kNoBReversal));
@@ -184,8 +204,10 @@ verify::ShadowSummary run_shadow() {
 void print_text(const verify::VerifyReport& report) {
   auto line = [](const verify::ProofObject& p, bool want_proved) {
     const char* mark = (p.proved() == want_proved) ? "ok " : "FAIL";
-    std::printf("  [%s] %-22s w=%-3d E=%-3d d=%lld  %s\n", mark, p.schedule.c_str(),
-                p.w, p.e, static_cast<long long>(p.d),
+    char arity[8] = "    ";
+    if (p.k > 0) std::snprintf(arity, sizeof arity, "k=%-2d", p.k);
+    std::printf("  [%s] %-22s w=%-3d E=%-3d %s d=%lld  %s\n", mark, p.schedule.c_str(),
+                p.w, p.e, arity, static_cast<long long>(p.d),
                 p.verdict == verify::Verdict::kProved          ? "proved"
                 : p.verdict == verify::Verdict::kCounterexample ? "counterexample"
                                                                 : "refuted (no witness)");
@@ -200,6 +222,23 @@ void print_text(const verify::VerifyReport& report) {
   for (const auto& p : report.proofs) line(p, true);
   std::printf("refutations (%zu, must all be refuted):\n", report.refutations.size());
   for (const auto& p : report.refutations) line(p, false);
+
+  // Per-arity rollup of the k-way results (mirrors the JSON "multiway" list).
+  std::map<int, std::array<long long, 3>> per_k;  // proved, refuted, witnesses
+  for (const auto& p : report.proofs)
+    if (p.k > 0 && p.verdict == verify::Verdict::kProved) ++per_k[p.k][0];
+  for (const auto& p : report.refutations)
+    if (p.k > 0) {
+      ++per_k[p.k][1];
+      if (p.verdict == verify::Verdict::kCounterexample) ++per_k[p.k][2];
+    }
+  if (!per_k.empty()) {
+    std::printf("multiway summary (per arity):\n");
+    for (const auto& [k, c] : per_k)
+      std::printf("  k=%-2d  %lld cascade schedules proved, %lld direct claims refuted"
+                  " (%lld with lane-pair witness)\n",
+                  k, c[0], c[1], c[2]);
+  }
   if (!report.worstcase.empty()) {
     std::printf("Theorem 8 worst-case analyses:\n");
     for (const auto& wc : report.worstcase)
@@ -237,6 +276,8 @@ int main(int argc, char** argv) {
     vo.broken = o.broken;
     vo.worstcase = o.worstcase;
     vo.bitonic = o.bitonic;
+    vo.multiway = o.multiway;
+    vo.ks = o.ks;
     report = verify_all(vo);
   }
   if (o.shadow) report.shadow = run_shadow();

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker for the repository docs.
+
+Scans README.md, the other root-level *.md files and docs/*.md for inline
+markdown links and validates every *relative* target: the linked file must
+exist in the repository, and a `#fragment` (same-file or cross-file) must
+match a heading anchor of the target, using GitHub's slugification rules.
+External targets (http/https/mailto) are listed but never fetched -- the
+check is deterministic and runs offline, so CI cannot flake on someone
+else's server.
+
+Usage: tools/check_links.py [FILE.md ...]     (default: the doc set above)
+Exit status: 0 when every relative link resolves, 1 otherwise.
+
+Stdlib only -- no dependencies.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+FENCE_RE = re.compile(r"^(```|~~~)")
+# [text](target) / [text](target "title"); target stops at whitespace or ')'.
+LINK_RE = re.compile(r"\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")  # any URI scheme
+
+
+def default_files() -> list[Path]:
+    files = sorted(REPO_ROOT.glob("*.md")) + sorted((REPO_ROOT / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def strip_fences(text: str) -> list[str]:
+    """Return the lines of `text` with fenced code blocks blanked out."""
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        out.append("" if in_fence else line)
+    return out
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: inline markup dropped, lowercased, punctuation
+    removed, spaces to hyphens."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = re.sub(r"[*_]", "", text)                      # emphasis markers
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path, cache: dict[Path, set[str]]) -> set[str]:
+    if path not in cache:
+        slugs: set[str] = set()
+        counts: dict[str, int] = {}
+        for line in strip_fences(path.read_text(encoding="utf-8")):
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            base = github_slug(m.group(2))
+            n = counts.get(base, 0)
+            counts[base] = n + 1
+            slugs.add(base if n == 0 else f"{base}-{n}")
+        cache[path] = slugs
+    return cache[path]
+
+
+def check_file(path: Path, cache: dict[Path, set[str]]) -> tuple[list[str], int, int]:
+    errors: list[str] = []
+    relative = external = 0
+    for lineno, line in enumerate(strip_fences(path.read_text(encoding="utf-8")), 1):
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if EXTERNAL_RE.match(target):
+                external += 1
+                continue
+            relative += 1
+            target, _, fragment = target.partition("#")
+            dest = path if not target else (path.parent / target).resolve()
+            shown = path.relative_to(REPO_ROOT) if path.is_relative_to(REPO_ROOT) else path
+            where = f"{shown}:{lineno}"
+            if target and not dest.is_file():
+                errors.append(f"{where}: broken link -> {m.group(1)} (no such file)")
+                continue
+            if fragment and dest.suffix == ".md":
+                if fragment not in anchors_of(dest, cache):
+                    errors.append(
+                        f"{where}: broken anchor -> {m.group(1)} "
+                        f"(no heading '#{fragment}' in {dest.name})")
+    return errors, relative, external
+
+
+def main(argv: list[str]) -> int:
+    files = [Path(a).resolve() for a in argv] if argv else default_files()
+    cache: dict[Path, set[str]] = {}
+    all_errors: list[str] = []
+    total_rel = total_ext = 0
+    for f in files:
+        errors, rel, ext = check_file(f, cache)
+        all_errors.extend(errors)
+        total_rel += rel
+        total_ext += ext
+    for e in all_errors:
+        print(e, file=sys.stderr)
+    status = "FAIL" if all_errors else "OK"
+    print(f"{status}: {len(files)} files, {total_rel} relative links checked, "
+          f"{total_ext} external links skipped, {len(all_errors)} broken")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
