@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "analysis/json.hpp"
+#include "cfprims/permute.hpp"
 #include "sort/batched_merge.hpp"
 #include "sort/engine.hpp"
 #include "sort/merge_sort.hpp"
@@ -99,6 +100,13 @@ bool identical(const sort::BatchedMergeReport& a, const sort::BatchedMergeReport
 bool identical(const sort::SegmentedSortReport& a, const sort::SegmentedSortReport& b) {
   return a.totals == b.totals && a.phases == b.phases &&
          a.serial_microseconds == b.serial_microseconds &&
+         a.makespan_microseconds == b.makespan_microseconds &&
+         kernels_identical(a.kernels, b.kernels);
+}
+
+bool identical(const cfprims::PermuteReport& a, const cfprims::PermuteReport& b) {
+  return a.totals == b.totals && a.phases == b.phases &&
+         a.microseconds == b.microseconds &&
          a.makespan_microseconds == b.makespan_microseconds &&
          kernels_identical(a.kernels, b.kernels);
 }
@@ -384,6 +392,38 @@ int main(int argc, char** argv) {
       if (!identical(serial_rep, overlap_rep)) seg.identity_ok = false;
     }
     results.push_back(seg);
+  }
+
+  // --- cf-permute / cf-transpose: the standalone CF primitives through the
+  // engine's plan cache, forward then inverse each repeat; the round trip
+  // must be the identity and the kernels must stay conflict-free.
+  for (const bool transpose : {false, true}) {
+    cfprims::PermuteConfig pcfg;
+    pcfg.op = transpose ? cfprims::PermuteOp::kTranspose : cfprims::PermuteOp::kPermute;
+    pcfg.e = 15;
+    pcfg.u = 512;
+    gpusim::Launcher launcher(dev());
+    launcher.set_threads(threads);
+    sort::SortEngine engine(launcher);
+    results.push_back(run_case(
+        transpose ? "cf-transpose/roundtrip" : "cf-permute/roundtrip",
+        "n=" + std::to_string(n_sort), repeats, n_sort, [&](CaseResult* r) {
+          auto data = sort_input;
+          const double t0 = now_ms();
+          cfprims::PermuteConfig fwd = pcfg;
+          fwd.inverse = false;
+          auto rep = engine.permute(data, fwd);
+          cfprims::PermuteConfig inv = pcfg;
+          inv.inverse = true;
+          engine.permute(data, inv);
+          r->wall_ms_min = now_ms() - t0;
+          r->sim_microseconds = rep.microseconds;
+          data.resize(sort_input.size());
+          if (data != sort_input) r->identity_ok = false;
+          if (rep.totals.bank_conflicts != 0) r->identity_ok = false;
+          return rep;
+        }));
+    accumulate(engine.stats());
   }
 
   const bool all_ok =

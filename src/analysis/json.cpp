@@ -224,9 +224,10 @@ void write_proof(std::ostream& os, const verify::ProofObject& p) {
   os << "{\"schedule\":\"" << json_escape(p.schedule) << "\",\"w\":" << p.w
      << ",\"e\":" << p.e;
   if (p.k > 0) os << ",\"k\":" << p.k;
-  os << ",\"d\":" << p.d << ",\"verdict\":\""
-     << verdict_name(p.verdict) << "\",\"scope\":\"" << json_escape(p.scope)
-     << "\",\"steps\":[";
+  os << ",\"d\":" << p.d << ",\"verdict\":\"" << verdict_name(p.verdict)
+     << "\",\"scope\":\"" << json_escape(p.scope) << "\"";
+  if (!p.family.empty()) os << ",\"family\":\"" << json_escape(p.family) << "\"";
+  os << ",\"steps\":[";
   for (std::size_t i = 0; i < p.steps.size(); ++i) {
     const verify::ProofStep& s = p.steps[i];
     if (i) os << ",";
@@ -274,6 +275,30 @@ void write_multiway_summary(std::ostream& os, const verify::VerifyReport& report
   os << "]";
 }
 
+/// Per-family rollup of the registered CFPrimitive sweep: for every family
+/// that went through the generic lowering path, how many shapes were proved
+/// and how many refuted (each refutation carrying a lane-pair witness).
+void write_primitives_summary(std::ostream& os, const verify::VerifyReport& report) {
+  std::map<std::string, std::array<std::int64_t, 3>> per_family;  // proved, refuted, witnesses
+  for (const auto& p : report.proofs)
+    if (!p.family.empty() && p.verdict == verify::Verdict::kProved)
+      ++per_family[p.family][0];
+  for (const auto& p : report.refutations)
+    if (!p.family.empty()) {
+      ++per_family[p.family][1];
+      if (p.verdict == verify::Verdict::kCounterexample) ++per_family[p.family][2];
+    }
+  os << "[";
+  bool first = true;
+  for (const auto& [name, counts] : per_family) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << json_escape(name) << "\",\"proved\":" << counts[0]
+       << ",\"refuted\":" << counts[1] << ",\"witnesses\":" << counts[2] << "}";
+  }
+  os << "]";
+}
+
 }  // namespace
 
 void write_json(std::ostream& os, const verify::VerifyReport& report) {
@@ -286,6 +311,8 @@ void write_json(std::ostream& os, const verify::VerifyReport& report) {
   write_proof_list(os, report.refutations);
   os << ",\"multiway\":";
   write_multiway_summary(os, report);
+  os << ",\"primitives\":";
+  write_primitives_summary(os, report);
   os << ",\"worstcase\":[";
   for (std::size_t i = 0; i < report.worstcase.size(); ++i) {
     const verify::WorstCaseAnalysis& wc = report.worstcase[i];
@@ -325,6 +352,30 @@ void write_json(std::ostream& os, const sort::BitonicReport& report,
   write_counters(os, report.totals);
   os << ",\"phases\":";
   write_phases(os, report.phases);
+  os << "}\n";
+}
+
+void write_json(std::ostream& os, const cfprims::PermuteReport& report,
+                const std::string& device, const std::string& workload,
+                const sort::EngineStats* engine) {
+  os << "{\"kind\":\"" << report.op_name() << "\",\"device\":\""
+     << json_escape(device) << "\",\"workload\":\"" << json_escape(workload)
+     << "\",\"inverse\":" << (report.inverse ? "true" : "false")
+     << ",\"e\":" << report.e << ",\"u\":" << report.u << ",\"n\":" << report.n
+     << ",\"n_padded\":" << report.n_padded
+     << ",\"microseconds\":" << report.microseconds
+     << ",\"makespan_microseconds\":" << report.makespan_microseconds
+     << ",\"graph_levels\":" << report.graph_levels
+     << ",\"throughput_elem_per_us\":" << report.throughput() << ",\"totals\":";
+  write_counters(os, report.totals);
+  os << ",\"phases\":";
+  write_phases(os, report.phases);
+  os << ",\"kernels\":";
+  write_kernels(os, report.kernels);
+  if (engine != nullptr) {
+    os << ",\"engine\":";
+    write_json(os, *engine);
+  }
   os << "}\n";
 }
 

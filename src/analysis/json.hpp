@@ -5,6 +5,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "cfprims/permute.hpp"
 #include "sort/bitonic.hpp"
 #include "sort/engine.hpp"
 #include "sort/merge_arrays.hpp"
@@ -44,6 +45,13 @@ void write_json(std::ostream& os, const sort::BitonicReport& report,
 void write_json(std::ostream& os, const sort::SegmentedSortReport& report,
                 const sort::MergeConfig& cfg, const std::string& device,
                 const std::string& workload, const sort::EngineStats* engine = nullptr);
+
+/// Same for a standalone cf_permute / cf_transpose run — emits
+/// `kind:"cf_permute"` or `kind:"cf_transpose"` with the direction flag,
+/// shape echo, timing, and the usual totals / phases / kernels sections.
+void write_json(std::ostream& os, const cfprims::PermuteReport& report,
+                const std::string& device, const std::string& workload,
+                const sort::EngineStats* engine = nullptr);
 
 /// Writes the engine's plan-cache / scratch-arena counters as one JSON
 /// object (no trailing newline) — an embeddable fragment, e.g. the

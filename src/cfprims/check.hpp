@@ -1,0 +1,82 @@
+// Shared conflict scanner: the one exhaustive bank-conflict walk used by
+// both the generic primitive verifier (verify/primitive.cpp) and the
+// schedule validator (gather/validator.cpp), so there is a single recount
+// implementation and it is the simulator's own cost model
+// (gpusim::shared_access_cost, broadcast rule included).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/shared_memory.hpp"
+#include "numtheory/numtheory.hpp"
+
+namespace cfmerge::cfprims {
+
+/// Outcome of scanning every warp window of every round of one access
+/// stream.  When a conflict exists, the first one is captured as a concrete
+/// lane pair (two active lanes in the same bank with distinct addresses —
+/// such a pair always exists because broadcasts are conflict-free).
+struct ConflictScan {
+  std::int64_t windows = 0;          ///< warp-wide accesses scanned
+  std::int64_t total_conflicts = 0;  ///< replay cycles summed over all accesses
+  int max_conflicts = 0;             ///< worst replays of a single access
+  bool found = false;                ///< a first conflict is captured below
+  int round = 0;
+  std::int64_t window_base = 0;      ///< first thread of the conflicting window
+  int cycles = 0;                    ///< shared-unit cycles of that access
+  int lane1 = 0;                     ///< window-relative conflicting lanes
+  int lane2 = 0;
+  std::int64_t addr1 = 0;
+  std::int64_t addr2 = 0;
+  int bank = 0;
+};
+
+/// Walks rounds j in [0, rounds) x w-aligned windows over [0, domain) and
+/// prices each window with the simulator's shared_access_cost.
+/// `addr_of(i, j)` gives thread i's address in round j.
+template <typename AddrOf>
+[[nodiscard]] ConflictScan scan_conflicts(int w, int rounds, std::int64_t domain,
+                                          AddrOf&& addr_of) {
+  ConflictScan scan;
+  std::vector<std::int64_t> addrs(static_cast<std::size_t>(w));
+  for (int j = 0; j < rounds; ++j) {
+    for (std::int64_t base = 0; base < domain; base += w) {
+      for (int lane = 0; lane < w; ++lane) {
+        const std::int64_t i = base + lane;
+        addrs[static_cast<std::size_t>(lane)] =
+            i < domain ? addr_of(i, static_cast<std::int64_t>(j)) : gpusim::kInactiveLane;
+      }
+      const gpusim::SharedAccessCost cost = gpusim::shared_access_cost(addrs, w);
+      ++scan.windows;
+      scan.total_conflicts += cost.conflicts;
+      if (cost.conflicts > scan.max_conflicts) scan.max_conflicts = cost.conflicts;
+      if (cost.conflicts > 0 && !scan.found) {
+        scan.found = true;
+        scan.round = j;
+        scan.window_base = base;
+        scan.cycles = cost.cycles;
+        // Recover a concrete witness pair: two active lanes in one bank
+        // with distinct addresses.
+        for (int l1 = 0; l1 < w && scan.addr1 == scan.addr2; ++l1) {
+          if (addrs[static_cast<std::size_t>(l1)] == gpusim::kInactiveLane) continue;
+          for (int l2 = l1 + 1; l2 < w; ++l2) {
+            const std::int64_t a1 = addrs[static_cast<std::size_t>(l1)];
+            const std::int64_t a2 = addrs[static_cast<std::size_t>(l2)];
+            if (a2 == gpusim::kInactiveLane || a1 == a2) continue;
+            if (numtheory::mod(a1, w) != numtheory::mod(a2, w)) continue;
+            scan.lane1 = l1;
+            scan.lane2 = l2;
+            scan.addr1 = a1;
+            scan.addr2 = a2;
+            scan.bank = static_cast<int>(numtheory::mod(a1, w));
+            break;
+          }
+        }
+      }
+    }
+  }
+  return scan;
+}
+
+}  // namespace cfmerge::cfprims

@@ -1,0 +1,136 @@
+// Shared executors for the CF primitives: the warp-loop skeletons every
+// CRS-style gather/scatter and staged shared-to-shared copy in the sort
+// kernels instantiate.
+//
+// The accounting contract is frozen: a primitive execution charges exactly
+//
+//   per (virtual) warp:  charge.setup warp instructions (0 = skip), then
+//   per round:           charge.round warp instructions followed by ONE
+//                        warp-wide shared access (gather or scatter),
+//
+// which is bit-identical to the loops these helpers replaced in
+// sort/merge_pass.hpp, sort/multiway_pass.hpp, sort/block_sort.hpp and
+// gather/dual_gather.hpp (pinned by tests/test_cfprims_golden.cpp).  Any
+// change here shifts every counter in every report.
+//
+// This header deliberately depends only on gpusim + the cost constants so
+// that both the gather layer and the sort kernels can include it without
+// cycles.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <span>
+
+#include "gpusim/block_context.hpp"
+#include "gpusim/memory_views.hpp"
+#include "sort/cost_model.hpp"
+
+namespace cfmerge::cfprims {
+
+/// Warp-instruction charges of one primitive execution (see header comment).
+struct CrsCharge {
+  std::uint64_t setup = 0;  ///< once per virtual warp; 0 = no setup charge
+  std::uint64_t round = 0;  ///< before each warp-wide shared access
+};
+
+/// The dual-gather / cascade-merge cadence: per-thread setup (computing k,
+/// offsets, bounds) then the mod-E bookkeeping of each Algorithm 1 round.
+inline constexpr CrsCharge kGatherCharge{sort::cost::kThreadSetupInstrs,
+                                         sort::cost::kGatherRoundInstrs};
+/// The plain copy cadence (stride-E register write-back, output scatter):
+/// address arithmetic only, no per-thread setup.
+inline constexpr CrsCharge kCopyCharge{0, sort::cost::kCopyChunkInstrs};
+
+/// Executes one CRS-style gather: `vwarps` virtual warps each perform
+/// `rounds` warp-wide reads of `shmem`.  `warp_of(vw)` maps the virtual
+/// warp to the physical warp that issues (and is charged for) its
+/// accesses; `addr_of(vw, lane, j)` gives the shared slot; `sink(vw, lane,
+/// j, value)` receives each element read.
+template <typename T, typename WarpOf, typename AddrOf, typename Sink>
+void exec_crs_gather(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& shmem, int w,
+                     int rounds, int vwarps, const CrsCharge& charge, WarpOf&& warp_of,
+                     AddrOf&& addr_of, Sink&& sink) {
+  assert(w <= gpusim::kMaxLanes);
+  std::array<std::int64_t, gpusim::kMaxLanes> addr;
+  std::array<T, gpusim::kMaxLanes> vals{};
+  const std::span<const std::int64_t> aspan(addr.data(), static_cast<std::size_t>(w));
+  const std::span<T> vspan(vals.data(), static_cast<std::size_t>(w));
+  for (int vw = 0; vw < vwarps; ++vw) {
+    const int pw = warp_of(vw);
+    if (charge.setup != 0) ctx.charge_compute(pw, charge.setup);
+    for (int j = 0; j < rounds; ++j) {
+      for (int lane = 0; lane < w; ++lane)
+        addr[static_cast<std::size_t>(lane)] = addr_of(vw, lane, j);
+      ctx.charge_compute(pw, charge.round);
+      shmem.gather(pw, aspan, vspan);
+      for (int lane = 0; lane < w; ++lane)
+        sink(vw, lane, j, vals[static_cast<std::size_t>(lane)]);
+    }
+  }
+}
+
+/// Mirror image of exec_crs_gather for warp-wide writes: `source(vw, lane,
+/// j)` supplies the element each lane stores to `addr_of(vw, lane, j)`.
+template <typename T, typename WarpOf, typename AddrOf, typename Source>
+void exec_crs_scatter(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& shmem, int w,
+                      int rounds, int vwarps, const CrsCharge& charge, WarpOf&& warp_of,
+                      AddrOf&& addr_of, Source&& source) {
+  assert(w <= gpusim::kMaxLanes);
+  std::array<std::int64_t, gpusim::kMaxLanes> addr;
+  std::array<T, gpusim::kMaxLanes> vals{};
+  const std::span<const std::int64_t> aspan(addr.data(), static_cast<std::size_t>(w));
+  const std::span<const T> vspan(vals.data(), static_cast<std::size_t>(w));
+  for (int vw = 0; vw < vwarps; ++vw) {
+    const int pw = warp_of(vw);
+    if (charge.setup != 0) ctx.charge_compute(pw, charge.setup);
+    for (int j = 0; j < rounds; ++j) {
+      for (int lane = 0; lane < w; ++lane) {
+        addr[static_cast<std::size_t>(lane)] = addr_of(vw, lane, j);
+        vals[static_cast<std::size_t>(lane)] = source(vw, lane, j);
+      }
+      ctx.charge_compute(pw, charge.round);
+      shmem.scatter(pw, aspan, vspan);
+    }
+  }
+}
+
+/// Staged shared-to-shared copy (the block-sort cf_permute idiom): all
+/// warps cooperatively move `count` elements from `src` to `dst`, warp k
+/// handling lanes [k*w, k*w + w) of each block-wide chunk of u elements.
+/// Each chunk charges kCopyChunkInstrs and issues one independent gather +
+/// one independent scatter (the addresses are compile-time functions of the
+/// slot, not of loaded data).
+template <typename T, typename SrcOf, typename DstOf>
+void exec_shared_copy(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& src,
+                      gpusim::SharedTile<T>& dst, std::int64_t count, SrcOf&& src_of,
+                      DstOf&& dst_of) {
+  const int w = ctx.lanes();
+  const int u = ctx.threads();
+  assert(w <= gpusim::kMaxLanes);
+  std::array<std::int64_t, gpusim::kMaxLanes> saddr;
+  std::array<std::int64_t, gpusim::kMaxLanes> daddr;
+  std::array<T, gpusim::kMaxLanes> vals{};
+  const std::span<T> vspan(vals.data(), static_cast<std::size_t>(w));
+  for (int warp = 0; warp < ctx.warps(); ++warp) {
+    for (std::int64_t base = static_cast<std::int64_t>(warp) * w; base < count;
+         base += u) {
+      for (int lane = 0; lane < w; ++lane) {
+        const std::int64_t t = base + lane;
+        const bool active = t < count;
+        saddr[static_cast<std::size_t>(lane)] =
+            active ? src_of(t) : gpusim::kInactiveLane;
+        daddr[static_cast<std::size_t>(lane)] =
+            active ? dst_of(t) : gpusim::kInactiveLane;
+      }
+      ctx.charge_compute(warp, sort::cost::kCopyChunkInstrs);
+      src.gather(warp, std::span<const std::int64_t>(saddr.data(), vspan.size()), vspan,
+                 /*dependent=*/false);
+      dst.scatter(warp, std::span<const std::int64_t>(daddr.data(), vspan.size()), vspan,
+                  /*dependent=*/false);
+    }
+  }
+}
+
+}  // namespace cfmerge::cfprims

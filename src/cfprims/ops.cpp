@@ -1,0 +1,291 @@
+// The registered CF primitives: each names one shared-memory access
+// pattern, knows its footprint, and lowers its access streams to the verify
+// affine IR so the generic prover (verify/primitive.cpp) can certify or
+// refute it.  The conflict-free ones are listed first, then the
+// deliberately broken ablation variants that cfverify must refute with a
+// concrete lane-pair witness.
+#include "cfprims/primitive.hpp"
+
+#include "gather/permutation.hpp"
+#include "numtheory/numtheory.hpp"
+
+namespace cfmerge::cfprims {
+
+namespace {
+
+using verify::AffineExpr;
+
+AffineExpr thread_expr() { return AffineExpr::sym(verify::kSymThread, "i"); }
+AffineExpr round_expr() { return AffineExpr::sym(verify::kSymRound, "j"); }
+
+/// The stride-E rank index iE + j shared by every CRS stream.
+AffineExpr rank_expr(int e) {
+  return thread_expr().times(e) + round_expr();
+}
+
+/// A contiguous slot-indexed read/write: phys = i over [0, domain).
+AccessStream linear_stream(std::string name, bool is_write, std::int64_t domain) {
+  AccessStream st;
+  st.name = std::move(name);
+  st.is_write = is_write;
+  st.rounds = 1;
+  st.domain = domain;
+  st.phys = thread_expr();
+  st.concrete = [](std::int64_t i, std::int64_t) { return i; };
+  return st;
+}
+
+/// sigma applied to the contiguous slot index (the staging copy's write or
+/// un-staging read): conflict-free because bank(sigma) has period wE.
+AccessStream staged_stream(std::string name, bool is_write, const PrimShape& s,
+                           bool inverse) {
+  AccessStream st;
+  st.name = std::move(name);
+  st.is_write = is_write;
+  st.rounds = 1;
+  st.domain = s.tile();
+  st.bank_period = static_cast<std::int64_t>(s.w) * s.e;
+  st.phys = inverse ? verify::lower_rho_inverse(thread_expr(), s.w, s.e)
+                    : verify::lower_rho(thread_expr(), s.w, s.e);
+  const gather::CircularShift rho(s.w, s.e, s.tile());
+  st.concrete = [rho, inverse](std::int64_t i, std::int64_t) {
+    return inverse ? rho.inverse(i) : rho(i);
+  };
+  return st;
+}
+
+/// The CRS stream: thread i touches sigma(iE + j) in round j (sigma = rho,
+/// rho^-1, or the identity for the broken variant).
+AccessStream crs_stream(std::string name, bool is_write, const PrimShape& s,
+                        bool inverse, bool with_rho) {
+  AccessStream st;
+  st.name = std::move(name);
+  st.is_write = is_write;
+  st.rounds = s.e;
+  st.domain = s.u;
+  st.residue_modulus = s.e;
+  st.raw = rank_expr(s.e);
+  st.phys = !with_rho ? st.raw
+            : inverse ? verify::lower_rho_inverse(st.raw, s.w, s.e)
+                      : verify::lower_rho(st.raw, s.w, s.e);
+  const gather::CircularShift rho(s.w, s.e, s.tile());
+  const std::int64_t e = s.e;
+  st.concrete = [rho, inverse, with_rho, e](std::int64_t i, std::int64_t j) {
+    const std::int64_t raw = i * e + j;
+    if (!with_rho) return raw;
+    return inverse ? rho.inverse(raw) : rho(raw);
+  };
+  return st;
+}
+
+/// The transposed-layout stream: thread i touches j*u + i in round j —
+/// lanes cover w consecutive slots, conflict-free for any u.
+AccessStream transposed_stream(std::string name, bool is_write, const PrimShape& s) {
+  AccessStream st;
+  st.name = std::move(name);
+  st.is_write = is_write;
+  st.rounds = s.e;
+  st.domain = s.u;
+  st.phys = round_expr().times(s.u) + thread_expr();
+  const std::int64_t u = s.u;
+  st.concrete = [u](std::int64_t i, std::int64_t j) { return j * u + i; };
+  return st;
+}
+
+/// cf_gather and its broken ablation variants: the access pattern depends
+/// on the merge-path splits, so verification delegates to the full
+/// RoundSchedule machinery (verify_cf_gather).
+class CfGatherPrim final : public CFPrimitive {
+ public:
+  explicit CfGatherPrim(verify::ScheduleVariant variant) : variant_(variant) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return verify::variant_name(variant_);
+  }
+  [[nodiscard]] std::string_view description() const override {
+    switch (variant_) {
+      case verify::ScheduleVariant::kFull:
+        return "Algorithm 1 dual subsequence gather: rho(pi(A U B)) layout, "
+               "stride-E CRS reads (the CF merge's core)";
+      case verify::ScheduleVariant::kNoBReversal:
+        return "broken ablation: [A|B] layout without the B reversal pi";
+      case verify::ScheduleVariant::kNoRhoShift:
+        return "broken ablation: pi without the circular shift rho (fails "
+               "when gcd(w,E) > 1)";
+    }
+    return "?";
+  }
+  [[nodiscard]] bool supports(int w, int e) const override {
+    if (!CFPrimitive::supports(w, e)) return false;
+    // Without rho the schedule is still CF for coprime (w, E); only d > 1
+    // families are refutable.
+    return variant_ != verify::ScheduleVariant::kNoRhoShift ||
+           numtheory::gcd(w, e) > 1;
+  }
+  [[nodiscard]] bool expected_conflict_free(int w, int e) const override {
+    (void)w;
+    (void)e;
+    return variant_ == verify::ScheduleVariant::kFull;
+  }
+  [[nodiscard]] std::int64_t shared_footprint(const PrimShape& s) const override {
+    return s.tile();
+  }
+  [[nodiscard]] PrimitiveLowering lower(const PrimShape& s) const override {
+    PrimitiveLowering lo;
+    lo.shape = s;
+    lo.facts = {{verify::kSymU, s.w}};
+    lo.delegate_cf_gather = true;
+    lo.gather_variant = variant_;
+    return lo;
+  }
+
+ private:
+  verify::ScheduleVariant variant_;
+};
+
+/// The multiway cascade's stride-E output scatter (CascadePlan::scatter_pos
+/// final level / out_pos): merged rank iE + j written through rho — the
+/// same Corollary 3 CRS argument as the gather, as a write.
+class CfRankScatterPrim final : public CFPrimitive {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "cf_rank_scatter"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "stride-E rank scatter through rho (the multiway cascade's "
+           "inter-level output scatter, Corollary 3 as a write)";
+  }
+  [[nodiscard]] std::int64_t shared_footprint(const PrimShape& s) const override {
+    return s.tile();
+  }
+  [[nodiscard]] PrimitiveLowering lower(const PrimShape& s) const override {
+    PrimitiveLowering lo;
+    lo.shape = s;
+    lo.facts = {{verify::kSymU, s.w}};
+    lo.streams.push_back(
+        crs_stream("scatter", /*is_write=*/true, s, /*inverse=*/false,
+                   /*with_rho=*/true));
+    return lo;
+  }
+};
+
+/// Standalone CF permutation through sigma = rho (forward) or rho^-1
+/// (inverse) — see cfprims/permute.hpp for the executed kernel.
+class CfPermutePrim final : public CFPrimitive {
+ public:
+  CfPermutePrim(bool inverse, bool with_rho) : inverse_(inverse), with_rho_(with_rho) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    if (!with_rho_) return "cf_permute_no_rho";
+    return inverse_ ? "cf_permute_inverse" : "cf_permute";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    if (!with_rho_)
+      return "broken ablation: permute staged without rho (raw stride-E "
+             "accesses collide when gcd(w,E) > 1)";
+    return inverse_ ? "standalone CF permutation, sigma = rho^-1 (undoes "
+                      "cf_permute; Afshani-Sitchinava permute primitive)"
+                    : "standalone CF permutation, sigma = rho: stage, CRS "
+                      "register gather, CRS scatter (Afshani-Sitchinava)";
+  }
+  [[nodiscard]] bool supports(int w, int e) const override {
+    if (!CFPrimitive::supports(w, e)) return false;
+    return with_rho_ || numtheory::gcd(w, e) > 1;
+  }
+  [[nodiscard]] bool expected_conflict_free(int w, int e) const override {
+    (void)w;
+    (void)e;
+    return with_rho_;
+  }
+  [[nodiscard]] std::int64_t shared_footprint(const PrimShape& s) const override {
+    return 2 * s.tile();  // working tile + staging tile
+  }
+  [[nodiscard]] PrimitiveLowering lower(const PrimShape& s) const override {
+    PrimitiveLowering lo;
+    lo.shape = s;
+    lo.facts = {{verify::kSymU, s.w}};
+    lo.streams.push_back(linear_stream("load", /*is_write=*/false, s.tile()));
+    if (with_rho_)
+      lo.streams.push_back(staged_stream("stage", /*is_write=*/true, s, inverse_));
+    lo.streams.push_back(
+        crs_stream("gather", /*is_write=*/false, s, inverse_, with_rho_));
+    lo.streams.push_back(
+        crs_stream("scatter", /*is_write=*/true, s, inverse_, with_rho_));
+    return lo;
+  }
+
+ private:
+  bool inverse_;
+  bool with_rho_;
+};
+
+/// Standalone CF transposition of the u x E tile (row-major -> E x u):
+/// rho-staged CRS on the stride-E side, contiguous on the transposed side.
+class CfTransposePrim final : public CFPrimitive {
+ public:
+  explicit CfTransposePrim(bool inverse) : inverse_(inverse) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return inverse_ ? "cf_transpose_inverse" : "cf_transpose";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return inverse_ ? "CF transposition E x u -> u x E (undoes cf_transpose "
+                      "via the forward-rho staging tile)"
+                    : "CF transposition u x E -> E x u: rho-staged CRS "
+                      "gather, contiguous transposed scatter";
+  }
+  [[nodiscard]] std::int64_t shared_footprint(const PrimShape& s) const override {
+    return 2 * s.tile();
+  }
+  [[nodiscard]] PrimitiveLowering lower(const PrimShape& s) const override {
+    PrimitiveLowering lo;
+    lo.shape = s;
+    lo.facts = {{verify::kSymU, s.w}};
+    lo.streams.push_back(linear_stream("load", /*is_write=*/false, s.tile()));
+    if (!inverse_) {
+      lo.streams.push_back(
+          staged_stream("stage", /*is_write=*/true, s, /*inverse=*/false));
+      lo.streams.push_back(
+          crs_stream("gather", /*is_write=*/false, s, /*inverse=*/false,
+                     /*with_rho=*/true));
+      lo.streams.push_back(transposed_stream("scatter", /*is_write=*/true, s));
+    } else {
+      lo.streams.push_back(transposed_stream("gather", /*is_write=*/false, s));
+      lo.streams.push_back(
+          crs_stream("scatter", /*is_write=*/true, s, /*inverse=*/false,
+                     /*with_rho=*/true));
+      lo.streams.push_back(
+          staged_stream("unstage", /*is_write=*/false, s, /*inverse=*/false));
+    }
+    return lo;
+  }
+
+ private:
+  bool inverse_;
+};
+
+}  // namespace
+
+const std::vector<const CFPrimitive*>& registry() {
+  static const CfGatherPrim gather_full(verify::ScheduleVariant::kFull);
+  static const CfGatherPrim gather_no_pi(verify::ScheduleVariant::kNoBReversal);
+  static const CfGatherPrim gather_no_rho(verify::ScheduleVariant::kNoRhoShift);
+  static const CfRankScatterPrim rank_scatter;
+  static const CfPermutePrim permute(/*inverse=*/false, /*with_rho=*/true);
+  static const CfPermutePrim permute_inverse(/*inverse=*/true, /*with_rho=*/true);
+  static const CfPermutePrim permute_no_rho(/*inverse=*/false, /*with_rho=*/false);
+  static const CfTransposePrim transpose(/*inverse=*/false);
+  static const CfTransposePrim transpose_inverse(/*inverse=*/true);
+  static const std::vector<const CFPrimitive*> all = {
+      &gather_full,      &rank_scatter,      &permute,
+      &permute_inverse,  &transpose,         &transpose_inverse,
+      &gather_no_pi,     &gather_no_rho,     &permute_no_rho,
+  };
+  return all;
+}
+
+const CFPrimitive* find_primitive(std::string_view name) {
+  for (const CFPrimitive* p : registry())
+    if (p->name() == name) return p;
+  return nullptr;
+}
+
+}  // namespace cfmerge::cfprims

@@ -10,8 +10,8 @@
 
 #include <cassert>
 #include <span>
-#include <vector>
 
+#include "cfprims/exec.hpp"
 #include "gather/schedule.hpp"
 #include "gpusim/memory_views.hpp"
 #include "sort/cost_model.hpp"
@@ -48,25 +48,16 @@ void dual_subsequence_gather(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& s
   assert(ctx.threads() == s.u);
   assert(regs.size() >= static_cast<std::size_t>(s.u) * static_cast<std::size_t>(s.e));
 
-  std::vector<std::int64_t> addr(static_cast<std::size_t>(s.w));
-  std::vector<T> vals(static_cast<std::size_t>(s.w));
-  for (int warp = 0; warp < ctx.warps(); ++warp) {
-    // Per-thread setup: k = a_i mod E and the two list offsets.
-    ctx.charge_compute(warp, sort::cost::kThreadSetupInstrs);
-    for (int j = 0; j < s.e; ++j) {
-      for (int lane = 0; lane < s.w; ++lane) {
-        const int i = warp * s.w + lane;
-        addr[static_cast<std::size_t>(lane)] = sched.read(i, j).phys;
-      }
-      ctx.charge_compute(warp, sort::cost::kGatherRoundInstrs);
-      shmem.gather(warp, addr, vals);
-      for (int lane = 0; lane < s.w; ++lane) {
-        const int i = warp * s.w + lane;
-        regs[static_cast<std::size_t>(i) * s.e + static_cast<std::size_t>(j)] =
-            vals[static_cast<std::size_t>(lane)];
-      }
-    }
-  }
+  // The cf_gather primitive's executor: per-warp setup (k = a_i mod E and
+  // the two list offsets), then one CRS read per round.
+  cfprims::exec_crs_gather(
+      ctx, shmem, s.w, s.e, ctx.warps(), cfprims::kGatherCharge,
+      [](int vw) { return vw; },
+      [&](int vw, int lane, int j) { return sched.read(vw * s.w + lane, j).phys; },
+      [&](int vw, int lane, int j, const T& v) {
+        const int i = vw * s.w + lane;
+        regs[static_cast<std::size_t>(i) * s.e + static_cast<std::size_t>(j)] = v;
+      });
 }
 
 /// Inverse procedure: writes each thread's E register items into shared
@@ -80,21 +71,14 @@ void dual_subsequence_scatter(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& 
   assert(ctx.lanes() == s.w);
   assert(ctx.threads() == s.u);
 
-  std::vector<std::int64_t> addr(static_cast<std::size_t>(s.w));
-  std::vector<T> vals(static_cast<std::size_t>(s.w));
-  for (int warp = 0; warp < ctx.warps(); ++warp) {
-    ctx.charge_compute(warp, sort::cost::kThreadSetupInstrs);
-    for (int j = 0; j < s.e; ++j) {
-      for (int lane = 0; lane < s.w; ++lane) {
-        const int i = warp * s.w + lane;
-        addr[static_cast<std::size_t>(lane)] = sched.read(i, j).phys;
-        vals[static_cast<std::size_t>(lane)] =
-            regs[static_cast<std::size_t>(i) * s.e + static_cast<std::size_t>(j)];
-      }
-      ctx.charge_compute(warp, sort::cost::kGatherRoundInstrs);
-      shmem.scatter(warp, addr, vals);
-    }
-  }
+  cfprims::exec_crs_scatter(
+      ctx, shmem, s.w, s.e, ctx.warps(), cfprims::kGatherCharge,
+      [](int vw) { return vw; },
+      [&](int vw, int lane, int j) { return sched.read(vw * s.w + lane, j).phys; },
+      [&](int vw, int lane, int j) {
+        const int i = vw * s.w + lane;
+        return regs[static_cast<std::size_t>(i) * s.e + static_cast<std::size_t>(j)];
+      });
 }
 
 }  // namespace cfmerge::gather

@@ -1,9 +1,8 @@
 #include "gather/validator.hpp"
 
-#include <numeric>
 #include <sstream>
 
-#include "gpusim/shared_memory.hpp"
+#include "cfprims/check.hpp"
 
 namespace cfmerge::gather {
 
@@ -11,28 +10,29 @@ ValidationResult validate_schedule(const RoundSchedule& sched) {
   const GatherShape& s = sched.shape();
   ValidationResult res;
 
-  std::vector<int> touched(static_cast<std::size_t>(s.total()), 0);
-  std::vector<std::int64_t> addrs(static_cast<std::size_t>(s.w));
-  for (int j = 0; j < s.e; ++j) {
-    for (int warp = 0; warp < s.u / s.w; ++warp) {
-      for (int lane = 0; lane < s.w; ++lane) {
-        const GatherRead r = sched.read(warp * s.w + lane, j);
-        addrs[static_cast<std::size_t>(lane)] = r.phys;
-        ++touched[static_cast<std::size_t>(r.raw)];
-      }
-      const gpusim::SharedAccessCost cost = gpusim::shared_access_cost(addrs, s.w);
-      res.total_conflicts += cost.conflicts;
-      if (cost.conflicts > res.max_conflicts) res.max_conflicts = cost.conflicts;
-      if (cost.conflicts > 0 && res.ok) {
-        res.ok = false;
-        std::ostringstream os;
-        os << "bank conflict (degree " << cost.cycles << ") in round " << j << ", warp "
-           << warp << " (w=" << s.w << ", E=" << s.e << ", u=" << s.u << ", la=" << s.la
-           << ")";
-        res.error = os.str();
-      }
-    }
+  // Bank conflicts: one shared scan (cfprims::scan_conflicts walks rounds x
+  // warp windows with the simulator's own cost model), so the validator and
+  // the generic primitive verifier can never disagree on a recount.
+  const cfprims::ConflictScan scan = cfprims::scan_conflicts(
+      s.w, s.e, s.u,
+      [&](std::int64_t i, std::int64_t j) {
+        return sched.read(static_cast<int>(i), static_cast<int>(j)).phys;
+      });
+  res.total_conflicts = scan.total_conflicts;
+  res.max_conflicts = scan.max_conflicts;
+  if (scan.found) {
+    res.ok = false;
+    std::ostringstream os;
+    os << "bank conflict (degree " << scan.cycles << ") in round " << scan.round
+       << ", warp " << scan.window_base / s.w << " (w=" << s.w << ", E=" << s.e
+       << ", u=" << s.u << ", la=" << s.la << ")";
+    res.error = os.str();
   }
+
+  // Multiplicity: every raw index of A union pi(B) read exactly once.
+  std::vector<int> touched(static_cast<std::size_t>(s.total()), 0);
+  for (int j = 0; j < s.e; ++j)
+    for (int i = 0; i < s.u; ++i) ++touched[static_cast<std::size_t>(sched.read(i, j).raw)];
   for (std::size_t m = 0; m < touched.size(); ++m) {
     if (touched[m] != 1) {
       res.ok = false;

@@ -24,6 +24,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "cfprims/exec.hpp"
 #include "gpusim/launcher.hpp"
 #include "gpusim/memory_views.hpp"
 #include "sort/kernels.hpp"
@@ -70,22 +71,18 @@ void block_sort_body(gpusim::BlockContext& ctx, std::span<T> data, int e,
   // pattern the coprime-E heuristic keeps conflict-free.
   ctx.phase("bsort.thread_sort");
   assert(w <= gpusim::kMaxLanes);
-  std::array<std::int64_t, gpusim::kMaxLanes> addr;
-  std::array<T, gpusim::kMaxLanes> vals{};
-  const std::span<const std::int64_t> aspan(addr.data(), static_cast<std::size_t>(w));
-  const std::span<T> vspan(vals.data(), static_cast<std::size_t>(w));
+  cfprims::exec_crs_gather(
+      ctx, shmem, w, e, ctx.warps(), cfprims::kCopyCharge,
+      [](int vw) { return vw; },
+      [&](int vw, int lane, int j) {
+        return static_cast<std::int64_t>(vw * w + lane) * e + j;
+      },
+      [&](int vw, int lane, int j, const T& v) {
+        regs[static_cast<std::size_t>(vw * w + lane) * static_cast<std::size_t>(e) +
+             static_cast<std::size_t>(j)] = v;
+      });
+  // Sort the E registers of each lane with the odd-even network.
   for (int warp = 0; warp < ctx.warps(); ++warp) {
-    for (int j = 0; j < e; ++j) {
-      for (int lane = 0; lane < w; ++lane)
-        addr[static_cast<std::size_t>(lane)] =
-            static_cast<std::int64_t>(warp * w + lane) * e + j;
-      ctx.charge_compute(warp, cost::kCopyChunkInstrs);
-      shmem.gather(warp, aspan, vspan);
-      for (int lane = 0; lane < w; ++lane)
-        regs[static_cast<std::size_t>((warp * w + lane)) * static_cast<std::size_t>(e) +
-             static_cast<std::size_t>(j)] = vals[static_cast<std::size_t>(lane)];
-    }
-    // Sort the E registers of each lane with the odd-even network.
     for (int lane = 0; lane < w; ++lane) {
       std::span<T> r(regs.data() + static_cast<std::size_t>(warp * w + lane) *
                                        static_cast<std::size_t>(e),
@@ -94,19 +91,18 @@ void block_sort_body(gpusim::BlockContext& ctx, std::span<T> data, int e,
     }
     ctx.charge_compute(warp, static_cast<std::uint64_t>(odd_even_network_size(e)) *
                                  cost::kCompareExchangeInstrs);
-    // Write the sorted runs back (same stride-E pattern).
-    for (int j = 0; j < e; ++j) {
-      for (int lane = 0; lane < w; ++lane) {
-        addr[static_cast<std::size_t>(lane)] =
-            static_cast<std::int64_t>(warp * w + lane) * e + j;
-        vals[static_cast<std::size_t>(lane)] =
-            regs[static_cast<std::size_t>((warp * w + lane)) * static_cast<std::size_t>(e) +
-                 static_cast<std::size_t>(j)];
-      }
-      ctx.charge_compute(warp, cost::kCopyChunkInstrs);
-      shmem.scatter(warp, aspan, vspan);
-    }
   }
+  // Write the sorted runs back (same stride-E pattern).
+  cfprims::exec_crs_scatter(
+      ctx, shmem, w, e, ctx.warps(), cfprims::kCopyCharge,
+      [](int vw) { return vw; },
+      [&](int vw, int lane, int j) {
+        return static_cast<std::int64_t>(vw * w + lane) * e + j;
+      },
+      [&](int vw, int lane, int j) {
+        return regs[static_cast<std::size_t>(vw * w + lane) * static_cast<std::size_t>(e) +
+                    static_cast<std::size_t>(j)];
+      });
   ctx.barrier();
 
   // --- log2(u) intra-block merge rounds ----------------------------------
@@ -163,35 +159,17 @@ void block_sort_body(gpusim::BlockContext& ctx, std::span<T> data, int e,
       gather::BReversal pair_pi(run, run);
       gather::CircularShift pair_rho(w, e, 2 * run);
       ctx.phase("bsort.cf_permute");
-      {
-        // Copy linear -> CF layout; reads are contiguous (conflict free),
-        // writes are contiguous runs through pi/rho (also conflict free).
-        std::array<std::int64_t, gpusim::kMaxLanes> src_addr;
-        std::array<std::int64_t, gpusim::kMaxLanes> dst_addr;
-        std::array<T, gpusim::kMaxLanes> tmp{};
-        const std::span<T> tspan(tmp.data(), static_cast<std::size_t>(w));
-        for (int warp = 0; warp < ctx.warps(); ++warp) {
-          for (std::int64_t basepos = static_cast<std::int64_t>(warp) * w;
-               basepos < tile; basepos += u) {
-            for (int lane = 0; lane < w; ++lane) {
-              const std::int64_t pos = basepos + lane;
-              const std::int64_t pair_base = pos / (2 * run) * (2 * run);
-              const std::int64_t local = pos - pair_base;
-              const std::int64_t raw = local < run ? pair_pi.raw_of_a(local)
-                                                   : pair_pi.raw_of_b(local - run);
-              src_addr[static_cast<std::size_t>(lane)] = pos;
-              dst_addr[static_cast<std::size_t>(lane)] = pair_base + pair_rho(raw);
-            }
-            ctx.charge_compute(warp, cost::kCopyChunkInstrs);
-            shmem.gather(warp,
-                         std::span<const std::int64_t>(src_addr.data(), tspan.size()),
-                         tspan, /*dependent=*/false);
-            staging->scatter(warp,
-                             std::span<const std::int64_t>(dst_addr.data(), tspan.size()),
-                             tspan, /*dependent=*/false);
-          }
-        }
-      }
+      // Copy linear -> CF layout; reads are contiguous (conflict free),
+      // writes are contiguous runs through pi/rho (also conflict free).
+      cfprims::exec_shared_copy(
+          ctx, shmem, *staging, tile, [](std::int64_t pos) { return pos; },
+          [&](std::int64_t pos) {
+            const std::int64_t pair_base = pos / (2 * run) * (2 * run);
+            const std::int64_t local = pos - pair_base;
+            const std::int64_t raw = local < run ? pair_pi.raw_of_a(local)
+                                                 : pair_pi.raw_of_b(local - run);
+            return pair_base + pair_rho(raw);
+          });
       ctx.barrier();
       ctx.phase("bsort.merge");
       // One RoundSchedule per pair; gather every warp of the pair.
@@ -209,21 +187,17 @@ void block_sort_body(gpusim::BlockContext& ctx, std::span<T> data, int e,
         }
         gather::GatherShape shape{w, e, u_pair, run, run};
         gather::RoundSchedule sched(shape, std::move(a_off), std::move(a_size));
-        for (int pw = 0; pw < u_pair / w; ++pw) {
-          const int warp = (first_thread + pw * w) / w;
-          ctx.charge_compute(warp, cost::kThreadSetupInstrs);
-          for (int j = 0; j < e; ++j) {
-            for (int lane = 0; lane < w; ++lane)
-              addr[static_cast<std::size_t>(lane)] =
-                  pair_base + sched.read(pw * w + lane, j).phys;
-            ctx.charge_compute(warp, cost::kGatherRoundInstrs);
-            staging->gather(warp, aspan, vspan);
-            for (int lane = 0; lane < w; ++lane)
-              regs[static_cast<std::size_t>(first_thread + pw * w + lane) *
+        cfprims::exec_crs_gather(
+            ctx, *staging, w, e, u_pair / w, cfprims::kGatherCharge,
+            [&](int vw) { return (first_thread + vw * w) / w; },
+            [&](int vw, int lane, int j) {
+              return pair_base + sched.read(vw * w + lane, j).phys;
+            },
+            [&](int vw, int lane, int j, const T& v) {
+              regs[static_cast<std::size_t>(first_thread + vw * w + lane) *
                        static_cast<std::size_t>(e) +
-                   static_cast<std::size_t>(j)] = vals[static_cast<std::size_t>(lane)];
-          }
-        }
+                   static_cast<std::size_t>(j)] = v;
+            });
       }
       // Data-oblivious register merge per thread.
       for (int warp = 0; warp < ctx.warps(); ++warp) {
@@ -254,20 +228,17 @@ void block_sort_body(gpusim::BlockContext& ctx, std::span<T> data, int e,
     ctx.barrier();
 
     // Write merged outputs back, stride-E.
-    for (int warp = 0; warp < ctx.warps(); ++warp) {
-      for (int j = 0; j < e; ++j) {
-        for (int lane = 0; lane < w; ++lane) {
-          addr[static_cast<std::size_t>(lane)] =
-              static_cast<std::int64_t>(warp * w + lane) * e + j;
-          vals[static_cast<std::size_t>(lane)] =
-              regs[static_cast<std::size_t>((warp * w + lane)) *
-                       static_cast<std::size_t>(e) +
-                   static_cast<std::size_t>(j)];
-        }
-        ctx.charge_compute(warp, cost::kCopyChunkInstrs);
-        shmem.scatter(warp, aspan, vspan);
-      }
-    }
+    cfprims::exec_crs_scatter(
+        ctx, shmem, w, e, ctx.warps(), cfprims::kCopyCharge,
+        [](int vw) { return vw; },
+        [&](int vw, int lane, int j) {
+          return static_cast<std::int64_t>(vw * w + lane) * e + j;
+        },
+        [&](int vw, int lane, int j) {
+          return regs[static_cast<std::size_t>(vw * w + lane) *
+                          static_cast<std::size_t>(e) +
+                      static_cast<std::size_t>(j)];
+        });
     ctx.barrier();
   }
 

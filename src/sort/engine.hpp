@@ -49,6 +49,7 @@
 #include <utility>
 #include <vector>
 
+#include "cfprims/permute.hpp"
 #include "gpusim/launcher.hpp"
 #include "sort/batched_merge.hpp"
 #include "sort/key_value.hpp"
@@ -177,7 +178,13 @@ namespace detail {
 /// dependency edges, and pass/tile decisions — only the buffer *contents*
 /// differ, which is exactly what plan reuse rebinds.
 struct PlanKey {
-  enum class Kind : std::uint8_t { Sort = 0, Batched = 1, Multiway = 2 };
+  enum class Kind : std::uint8_t {
+    Sort = 0,
+    Batched = 1,
+    Multiway = 2,
+    Permute = 3,
+    Transpose = 4,
+  };
 
   Kind kind = Kind::Sort;
   std::type_index type = std::type_index(typeid(void));
@@ -275,6 +282,37 @@ struct MultiwayPlanT {
   [[nodiscard]] std::uint64_t footprint_bytes() const {
     return (buf.capacity() + tmp.capacity()) * sizeof(T) +
            boundaries.capacity() * sizeof(std::int64_t);
+  }
+};
+
+/// A cached permute/transpose plan: the one-kernel cfprims pipeline plus
+/// its input and output buffers.  Keyed under Kind::Permute / Transpose
+/// with the direction bit folded into shape_digest (PlanKey::cfg carries
+/// only e and u).
+template <typename T>
+struct PermutePlanT {
+  cfprims::PermuteConfig cfg;
+  std::int64_t n_padded = 0;
+  std::vector<T> buf, out;
+  gpusim::KernelGraph graph;
+
+  PermutePlanT(const cfprims::PermuteConfig& c, std::int64_t np) : cfg(c), n_padded(np) {
+    buf.assign(static_cast<std::size_t>(np), padding_sentinel<T>::value());
+    out.assign(static_cast<std::size_t>(np), padding_sentinel<T>::value());
+    gpusim::Stream stream = graph.stream();
+    cfprims::enqueue_permute_pipeline(stream, buf, out, np, cfg);
+  }
+  PermutePlanT(const PermutePlanT&) = delete;
+  PermutePlanT& operator=(const PermutePlanT&) = delete;
+
+  void load(const std::vector<T>& data) {
+    std::copy(data.begin(), data.end(), buf.begin());
+    std::fill(buf.begin() + static_cast<std::ptrdiff_t>(data.size()), buf.end(),
+              padding_sentinel<T>::value());
+  }
+
+  [[nodiscard]] std::uint64_t footprint_bytes() const {
+    return (buf.capacity() + out.capacity()) * sizeof(T);
   }
 };
 
@@ -573,6 +611,56 @@ class SortEngine {
     const gpusim::GraphReport g = launcher_->run(plan->graph, mode);
 
     std::copy(plan->result->begin(), plan->result->begin() + report.n, data.begin());
+    report.kernels = g.kernels;
+    report.microseconds = g.serial_microseconds;
+    report.makespan_microseconds = g.makespan_microseconds;
+    report.graph_levels = g.levels;
+    report.totals = launcher_->total_counters();
+    report.phases = launcher_->phase_counters();
+    cache_plan(key, std::move(plan));
+    return report;
+  }
+
+  /// Standalone cf_permute / cf_transpose through the engine: one cached
+  /// one-kernel plan per (op, direction, type, padded length, e, u).  The
+  /// whole *padded* tile domain is permuted — a real element of a ragged
+  /// final tile may land in the sentinel tail and come back only under the
+  /// inverse op — so `data` is resized to the padded length and holds the
+  /// full permuted array on return (truncate to report.n when done).
+  template <typename T>
+  cfprims::PermuteReport permute(std::vector<T>& data, const cfprims::PermuteConfig& cfg,
+                                 gpusim::GraphExec mode = gpusim::GraphExec::Overlap) {
+    cfprims::validate_permute_config(launcher_->device(), cfg);
+
+    cfprims::PermuteReport report;
+    report.op = cfg.op;
+    report.inverse = cfg.inverse;
+    report.e = cfg.e;
+    report.u = cfg.u;
+    report.n = static_cast<std::int64_t>(data.size());
+    if (report.n == 0) return report;
+
+    const std::int64_t tile = cfg.tile();
+    const std::int64_t n_padded = (report.n + tile - 1) / tile * tile;
+    report.n_padded = n_padded;
+
+    MergeConfig base;
+    base.e = cfg.e;
+    base.u = cfg.u;
+    const auto kind = cfg.op == cfprims::PermuteOp::kTranspose
+                          ? detail::PlanKey::Kind::Transpose
+                          : detail::PlanKey::Kind::Permute;
+    const std::uint64_t digest =
+        detail::fnv1a(detail::kFnvOffset, cfg.inverse ? 1u : 0u);
+    const detail::PlanKey key{kind, std::type_index(typeid(T)), n_padded, digest, base};
+    auto plan = acquire_plan<detail::PermutePlanT<T>>(
+        key, [&] { return std::make_shared<detail::PermutePlanT<T>>(cfg, n_padded); });
+    plan->load(data);
+
+    launcher_->clear_history();
+    const gpusim::GraphReport g = launcher_->run(plan->graph, mode);
+
+    data.assign(plan->out.begin(), plan->out.end());
     report.kernels = g.kernels;
     report.microseconds = g.serial_microseconds;
     report.makespan_microseconds = g.makespan_microseconds;

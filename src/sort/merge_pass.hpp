@@ -27,6 +27,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "cfprims/exec.hpp"
 #include "gather/dual_gather.hpp"
 #include "gpusim/launcher.hpp"
 #include "gpusim/memory_views.hpp"
@@ -240,23 +241,16 @@ void merge_window_core(gpusim::BlockContext& ctx, GIn& gin, gpusim::GlobalView<T
       // Ablation path: emulate the schedule with rho = identity by reading
       // through the layout's raw indices directly.
       gather::RoundSchedule sched(shape, a_off, a_size);
-      std::array<std::int64_t, gpusim::kMaxLanes> addr;
-      std::array<T, gpusim::kMaxLanes> vals{};
-      for (int warp = 0; warp < ctx.warps(); ++warp) {
-        ctx.charge_compute(warp, cost::kThreadSetupInstrs);
-        for (int j = 0; j < e; ++j) {
-          for (int lane = 0; lane < w; ++lane)
-            addr[static_cast<std::size_t>(lane)] =
-                sched.read(warp * w + lane, j).raw;  // no rho applied
-          ctx.charge_compute(warp, cost::kGatherRoundInstrs);
-          shmem.gather(warp, std::span<const std::int64_t>(addr.data(),
-                                                           static_cast<std::size_t>(w)),
-                       std::span<T>(vals.data(), static_cast<std::size_t>(w)));
-          for (int lane = 0; lane < w; ++lane)
-            regs[static_cast<std::size_t>(warp * w + lane) * static_cast<std::size_t>(e) +
-                 static_cast<std::size_t>(j)] = vals[static_cast<std::size_t>(lane)];
-        }
-      }
+      cfprims::exec_crs_gather(
+          ctx, shmem, w, e, ctx.warps(), cfprims::kGatherCharge,
+          [](int vw) { return vw; },
+          [&](int vw, int lane, int j) {
+            return sched.read(vw * w + lane, j).raw;  // no rho applied
+          },
+          [&](int vw, int lane, int j, const T& v) {
+            regs[static_cast<std::size_t>(vw * w + lane) * static_cast<std::size_t>(e) +
+                 static_cast<std::size_t>(j)] = v;
+          });
     } else {
       gather::RoundSchedule sched(shape, std::move(a_off), std::move(a_size));
       gather::dual_subsequence_gather(ctx, shmem, sched, std::span<T>(regs));
@@ -291,27 +285,18 @@ void merge_window_core(gpusim::BlockContext& ctx, GIn& gin, gpusim::GlobalView<T
                        !cfg.disable_rho;
   const gather::CircularShift out_shift(w, e, tile);
   auto out_pos = [&](std::int64_t t) { return out_rho ? out_shift(t) : t; };
-  {
-    std::array<std::int64_t, gpusim::kMaxLanes> addr;
-    std::array<T, gpusim::kMaxLanes> vals{};
-    for (int warp = 0; warp < ctx.warps(); ++warp) {
-      for (int j = 0; j < e; ++j) {
-        for (int lane = 0; lane < w; ++lane) {
-          const int i = warp * w + lane;
-          addr[static_cast<std::size_t>(lane)] =
-              out_pos(static_cast<std::int64_t>(i) * e + j);
-          vals[static_cast<std::size_t>(lane)] =
-              regs[static_cast<std::size_t>(i) * static_cast<std::size_t>(e) +
-                   static_cast<std::size_t>(j)];
-        }
-        ctx.charge_compute(warp, cost::kCopyChunkInstrs);
-        shmem.scatter(warp,
-                      std::span<const std::int64_t>(addr.data(),
-                                                    static_cast<std::size_t>(w)),
-                      std::span<const T>(vals.data(), static_cast<std::size_t>(w)));
-      }
-    }
-  }
+  // The cf_rank_scatter primitive: stride-E register write-back through rho
+  // (or raw for the baseline), copy cadence — no per-thread setup.
+  cfprims::exec_crs_scatter(
+      ctx, shmem, w, e, ctx.warps(), cfprims::kCopyCharge,
+      [](int vw) { return vw; },
+      [&](int vw, int lane, int j) {
+        return out_pos(static_cast<std::int64_t>(vw * w + lane) * e + j);
+      },
+      [&](int vw, int lane, int j) {
+        return regs[static_cast<std::size_t>(vw * w + lane) * static_cast<std::size_t>(e) +
+                    static_cast<std::size_t>(j)];
+      });
   ctx.barrier();
   store_tile(ctx, shmem, gout, tile, [&](std::int64_t t) { return out_pos(t); },
              [](std::int64_t t) { return t; });

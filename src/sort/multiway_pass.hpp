@@ -31,6 +31,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "cfprims/exec.hpp"
 #include "gather/multiway_schedule.hpp"
 #include "gather/schedule.hpp"
 #include "gpusim/launcher.hpp"
@@ -333,10 +334,6 @@ void multiway_cascade_core(gpusim::BlockContext& ctx, GIn& gin, gpusim::GlobalVi
   // The cascade: each level runs the 2-way CF merge for every pair, with
   // virtual warps (u_pair = pad/E simulated threads per pair) mapped
   // round-robin onto the block's physical warps for charging.
-  std::array<std::int64_t, gpusim::kMaxLanes> addr;
-  std::array<T, gpusim::kMaxLanes> vals{};
-  const std::span<const std::int64_t> aspan(addr.data(), static_cast<std::size_t>(w));
-  const std::span<T> vspan(vals.data(), static_cast<std::size_t>(w));
   for (int level = 0; level < plan.levels(); ++level) {
     const std::int64_t rb = gather::CascadePlan::read_buffer(level) * cap;
     const std::int64_t wb = gather::CascadePlan::write_buffer(level) * cap;
@@ -393,48 +390,46 @@ void multiway_cascade_core(gpusim::BlockContext& ctx, GIn& gin, gpusim::GlobalVi
       const gather::GatherShape shape{w, e, u_pair, pr.la, pr.lb};
       const gather::RoundSchedule sched(shape, std::move(a_off), std::move(a_size));
       std::vector<T> regs(static_cast<std::size_t>(pad));
-      for (int vw = 0; vw < vwarps; ++vw) {
-        const int pw = static_cast<int>((vglobal + vw) % ctx.warps());
-        ctx.charge_compute(pw, cost::kThreadSetupInstrs);
-        for (int j = 0; j < e; ++j) {
-          for (int lane = 0; lane < w; ++lane)
-            addr[static_cast<std::size_t>(lane)] =
-                rb + pr.base + sched.read(vw * w + lane, j).phys;
-          ctx.charge_compute(pw, cost::kGatherRoundInstrs);
-          shmem.gather(pw, aspan, vspan);
-          for (int lane = 0; lane < w; ++lane)
+      const auto pair_warp = [&](int vw) {
+        return static_cast<int>((vglobal + vw) % ctx.warps());
+      };
+      cfprims::exec_crs_gather(
+          ctx, shmem, w, e, vwarps, cfprims::kGatherCharge, pair_warp,
+          [&](int vw, int lane, int j) {
+            return rb + pr.base + sched.read(vw * w + lane, j).phys;
+          },
+          [&](int vw, int lane, int j, const T& v) {
             regs[static_cast<std::size_t>(vw * w + lane) * static_cast<std::size_t>(e) +
-                 static_cast<std::size_t>(j)] = vals[static_cast<std::size_t>(lane)];
-        }
+                 static_cast<std::size_t>(j)] = v;
+          });
+      for (int vw = 0; vw < vwarps; ++vw) {
         for (int lane = 0; lane < w; ++lane) {
           std::span<T> r(regs.data() + static_cast<std::size_t>(vw * w + lane) *
                                            static_cast<std::size_t>(e),
                          static_cast<std::size_t>(e));
           odd_even_transposition_sort(r, cmp);
         }
-        ctx.charge_compute(pw, static_cast<std::uint64_t>(odd_even_network_size(e)) *
-                                   cost::kCompareExchangeInstrs);
+        ctx.charge_compute(pair_warp(vw),
+                           static_cast<std::uint64_t>(odd_even_network_size(e)) *
+                               cost::kCompareExchangeInstrs);
       }
 
       // Inter-stage rank scatter: rank r = iE + j of this pair lands at the
       // parent's pos_a/pos_b(r) (root: rho_out(r)) — data independent, so
       // each round is a stride-E progression through rho' and conflict free.
       ctx.phase("merge.store");
-      for (int vw = 0; vw < vwarps; ++vw) {
-        const int pw = static_cast<int>((vglobal + vw) % ctx.warps());
-        ctx.charge_compute(pw, cost::kThreadSetupInstrs);
-        for (int j = 0; j < e; ++j) {
-          for (int lane = 0; lane < w; ++lane) {
+      // The cf_rank_scatter primitive at gather cadence: the per-thread
+      // setup computes the parent's pos_a/pos_b bounds.
+      cfprims::exec_crs_scatter(
+          ctx, shmem, w, e, vwarps, cfprims::kGatherCharge, pair_warp,
+          [&](int vw, int lane, int j) {
             const std::int64_t r = static_cast<std::int64_t>(vw * w + lane) * e + j;
-            addr[static_cast<std::size_t>(lane)] =
-                wb + plan.scatter_pos(level, static_cast<int>(p), r);
-            vals[static_cast<std::size_t>(lane)] =
-                regs[static_cast<std::size_t>(r)];
-          }
-          ctx.charge_compute(pw, cost::kGatherRoundInstrs);
-          shmem.scatter(pw, aspan, std::span<const T>(vals.data(), aspan.size()));
-        }
-      }
+            return wb + plan.scatter_pos(level, static_cast<int>(p), r);
+          },
+          [&](int vw, int lane, int j) {
+            return regs[static_cast<std::size_t>(
+                static_cast<std::int64_t>(vw * w + lane) * e + j)];
+          });
       vglobal += vwarps;
     }
     ctx.barrier();

@@ -10,10 +10,12 @@
 #include <stdexcept>
 #include <vector>
 
+#include "cfprims/primitive.hpp"
 #include "gather/permutation.hpp"
 #include "gather/schedule.hpp"
 #include "gpusim/shared_memory.hpp"
 #include "numtheory/numtheory.hpp"
+#include "verify/primitive.hpp"
 #include "worstcase/builder.hpp"
 #include "worstcase/predict.hpp"
 
@@ -409,6 +411,7 @@ ProofObject verify_cf_gather(int w, int e, ScheduleVariant variant) {
   const CfGatherLowering lo = lower_cf_gather(w, e, variant);
   ProofObject po;
   po.schedule = variant_name(variant);
+  po.family = po.schedule;  // the gather variants are registered primitives
   po.w = w;
   po.e = e;
   po.d = numtheory::gcd(w, e);
@@ -797,17 +800,33 @@ VerifyReport verify_all(const VerifyOptions& opts) {
   VerifyReport rep;
   for (const int w : opts.widths) {
     for (int e = 2; e <= w; ++e) {
-      const ProofObject two_way = verify_cf_gather(w, e, ScheduleVariant::kFull);
-      rep.proofs.push_back(two_way);
+      // The (w, E) primitive sweep: every registered CFPrimitive through
+      // the one generic lowering path.  cf_gather's proof (produced via
+      // delegation) doubles as the two-way lemma the cascades reuse.
+      ProofObject two_way;
+      if (opts.primitives) {
+        for (const cfprims::CFPrimitive* prim : cfprims::registry()) {
+          if (!prim->supports(w, e)) continue;
+          const bool broken = !prim->expected_conflict_free(w, e);
+          if (broken && !opts.broken) continue;
+          ProofObject po = verify_primitive(*prim, w, e);
+          if (!broken && prim->name() == "cf_gather") two_way = po;
+          (broken ? rep.refutations : rep.proofs).push_back(std::move(po));
+        }
+      } else {
+        two_way = verify_cf_gather(w, e, ScheduleVariant::kFull);
+        rep.proofs.push_back(two_way);
+        if (opts.broken) {
+          rep.refutations.push_back(
+              verify_cf_gather(w, e, ScheduleVariant::kNoBReversal));
+          if (numtheory::gcd(w, e) > 1)
+            rep.refutations.push_back(
+                verify_cf_gather(w, e, ScheduleVariant::kNoRhoShift));
+        }
+      }
       if (opts.multiway)
         for (const int k : opts.ks)
           rep.proofs.push_back(verify_multiway_cascade(w, e, k, &two_way));
-      if (opts.broken) {
-        rep.refutations.push_back(verify_cf_gather(w, e, ScheduleVariant::kNoBReversal));
-        if (numtheory::gcd(w, e) > 1)
-          rep.refutations.push_back(
-              verify_cf_gather(w, e, ScheduleVariant::kNoRhoShift));
-      }
       if (opts.worstcase) rep.worstcase.push_back(analyze_worstcase_warp({w, e}));
     }
     if (opts.multiway && opts.broken)

@@ -94,6 +94,9 @@ struct VerifyOptions {
   bool worstcase = true;  ///< include Theorem 8 analyses
   bool bitonic = true;    ///< include bitonic exchange profiles
   bool multiway = true;   ///< include k-way cascade proofs + direct refutations
+  /// Sweep every registered CFPrimitive through the generic lowering path
+  /// (verify_primitive); when false, only the legacy cf_gather proof runs.
+  bool primitives = true;
   std::vector<int> ks = {2, 4, 8};  ///< merge arities for the multiway sweep
 };
 [[nodiscard]] VerifyReport verify_all(const VerifyOptions& opts = {});

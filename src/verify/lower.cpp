@@ -26,6 +26,18 @@ AffineExpr lower_rho(const AffineExpr& raw, int w, int e) {
   return l.times(p) + AffineExpr::select(x, cp, x, x - cp);
 }
 
+AffineExpr lower_rho_inverse(const AffineExpr& raw, int w, int e) {
+  const std::int64_t d = numtheory::gcd(w, e);
+  if (d == 1) return raw;
+  const std::int64_t p = static_cast<std::int64_t>(w) * e / d;
+  // l = raw div P; x = raw mod P - l mod d; raw' = l*P + (x >= 0 ? x : x + P).
+  const AffineExpr l = raw.div(p);
+  const AffineExpr x = raw.mod(p) - l.mod(d);
+  const AffineExpr zero = AffineExpr::constant(0);
+  const AffineExpr cp = AffineExpr::constant(p);
+  return l.times(p) + AffineExpr::select(x, zero, x + cp, x);
+}
+
 CfGatherLowering lower_cf_gather(int w, int e, ScheduleVariant variant) {
   if (w <= 0 || e <= 1 || e > w)
     throw std::invalid_argument("lower_cf_gather: need w > 0 and 1 < E <= w");

@@ -65,6 +65,11 @@ struct CfGatherLowering {
 /// partition l circularly shifted forward by l mod d.  Identity when d == 1.
 [[nodiscard]] AffineExpr lower_rho(const AffineExpr& raw, int w, int e);
 
+/// rho^-1 applied to `raw`: partition l shifted *backward* by l mod d, i.e.
+/// rho^-1(m) = l·P + (m mod P - l mod d mod P).  Identity when d == 1.
+/// Used by the inverse cf_permute primitive (gather::CircularShift::inverse).
+[[nodiscard]] AffineExpr lower_rho_inverse(const AffineExpr& raw, int w, int e);
+
 /// The one-slot-per-w bitonic padding: x + x div w (identity when !padded).
 [[nodiscard]] AffineExpr lower_bitonic_pad(const AffineExpr& x, int w, bool padded);
 

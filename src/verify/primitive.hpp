@@ -1,0 +1,32 @@
+// Generic CFPrimitive verification: one prover for every registered
+// primitive (cfprims/primitive.hpp) instead of per-family special cases.
+//
+// A primitive that lowers to concrete access streams is checked per stream:
+//
+//   lower:<stream>        the affine IR reproduces the primitive's actual
+//                         address computation on every (thread, round)
+//   residue:<stream>      raw ≡ j (mod E) derived symbolically (streams
+//                         that claim the paper's residue invariant)
+//   periodicity:<stream>  bank(phys) is periodic in the thread index, so
+//                         the exhaustive window check below covers every
+//                         u ≡ 0 (mod w), not just the verified shape
+//   banks:<stream>        every w-aligned warp window of every round hits
+//                         w distinct banks (simulator cost model), else a
+//                         concrete lane-pair witness is extracted
+//
+// Gather-family primitives whose pattern depends on merge-path splits
+// delegate to verify_cf_gather (the full RoundSchedule machinery) and only
+// contribute their family tag.
+#pragma once
+
+#include "cfprims/primitive.hpp"
+#include "verify/proof.hpp"
+
+namespace cfmerge::verify {
+
+/// Proves or refutes one registered primitive for the (w, E) family.
+/// Throws std::invalid_argument when the primitive does not support (w, E).
+[[nodiscard]] ProofObject verify_primitive(const cfprims::CFPrimitive& prim, int w,
+                                           int e);
+
+}  // namespace cfmerge::verify

@@ -51,6 +51,10 @@ enum class Verdict {
 
 struct ProofObject {
   std::string schedule;  ///< "cf_gather", "cf_gather_no_pi", "bitonic_padded", ...
+  /// Registered CFPrimitive this proof certifies/refutes (empty for the
+  /// legacy non-primitive objects: multiway cascades, bitonic, worst-case).
+  /// The JSON "primitives" rollup groups by this.
+  std::string family;
   int w = 0;
   int e = 0;
   int k = 0;             ///< merge arity (0 for the pairwise schedules)

@@ -304,9 +304,14 @@ TEST(CfVerify, VerifyAllReportIsOkAndSerializes) {
   EXPECT_TRUE(report.all_proved());
   EXPECT_TRUE(report.all_refuted());
   EXPECT_TRUE(report.ok());
-  // Every d > 1 family contributes a no-rho refutation, every family a
-  // no-pi one, every width an unpadded-bitonic one plus one direct k-ary
-  // claim per merge arity; proofs add a multiway cascade per (E, k).
+  // Every (w, E) family proves the six CF primitives (cf_gather,
+  // cf_rank_scatter, cf_permute{,_inverse}, cf_transpose{,_inverse}) plus a
+  // multiway cascade per arity, and refutes cf_gather_no_pi always and
+  // cf_gather_no_rho + cf_permute_no_rho when gcd(w, E) > 1; every width
+  // additionally carries the bitonic profiles and the per-k direct claims.
+  constexpr std::size_t kCfPrimitives = 6;
+  constexpr std::size_t kBrokenCoprime = 1;   // cf_gather_no_pi
+  constexpr std::size_t kBrokenSharedD = 2;   // *_no_rho variants
   std::size_t want_refutations = 0;
   std::size_t want_proofs = 0;
   for (const int w : opts.widths) {
@@ -314,9 +319,9 @@ TEST(CfVerify, VerifyAllReportIsOkAndSerializes) {
     want_refutations += opts.ks.size();  // direct k-ary claims
     want_proofs += 2;  // bitonic padded + unpadded profile
     for (int e = 2; e <= w; ++e) {
-      want_proofs += 1 + opts.ks.size();  // cf_gather + multiway cascades
-      ++want_refutations;
-      if (numtheory::gcd(w, e) > 1) ++want_refutations;
+      want_proofs += kCfPrimitives + opts.ks.size();
+      want_refutations += kBrokenCoprime;
+      if (numtheory::gcd(w, e) > 1) want_refutations += kBrokenSharedD;
     }
   }
   EXPECT_EQ(report.proofs.size(), want_proofs);

@@ -1,6 +1,12 @@
 // cfsort — command-line driver for the simulated sorters.
 //
 //   cfsort [options]
+//     --op=sort|permute|transpose                 (default sort; permute and
+//                                                 transpose run the standalone
+//                                                 cf_permute / cf_transpose
+//                                                 primitive forward then
+//                                                 inverse and verify the
+//                                                 round-trip is the identity)
 //     --algo=cf|baseline|bitonic|bitonic-padded   (default cf)
 //     --dist=uniform-random|sorted|reverse|nearly-sorted|few-distinct|
 //            sawtooth|worst-case                  (default uniform-random)
@@ -46,6 +52,8 @@
 //   cfsort --algo=cf --segments=16 --json | jq .overlap_speedup
 //   cfsort --algo=cf --k=4 --json | jq .passes
 //   cfsort --algo=cf --k=4 --multiway=losertree --profile
+//   cfsort --op=permute --e=15 --u=512 --json | jq .totals.bank_conflicts
+//   cfsort --op=transpose --n=122880 --profile
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -63,6 +71,7 @@ using namespace cfmerge;
 namespace {
 
 struct Options {
+  std::string op = "sort";
   std::string algo = "cf";
   std::string dist = "uniform-random";
   std::int64_t n = 245760;
@@ -86,7 +95,8 @@ struct Options {
 [[noreturn]] void usage(const char* msg) {
   if (msg) std::fprintf(stderr, "cfsort: %s\n", msg);
   std::fprintf(stderr,
-               "usage: cfsort [--algo=cf|baseline|bitonic|bitonic-padded]\n"
+               "usage: cfsort [--op=sort|permute|transpose]\n"
+               "              [--algo=cf|baseline|bitonic|bitonic-padded]\n"
                "              [--dist=NAME] [--n=N] [--e=E] [--u=U]\n"
                "              [--k=K] [--multiway=cascade|losertree]\n"
                "              [--device=rtx2080ti|turing:SMS|tiny:W,SMS]\n"
@@ -107,6 +117,7 @@ Options parse(int argc, char** argv) {
       return {};
     };
     if (a == "--help" || a == "-h") usage(nullptr);
+    else if (auto v = val("--op"); !v.empty()) o.op = v;
     else if (auto v = val("--algo"); !v.empty()) o.algo = v;
     else if (auto v = val("--dist"); !v.empty()) o.dist = v;
     else if (auto v = val("--n"); !v.empty()) o.n = std::stoll(v);
@@ -216,7 +227,18 @@ int main(int argc, char** argv) {
   if (o.k > 0 && o.algo != "cf") usage("--k requires --algo=cf");
   if (o.k > 0 && o.segments > 0) usage("--k and --segments are mutually exclusive");
   if (o.multiway != "cascade" && o.multiway != "losertree")
-    usage(("unknown multiway variant: " + o.multiway).c_str());
+    usage(("unknown multiway variant: " + o.multiway +
+           " (valid: cascade, losertree)").c_str());
+  if (o.op != "sort" && o.op != "permute" && o.op != "transpose")
+    usage(("unknown op: " + o.op + " (valid: sort, permute, transpose)").c_str());
+  if (o.algo != "cf" && o.algo != "baseline" && o.algo != "bitonic" &&
+      o.algo != "bitonic-padded")
+    usage(("unknown algorithm: " + o.algo +
+           " (valid: cf, baseline, bitonic, bitonic-padded)").c_str());
+  if (o.op != "sort" && o.algo != "cf")
+    usage("--op=permute|transpose requires --algo=cf");
+  if (o.op != "sort" && (o.k > 0 || o.segments > 0))
+    usage("--op=permute|transpose is incompatible with --k and --segments");
 
   // Runs the sort `o.repeat` times, each on a fresh copy of the unsorted
   // input, and prints min/median host wall-clock to stderr (simulated
@@ -259,7 +281,43 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(es.arena_bytes));
   };
 
-  if (o.algo == "bitonic" || o.algo == "bitonic-padded") {
+  if (o.op != "sort") {
+    cfprims::PermuteConfig cfg;
+    cfg.op = o.op == "transpose" ? cfprims::PermuteOp::kTranspose
+                                 : cfprims::PermuteOp::kPermute;
+    cfg.e = o.e;
+    cfg.u = o.u;
+    const auto mode =
+        o.serial_graph ? gpusim::GraphExec::Serial : gpusim::GraphExec::Overlap;
+    const std::vector<std::int32_t> original = data;
+    const auto report = repeat_wall([&](std::vector<std::int32_t>& work) {
+      work.resize(original.size());  // undo the previous repeat's padding
+      cfprims::PermuteConfig fwd = cfg;
+      fwd.inverse = false;
+      return engine.permute(work, fwd, mode);
+    });
+    // Round-trip: the inverse op must restore the original array exactly.
+    cfprims::PermuteConfig inv = cfg;
+    inv.inverse = true;
+    engine.permute(data, inv, mode);
+    data.resize(original.size());
+    if (data != original) {
+      std::fprintf(stderr, "cfsort: ROUND-TRIP NOT IDENTITY (bug)\n");
+      return 1;
+    }
+    print_engine_stats();
+    if (o.json) {
+      const sort::EngineStats es = engine.stats();
+      analysis::write_json(std::cout, report, launcher.device().name, o.dist, &es);
+    } else {
+      std::printf("%s | %s | n=%lld | %.1f us | %.1f elements/us | "
+                  "conflicts=%llu | roundtrip ok\n",
+                  report.op_name(), o.dist.c_str(), static_cast<long long>(report.n),
+                  report.microseconds, report.throughput(),
+                  static_cast<unsigned long long>(report.totals.bank_conflicts));
+      if (o.profile) analysis::print_phase_profile(std::cout, report.phases, report.n_padded);
+    }
+  } else if (o.algo == "bitonic" || o.algo == "bitonic-padded") {
     sort::BitonicConfig cfg;
     cfg.u = o.u;
     cfg.elems_per_thread = 2;

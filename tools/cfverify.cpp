@@ -12,6 +12,9 @@
 //     --ks=2,4,8                   override the multiway merge arities (each
 //                                  must be a power of two >= 2)
 //     --no-broken                  skip the deliberately-broken refutations
+//     --no-primitives              skip the registered-CFPrimitive sweep and
+//                                  fall back to the legacy cf_gather-only
+//                                  proofs
 //     --no-worstcase               skip the Theorem 8 analyses
 //     --no-bitonic                 skip the bitonic exchange profiles
 //     --no-multiway                skip the k-way cascade proofs and the
@@ -52,6 +55,7 @@ struct Options {
   std::vector<int> widths = {4, 8, 16, 32, 64};
   std::vector<int> ks = {2, 4, 8};
   bool broken = true;
+  bool primitives = true;
   bool worstcase = true;
   bool bitonic = true;
   bool multiway = true;
@@ -64,8 +68,9 @@ struct Options {
   if (msg) std::fprintf(stderr, "cfverify: %s\n", msg);
   std::fprintf(stderr,
                "usage: cfverify [--all] [--w=W --e=E] [--widths=4,8,...] [--ks=2,4,...]\n"
-               "                [--no-broken] [--no-worstcase] [--no-bitonic]\n"
-               "                [--no-multiway] [--shadow] [--json] [--quiet]\n");
+               "                [--no-broken] [--no-primitives] [--no-worstcase]\n"
+               "                [--no-bitonic] [--no-multiway] [--shadow] [--json]\n"
+               "                [--quiet]\n");
   std::exit(msg ? 2 : 0);
 }
 
@@ -96,6 +101,7 @@ Options parse(int argc, char** argv) {
     else if (auto v = val("--widths"); !v.empty()) o.widths = parse_int_list(v, "--widths");
     else if (auto v = val("--ks"); !v.empty()) o.ks = parse_int_list(v, "--ks");
     else if (a == "--no-broken") o.broken = false;
+    else if (a == "--no-primitives") o.primitives = false;
     else if (a == "--no-worstcase") o.worstcase = false;
     else if (a == "--no-bitonic") o.bitonic = false;
     else if (a == "--no-multiway") o.multiway = false;
@@ -112,24 +118,40 @@ Options parse(int argc, char** argv) {
   return o;
 }
 
-/// Single-family report: the same shape verify_all produces for one (w, E).
+/// Single-family report: the same shape verify_all produces for one (w, E) —
+/// every registered CFPrimitive through the generic lowering path, then the
+/// cascades (reusing cf_gather's proof as the two-way lemma), Theorem 8 and
+/// the bitonic profiles.
 verify::VerifyReport verify_one(const Options& o) {
   verify::VerifyReport report;
-  const verify::ProofObject two_way = verify::verify_cf_gather(o.w, o.e);
-  report.proofs.push_back(two_way);
+  verify::ProofObject two_way;
+  if (o.primitives) {
+    for (const cfprims::CFPrimitive* prim : cfprims::registry()) {
+      if (!prim->supports(o.w, o.e)) continue;
+      const bool broken = !prim->expected_conflict_free(o.w, o.e);
+      if (broken && !o.broken) continue;
+      verify::ProofObject po = verify::verify_primitive(*prim, o.w, o.e);
+      if (!broken && prim->name() == "cf_gather") two_way = po;
+      (broken ? report.refutations : report.proofs).push_back(std::move(po));
+    }
+  } else {
+    two_way = verify::verify_cf_gather(o.w, o.e);
+    report.proofs.push_back(two_way);
+    if (o.broken) {
+      report.refutations.push_back(
+          verify::verify_cf_gather(o.w, o.e, verify::ScheduleVariant::kNoBReversal));
+      if (numtheory::gcd(static_cast<std::int64_t>(o.w),
+                         static_cast<std::int64_t>(o.e)) > 1)
+        report.refutations.push_back(
+            verify::verify_cf_gather(o.w, o.e, verify::ScheduleVariant::kNoRhoShift));
+    }
+  }
   if (o.multiway)
     for (const int k : o.ks) {
       report.proofs.push_back(verify::verify_multiway_cascade(o.w, o.e, k, &two_way));
       if (o.broken)
         report.refutations.push_back(verify::refute_multiway_direct(o.w, o.e, k));
     }
-  if (o.broken) {
-    report.refutations.push_back(
-        verify::verify_cf_gather(o.w, o.e, verify::ScheduleVariant::kNoBReversal));
-    if (numtheory::gcd(static_cast<std::int64_t>(o.w), static_cast<std::int64_t>(o.e)) > 1)
-      report.refutations.push_back(
-          verify::verify_cf_gather(o.w, o.e, verify::ScheduleVariant::kNoRhoShift));
-  }
   if (o.worstcase)
     report.worstcase.push_back(
         verify::analyze_worstcase_warp(worstcase::Params{o.w, o.e}));
@@ -239,6 +261,24 @@ void print_text(const verify::VerifyReport& report) {
                   " (%lld with lane-pair witness)\n",
                   k, c[0], c[1], c[2]);
   }
+
+  // Per-family rollup of the registered-CFPrimitive sweep (mirrors the JSON
+  // "primitives" list).
+  std::map<std::string, std::array<long long, 3>> per_family;
+  for (const auto& p : report.proofs)
+    if (!p.family.empty() && p.verdict == verify::Verdict::kProved)
+      ++per_family[p.family][0];
+  for (const auto& p : report.refutations)
+    if (!p.family.empty()) {
+      ++per_family[p.family][1];
+      if (p.verdict == verify::Verdict::kCounterexample) ++per_family[p.family][2];
+    }
+  if (!per_family.empty()) {
+    std::printf("primitives summary (per family):\n");
+    for (const auto& [name, c] : per_family)
+      std::printf("  %-22s %lld shapes proved, %lld refuted (%lld with witness)\n",
+                  name.c_str(), c[0], c[1], c[2]);
+  }
   if (!report.worstcase.empty()) {
     std::printf("Theorem 8 worst-case analyses:\n");
     for (const auto& wc : report.worstcase)
@@ -274,6 +314,7 @@ int main(int argc, char** argv) {
     verify::VerifyOptions vo;
     vo.widths = o.widths;
     vo.broken = o.broken;
+    vo.primitives = o.primitives;
     vo.worstcase = o.worstcase;
     vo.bitonic = o.bitonic;
     vo.multiway = o.multiway;
