@@ -40,6 +40,7 @@
 #include "sort/engine.hpp"
 #include "sort/merge_sort.hpp"
 #include "sort/segmented_sort.hpp"
+#include "verify/certificate.hpp"
 
 using namespace cfmerge;
 
@@ -217,6 +218,11 @@ int main(int argc, char** argv) {
     tally.arena_bytes += es.arena_bytes;
     tally.arena_allocs += es.arena_allocs;
     tally.arena_reuses += es.arena_reuses;
+    tally.bulk_charges += es.bulk_charges;
+    tally.lane_charges += es.lane_charges;
+    // cert_* deliberately not summed: the certificate memo is process-wide,
+    // so each engine snapshot reports the same cumulative numbers (taken
+    // once from verify::certificate_stats() before the JSON is written).
   };
 
   // --- merge_sort, CF variant, random 2^20 (the trajectory's anchor case).
@@ -429,6 +435,11 @@ int main(int argc, char** argv) {
   const bool all_ok =
       std::all_of(results.begin(), results.end(),
                   [](const CaseResult& r) { return r.identity_ok; });
+
+  const verify::CertificateStats cert_stats = verify::certificate_stats();
+  tally.cert_hits = cert_stats.hits;
+  tally.cert_misses = cert_stats.misses;
+  tally.certs_cached = cert_stats.cached;
 
   std::ofstream f(out_path);
   if (!f) {

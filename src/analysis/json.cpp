@@ -184,7 +184,13 @@ void write_json(std::ostream& os, const sort::EngineStats& stats) {
      << ",\"plan_bytes\":" << stats.plan_bytes
      << ",\"arena_bytes\":" << stats.arena_bytes
      << ",\"arena_allocs\":" << stats.arena_allocs
-     << ",\"arena_reuses\":" << stats.arena_reuses << "}";
+     << ",\"arena_reuses\":" << stats.arena_reuses
+     << ",\"bulk_charges\":" << stats.bulk_charges
+     << ",\"lane_charges\":" << stats.lane_charges
+     << ",\"bulk_rate\":" << stats.bulk_rate()
+     << ",\"cert_hits\":" << stats.cert_hits
+     << ",\"cert_misses\":" << stats.cert_misses
+     << ",\"certs_cached\":" << stats.certs_cached << "}";
 }
 
 namespace {

@@ -16,16 +16,30 @@
 // This header deliberately depends only on gpusim + the cost constants so
 // that both the gather layer and the sort kernels can include it without
 // cycles.
+//
+// Bulk fast path: each executor takes an optional CfCertificate
+// (verify/certificate.hpp).  When the pattern is certified and no observer
+// needs per-lane addresses (BlockContext::bulk_shared()), the executor
+// charges the whole progression in closed form via charge_shared_crs and
+// moves the data in one fused loop — the exact counters and chains of the
+// lane path, without materializing address buffers or re-screening what the
+// verifier already proved.  A null certificate always takes the lane path.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cassert>
 #include <cstdint>
 #include <span>
+#include <utility>
 
 #include "gpusim/block_context.hpp"
 #include "gpusim/memory_views.hpp"
 #include "sort/cost_model.hpp"
+
+namespace cfmerge::verify {
+struct CfCertificate;
+}
 
 namespace cfmerge::cfprims {
 
@@ -47,12 +61,34 @@ inline constexpr CrsCharge kCopyCharge{0, sort::cost::kCopyChunkInstrs};
 /// `rounds` warp-wide reads of `shmem`.  `warp_of(vw)` maps the virtual
 /// warp to the physical warp that issues (and is charged for) its
 /// accesses; `addr_of(vw, lane, j)` gives the shared slot; `sink(vw, lane,
-/// j, value)` receives each element read.
+/// j, value)` receives each element read.  All w lanes must be active.
+/// `cert` enables the closed-form bulk path (see header comment).
 template <typename T, typename WarpOf, typename AddrOf, typename Sink>
 void exec_crs_gather(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& shmem, int w,
-                     int rounds, int vwarps, const CrsCharge& charge, WarpOf&& warp_of,
+                     int rounds, int vwarps, const CrsCharge& charge,
+                     const verify::CfCertificate* cert, WarpOf&& warp_of,
                      AddrOf&& addr_of, Sink&& sink) {
   assert(w <= gpusim::kMaxLanes);
+  if (cert != nullptr && ctx.bulk_shared() && rounds > 0) {
+    const std::span<const T> data = shmem.raw();
+    for (int vw = 0; vw < vwarps; ++vw) {
+      const int pw = warp_of(vw);
+      ctx.charge_compute(pw,
+                         charge.setup + static_cast<std::uint64_t>(rounds) * charge.round);
+      for (int j = 0; j < rounds; ++j) {
+        for (int lane = 0; lane < w; ++lane) {
+          const std::int64_t a = addr_of(vw, lane, j);
+          assert(a >= 0 && static_cast<std::size_t>(a) < data.size());
+          sink(vw, lane, j, data[static_cast<std::size_t>(a)]);
+        }
+      }
+      ctx.charge_shared_crs(pw, gpusim::CrsAccessDesc{.rounds = rounds,
+                                                      .dependent_rounds = rounds,
+                                                      .active_lanes = w,
+                                                      .is_write = false});
+    }
+    return;
+  }
   std::array<std::int64_t, gpusim::kMaxLanes> addr;
   std::array<T, gpusim::kMaxLanes> vals{};
   const std::span<const std::int64_t> aspan(addr.data(), static_cast<std::size_t>(w));
@@ -71,13 +107,45 @@ void exec_crs_gather(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& shmem, in
   }
 }
 
+/// Uncertified form: always takes the lane path.
+template <typename T, typename WarpOf, typename AddrOf, typename Sink>
+void exec_crs_gather(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& shmem, int w,
+                     int rounds, int vwarps, const CrsCharge& charge, WarpOf&& warp_of,
+                     AddrOf&& addr_of, Sink&& sink) {
+  exec_crs_gather(ctx, shmem, w, rounds, vwarps, charge,
+                  static_cast<const verify::CfCertificate*>(nullptr),
+                  std::forward<WarpOf>(warp_of), std::forward<AddrOf>(addr_of),
+                  std::forward<Sink>(sink));
+}
+
 /// Mirror image of exec_crs_gather for warp-wide writes: `source(vw, lane,
 /// j)` supplies the element each lane stores to `addr_of(vw, lane, j)`.
 template <typename T, typename WarpOf, typename AddrOf, typename Source>
 void exec_crs_scatter(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& shmem, int w,
-                      int rounds, int vwarps, const CrsCharge& charge, WarpOf&& warp_of,
+                      int rounds, int vwarps, const CrsCharge& charge,
+                      const verify::CfCertificate* cert, WarpOf&& warp_of,
                       AddrOf&& addr_of, Source&& source) {
   assert(w <= gpusim::kMaxLanes);
+  if (cert != nullptr && ctx.bulk_shared() && rounds > 0) {
+    const std::span<T> data = shmem.raw();
+    for (int vw = 0; vw < vwarps; ++vw) {
+      const int pw = warp_of(vw);
+      ctx.charge_compute(pw,
+                         charge.setup + static_cast<std::uint64_t>(rounds) * charge.round);
+      for (int j = 0; j < rounds; ++j) {
+        for (int lane = 0; lane < w; ++lane) {
+          const std::int64_t a = addr_of(vw, lane, j);
+          assert(a >= 0 && static_cast<std::size_t>(a) < data.size());
+          data[static_cast<std::size_t>(a)] = source(vw, lane, j);
+        }
+      }
+      ctx.charge_shared_crs(pw, gpusim::CrsAccessDesc{.rounds = rounds,
+                                                      .dependent_rounds = rounds,
+                                                      .active_lanes = w,
+                                                      .is_write = true});
+    }
+    return;
+  }
   std::array<std::int64_t, gpusim::kMaxLanes> addr;
   std::array<T, gpusim::kMaxLanes> vals{};
   const std::span<const std::int64_t> aspan(addr.data(), static_cast<std::size_t>(w));
@@ -96,19 +164,132 @@ void exec_crs_scatter(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& shmem, i
   }
 }
 
+/// exec_crs_gather specialised for the stride-E register staging pattern:
+/// addr(vw, lane, j) = (vw*w + lane)*rounds + j, sink = regs[same index].
+/// One virtual warp's addresses cover exactly the contiguous range
+/// [vw*w*rounds, (vw+1)*w*rounds), so the certified bulk path moves the
+/// whole warp block with one std::copy; charges are identical to the
+/// generic executor on the same pattern.
+template <typename T>
+void exec_stride_gather(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& shmem, int w,
+                        int rounds, int vwarps, const CrsCharge& charge,
+                        const verify::CfCertificate* cert, std::span<T> regs) {
+  if (cert != nullptr && ctx.bulk_shared() && rounds > 0) {
+    const std::span<const T> data = std::as_const(shmem).raw();
+    const auto per_warp = static_cast<std::size_t>(w) * static_cast<std::size_t>(rounds);
+    for (int vw = 0; vw < vwarps; ++vw) {
+      ctx.charge_compute(vw,
+                         charge.setup + static_cast<std::uint64_t>(rounds) * charge.round);
+      const std::size_t first = static_cast<std::size_t>(vw) * per_warp;
+      assert(first + per_warp <= data.size() && first + per_warp <= regs.size());
+      std::copy(data.begin() + static_cast<std::ptrdiff_t>(first),
+                data.begin() + static_cast<std::ptrdiff_t>(first + per_warp),
+                regs.begin() + static_cast<std::ptrdiff_t>(first));
+      ctx.charge_shared_crs(vw, gpusim::CrsAccessDesc{.rounds = rounds,
+                                                      .dependent_rounds = rounds,
+                                                      .active_lanes = w,
+                                                      .is_write = false});
+    }
+    return;
+  }
+  exec_crs_gather(
+      ctx, shmem, w, rounds, vwarps, charge, cert, [](int vw) { return vw; },
+      [w, rounds](int vw, int lane, int j) {
+        return static_cast<std::int64_t>(vw * w + lane) * rounds + j;
+      },
+      [regs, rounds, w](int vw, int lane, int j, const T& v) {
+        regs[static_cast<std::size_t>(vw * w + lane) * static_cast<std::size_t>(rounds) +
+             static_cast<std::size_t>(j)] = v;
+      });
+}
+
+/// Mirror image of exec_stride_gather: regs -> shared, same index map.
+template <typename T>
+void exec_stride_scatter(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& shmem, int w,
+                         int rounds, int vwarps, const CrsCharge& charge,
+                         const verify::CfCertificate* cert, std::span<const T> regs) {
+  if (cert != nullptr && ctx.bulk_shared() && rounds > 0) {
+    const std::span<T> data = shmem.raw();
+    const auto per_warp = static_cast<std::size_t>(w) * static_cast<std::size_t>(rounds);
+    for (int vw = 0; vw < vwarps; ++vw) {
+      ctx.charge_compute(vw,
+                         charge.setup + static_cast<std::uint64_t>(rounds) * charge.round);
+      const std::size_t first = static_cast<std::size_t>(vw) * per_warp;
+      assert(first + per_warp <= data.size() && first + per_warp <= regs.size());
+      std::copy(regs.begin() + static_cast<std::ptrdiff_t>(first),
+                regs.begin() + static_cast<std::ptrdiff_t>(first + per_warp),
+                data.begin() + static_cast<std::ptrdiff_t>(first));
+      ctx.charge_shared_crs(vw, gpusim::CrsAccessDesc{.rounds = rounds,
+                                                      .dependent_rounds = rounds,
+                                                      .active_lanes = w,
+                                                      .is_write = true});
+    }
+    return;
+  }
+  exec_crs_scatter(
+      ctx, shmem, w, rounds, vwarps, charge, cert, [](int vw) { return vw; },
+      [w, rounds](int vw, int lane, int j) {
+        return static_cast<std::int64_t>(vw * w + lane) * rounds + j;
+      },
+      [regs, rounds, w](int vw, int lane, int j) {
+        return regs[static_cast<std::size_t>(vw * w + lane) *
+                        static_cast<std::size_t>(rounds) +
+                    static_cast<std::size_t>(j)];
+      });
+}
+
+/// Uncertified form: always takes the lane path.
+template <typename T, typename WarpOf, typename AddrOf, typename Source>
+void exec_crs_scatter(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& shmem, int w,
+                      int rounds, int vwarps, const CrsCharge& charge, WarpOf&& warp_of,
+                      AddrOf&& addr_of, Source&& source) {
+  exec_crs_scatter(ctx, shmem, w, rounds, vwarps, charge,
+                   static_cast<const verify::CfCertificate*>(nullptr),
+                   std::forward<WarpOf>(warp_of), std::forward<AddrOf>(addr_of),
+                   std::forward<Source>(source));
+}
+
 /// Staged shared-to-shared copy (the block-sort cf_permute idiom): all
 /// warps cooperatively move `count` elements from `src` to `dst`, warp k
 /// handling lanes [k*w, k*w + w) of each block-wide chunk of u elements.
 /// Each chunk charges kCopyChunkInstrs and issues one independent gather +
 /// one independent scatter (the addresses are compile-time functions of the
-/// slot, not of loaded data).
+/// slot, not of loaded data).  `src` and `dst` must be distinct tiles.
+/// A certificate must cover *both* sides of every chunk (w-aligned warp
+/// windows through src_of and dst_of each hit distinct banks).
 template <typename T, typename SrcOf, typename DstOf>
 void exec_shared_copy(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& src,
-                      gpusim::SharedTile<T>& dst, std::int64_t count, SrcOf&& src_of,
+                      gpusim::SharedTile<T>& dst, std::int64_t count,
+                      const verify::CfCertificate* cert, SrcOf&& src_of,
                       DstOf&& dst_of) {
   const int w = ctx.lanes();
   const int u = ctx.threads();
   assert(w <= gpusim::kMaxLanes);
+  if (cert != nullptr && ctx.bulk_shared() && count > 0) {
+    const std::span<const T> s = std::as_const(src).raw();
+    const std::span<T> d = dst.raw();
+    for (int warp = 0; warp < ctx.warps(); ++warp) {
+      const std::int64_t first = static_cast<std::int64_t>(warp) * w;
+      if (first >= count) continue;
+      const auto chunks = static_cast<int>((count - first + u - 1) / u);
+      ctx.charge_compute(warp, static_cast<std::uint64_t>(chunks) *
+                                   sort::cost::kCopyChunkInstrs);
+      ctx.charge_shared_crs(warp, gpusim::CrsAccessDesc{.rounds = chunks,
+                                                        .active_lanes = w,
+                                                        .is_write = false});
+      ctx.charge_shared_crs(warp, gpusim::CrsAccessDesc{.rounds = chunks,
+                                                        .active_lanes = w,
+                                                        .is_write = true});
+    }
+    for (std::int64_t t = 0; t < count; ++t) {
+      const std::int64_t sa = src_of(t);
+      const std::int64_t da = dst_of(t);
+      assert(sa >= 0 && static_cast<std::size_t>(sa) < s.size());
+      assert(da >= 0 && static_cast<std::size_t>(da) < d.size());
+      d[static_cast<std::size_t>(da)] = s[static_cast<std::size_t>(sa)];
+    }
+    return;
+  }
   std::array<std::int64_t, gpusim::kMaxLanes> saddr;
   std::array<std::int64_t, gpusim::kMaxLanes> daddr;
   std::array<T, gpusim::kMaxLanes> vals{};
@@ -131,6 +312,16 @@ void exec_shared_copy(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& src,
                   /*dependent=*/false);
     }
   }
+}
+
+/// Uncertified form: always takes the lane path.
+template <typename T, typename SrcOf, typename DstOf>
+void exec_shared_copy(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& src,
+                      gpusim::SharedTile<T>& dst, std::int64_t count, SrcOf&& src_of,
+                      DstOf&& dst_of) {
+  exec_shared_copy(ctx, src, dst, count,
+                   static_cast<const verify::CfCertificate*>(nullptr),
+                   std::forward<SrcOf>(src_of), std::forward<DstOf>(dst_of));
 }
 
 }  // namespace cfmerge::cfprims

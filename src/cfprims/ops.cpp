@@ -262,6 +262,82 @@ class CfTransposePrim final : public CFPrimitive {
   bool inverse_;
 };
 
+/// The raw stride-E CRS without rho: thread i touches iE + j in round j.
+/// Conflict-free exactly when gcd(w, E) = 1 (iE mod w then walks all
+/// residues over a warp); the primitive only registers for that family, so
+/// a certificate exists iff the pattern is provably CF.  This is the block
+/// sort's thread-local gather/scatter and the baseline merge's output
+/// scatter.
+class CfStridePrim final : public CFPrimitive {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "cf_stride"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "raw stride-E CRS (no rho): iE + j over a warp, conflict-free "
+           "for gcd(w,E) = 1 (block-sort thread phases, baseline scatter)";
+  }
+  [[nodiscard]] bool supports(int w, int e) const override {
+    return CFPrimitive::supports(w, e) && numtheory::gcd(w, e) == 1;
+  }
+  [[nodiscard]] std::int64_t shared_footprint(const PrimShape& s) const override {
+    return s.tile();
+  }
+  [[nodiscard]] PrimitiveLowering lower(const PrimShape& s) const override {
+    PrimitiveLowering lo;
+    lo.shape = s;
+    lo.facts = {{verify::kSymU, s.w}};
+    lo.streams.push_back(
+        crs_stream("gather", /*is_write=*/false, s, /*inverse=*/false,
+                   /*with_rho=*/false));
+    lo.streams.push_back(
+        crs_stream("scatter", /*is_write=*/true, s, /*inverse=*/false,
+                   /*with_rho=*/false));
+    return lo;
+  }
+};
+
+/// The unit-stride staging family: every warp-wide access of a tile
+/// stage/unstage copy touches w *consecutive* slots, ascending (loads,
+/// identity staging) or descending (the reversed B run), from an arbitrary
+/// base offset.  Consecutive addresses hit w distinct banks for any base,
+/// which the round index j = 0..w-1 makes exhaustive: round j checks every
+/// w-aligned window shifted by j, i.e. every base class mod w.
+class CfStagePrim final : public CFPrimitive {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "cf_stage"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "unit-stride staging runs at any base offset, ascending or "
+           "descending (tile load/store copies), conflict-free per warp";
+  }
+  [[nodiscard]] std::int64_t shared_footprint(const PrimShape& s) const override {
+    return s.tile() + s.w;  // round offsets shift windows past the tile end
+  }
+  [[nodiscard]] PrimitiveLowering lower(const PrimShape& s) const override {
+    PrimitiveLowering lo;
+    lo.shape = s;
+    lo.facts = {{verify::kSymU, s.w}};
+    const std::int64_t tile = s.tile();
+    AccessStream up;
+    up.name = "ascending";
+    up.is_write = true;
+    up.rounds = s.w;
+    up.domain = tile;
+    up.phys = thread_expr() + round_expr();
+    up.concrete = [](std::int64_t i, std::int64_t j) { return i + j; };
+    lo.streams.push_back(std::move(up));
+    AccessStream down;
+    down.name = "descending";
+    down.is_write = true;
+    down.rounds = s.w;
+    down.domain = tile;
+    down.phys = AffineExpr::constant(tile - 1) + round_expr() - thread_expr();
+    down.concrete = [tile](std::int64_t i, std::int64_t j) {
+      return tile - 1 + j - i;
+    };
+    lo.streams.push_back(std::move(down));
+    return lo;
+  }
+};
+
 }  // namespace
 
 const std::vector<const CFPrimitive*>& registry() {
@@ -274,9 +350,12 @@ const std::vector<const CFPrimitive*>& registry() {
   static const CfPermutePrim permute_no_rho(/*inverse=*/false, /*with_rho=*/false);
   static const CfTransposePrim transpose(/*inverse=*/false);
   static const CfTransposePrim transpose_inverse(/*inverse=*/true);
+  static const CfStridePrim stride;
+  static const CfStagePrim stage;
   static const std::vector<const CFPrimitive*> all = {
       &gather_full,      &rank_scatter,      &permute,
       &permute_inverse,  &transpose,         &transpose_inverse,
+      &stride,           &stage,
       &gather_no_pi,     &gather_no_rho,     &permute_no_rho,
   };
   return all;

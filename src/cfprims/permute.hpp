@@ -41,6 +41,7 @@
 #include "gather/permutation.hpp"
 #include "gpusim/launcher.hpp"
 #include "sort/kernels.hpp"
+#include "verify/certificate.hpp"
 
 namespace cfmerge::cfprims {
 
@@ -131,22 +132,31 @@ void permute_tile_body(gpusim::BlockContext& ctx, std::span<const T> in,
   const int vwarps = u / w;
   auto warp_of = [](int vw) { return vw; };
 
+  // Proof tokens for the bulk accounting path (memoized process-wide): the
+  // op's own primitive proof covers the sigma stage copy and CRS rounds;
+  // cf_stage covers the contiguous load/store staging.
+  const char* prim_name = transpose
+                              ? (cfg.inverse ? "cf_transpose_inverse" : "cf_transpose")
+                              : (cfg.inverse ? "cf_permute_inverse" : "cf_permute");
+  const verify::CfCertificate* op_cert = verify::certify(prim_name, w, e);
+  const verify::CfCertificate* stage_cert = verify::certify("cf_stage", w, e);
+
   phase("load");
-  sort::load_tile(ctx, gin, shmem, tile, [](std::int64_t t) { return t; },
-                  [](std::int64_t t) { return t; });
+  sort::load_tile_affine(ctx, gin, shmem, tile, 0, sort::AffineMap{0, 1}, stage_cert);
   ctx.barrier();
 
   if (!transpose || !cfg.inverse) {
     // Stage the tile into the sigma layout: contiguous reads, writes
     // conflict-free because banks of sigma are wE-periodic.
     phase("stage");
-    exec_shared_copy(ctx, shmem, staged, tile, [](std::int64_t t) { return t; },
+    exec_shared_copy(ctx, shmem, staged, tile, op_cert,
+                     [](std::int64_t t) { return t; },
                      [&](std::int64_t t) { return sigma(t); });
     ctx.barrier();
     // CRS gather: regs[i][j] = staged[sigma(iE+j)] = in[iE+j].
     phase("gather");
     exec_crs_gather(
-        ctx, staged, w, e, vwarps, kGatherCharge, warp_of,
+        ctx, staged, w, e, vwarps, kGatherCharge, op_cert, warp_of,
         [&](int vw, int lane, int j) {
           return sigma((static_cast<std::int64_t>(vw) * w + lane) * e + j);
         },
@@ -157,7 +167,7 @@ void permute_tile_body(gpusim::BlockContext& ctx, std::span<const T> in,
     if (!transpose) {
       // CRS scatter back through sigma: shmem[sigma(iE+j)] = regs[i][j].
       exec_crs_scatter(
-          ctx, shmem, w, e, vwarps, kCopyCharge, warp_of,
+          ctx, shmem, w, e, vwarps, kCopyCharge, op_cert, warp_of,
           [&](int vw, int lane, int j) {
             return sigma((static_cast<std::int64_t>(vw) * w + lane) * e + j);
           },
@@ -168,7 +178,7 @@ void permute_tile_body(gpusim::BlockContext& ctx, std::span<const T> in,
       // Transposed layout: shmem[j*u + i] = regs[i][j] — lanes write w
       // consecutive slots per round, conflict-free by construction.
       exec_crs_scatter(
-          ctx, shmem, w, e, vwarps, kCopyCharge, warp_of,
+          ctx, shmem, w, e, vwarps, kCopyCharge, op_cert, warp_of,
           [&](int vw, int lane, int j) {
             return static_cast<std::int64_t>(j) * u + vw * w + lane;
           },
@@ -181,7 +191,7 @@ void permute_tile_body(gpusim::BlockContext& ctx, std::span<const T> in,
     // Inverse transpose: contiguous gather from the transposed layout...
     phase("gather");
     exec_crs_gather(
-        ctx, shmem, w, e, vwarps, kGatherCharge, warp_of,
+        ctx, shmem, w, e, vwarps, kGatherCharge, op_cert, warp_of,
         [&](int vw, int lane, int j) {
           return static_cast<std::int64_t>(j) * u + vw * w + lane;
         },
@@ -191,7 +201,7 @@ void permute_tile_body(gpusim::BlockContext& ctx, std::span<const T> in,
     // ...CRS scatter into the rho layout, then un-stage contiguously.
     phase("scatter");
     exec_crs_scatter(
-        ctx, staged, w, e, vwarps, kCopyCharge, warp_of,
+        ctx, staged, w, e, vwarps, kCopyCharge, op_cert, warp_of,
         [&](int vw, int lane, int j) {
           return rho((static_cast<std::int64_t>(vw) * w + lane) * e + j);
         },
@@ -200,15 +210,14 @@ void permute_tile_body(gpusim::BlockContext& ctx, std::span<const T> in,
         });
     ctx.barrier();
     phase("unstage");
-    exec_shared_copy(ctx, staged, shmem, tile,
+    exec_shared_copy(ctx, staged, shmem, tile, op_cert,
                      [&](std::int64_t t) { return rho(t); },
                      [](std::int64_t t) { return t; });
     ctx.barrier();
   }
 
   phase("store");
-  sort::store_tile(ctx, shmem, gout, tile, [](std::int64_t t) { return t; },
-                   [](std::int64_t t) { return t; });
+  sort::store_tile_affine(ctx, shmem, gout, tile, sort::AffineMap{0, 1}, 0, stage_cert);
 }
 
 /// Enqueues the one-kernel permute pipeline for a padded buffer onto

@@ -1,5 +1,7 @@
 #include "gather/permutation.hpp"
 
+#include <bit>
+#include <cstdint>
 #include <stdexcept>
 
 #include "numtheory/numtheory.hpp"
@@ -17,6 +19,12 @@ CircularShift::CircularShift(int w, int e, std::int64_t total)
   p_ = static_cast<std::int64_t>(w) * e / d_;
   if (total % p_ != 0)
     throw std::invalid_argument("CircularShift: total must be a multiple of wE/d");
+  if ((p_ & (p_ - 1)) == 0 && (d_ & (d_ - 1)) == 0) {
+    pow2_ = true;
+    p_shift_ = std::countr_zero(static_cast<std::uint64_t>(p_));
+    p_mask_ = p_ - 1;
+    d_mask_ = d_ - 1;
+  }
 }
 
 }  // namespace cfmerge::gather

@@ -60,9 +60,17 @@ class CircularShift {
   [[nodiscard]] std::int64_t total() const { return total_; }
   [[nodiscard]] bool identity() const { return d_ == 1; }
 
-  /// Physical position of raw index `m`.
+  /// Physical position of raw index `m`.  The map is evaluated once per
+  /// lane in every simulated probe and staging loop, so the power-of-two
+  /// case (every non-coprime (w, E) with both powers of two — the common
+  /// non-identity configuration) replaces the three divisions with
+  /// shifts/masks; both branches compute the same function.
   [[nodiscard]] std::int64_t operator()(std::int64_t m) const {
     if (d_ == 1) return m;
+    if (pow2_) {
+      const std::int64_t x = (m & p_mask_) + ((m >> p_shift_) & d_mask_);
+      return (m & ~p_mask_) + (x >= p_ ? x - p_ : x);
+    }
     const std::int64_t l = m / p_;
     const std::int64_t x = m % p_ + l % d_;
     return l * p_ + (x >= p_ ? x - p_ : x);
@@ -71,6 +79,10 @@ class CircularShift {
   /// Inverse: raw index stored at physical position `pos`.
   [[nodiscard]] std::int64_t inverse(std::int64_t pos) const {
     if (d_ == 1) return pos;
+    if (pow2_) {
+      const std::int64_t x = (pos & p_mask_) - ((pos >> p_shift_) & d_mask_);
+      return (pos & ~p_mask_) + (x < 0 ? x + p_ : x);
+    }
     const std::int64_t l = pos / p_;
     const std::int64_t x = pos % p_ - l % d_;
     return l * p_ + (x < 0 ? x + p_ : x);
@@ -82,6 +94,11 @@ class CircularShift {
   int d_;
   std::int64_t p_;
   std::int64_t total_;
+  // Shift/mask fast path, valid when p_ and d_ are both powers of two.
+  bool pow2_ = false;
+  int p_shift_ = 0;
+  std::int64_t p_mask_ = 0;
+  std::int64_t d_mask_ = 0;
 };
 
 }  // namespace cfmerge::gather

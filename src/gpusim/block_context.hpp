@@ -15,6 +15,7 @@
 // one call.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <span>
@@ -30,6 +31,22 @@
 #include "gpusim/stats.hpp"
 
 namespace cfmerge::gpusim {
+
+/// Closed-form description of a proven-conflict-free access progression:
+/// `rounds` warp-wide shared accesses, each with `active_lanes` active lanes
+/// hitting distinct banks (a certificate from verify/certificate.hpp backs
+/// the claim).  The leading `dependent_rounds` extend the warp chain by the
+/// full shared latency; the rest pipeline at one cycle.  `base`/`stride`
+/// document the address family (lane l of round j touches
+/// base + j*progression + l*stride); charging only needs the counts.
+struct CrsAccessDesc {
+  int rounds = 1;
+  int dependent_rounds = 0;
+  int active_lanes = 0;
+  std::int64_t base = 0;
+  std::int64_t stride = 1;
+  bool is_write = false;
+};
 
 class BlockContext {
  public:
@@ -81,6 +98,67 @@ class BlockContext {
   GlobalAccessCost charge_gmem(int warp, std::span<const std::int64_t> byte_addrs,
                                int elem_bytes, bool dependent = true,
                                bool is_write = false);
+  // --- proof-guided bulk charging --------------------------------------
+  // Certified call sites (cfprims executors, tile stagers) describe whole
+  // conflict-free progressions and charge them in closed form.  The charges
+  // are *exact*: every counter and chain increment is the integer a
+  // lane-by-lane replay would produce (pinned by tests/test_bulk_charge.cpp).
+
+  /// True when closed-form shared charging may replace the lane path:
+  /// enabled on the device and no observer needs per-lane addresses.
+  [[nodiscard]] bool bulk_shared() const {
+    return dev_->bulk_charge && trace_ == nullptr && audit_ == nullptr;
+  }
+  /// Same for global accesses; the L2 model additionally needs real
+  /// per-transaction addresses.
+  [[nodiscard]] bool bulk_global() const { return bulk_shared() && l2_ == nullptr; }
+
+  /// Charges `desc.rounds` conflict-free warp-wide shared accesses at once.
+  /// Caller must hold a certificate for the pattern and have checked
+  /// bulk_shared(); every round must have at least one active lane.
+  void charge_shared_crs(int warp, const CrsAccessDesc& desc) {
+    assert(desc.rounds > 0 && desc.active_lanes > 0);
+    assert(desc.dependent_rounds >= 0 && desc.dependent_rounds <= desc.rounds);
+    assert(bulk_shared());
+    const auto rounds = static_cast<std::uint64_t>(desc.rounds);
+    current_->shared_accesses += rounds;
+    current_->shared_cycles += rounds;  // conflict-free: one cycle, no replays
+    const std::int64_t on_chain =
+        static_cast<std::int64_t>(desc.dependent_rounds) * dev_->shared_latency +
+        (desc.rounds - desc.dependent_rounds);
+    chains_[static_cast<std::size_t>(warp)] += static_cast<double>(on_chain);
+    bulk_charges_ += rounds;
+  }
+
+  /// Charges one warp-wide global access to `n` contiguous elements
+  /// starting at byte address `byte0` (ascending or descending lane order —
+  /// the transaction footprint is the same).  Caller must have checked
+  /// bulk_global(); n must be positive.
+  void charge_gmem_run(int warp, std::int64_t byte0, std::int64_t n, int elem_bytes,
+                       bool dependent, bool is_write) {
+    (void)is_write;
+    assert(n > 0 && byte0 >= 0);
+    assert(bulk_global());
+    const std::int64_t tx = dev_->transaction_bytes;
+    const std::int64_t last = byte0 + n * elem_bytes - 1;
+    const std::int64_t transactions = last / tx - byte0 / tx + 1;
+    current_->gmem_requests += 1;
+    current_->gmem_transactions += static_cast<std::uint64_t>(transactions);
+    current_->gmem_bytes += static_cast<std::uint64_t>(n) *
+                            static_cast<std::uint64_t>(elem_bytes);
+    auto& chain = chains_[static_cast<std::size_t>(warp)];
+    if (dependent)
+      chain += dev_->global_latency;
+    else
+      chain += static_cast<double>(transactions);
+    bulk_charges_ += 1;
+  }
+
+  /// Fast-path coverage: warp-wide accesses charged in closed form vs
+  /// through the lane-accurate path.  Their sum is invariant across modes.
+  [[nodiscard]] std::uint64_t bulk_charges() const { return bulk_charges_; }
+  [[nodiscard]] std::uint64_t lane_charges() const { return lane_charges_; }
+
   /// `instrs` warp-wide ALU/control instructions; `chain` of them are on the
   /// dependency chain (defaults to all).  Inline for the same reason as the
   /// memory primitives: several calls per simulated warp step.
@@ -145,6 +223,8 @@ class BlockContext {
   L2Cache* l2_ = nullptr;
   std::vector<std::int64_t> l2_scratch_;
   std::vector<double> chains_;
+  std::uint64_t bulk_charges_ = 0;
+  std::uint64_t lane_charges_ = 0;
 };
 
 inline SharedAccessCost BlockContext::charge_shared(int warp,
@@ -153,6 +233,7 @@ inline SharedAccessCost BlockContext::charge_shared(int warp,
                                                     bool scattered_hint) {
   const SharedAccessCost c = shared_access_cost(addrs, dev_->warp_size, scattered_hint);
   if (c.active_lanes == 0) return c;
+  ++lane_charges_;
   if (trace_ != nullptr)
     trace_->record(block_id_, static_cast<std::int16_t>(warp),
                    is_write ? AccessKind::SharedWrite : AccessKind::SharedRead,
@@ -176,6 +257,7 @@ inline GlobalAccessCost BlockContext::charge_gmem(int warp,
   const GlobalAccessCost c =
       global_access_cost(byte_addrs, elem_bytes, dev_->transaction_bytes);
   if (c.active_lanes == 0) return c;
+  ++lane_charges_;
   if (trace_ != nullptr)
     trace_->record(block_id_, static_cast<std::int16_t>(warp),
                    is_write ? AccessKind::GlobalWrite : AccessKind::GlobalRead,

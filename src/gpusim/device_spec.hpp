@@ -64,6 +64,15 @@ struct DeviceSpec {
   /// (sequential); n >= 1 = exactly n workers.
   int sim_threads = 0;
 
+  /// Proof-guided bulk charging: call sites holding a cfverify certificate
+  /// (verify/certificate.hpp) may charge whole conflict-free rounds in
+  /// closed form instead of per lane.  Counters and timing are bit-identical
+  /// either way (pinned by tests/test_bulk_charge.cpp); disable to force
+  /// the lane-accurate path (`cfsort --no-bulk-charge`).  Tracing or a
+  /// runtime auditor disables bulk charging automatically — those observers
+  /// need the per-lane addresses.
+  bool bulk_charge = true;
+
   /// The device the paper evaluated on (RTX 2080 Ti, Turing TU102).
   static DeviceSpec rtx2080ti();
   /// A small device for exhaustive tests: `w` lanes/banks, `sms` SMs.

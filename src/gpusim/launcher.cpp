@@ -36,6 +36,8 @@ struct BlockOutcome {
   PhaseCounters counters;
   double chain = 0.0;
   std::size_t shared_bytes = 0;
+  std::uint64_t bulk_charges = 0;
+  std::uint64_t lane_charges = 0;
   std::unique_ptr<TraceSink> trace;  // only when a sink is attached
   std::exception_ptr error;
 };
@@ -68,6 +70,8 @@ void simulate_block(const DeviceSpec& dev, L2Cache* l2, MemoryAuditor* audit,
   out.counters = ctx.counters();
   out.chain = ctx.block_chain();
   out.shared_bytes = ctx.shared_bytes();
+  out.bulk_charges = ctx.bulk_charges();
+  out.lane_charges = ctx.lane_charges();
 }
 
 /// Deterministic reduction of one node's block outcomes in block order:
@@ -222,6 +226,11 @@ GraphReport Launcher::run(const KernelGraph& graph, GraphExec mode) {
     for (const std::vector<BlockOutcome>& node_outcomes : outcomes)
       for (const BlockOutcome& b : node_outcomes)
         if (b.trace != nullptr) trace_->merge_from(*b.trace);
+  for (const std::vector<BlockOutcome>& node_outcomes : outcomes)
+    for (const BlockOutcome& b : node_outcomes) {
+      bulk_charges_ += b.bulk_charges;
+      lane_charges_ += b.lane_charges;
+    }
   history_.insert(history_.end(), out.kernels.begin(), out.kernels.end());
   return out;
 }

@@ -31,6 +31,7 @@
 // as real GPU grids do).  Every kernel in this repository satisfies this.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -133,7 +134,17 @@ class Launcher {
   GraphReport run(const KernelGraph& graph, GraphExec mode = GraphExec::Overlap);
 
   [[nodiscard]] const std::vector<KernelReport>& history() const { return history_; }
-  void clear_history() { history_.clear(); }
+  void clear_history() {
+    history_.clear();
+    bulk_charges_ = 0;
+    lane_charges_ = 0;
+  }
+
+  /// Accounting-path statistics summed over the history: how many warp
+  /// accesses were charged in closed form by the proof-guided bulk path
+  /// versus the per-lane reference path.  See BlockContext::charge_shared_crs.
+  [[nodiscard]] std::uint64_t bulk_charges() const { return bulk_charges_; }
+  [[nodiscard]] std::uint64_t lane_charges() const { return lane_charges_; }
 
   /// Sum of simulated kernel times in the history, microseconds.
   [[nodiscard]] double total_microseconds() const;
@@ -149,6 +160,8 @@ class Launcher {
   MemoryAuditor* audit_ = nullptr;
   int threads_ = 1;
   std::vector<KernelReport> history_;
+  std::uint64_t bulk_charges_ = 0;
+  std::uint64_t lane_charges_ = 0;
 };
 
 }  // namespace cfmerge::gpusim

@@ -126,6 +126,24 @@ class GlobalView {
     return data_[static_cast<std::size_t>(i)];
   }
 
+  /// Uncharged whole-view access for certified bulk paths; the caller must
+  /// charge the movement itself (charge_run below).
+  [[nodiscard]] std::span<T> raw() { return data_; }
+  [[nodiscard]] std::span<const value_type> raw() const { return data_; }
+
+  /// Charges one warp-wide access to `n` contiguous view elements starting
+  /// at element `first` — the closed form of gather/scatter over an
+  /// ascending (or descending: same transaction footprint) run.  Caller
+  /// must have checked ctx.bulk_global().
+  void charge_run(int warp, std::int64_t first, std::int64_t n, bool dependent,
+                  bool is_write) {
+    assert(first >= 0 && n > 0 && first + n <= size());
+    ctx_->charge_gmem_run(warp, (base_ + first) * static_cast<std::int64_t>(sizeof(T)),
+                          n, static_cast<int>(sizeof(T)), dependent, is_write);
+  }
+
+  [[nodiscard]] BlockContext& context() const { return *ctx_; }
+
  private:
   GlobalAccessCost charge(int warp, std::span<const std::int64_t> idxs, bool dependent,
                           bool is_write) {

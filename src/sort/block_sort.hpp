@@ -27,10 +27,12 @@
 #include "cfprims/exec.hpp"
 #include "gpusim/launcher.hpp"
 #include "gpusim/memory_views.hpp"
+#include "sort/certs.hpp"
 #include "sort/kernels.hpp"
 #include "sort/odd_even.hpp"
 #include <memory>
 
+#include "gather/dual_gather.hpp"
 #include "gather/schedule.hpp"
 #include "sort/serial_merge.hpp"
 
@@ -41,7 +43,8 @@ namespace cfmerge::sort {
 /// [b*u*E, (b+1)*u*E).
 template <typename T, typename Cmp = std::less<T>>
 void block_sort_body(gpusim::BlockContext& ctx, std::span<T> data, int e,
-                     bool cf_rounds = false, Cmp cmp = Cmp{}) {
+                     bool cf_rounds = false, Cmp cmp = Cmp{},
+                     const TileCerts& certs = {}) {
   const int u = ctx.threads();
   const int w = ctx.lanes();
   if (!std::has_single_bit(static_cast<unsigned>(u)))
@@ -62,8 +65,7 @@ void block_sort_body(gpusim::BlockContext& ctx, std::span<T> data, int e,
 
   // --- load tile (coalesced reads, linear shared writes) ----------------
   ctx.phase("bsort.load");
-  load_tile(ctx, global, shmem, tile, [](std::int64_t t) { return t; },
-            [](std::int64_t t) { return t; });
+  load_tile_affine(ctx, global, shmem, tile, 0, AffineMap{0, 1}, certs.stage);
   ctx.barrier();
 
   // --- per-thread register sort -----------------------------------------
@@ -71,43 +73,28 @@ void block_sort_body(gpusim::BlockContext& ctx, std::span<T> data, int e,
   // pattern the coprime-E heuristic keeps conflict-free.
   ctx.phase("bsort.thread_sort");
   assert(w <= gpusim::kMaxLanes);
-  cfprims::exec_crs_gather(
-      ctx, shmem, w, e, ctx.warps(), cfprims::kCopyCharge,
-      [](int vw) { return vw; },
-      [&](int vw, int lane, int j) {
-        return static_cast<std::int64_t>(vw * w + lane) * e + j;
-      },
-      [&](int vw, int lane, int j, const T& v) {
-        regs[static_cast<std::size_t>(vw * w + lane) * static_cast<std::size_t>(e) +
-             static_cast<std::size_t>(j)] = v;
-      });
+  cfprims::exec_stride_gather(ctx, shmem, w, e, ctx.warps(), cfprims::kCopyCharge,
+                              certs.stride, std::span<T>(regs));
   // Sort the E registers of each lane with the odd-even network.
   for (int warp = 0; warp < ctx.warps(); ++warp) {
     for (int lane = 0; lane < w; ++lane) {
       std::span<T> r(regs.data() + static_cast<std::size_t>(warp * w + lane) *
                                        static_cast<std::size_t>(e),
                      static_cast<std::size_t>(e));
-      odd_even_transposition_sort(r, cmp);
+      network_sort_result(r, cmp);
     }
     ctx.charge_compute(warp, static_cast<std::uint64_t>(odd_even_network_size(e)) *
                                  cost::kCompareExchangeInstrs);
   }
   // Write the sorted runs back (same stride-E pattern).
-  cfprims::exec_crs_scatter(
-      ctx, shmem, w, e, ctx.warps(), cfprims::kCopyCharge,
-      [](int vw) { return vw; },
-      [&](int vw, int lane, int j) {
-        return static_cast<std::int64_t>(vw * w + lane) * e + j;
-      },
-      [&](int vw, int lane, int j) {
-        return regs[static_cast<std::size_t>(vw * w + lane) * static_cast<std::size_t>(e) +
-                    static_cast<std::size_t>(j)];
-      });
+  cfprims::exec_stride_scatter(ctx, shmem, w, e, ctx.warps(), cfprims::kCopyCharge,
+                               certs.stride, std::span<const T>(regs));
   ctx.barrier();
 
   // --- log2(u) intra-block merge rounds ----------------------------------
   for (std::int64_t run = e; run < tile; run *= 2) {
     ctx.phase("bsort.search");
+    const FastDiv div_pair(2 * run);
     std::vector<ThreadSplit> splits(static_cast<std::size_t>(u));
     std::array<LanePair, gpusim::kMaxLanes> pairs;
     std::array<LanePair, gpusim::kMaxLanes> end_pairs;
@@ -124,7 +111,7 @@ void block_sort_body(gpusim::BlockContext& ctx, std::span<T> data, int e,
       for (int lane = 0; lane < w; ++lane) {
         const int i = warp * w + lane;
         const std::int64_t out0 = static_cast<std::int64_t>(i) * e;
-        const std::int64_t pair_base = out0 / (2 * run) * (2 * run);
+        const std::int64_t pair_base = div_pair(out0) * (2 * run);
         pbase[static_cast<std::size_t>(lane)] = pair_base;
         pairs[static_cast<std::size_t>(lane)] = {run, run, out0 - pair_base};
         end_pairs[static_cast<std::size_t>(lane)] = {run, run, out0 - pair_base + e};
@@ -143,7 +130,7 @@ void block_sort_body(gpusim::BlockContext& ctx, std::span<T> data, int e,
       for (int lane = 0; lane < w; ++lane) {
         const int i = warp * w + lane;
         const std::int64_t out0 = static_cast<std::int64_t>(i) * e;
-        const std::int64_t local = out0 - out0 / (2 * run) * (2 * run);
+        const std::int64_t local = out0 - div_pair(out0) * (2 * run);
         auto& s = splits[static_cast<std::size_t>(i)];
         s.a_off = start[static_cast<std::size_t>(lane)];
         s.a_size = end[static_cast<std::size_t>(lane)] - s.a_off;
@@ -164,7 +151,7 @@ void block_sort_body(gpusim::BlockContext& ctx, std::span<T> data, int e,
       cfprims::exec_shared_copy(
           ctx, shmem, *staging, tile, [](std::int64_t pos) { return pos; },
           [&](std::int64_t pos) {
-            const std::int64_t pair_base = pos / (2 * run) * (2 * run);
+            const std::int64_t pair_base = div_pair(pos) * (2 * run);
             const std::int64_t local = pos - pair_base;
             const std::int64_t raw = local < run ? pair_pi.raw_of_a(local)
                                                  : pair_pi.raw_of_b(local - run);
@@ -187,17 +174,10 @@ void block_sort_body(gpusim::BlockContext& ctx, std::span<T> data, int e,
         }
         gather::GatherShape shape{w, e, u_pair, run, run};
         gather::RoundSchedule sched(shape, std::move(a_off), std::move(a_size));
-        cfprims::exec_crs_gather(
-            ctx, *staging, w, e, u_pair / w, cfprims::kGatherCharge,
-            [&](int vw) { return (first_thread + vw * w) / w; },
-            [&](int vw, int lane, int j) {
-              return pair_base + sched.read(vw * w + lane, j).phys;
-            },
-            [&](int vw, int lane, int j, const T& v) {
-              regs[static_cast<std::size_t>(first_thread + vw * w + lane) *
-                       static_cast<std::size_t>(e) +
-                   static_cast<std::size_t>(j)] = v;
-            });
+        // The pair base is a multiple of w (2*run = u_pair*E, w | u_pair),
+        // so per-pair bank residues match the whole-tile cf_gather proof.
+        gather::dual_subsequence_gather(ctx, *staging, sched, std::span<T>(regs),
+                                        certs.gather, first_thread, pair_base);
       }
       // Data-oblivious register merge per thread.
       for (int warp = 0; warp < ctx.warps(); ++warp) {
@@ -205,7 +185,7 @@ void block_sort_body(gpusim::BlockContext& ctx, std::span<T> data, int e,
           std::span<T> r(regs.data() + static_cast<std::size_t>(warp * w + lane) *
                                            static_cast<std::size_t>(e),
                          static_cast<std::size_t>(e));
-          odd_even_transposition_sort(r, cmp);
+          network_sort_result(r, cmp);
         }
         ctx.charge_compute(warp, static_cast<std::uint64_t>(odd_even_network_size(e)) *
                                      cost::kCompareExchangeInstrs);
@@ -214,7 +194,7 @@ void block_sort_body(gpusim::BlockContext& ctx, std::span<T> data, int e,
       std::vector<MergeLaneDesc> descs(static_cast<std::size_t>(u));
       for (int i = 0; i < u; ++i) {
         const std::int64_t out0 = static_cast<std::int64_t>(i) * e;
-        const std::int64_t pair_base = out0 / (2 * run) * (2 * run);
+        const std::int64_t pair_base = div_pair(out0) * (2 * run);
         const auto& s = splits[static_cast<std::size_t>(i)];
         // Bake the pair bases into the offsets so the position translators
         // are the identity (linear layout).
@@ -228,24 +208,14 @@ void block_sort_body(gpusim::BlockContext& ctx, std::span<T> data, int e,
     ctx.barrier();
 
     // Write merged outputs back, stride-E.
-    cfprims::exec_crs_scatter(
-        ctx, shmem, w, e, ctx.warps(), cfprims::kCopyCharge,
-        [](int vw) { return vw; },
-        [&](int vw, int lane, int j) {
-          return static_cast<std::int64_t>(vw * w + lane) * e + j;
-        },
-        [&](int vw, int lane, int j) {
-          return regs[static_cast<std::size_t>(vw * w + lane) *
-                          static_cast<std::size_t>(e) +
-                      static_cast<std::size_t>(j)];
-        });
+    cfprims::exec_stride_scatter(ctx, shmem, w, e, ctx.warps(), cfprims::kCopyCharge,
+                                 certs.stride, std::span<const T>(regs));
     ctx.barrier();
   }
 
   // --- store tile --------------------------------------------------------
   ctx.phase("bsort.store");
-  store_tile(ctx, shmem, global, tile, [](std::int64_t t) { return t; },
-             [](std::int64_t t) { return t; });
+  store_tile_affine(ctx, shmem, global, tile, AffineMap{0, 1}, 0, certs.stage);
 }
 
 }  // namespace cfmerge::sort

@@ -1,0 +1,16 @@
+#include "sort/certs.hpp"
+
+#include "verify/certificate.hpp"
+
+namespace cfmerge::sort {
+
+TileCerts resolve_tile_certs(int w, int e) {
+  TileCerts c;
+  c.gather = verify::certify("cf_gather", w, e);
+  c.rank_scatter = verify::certify("cf_rank_scatter", w, e);
+  c.stride = verify::certify("cf_stride", w, e);
+  c.stage = verify::certify("cf_stage", w, e);
+  return c;
+}
+
+}  // namespace cfmerge::sort

@@ -1,0 +1,36 @@
+// The certificate bundle a sort pipeline carries: one proof token per
+// access family its kernels execute, resolved once per (w, E) at plan
+// build time (verify/certificate.hpp memoizes process-wide) and cached on
+// the plan through MergeConfig / MultiwayConfig.
+//
+// A null member simply forces that family onto the lane-accurate path —
+// uncertifiable families (non-coprime cf_stride, broken ablations) stay
+// null by construction.
+#pragma once
+
+namespace cfmerge::verify {
+struct CfCertificate;
+}
+
+namespace cfmerge::sort {
+
+struct TileCerts {
+  /// cf_gather: the dual-subsequence CRS gather through rho(pi(.)).
+  const verify::CfCertificate* gather = nullptr;
+  /// cf_rank_scatter: the stride-E rank scatter through rho.
+  const verify::CfCertificate* rank_scatter = nullptr;
+  /// cf_stride: the raw stride-E CRS (only certified for gcd(w,E) = 1).
+  const verify::CfCertificate* stride = nullptr;
+  /// cf_stage: unit-stride staging runs at any base offset.
+  const verify::CfCertificate* stage = nullptr;
+
+  [[nodiscard]] bool any() const {
+    return gather != nullptr || rank_scatter != nullptr || stride != nullptr ||
+           stage != nullptr;
+  }
+};
+
+/// Resolves the bundle for warp width `w` and elements-per-thread `e`.
+[[nodiscard]] TileCerts resolve_tile_certs(int w, int e);
+
+}  // namespace cfmerge::sort

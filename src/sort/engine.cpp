@@ -1,5 +1,7 @@
 #include "sort/engine.hpp"
 
+#include "verify/certificate.hpp"
+
 namespace cfmerge::sort {
 
 std::uint64_t ScratchArena::pooled_bytes() const {
@@ -25,6 +27,12 @@ EngineStats SortEngine::stats() const {
   s.arena_bytes = arena_.pooled_bytes();
   s.arena_allocs = arena_.allocs();
   s.arena_reuses = arena_.reuses();
+  s.bulk_charges = launcher_->bulk_charges();
+  s.lane_charges = launcher_->lane_charges();
+  const verify::CertificateStats cs = verify::certificate_stats();
+  s.cert_hits = cs.hits;
+  s.cert_misses = cs.misses;
+  s.certs_cached = cs.cached;
   return s;
 }
 

@@ -72,9 +72,19 @@ struct EngineStats {
   std::uint64_t arena_bytes = 0;     ///< pooled scratch-arena storage
   std::uint64_t arena_allocs = 0;    ///< arena acquires that allocated
   std::uint64_t arena_reuses = 0;    ///< arena acquires served from the pool
+  std::uint64_t bulk_charges = 0;    ///< warp accesses charged in closed form
+  std::uint64_t lane_charges = 0;    ///< warp accesses charged per lane
+  std::uint64_t cert_hits = 0;       ///< certify() calls served from the memo
+  std::uint64_t cert_misses = 0;     ///< certify() calls that ran the prover
+  std::uint64_t certs_cached = 0;    ///< distinct certificates held right now
   [[nodiscard]] double hit_rate() const {
     const std::uint64_t total = plan_hits + plan_misses;
     return total > 0 ? static_cast<double>(plan_hits) / static_cast<double>(total) : 0.0;
+  }
+  /// Fraction of warp accesses charged by the bulk path.
+  [[nodiscard]] double bulk_rate() const {
+    const std::uint64_t total = bulk_charges + lane_charges;
+    return total > 0 ? static_cast<double>(bulk_charges) / static_cast<double>(total) : 0.0;
   }
 };
 
@@ -546,19 +556,21 @@ class SortEngine {
   SortReport sort(std::vector<T>& data, const MergeConfig& cfg,
                   gpusim::GraphExec mode = gpusim::GraphExec::Overlap) {
     validate_merge_config(launcher_->device(), cfg);
+    const MergeConfig certified = with_certs(cfg);
 
     SortReport report;
     report.n = static_cast<std::int64_t>(data.size());
     if (report.n == 0) return report;
 
-    const std::int64_t tile = cfg.tile();
+    const std::int64_t tile = certified.tile();
     const std::int64_t n_padded = (report.n + tile - 1) / tile * tile;
     report.n_padded = n_padded;
 
     const detail::PlanKey key{detail::PlanKey::Kind::Sort, std::type_index(typeid(T)),
-                              n_padded, 0, cfg};
-    auto plan = acquire_plan<detail::SortPlanT<T>>(
-        key, [&] { return std::make_shared<detail::SortPlanT<T>>(cfg, n_padded); });
+                              n_padded, 0, certified};
+    auto plan = acquire_plan<detail::SortPlanT<T>>(key, [&] {
+      return std::make_shared<detail::SortPlanT<T>>(certified, n_padded);
+    });
     plan->load(data);
     report.passes = plan->passes;
 
@@ -582,6 +594,8 @@ class SortEngine {
   SortReport sort_multiway(std::vector<T>& data, const MultiwayConfig& cfg,
                            gpusim::GraphExec mode = gpusim::GraphExec::Overlap) {
     validate_multiway_config(launcher_->device(), cfg);
+    MultiwayConfig certified = cfg;
+    certified.certs = resolve_tile_certs(launcher_->device().warp_size, cfg.e);
 
     SortReport report;
     report.n = static_cast<std::int64_t>(data.size());
@@ -602,7 +616,7 @@ class SortEngine {
                               std::type_index(typeid(T)), n_padded, digest, base};
     const int warp_size = launcher_->device().warp_size;
     auto plan = acquire_plan<detail::MultiwayPlanT<T>>(key, [&] {
-      return std::make_shared<detail::MultiwayPlanT<T>>(cfg, n_padded, warp_size);
+      return std::make_shared<detail::MultiwayPlanT<T>>(certified, n_padded, warp_size);
     });
     plan->load(data);
     report.passes = plan->passes;
@@ -717,6 +731,7 @@ class SortEngine {
                                      const MergeConfig& cfg,
                                      gpusim::GraphExec mode = gpusim::GraphExec::Overlap) {
     validate_merge_config(launcher_->device(), cfg);
+    const MergeConfig certified = with_certs(cfg);
 
     SegmentedSortReport report;
     report.segments = static_cast<int>(segments.size());
@@ -738,9 +753,10 @@ class SortEngine {
       if (info.n > 0) {
         const std::int64_t n_padded = (info.n + tile - 1) / tile * tile;
         const detail::PlanKey key{detail::PlanKey::Kind::Sort,
-                                  std::type_index(typeid(T)), n_padded, 0, cfg};
-        auto plan = acquire_plan<detail::SortPlanT<T>>(
-            key, [&] { return std::make_shared<detail::SortPlanT<T>>(cfg, n_padded); });
+                                  std::type_index(typeid(T)), n_padded, 0, certified};
+        auto plan = acquire_plan<detail::SortPlanT<T>>(key, [&] {
+          return std::make_shared<detail::SortPlanT<T>>(certified, n_padded);
+        });
         plan->load(seg);
         info.passes = plan->passes;
         graph.append(plan->graph);
@@ -784,6 +800,7 @@ class SortEngine {
     if (as.size() != bs.size())
       throw std::invalid_argument("batched_merge: pair count mismatch");
     validate_merge_config(launcher_->device(), cfg);
+    const MergeConfig certified = with_certs(cfg);
 
     BatchedMergeReport report;
     report.pairs = static_cast<int>(as.size());
@@ -796,9 +813,10 @@ class SortEngine {
       digest = detail::fnv1a(digest, bs[p].size());
     }
     const detail::PlanKey key{detail::PlanKey::Kind::Batched, std::type_index(typeid(T)),
-                              static_cast<std::int64_t>(as.size()), digest, cfg};
-    auto plan = acquire_plan<detail::BatchedPlanT<T>>(
-        key, [&] { return std::make_shared<detail::BatchedPlanT<T>>(as, bs, cfg); });
+                              static_cast<std::int64_t>(as.size()), digest, certified};
+    auto plan = acquire_plan<detail::BatchedPlanT<T>>(key, [&] {
+      return std::make_shared<detail::BatchedPlanT<T>>(as, bs, certified);
+    });
     plan->load(as, bs);
     report.elements = plan->elements;
 
@@ -842,6 +860,16 @@ class SortEngine {
     std::uint64_t bytes = 0;
     std::uint64_t released_at = 0;
   };
+
+  /// Copies `cfg` with the conflict-freedom certificate bundle for the
+  /// launcher's warp width resolved in (memoized process-wide; a few
+  /// symbolic proofs on the first call per (w, E)).  PlanKey equality
+  /// ignores the bundle — it is a pure function of (warp_size, e).
+  [[nodiscard]] MergeConfig with_certs(const MergeConfig& cfg) const {
+    MergeConfig out = cfg;
+    out.certs = resolve_tile_certs(launcher_->device().warp_size, cfg.e);
+    return out;
+  }
 
   template <typename Plan, typename Build>
   std::shared_ptr<Plan> acquire_plan(const detail::PlanKey& key, Build&& build) {

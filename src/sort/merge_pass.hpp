@@ -32,6 +32,7 @@
 #include "gpusim/launcher.hpp"
 #include "gpusim/memory_views.hpp"
 #include "sort/block_sort.hpp"
+#include "sort/certs.hpp"
 #include "sort/kernels.hpp"
 
 namespace cfmerge::sort {
@@ -57,6 +58,10 @@ struct MergeConfig {
   /// the block-sort rounds whose run pairs span full warps.  Costs a second
   /// shared-memory staging buffer (occupancy); see block_sort.hpp.
   bool cf_blocksort = false;
+  /// Conflict-freedom certificates for this (w, E), resolved by the engine
+  /// (or any pipeline entry point) via resolve_tile_certs.  Null members —
+  /// including the all-null default — force the lane-accurate path.
+  TileCerts certs{};
 
   [[nodiscard]] std::int64_t tile() const { return static_cast<std::int64_t>(u) * e; }
 };
@@ -182,13 +187,24 @@ void merge_window_core(gpusim::BlockContext& ctx, GIn& gin, gpusim::GlobalView<T
 
   // Load the two chunks; CF-Merge applies the layout permutation here
   // ("each thread block reorders elements during the initial transfer from
-  // global memory into shared memory" — Section 5).
-  load_tile(ctx, gin, shmem, la,
-            [&](std::int64_t t) { return a_src + t; },
-            [&](std::int64_t t) { return layout.pos_a(t); });
-  load_tile(ctx, gin, shmem, lb,
-            [&](std::int64_t t) { return b_src + t; },
-            [&](std::int64_t t) { return layout.pos_b(t); });
+  // global memory into shared memory" — Section 5).  When the layout's
+  // shift is the identity (linear, coprime CF, or the no-rho ablation) both
+  // position maps are unit-step affine runs, covered by the cf_stage proof.
+  if (!layout.is_cf() || layout.rho().identity()) {
+    load_tile_affine(ctx, gin, shmem, la, a_src,
+                     affine_map_of([&](std::int64_t t) { return layout.pos_a(t); }, la),
+                     cfg.certs.stage);
+    load_tile_affine(ctx, gin, shmem, lb, b_src,
+                     affine_map_of([&](std::int64_t t) { return layout.pos_b(t); }, lb),
+                     cfg.certs.stage);
+  } else {
+    load_tile(ctx, gin, shmem, la,
+              [&](std::int64_t t) { return a_src + t; },
+              [&](std::int64_t t) { return layout.pos_a(t); });
+    load_tile(ctx, gin, shmem, lb,
+              [&](std::int64_t t) { return b_src + t; },
+              [&](std::int64_t t) { return layout.pos_b(t); });
+  }
   ctx.barrier();
 
   // Per-thread merge-path search in shared memory.
@@ -239,10 +255,14 @@ void merge_window_core(gpusim::BlockContext& ctx, GIn& gin, gpusim::GlobalView<T
     gather::GatherShape shape{w, e, u, la, lb};
     if (cfg.disable_rho) {
       // Ablation path: emulate the schedule with rho = identity by reading
-      // through the layout's raw indices directly.
+      // through the layout's raw indices directly.  When gcd(w, E) = 1 the
+      // real rho is the identity too, so raw = phys and the cf_gather proof
+      // still covers the access; otherwise (the broken ablation) conflicts
+      // are real and the lane path must count them.
       gather::RoundSchedule sched(shape, a_off, a_size);
       cfprims::exec_crs_gather(
           ctx, shmem, w, e, ctx.warps(), cfprims::kGatherCharge,
+          cfg.certs.stride != nullptr ? cfg.certs.gather : nullptr,
           [](int vw) { return vw; },
           [&](int vw, int lane, int j) {
             return sched.read(vw * w + lane, j).raw;  // no rho applied
@@ -253,7 +273,8 @@ void merge_window_core(gpusim::BlockContext& ctx, GIn& gin, gpusim::GlobalView<T
           });
     } else {
       gather::RoundSchedule sched(shape, std::move(a_off), std::move(a_size));
-      gather::dual_subsequence_gather(ctx, shmem, sched, std::span<T>(regs));
+      gather::dual_subsequence_gather(ctx, shmem, sched, std::span<T>(regs),
+                                      cfg.certs.gather);
     }
     // Data-oblivious register merge.
     for (int warp = 0; warp < ctx.warps(); ++warp) {
@@ -261,7 +282,7 @@ void merge_window_core(gpusim::BlockContext& ctx, GIn& gin, gpusim::GlobalView<T
         std::span<T> r(regs.data() + static_cast<std::size_t>(warp * w + lane) *
                                          static_cast<std::size_t>(e),
                        static_cast<std::size_t>(e));
-        odd_even_transposition_sort(r, cmp);
+        network_sort_result(r, cmp);
       }
       ctx.charge_compute(warp, static_cast<std::uint64_t>(odd_even_network_size(e)) *
                                    cost::kCompareExchangeInstrs);
@@ -286,20 +307,33 @@ void merge_window_core(gpusim::BlockContext& ctx, GIn& gin, gpusim::GlobalView<T
   const gather::CircularShift out_shift(w, e, tile);
   auto out_pos = [&](std::int64_t t) { return out_rho ? out_shift(t) : t; };
   // The cf_rank_scatter primitive: stride-E register write-back through rho
-  // (or raw for the baseline), copy cadence — no per-thread setup.
-  cfprims::exec_crs_scatter(
-      ctx, shmem, w, e, ctx.warps(), cfprims::kCopyCharge,
-      [](int vw) { return vw; },
-      [&](int vw, int lane, int j) {
-        return out_pos(static_cast<std::int64_t>(vw * w + lane) * e + j);
-      },
-      [&](int vw, int lane, int j) {
-        return regs[static_cast<std::size_t>(vw * w + lane) * static_cast<std::size_t>(e) +
-                    static_cast<std::size_t>(j)];
-      });
+  // (or raw for the baseline), copy cadence — no per-thread setup.  The raw
+  // stride-E pattern is only certified when gcd(w, E) = 1 (cf_stride).
+  if (!out_rho || out_shift.identity()) {
+    // out_pos is the identity here, so the write-back is the pure stride-E
+    // pattern and the certified path reduces to per-warp block copies.
+    cfprims::exec_stride_scatter(ctx, shmem, w, e, ctx.warps(), cfprims::kCopyCharge,
+                                 out_rho ? cfg.certs.rank_scatter : cfg.certs.stride,
+                                 std::span<const T>(regs));
+  } else {
+    cfprims::exec_crs_scatter(
+        ctx, shmem, w, e, ctx.warps(), cfprims::kCopyCharge, cfg.certs.rank_scatter,
+        [](int vw) { return vw; },
+        [&](int vw, int lane, int j) {
+          return out_pos(static_cast<std::int64_t>(vw * w + lane) * e + j);
+        },
+        [&](int vw, int lane, int j) {
+          return regs[static_cast<std::size_t>(vw * w + lane) * static_cast<std::size_t>(e) +
+                      static_cast<std::size_t>(j)];
+        });
+  }
   ctx.barrier();
-  store_tile(ctx, shmem, gout, tile, [&](std::int64_t t) { return out_pos(t); },
-             [](std::int64_t t) { return t; });
+  if (!out_rho || out_shift.identity()) {
+    store_tile_affine(ctx, shmem, gout, tile, AffineMap{0, 1}, 0, cfg.certs.stage);
+  } else {
+    store_tile(ctx, shmem, gout, tile, [&](std::int64_t t) { return out_pos(t); },
+               [](std::int64_t t) { return t; });
+  }
 }
 
 /// Stage 2: merge kernel body for one output tile.

@@ -90,8 +90,9 @@ std::vector<T>* enqueue_sort_pipeline(gpusim::Stream& stream, std::vector<T>& bu
     const bool cf_rounds = cfg.variant == Variant::CFMerge && cfg.cf_blocksort;
     if (cf_rounds) shape.shared_bytes_per_block *= 2;  // staging buffer
     stream.enqueue("block_sort", shape,
-                   [&buf, e = cfg.e, cf_rounds](gpusim::BlockContext& ctx) {
-                     block_sort_body<T>(ctx, std::span<T>(buf), e, cf_rounds);
+                   [&buf, e = cfg.e, cf_rounds, certs = cfg.certs](gpusim::BlockContext& ctx) {
+                     block_sort_body<T>(ctx, std::span<T>(buf), e, cf_rounds,
+                                        std::less<T>{}, certs);
                    });
   }
 

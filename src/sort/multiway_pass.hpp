@@ -55,6 +55,9 @@ struct MultiwayConfig {
   int k = 4;    ///< merge arity per global pass
   MultiwayVariant variant = MultiwayVariant::CFCascade;
   bool cf_blocksort = false;  ///< forwarded to the (2-way) block-sort stage
+  /// Conflict-freedom certificates (see MergeConfig::certs); resolved by
+  /// the engine, all-null default keeps the lane-accurate path.
+  TileCerts certs{};
 
   [[nodiscard]] std::int64_t tile() const { return static_cast<std::int64_t>(u) * e; }
 };
@@ -393,8 +396,11 @@ void multiway_cascade_core(gpusim::BlockContext& ctx, GIn& gin, gpusim::GlobalVi
       const auto pair_warp = [&](int vw) {
         return static_cast<int>((vglobal + vw) % ctx.warps());
       };
+      // Each pair is an instance of the proven 2-way schedule at a constant
+      // buffer offset (a uniform shift preserves bank distinctness), so the
+      // cf_gather certificate applies per pair.
       cfprims::exec_crs_gather(
-          ctx, shmem, w, e, vwarps, cfprims::kGatherCharge, pair_warp,
+          ctx, shmem, w, e, vwarps, cfprims::kGatherCharge, cfg.certs.gather, pair_warp,
           [&](int vw, int lane, int j) {
             return rb + pr.base + sched.read(vw * w + lane, j).phys;
           },
@@ -407,7 +413,7 @@ void multiway_cascade_core(gpusim::BlockContext& ctx, GIn& gin, gpusim::GlobalVi
           std::span<T> r(regs.data() + static_cast<std::size_t>(vw * w + lane) *
                                            static_cast<std::size_t>(e),
                          static_cast<std::size_t>(e));
-          odd_even_transposition_sort(r, cmp);
+          network_sort_result(r, cmp);
         }
         ctx.charge_compute(pair_warp(vw),
                            static_cast<std::uint64_t>(odd_even_network_size(e)) *
@@ -419,9 +425,12 @@ void multiway_cascade_core(gpusim::BlockContext& ctx, GIn& gin, gpusim::GlobalVi
       // each round is a stride-E progression through rho' and conflict free.
       ctx.phase("merge.store");
       // The cf_rank_scatter primitive at gather cadence: the per-thread
-      // setup computes the parent's pos_a/pos_b bounds.
+      // setup computes the parent's pos_a/pos_b bounds.  The piecewise
+      // parent map is machine-checked CF by verify/multiway.cpp; the
+      // cf_rank_scatter certificate stands in for the family.
       cfprims::exec_crs_scatter(
-          ctx, shmem, w, e, vwarps, cfprims::kGatherCharge, pair_warp,
+          ctx, shmem, w, e, vwarps, cfprims::kGatherCharge, cfg.certs.rank_scatter,
+          pair_warp,
           [&](int vw, int lane, int j) {
             const std::int64_t r = static_cast<std::int64_t>(vw * w + lane) * e + j;
             return wb + plan.scatter_pos(level, static_cast<int>(p), r);

@@ -42,8 +42,10 @@ std::vector<T>* enqueue_multiway_pipeline(gpusim::Stream& stream, std::vector<T>
                               static_cast<std::size_t>(tile) * sizeof(T), regs};
     if (cfg.cf_blocksort) shape.shared_bytes_per_block *= 2;  // staging buffer
     stream.enqueue("block_sort", shape,
-                   [&buf, e = cfg.e, cf_rounds = cfg.cf_blocksort](gpusim::BlockContext& ctx) {
-                     block_sort_body<T>(ctx, std::span<T>(buf), e, cf_rounds);
+                   [&buf, e = cfg.e, cf_rounds = cfg.cf_blocksort,
+                    certs = cfg.certs](gpusim::BlockContext& ctx) {
+                     block_sort_body<T>(ctx, std::span<T>(buf), e, cf_rounds,
+                                        std::less<T>{}, certs);
                    });
   }
 

@@ -41,6 +41,24 @@ std::int64_t odd_even_transposition_sort(std::span<T> items, Cmp cmp = Cmp{}) {
   return ces;
 }
 
+/// Produces exactly the output of odd_even_transposition_sort without
+/// executing the O(n^2) network.  The network swaps only strictly
+/// out-of-order adjacent pairs, so it is a *stable* sort — and insertion
+/// sort is stable too, so the two results are element-for-element identical
+/// for any comparator and any input (pinned by tests/test_odd_even.cpp).
+/// Simulated kernels call this for the host-side data movement and charge
+/// the network in closed form via odd_even_network_size.
+template <typename T, typename Cmp = std::less<T>>
+void network_sort_result(std::span<T> items, Cmp cmp = Cmp{}) {
+  const std::size_t n = items.size();
+  for (std::size_t i = 1; i < n; ++i) {
+    T v = std::move(items[i]);
+    std::size_t j = i;
+    for (; j > 0 && cmp(v, items[j - 1]); --j) items[j] = std::move(items[j - 1]);
+    items[j] = std::move(v);
+  }
+}
+
 /// Number of compare-exchanges the network performs for n items, without
 /// running it (phases alternate floor(n/2) and floor((n-1+1)/2) pairs).
 [[nodiscard]] std::int64_t odd_even_network_size(std::int64_t n);

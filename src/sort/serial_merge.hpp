@@ -10,11 +10,11 @@
 // force exactly this).
 #pragma once
 
+#include <array>
 #include <cassert>
 #include <functional>
 #include <limits>
 #include <span>
-#include <vector>
 
 #include "gpusim/memory_views.hpp"
 #include "sort/cost_model.hpp"
@@ -44,9 +44,14 @@ void warp_serial_merge(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& shmem,
   const int w = ctx.lanes();
   const int warps = ctx.warps();
   assert(static_cast<int>(lanes.size()) == ctx.threads());
+  assert(w <= gpusim::kMaxLanes);
 
-  std::vector<std::int64_t> addr(static_cast<std::size_t>(w));
-  std::vector<T> fetched(static_cast<std::size_t>(w));
+  // All per-lane state on the stack: this body runs once per simulated
+  // block, so heap vectors here dominated the allocator profile.
+  std::array<std::int64_t, gpusim::kMaxLanes> addr_buf;
+  std::array<T, gpusim::kMaxLanes> fetched_buf{};
+  const std::span<std::int64_t> addr(addr_buf.data(), static_cast<std::size_t>(w));
+  const std::span<T> fetched(fetched_buf.data(), static_cast<std::size_t>(w));
 
   struct LaneState {
     std::int64_t next_a;  ///< next unread offset of A_i
@@ -56,7 +61,7 @@ void warp_serial_merge(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& shmem,
     bool has_a;
     bool has_b;
   };
-  std::vector<LaneState> st(static_cast<std::size_t>(w));
+  std::array<LaneState, gpusim::kMaxLanes> st{};
 
   for (int warp = 0; warp < warps; ++warp) {
     ctx.charge_compute(warp, cost::kThreadSetupInstrs);
@@ -84,7 +89,7 @@ void warp_serial_merge(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& shmem,
         st[static_cast<std::size_t>(lane)].head_b = fetched[static_cast<std::size_t>(lane)];
 
     // E lockstep output steps.
-    std::vector<char> consumed_a(static_cast<std::size_t>(w));
+    std::array<char, gpusim::kMaxLanes> consumed_a{};
     for (int step = 0; step < e; ++step) {
       // Decide the winner per lane and emit it; queue the successor fetch.
       for (int lane = 0; lane < w; ++lane) {

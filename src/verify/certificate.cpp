@@ -1,0 +1,58 @@
+#include "verify/certificate.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "cfprims/primitive.hpp"
+#include "verify/primitive.hpp"
+#include "verify/proof.hpp"
+
+namespace cfmerge::verify {
+namespace {
+
+struct CertStore {
+  std::mutex mu;
+  // nullptr values are negative entries: unknown / unsupported / refuted.
+  std::map<std::tuple<std::string, int, int>, std::unique_ptr<CfCertificate>> memo;
+  CertificateStats stats;
+};
+
+CertStore& store() {
+  static CertStore s;
+  return s;
+}
+
+std::unique_ptr<CfCertificate> mint(std::string_view primitive, int w, int e) {
+  const cfprims::CFPrimitive* prim = cfprims::find_primitive(primitive);
+  if (prim == nullptr || !prim->supports(w, e)) return nullptr;
+  if (!prim->expected_conflict_free(w, e)) return nullptr;
+  const ProofObject po = verify_primitive(*prim, w, e);
+  if (!po.proved()) return nullptr;
+  return std::make_unique<CfCertificate>(CfCertificate{std::string(primitive), w, e});
+}
+
+}  // namespace
+
+const CfCertificate* certify(std::string_view primitive, int w, int e) {
+  CertStore& s = store();
+  std::scoped_lock lock(s.mu);
+  auto key = std::make_tuple(std::string(primitive), w, e);
+  if (auto it = s.memo.find(key); it != s.memo.end()) {
+    ++s.stats.hits;
+    return it->second.get();
+  }
+  ++s.stats.misses;
+  auto [it, inserted] = s.memo.emplace(std::move(key), mint(primitive, w, e));
+  s.stats.cached = s.memo.size();
+  return it->second.get();
+}
+
+CertificateStats certificate_stats() {
+  CertStore& s = store();
+  std::scoped_lock lock(s.mu);
+  return s.stats;
+}
+
+}  // namespace cfmerge::verify

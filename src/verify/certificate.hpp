@@ -1,0 +1,49 @@
+// Proof tokens for the simulator's bulk-charging fast path.
+//
+// A CfCertificate is the process-wide memo of one successful
+// verify_primitive run: "primitive `name` at family (w, E) is proven
+// conflict-free".  Call sites that execute a certified access pattern may
+// hand the token to the cfprims executors / tile stagers, which then charge
+// shared-memory rounds in closed form (BlockContext::charge_shared_crs)
+// instead of materializing per-lane addresses — see
+// docs/architecture.md, "Accounting fast paths".
+//
+// certify() is memoized (positive AND negative) behind a mutex: the first
+// request for a (name, w, E) triple runs the full symbolic proof; every
+// later request is a map lookup.  Unknown primitives, unsupported shapes,
+// deliberately-broken ablation variants and refuted proofs all cache a
+// nullptr, so uncertified call sites permanently fall back to the
+// lane-accurate path.  Certificates live for the whole process, so the
+// returned pointer may be cached on sort plans.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cfmerge::verify {
+
+/// One minted proof token.  The fields identify the proof that backs it;
+/// consumers only test the pointer for null.
+struct CfCertificate {
+  std::string primitive;
+  int w = 0;
+  int e = 0;
+};
+
+/// Counters over every certify() call in the process (for EngineStats).
+struct CertificateStats {
+  std::uint64_t hits = 0;    ///< memoized lookups (positive or negative)
+  std::uint64_t misses = 0;  ///< first-time proofs actually run
+  std::uint64_t cached = 0;  ///< distinct (name, w, E) entries held
+};
+
+/// Returns the certificate for `primitive` at family (w, E), running the
+/// symbolic verifier on first use; nullptr when the primitive is unknown,
+/// does not support the shape, or the proof is refuted.  Thread-safe.
+[[nodiscard]] const CfCertificate* certify(std::string_view primitive, int w, int e);
+
+/// Snapshot of the process-wide memo statistics.  Thread-safe.
+[[nodiscard]] CertificateStats certificate_stats();
+
+}  // namespace cfmerge::verify

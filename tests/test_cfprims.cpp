@@ -66,10 +66,11 @@ std::uint64_t kernel_conflicts(const gpusim::KernelReport& r) {
 
 TEST(CfprimsRegistry, CatalogNamesAndLookup) {
   const auto& all = cfprims::registry();
-  ASSERT_GE(all.size(), 9u);
+  ASSERT_GE(all.size(), 11u);
   const char* expected[] = {"cf_gather",         "cf_rank_scatter",
                             "cf_permute",        "cf_permute_inverse",
                             "cf_transpose",      "cf_transpose_inverse",
+                            "cf_stride",         "cf_stage",
                             "cf_gather_no_pi",   "cf_gather_no_rho",
                             "cf_permute_no_rho"};
   for (const char* name : expected) {
@@ -91,6 +92,12 @@ TEST(CfprimsRegistry, FootprintsAndSupport) {
   EXPECT_FALSE(cfprims::find_primitive("cf_permute_no_rho")->supports(8, 3));
   EXPECT_FALSE(cfprims::find_primitive("cf_permute")->supports(8, 1));
   EXPECT_FALSE(cfprims::find_primitive("cf_permute")->supports(8, 9));
+  // The raw stride-E CRS is only CF when E is coprime with w; the staging
+  // runs are CF for every supported shape and need w extra base slots.
+  EXPECT_TRUE(cfprims::find_primitive("cf_stride")->supports(8, 3));
+  EXPECT_FALSE(cfprims::find_primitive("cf_stride")->supports(8, 4));
+  EXPECT_TRUE(cfprims::find_primitive("cf_stage")->supports(8, 4));
+  EXPECT_EQ(cfprims::find_primitive("cf_stage")->shared_footprint(s), s.tile() + 8);
 }
 
 TEST(CfprimsVerify, GenericPathProvesEveryCFPrimitive) {

@@ -304,12 +304,13 @@ TEST(CfVerify, VerifyAllReportIsOkAndSerializes) {
   EXPECT_TRUE(report.all_proved());
   EXPECT_TRUE(report.all_refuted());
   EXPECT_TRUE(report.ok());
-  // Every (w, E) family proves the six CF primitives (cf_gather,
-  // cf_rank_scatter, cf_permute{,_inverse}, cf_transpose{,_inverse}) plus a
-  // multiway cascade per arity, and refutes cf_gather_no_pi always and
-  // cf_gather_no_rho + cf_permute_no_rho when gcd(w, E) > 1; every width
-  // additionally carries the bitonic profiles and the per-k direct claims.
-  constexpr std::size_t kCfPrimitives = 6;
+  // Every (w, E) family proves the seven CF primitives (cf_gather,
+  // cf_rank_scatter, cf_permute{,_inverse}, cf_transpose{,_inverse},
+  // cf_stage) plus cf_stride when gcd(w, E) = 1 and a multiway cascade per
+  // arity, and refutes cf_gather_no_pi always and cf_gather_no_rho +
+  // cf_permute_no_rho when gcd(w, E) > 1; every width additionally carries
+  // the bitonic profiles and the per-k direct claims.
+  constexpr std::size_t kCfPrimitives = 7;
   constexpr std::size_t kBrokenCoprime = 1;   // cf_gather_no_pi
   constexpr std::size_t kBrokenSharedD = 2;   // *_no_rho variants
   std::size_t want_refutations = 0;
@@ -320,6 +321,7 @@ TEST(CfVerify, VerifyAllReportIsOkAndSerializes) {
     want_proofs += 2;  // bitonic padded + unpadded profile
     for (int e = 2; e <= w; ++e) {
       want_proofs += kCfPrimitives + opts.ks.size();
+      if (numtheory::gcd(w, e) == 1) ++want_proofs;  // cf_stride
       want_refutations += kBrokenCoprime;
       if (numtheory::gcd(w, e) > 1) want_refutations += kBrokenSharedD;
     }

@@ -95,3 +95,24 @@ TEST(OddEven, StableForEqualKeysNotRequiredButSorted) {
   odd_even_transposition_sort(std::span<int>(v));
   EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
 }
+
+TEST(OddEven, NetworkSortResultMatchesNetworkExactly) {
+  // network_sort_result promises the element-for-element output of the
+  // network without executing it; both are stable, so they must agree even
+  // under a comparator that only looks at part of the key.  Pairs (key,
+  // tag) compared by key alone expose any stability divergence.
+  std::mt19937_64 rng(4);
+  using KV = std::pair<int, int>;
+  const auto by_key = [](const KV& a, const KV& b) { return a.first < b.first; };
+  for (int n = 0; n <= 40; ++n) {
+    for (int trial = 0; trial < 10; ++trial) {
+      std::vector<KV> net(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i)
+        net[static_cast<std::size_t>(i)] = {static_cast<int>(rng() % 8), i};
+      std::vector<KV> fast = net;
+      odd_even_transposition_sort(std::span<KV>(net), by_key);
+      cfmerge::sort::network_sort_result(std::span<KV>(fast), by_key);
+      EXPECT_EQ(net, fast) << "n=" << n;
+    }
+  }
+}

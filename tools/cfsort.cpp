@@ -39,6 +39,10 @@
 //                                                 after the first replay a cached plan.
 //     --no-plan-cache                             disable the engine's plan cache (every
 //                                                 repeat rebuilds its kernel graph)
+//     --no-bulk-charge                            disable the proof-guided bulk
+//                                                 accounting path (every warp access is
+//                                                 charged per lane; all counters are
+//                                                 bit-identical either way)
 //     --json                                      emit a JSON report (includes an
 //                                                 "engine" field with plan-cache stats
 //                                                 for cf/baseline runs)
@@ -85,6 +89,7 @@ struct Options {
   int segments = 0;  // 0 = plain sort; N >= 1 = segmented sort over N segments
   int repeat = 1;
   bool no_plan_cache = false;
+  bool no_bulk_charge = false;
   bool serial_graph = false;
   bool json = false;
   bool profile = false;
@@ -101,7 +106,8 @@ struct Options {
                "              [--k=K] [--multiway=cascade|losertree]\n"
                "              [--device=rtx2080ti|turing:SMS|tiny:W,SMS]\n"
                "              [--seed=S] [--threads=T] [--segments=N] [--serial-graph]\n"
-               "              [--repeat=N] [--no-plan-cache] [--json] [--profile]\n"
+               "              [--repeat=N] [--no-plan-cache] [--no-bulk-charge]\n"
+               "              [--json] [--profile]\n"
                "              [--trace=FILE] [--cf-blocksort]\n");
   std::exit(msg ? 2 : 0);
 }
@@ -132,6 +138,7 @@ Options parse(int argc, char** argv) {
     else if (auto v = val("--repeat"); !v.empty()) o.repeat = std::stoi(v);
     else if (auto v = val("--trace"); !v.empty()) o.trace_path = v;
     else if (a == "--no-plan-cache") o.no_plan_cache = true;
+    else if (a == "--no-bulk-charge") o.no_bulk_charge = true;
     else if (a == "--serial-graph") o.serial_graph = true;
     else if (a == "--json") o.json = true;
     else if (a == "--profile") o.profile = true;
@@ -193,7 +200,9 @@ std::vector<std::vector<std::int32_t>> split_segments(const std::vector<std::int
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
-  gpusim::Launcher launcher(make_device(o.device));
+  gpusim::DeviceSpec dev = make_device(o.device);
+  dev.bulk_charge = !o.no_bulk_charge;
+  gpusim::Launcher launcher(std::move(dev));
   launcher.set_threads(o.threads);
   gpusim::TraceSink sink;
   if (!o.trace_path.empty()) launcher.set_trace(&sink);
@@ -271,14 +280,22 @@ int main(int argc, char** argv) {
   sort::SortEngine engine(launcher);
   engine.set_plan_cache_enabled(!o.no_plan_cache);
   auto print_engine_stats = [&] {
-    if (o.repeat <= 1 && !o.no_plan_cache) return;
     const sort::EngineStats es = engine.stats();
+    if (o.repeat > 1 || o.no_plan_cache)
+      std::fprintf(stderr,
+                   "cfsort: plan cache hits=%llu misses=%llu hit_rate=%.3f "
+                   "arena=%llu B\n",
+                   static_cast<unsigned long long>(es.plan_hits),
+                   static_cast<unsigned long long>(es.plan_misses), es.hit_rate(),
+                   static_cast<unsigned long long>(es.arena_bytes));
     std::fprintf(stderr,
-                 "cfsort: plan cache hits=%llu misses=%llu hit_rate=%.3f "
-                 "arena=%llu B\n",
-                 static_cast<unsigned long long>(es.plan_hits),
-                 static_cast<unsigned long long>(es.plan_misses), es.hit_rate(),
-                 static_cast<unsigned long long>(es.arena_bytes));
+                 "cfsort: accounting bulk=%llu lane=%llu bulk_rate=%.3f "
+                 "cert hits=%llu misses=%llu cached=%llu\n",
+                 static_cast<unsigned long long>(es.bulk_charges),
+                 static_cast<unsigned long long>(es.lane_charges), es.bulk_rate(),
+                 static_cast<unsigned long long>(es.cert_hits),
+                 static_cast<unsigned long long>(es.cert_misses),
+                 static_cast<unsigned long long>(es.certs_cached));
   };
 
   if (o.op != "sort") {
