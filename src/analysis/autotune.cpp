@@ -4,9 +4,13 @@
 #include <random>
 #include <stdexcept>
 
+#include "cache/serial.hpp"
+#include "cache/store.hpp"
+#include "numtheory/hash.hpp"
 #include "numtheory/numtheory.hpp"
 #include "sort/cost_model.hpp"
 #include "sort/merge_sort.hpp"
+#include "sort/plan_key.hpp"
 
 namespace cfmerge::analysis {
 
@@ -52,11 +56,106 @@ std::vector<TuneCandidate> enumerate_candidates(const gpusim::DeviceSpec& dev,
   return out;
 }
 
+namespace {
+
+/// Record format version of the persisted tune result.
+constexpr std::uint8_t kTuneRecordVersion = 1;
+
+/// Store key of one measurement request: record tag, device digest, then a
+/// digest over everything that determines the measured outcome — the
+/// variant, the measurement shape, the calibration key type, and the
+/// ordered candidate list itself (so a different enumeration never aliases).
+std::vector<std::byte> tune_store_key(const gpusim::DeviceSpec& dev,
+                                      const std::vector<TuneCandidate>& candidates,
+                                      const TuneOptions& opts, int limit,
+                                      int tiles_per_candidate, std::uint64_t seed) {
+  using numtheory::fnv1a;
+  std::uint64_t shape = fnv1a(numtheory::kFnvOffset,
+                              static_cast<std::uint64_t>(opts.variant));
+  shape = fnv1a(shape, static_cast<std::int64_t>(limit));
+  shape = fnv1a(shape, static_cast<std::int64_t>(tiles_per_candidate));
+  shape = fnv1a(shape, seed);
+  for (const TuneCandidate& c : candidates) {
+    shape = fnv1a(shape, static_cast<std::int64_t>(c.e));
+    shape = fnv1a(shape, static_cast<std::int64_t>(c.u));
+  }
+  cache::ByteWriter w;
+  w.str("tune");
+  w.u64(dev.digest());
+  w.u64(shape);
+  w.u64(sort::type_digest<std::int32_t>().bits);  // the calibration key type
+  return w.take();
+}
+
+/// Replays a persisted ranking onto `candidates`: restores each measured
+/// candidate's throughput and the final order of the measured prefix.
+/// Returns false (leaving `candidates` untouched) on any malformation.
+bool apply_tune_record(std::span<const std::byte> record,
+                       std::vector<TuneCandidate>& candidates, int limit) {
+  cache::ByteReader r(record);
+  if (r.u8() != kTuneRecordVersion) return false;
+  const std::uint32_t count = r.u32();
+  if (!r.ok() || count != static_cast<std::uint32_t>(limit)) return false;
+  std::vector<TuneCandidate> ranked;
+  ranked.reserve(count);
+  std::vector<bool> used(static_cast<std::size_t>(limit), false);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto e = static_cast<int>(r.i64());
+    const auto u = static_cast<int>(r.i64());
+    const double throughput = r.f64();
+    if (!r.ok()) return false;
+    bool found = false;
+    for (int j = 0; j < limit; ++j) {
+      auto& c = candidates[static_cast<std::size_t>(j)];
+      if (!used[static_cast<std::size_t>(j)] && c.e == e && c.u == u) {
+        c.measured_throughput = throughput;
+        ranked.push_back(c);
+        used[static_cast<std::size_t>(j)] = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  if (!r.at_end()) return false;
+  std::copy(ranked.begin(), ranked.end(), candidates.begin());
+  return true;
+}
+
+std::vector<std::byte> encode_tune_record(const std::vector<TuneCandidate>& candidates,
+                                          int limit) {
+  cache::ByteWriter w;
+  w.u8(kTuneRecordVersion);
+  w.u32(static_cast<std::uint32_t>(limit));
+  for (int i = 0; i < limit; ++i) {
+    const TuneCandidate& c = candidates[static_cast<std::size_t>(i)];
+    w.i64(c.e);
+    w.i64(c.u);
+    w.f64(c.measured_throughput);
+  }
+  return w.take();
+}
+
+}  // namespace
+
 void measure_candidates(gpusim::Launcher& launcher, std::vector<TuneCandidate>& candidates,
                         const TuneOptions& opts, int top_k, int tiles_per_candidate,
-                        std::uint64_t seed) {
-  std::mt19937_64 rng(seed);
+                        std::uint64_t seed, cache::PlanCacheStore* store) {
   const int limit = std::min<int>(top_k, static_cast<int>(candidates.size()));
+  if (limit <= 0) return;
+
+  // Cross-process short-circuit: a persisted ranking for this exact request
+  // replaces the whole calibration sweep.
+  std::vector<std::byte> key;
+  if (store != nullptr) {
+    key = tune_store_key(launcher.device(), candidates, opts, limit,
+                         tiles_per_candidate, seed);
+    if (const auto record = store->lookup(key);
+        record.has_value() && apply_tune_record(*record, candidates, limit))
+      return;
+  }
+
+  std::mt19937_64 rng(seed);
   for (int i = 0; i < limit; ++i) {
     TuneCandidate& c = candidates[static_cast<std::size_t>(i)];
     sort::MergeConfig cfg;
@@ -75,6 +174,7 @@ void measure_candidates(gpusim::Launcher& launcher, std::vector<TuneCandidate>& 
                    [](const TuneCandidate& a, const TuneCandidate& b) {
                      return a.measured_throughput > b.measured_throughput;
                    });
+  if (store != nullptr) store->insert(key, encode_tune_record(candidates, limit));
 }
 
 }  // namespace cfmerge::analysis

@@ -17,6 +17,10 @@
 #include "gpusim/launcher.hpp"
 #include "sort/merge_pass.hpp"
 
+namespace cfmerge::cache {
+class PlanCacheStore;
+}  // namespace cfmerge::cache
+
 namespace cfmerge::analysis {
 
 struct TuneCandidate {
@@ -49,8 +53,17 @@ struct TuneOptions {
 /// Measures the first `top_k` candidates with a calibration sort of
 /// `tiles_per_candidate` tiles of uniform random keys; re-sorts the list by
 /// measured throughput (best first).
+///
+/// With a persistent `store` (cache/store.hpp) the whole measurement sweep
+/// becomes memoized across processes: the result is keyed by
+/// (device digest, tune-request digest, key-type digest), so a disk hit
+/// replays the stored ranking WITHOUT running a single calibration sort —
+/// this is the cold-process warm-start the store exists for.  On a miss
+/// the measured ranking is written back.  Any change to the device, the
+/// candidate list, the measurement shape (top_k, tiles, seed), or the
+/// variant changes the key and invalidates cleanly.
 void measure_candidates(gpusim::Launcher& launcher, std::vector<TuneCandidate>& candidates,
                         const TuneOptions& opts, int top_k, int tiles_per_candidate,
-                        std::uint64_t seed = 42);
+                        std::uint64_t seed = 42, cache::PlanCacheStore* store = nullptr);
 
 }  // namespace cfmerge::analysis

@@ -190,7 +190,14 @@ void write_json(std::ostream& os, const sort::EngineStats& stats) {
      << ",\"bulk_rate\":" << stats.bulk_rate()
      << ",\"cert_hits\":" << stats.cert_hits
      << ",\"cert_misses\":" << stats.cert_misses
-     << ",\"certs_cached\":" << stats.certs_cached << "}";
+     << ",\"certs_cached\":" << stats.certs_cached
+     << ",\"disk_hits\":" << stats.disk_hits
+     << ",\"disk_misses\":" << stats.disk_misses
+     << ",\"disk_writes\":" << stats.disk_writes
+     << ",\"disk_evictions\":" << stats.disk_evictions
+     << ",\"disk_corrupt\":" << stats.disk_corrupt
+     << ",\"disk_entries\":" << stats.disk_entries
+     << ",\"disk_bytes\":" << stats.disk_bytes << "}";
 }
 
 namespace {

@@ -1,0 +1,120 @@
+// Canonical byte serialization for cache records.
+//
+// Every value that crosses a process boundary (plan keys, device digests,
+// autotune records, the store file itself) is encoded through these two
+// helpers so the byte layout is explicit and platform-independent:
+// fixed-width little-endian integers, IEEE-754 doubles by bit pattern,
+// length-prefixed byte strings.  No in-memory struct is ever written raw —
+// padding and host endianness never leak into a file.
+//
+// ByteReader is bounds-checked and *non-throwing*: a read past the end
+// flips `ok()` to false and returns zeroes.  Callers validate once at the
+// end, which is what makes truncated or corrupted store files safe to load
+// (cache/store.cpp ignores them and rebuilds).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cfmerge::cache {
+
+/// Appends canonical little-endian encodings to a growing byte buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  /// Length-prefixed (u32) byte string.
+  void bytes(std::span<const std::byte> v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    buf_.insert(buf_.end(), v.begin(), v.end());
+  }
+  void str(std::string_view v) {
+    bytes(std::span<const std::byte>(reinterpret_cast<const std::byte*>(v.data()),
+                                     v.size()));
+  }
+
+  [[nodiscard]] const std::vector<std::byte>& data() const { return buf_; }
+  [[nodiscard]] std::vector<std::byte> take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Bounds-checked reader over a byte span.  Reads past the end return zero
+/// values and latch `ok() == false`; callers check once after parsing.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    if (pos_ + 1 > data_.size()) return fail();
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  [[nodiscard]] std::uint32_t u32() {
+    std::uint32_t v = 0;
+    if (pos_ + 4 > data_.size()) return fail();
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data_[pos_++])) << (8 * i);
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    std::uint64_t v = 0;
+    if (pos_ + 8 > data_.size()) {
+      fail();
+      return 0;
+    }
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[pos_++])) << (8 * i);
+    return v;
+  }
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  [[nodiscard]] double f64() { return std::bit_cast<double>(u64()); }
+  /// Length-prefixed byte string; an over-long prefix fails the reader.
+  [[nodiscard]] std::vector<std::byte> bytes() {
+    const std::uint32_t n = u32();
+    if (!ok_ || pos_ + n > data_.size()) {
+      fail();
+      return {};
+    }
+    std::vector<std::byte> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                               data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+  [[nodiscard]] std::string str() {
+    const std::vector<std::byte> b = bytes();
+    return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool at_end() const { return ok_ && pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const {
+    return ok_ ? data_.size() - pos_ : 0;
+  }
+
+ private:
+  std::uint8_t fail() {
+    ok_ = false;
+    pos_ = data_.size();
+    return 0;
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace cfmerge::cache

@@ -1,0 +1,228 @@
+#include "cache/store.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <system_error>
+
+#include "cache/serial.hpp"
+#include "numtheory/hash.hpp"
+
+namespace cfmerge::cache {
+
+namespace {
+
+// "CFPC" little-endian.
+constexpr std::uint32_t kMagic = 0x43504643u;
+// Fixed per-entry bookkeeping in the serialized image: two u32 length
+// prefixes plus the u64 LRU stamp.
+constexpr std::uint64_t kEntryOverhead = 4 + 4 + 8;
+
+std::optional<std::vector<std::byte>> read_file(const std::filesystem::path& p) {
+  std::ifstream f(p, std::ios::binary);
+  if (!f) return std::nullopt;
+  std::vector<char> raw((std::istreambuf_iterator<char>(f)),
+                        std::istreambuf_iterator<char>());
+  if (!f.good() && !f.eof()) return std::nullopt;
+  std::vector<std::byte> out(raw.size());
+  std::transform(raw.begin(), raw.end(), out.begin(),
+                 [](char c) { return static_cast<std::byte>(c); });
+  return out;
+}
+
+}  // namespace
+
+PlanCacheStore::PlanCacheStore(std::filesystem::path dir, std::uint64_t max_bytes)
+    : dir_(std::move(dir)), file_(dir_ / kFileName), max_bytes_(max_bytes) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);  // best effort; save() reports
+  load();
+}
+
+PlanCacheStore::~PlanCacheStore() {
+  if (dirty_) save();  // best effort — this is a cache
+}
+
+bool PlanCacheStore::parse(std::span<const std::byte> bytes, std::vector<Entry>& out,
+                           std::uint64_t& clock) {
+  ByteReader r(bytes);
+  if (r.u32() != kMagic) return false;
+  if (r.u32() != kFormatVersion) return false;
+  const std::uint64_t file_clock = r.u64();
+  const std::uint32_t count = r.u32();
+  const std::uint64_t checksum = r.u64();
+  if (!r.ok()) return false;
+  // The checksum covers exactly the entries region that follows the header.
+  const std::size_t body_off = bytes.size() - r.remaining();
+  if (numtheory::fnv1a_bytes(numtheory::kFnvOffset, bytes.subspan(body_off)) != checksum)
+    return false;
+  std::vector<Entry> parsed;
+  parsed.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Entry e;
+    e.key = r.bytes();
+    e.value = r.bytes();
+    e.last_used = r.u64();
+    if (!r.ok()) return false;
+    parsed.push_back(std::move(e));
+  }
+  if (!r.at_end()) return false;  // trailing garbage
+  out = std::move(parsed);
+  clock = file_clock;
+  return true;
+}
+
+void PlanCacheStore::load() {
+  const auto bytes = read_file(file_);
+  if (!bytes.has_value()) return;  // no file yet: empty store
+  std::vector<Entry> parsed;
+  std::uint64_t clock = 0;
+  if (!parse(*bytes, parsed, clock)) {
+    ++stats_.corrupt;  // ignored and rebuilt on the next save
+    return;
+  }
+  entries_ = std::move(parsed);
+  clock_ = std::max(clock_, clock);
+}
+
+PlanCacheStore::Entry* PlanCacheStore::find(std::span<const std::byte> key) {
+  for (Entry& e : entries_) {
+    if (e.key.size() == key.size() && std::equal(key.begin(), key.end(), e.key.begin()))
+      return &e;
+  }
+  return nullptr;
+}
+
+std::optional<std::vector<std::byte>> PlanCacheStore::lookup(
+    std::span<const std::byte> key) {
+  if (Entry* e = find(key)) {
+    e->last_used = ++clock_;
+    dirty_ = true;  // the LRU bump is worth persisting
+    ++stats_.hits;
+    return e->value;
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void PlanCacheStore::insert(std::span<const std::byte> key,
+                            std::span<const std::byte> value) {
+  ++stats_.writes;
+  dirty_ = true;
+  if (Entry* e = find(key)) {
+    e->value.assign(value.begin(), value.end());
+    e->last_used = ++clock_;
+  } else {
+    entries_.push_back(Entry{{key.begin(), key.end()}, {value.begin(), value.end()},
+                             ++clock_});
+  }
+  evict_to_cap();
+}
+
+void PlanCacheStore::merge_from_disk() {
+  const auto bytes = read_file(file_);
+  if (!bytes.has_value()) return;
+  std::vector<Entry> disk;
+  std::uint64_t disk_clock = 0;
+  if (!parse(*bytes, disk, disk_clock)) {
+    ++stats_.corrupt;
+    return;
+  }
+  clock_ = std::max(clock_, disk_clock);
+  for (Entry& e : disk) {
+    // Ours win on conflict: this process's writes are the freshest.
+    if (find(e.key) == nullptr) entries_.push_back(std::move(e));
+  }
+}
+
+void PlanCacheStore::evict_to_cap() {
+  std::uint64_t total = serialized_bytes();
+  while (total > max_bytes_ && !entries_.empty()) {
+    std::size_t oldest = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i)
+      if (entries_[i].last_used < entries_[oldest].last_used) oldest = i;
+    total -= kEntryOverhead + entries_[oldest].key.size() + entries_[oldest].value.size();
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(oldest));
+    ++stats_.evictions;
+    dirty_ = true;
+  }
+}
+
+std::uint64_t PlanCacheStore::serialized_bytes() const {
+  std::uint64_t total = 4 + 4 + 8 + 4 + 8;  // header
+  for (const Entry& e : entries_) total += kEntryOverhead + e.key.size() + e.value.size();
+  return total;
+}
+
+std::vector<std::byte> PlanCacheStore::serialize() const {
+  ByteWriter body;
+  for (const Entry& e : entries_) {
+    body.bytes(e.key);
+    body.bytes(e.value);
+    body.u64(e.last_used);
+  }
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u32(kFormatVersion);
+  w.u64(clock_);
+  w.u32(static_cast<std::uint32_t>(entries_.size()));
+  w.u64(numtheory::fnv1a_bytes(numtheory::kFnvOffset, body.data()));
+  std::vector<std::byte> out = w.take();
+  out.insert(out.end(), body.data().begin(), body.data().end());
+  return out;
+}
+
+bool PlanCacheStore::save() {
+  merge_from_disk();
+  evict_to_cap();
+  const std::vector<std::byte> image = serialize();
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  // A per-process temp name keeps two concurrent savers off each other's
+  // half-written files; the rename commit is atomic within the directory.
+  const std::filesystem::path tmp =
+      file_.string() + ".tmp." + std::to_string(static_cast<unsigned long long>(
+                                     reinterpret_cast<std::uintptr_t>(this)));
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) return false;
+    f.write(reinterpret_cast<const char*>(image.data()),
+            static_cast<std::streamsize>(image.size()));
+    if (!f.good()) {
+      f.close();
+      std::filesystem::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::filesystem::rename(tmp, file_, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  dirty_ = false;
+  return true;
+}
+
+bool PlanCacheStore::clear(const std::filesystem::path& dir) {
+  std::error_code ec;
+  std::filesystem::remove(dir / kFileName, ec);
+  return !std::filesystem::exists(dir / kFileName, ec);
+}
+
+void PlanCacheStore::clear_entries() {
+  entries_.clear();
+  dirty_ = true;
+  // Drop the on-disk image too: merge-on-save would otherwise resurrect
+  // the cleared entries at the next save().
+  std::error_code ec;
+  std::filesystem::remove(file_, ec);
+}
+
+StoreStats PlanCacheStore::stats() const {
+  StoreStats s = stats_;
+  s.entries = entries_.size();
+  s.bytes = serialized_bytes();
+  return s;
+}
+
+}  // namespace cfmerge::cache

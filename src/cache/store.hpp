@@ -1,0 +1,121 @@
+// Persistent, cross-process plan & autotune cache.
+//
+// The disk-backed half of the plan-identity refactor (sort/plan_key.hpp):
+// a content-addressed key/value store that survives process death, so the
+// second `cfsort` run on a machine warm-starts from what the first one
+// learned.  What goes in it:
+//
+//  * plan metadata, keyed by (device digest, serialized PlanKey) — written
+//    by SortEngine on every plan build, consulted on every in-memory miss;
+//  * autotune measurements, keyed by (device digest, tune-request digest) —
+//    written by analysis::measure_candidates, whose disk hit short-circuits
+//    the whole calibration-sort sweep (the expensive part).
+//
+// The design follows libgpuarray's disk kernel cache: hash-keyed entries,
+// a versioned header, an LRU size cap — adapted to a single-file format
+// with a write-temp-then-rename commit protocol instead of SQL.
+//
+// Robustness contract (pinned by tests/test_plan_cache.cpp):
+//  * A truncated, corrupted, or version-mismatched file is IGNORED — the
+//    store loads empty, counts `corrupt`, and the next save rebuilds it.
+//    Loading never throws on bad bytes.
+//  * save() is atomic: the new image is written to a sibling temp file and
+//    renamed over the store file, so a reader in another process sees
+//    either the old or the new image, never a torn one.
+//  * save() merges first: entries another process persisted since our load
+//    are re-read and kept (ours win on key conflicts), so two processes
+//    interleaving save() lose nothing but LRU precision.
+//  * Entries beyond `max_bytes` are evicted oldest-`last_used` first.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace cfmerge::cache {
+
+/// Counters of one store instance's traffic plus a snapshot of contents.
+struct StoreStats {
+  std::uint64_t hits = 0;       ///< lookups that found a persisted entry
+  std::uint64_t misses = 0;     ///< lookups that found nothing
+  std::uint64_t writes = 0;     ///< inserts (new or overwriting)
+  std::uint64_t evictions = 0;  ///< entries dropped by the LRU size cap
+  std::uint64_t corrupt = 0;    ///< unreadable files ignored at load/merge
+  std::uint64_t entries = 0;    ///< entries held right now (snapshot)
+  std::uint64_t bytes = 0;      ///< serialized size right now (snapshot)
+};
+
+class PlanCacheStore {
+ public:
+  /// Bump when the file layout changes; older files are ignored as corrupt.
+  static constexpr std::uint32_t kFormatVersion = 1;
+  static constexpr std::uint64_t kDefaultMaxBytes = 4ull << 20;  // 4 MiB
+  /// The store file inside the cache directory.
+  static constexpr const char* kFileName = "cfmerge-plan-cache.bin";
+
+  /// Opens (creating the directory if needed) and loads the store under
+  /// `dir`.  A missing file is an empty store; an unreadable one is
+  /// ignored and counted in stats().corrupt.
+  explicit PlanCacheStore(std::filesystem::path dir,
+                          std::uint64_t max_bytes = kDefaultMaxBytes);
+  PlanCacheStore(const PlanCacheStore&) = delete;
+  PlanCacheStore& operator=(const PlanCacheStore&) = delete;
+  /// Best-effort save of unsaved writes (errors are swallowed — a cache).
+  ~PlanCacheStore();
+
+  /// Returns the value persisted under `key`, bumping its LRU stamp.
+  [[nodiscard]] std::optional<std::vector<std::byte>> lookup(
+      std::span<const std::byte> key);
+
+  /// Inserts or overwrites `key`, then evicts oldest entries over the cap.
+  void insert(std::span<const std::byte> key, std::span<const std::byte> value);
+
+  /// Merges concurrent on-disk writes, evicts to the cap, and atomically
+  /// commits the image (write temp + rename).  Returns false on I/O error
+  /// (the in-memory store stays usable either way).
+  bool save();
+
+  /// Deletes the store file under `dir`.  Returns true when the file is
+  /// gone afterwards (including when it never existed).
+  static bool clear(const std::filesystem::path& dir);
+
+  /// Drops every in-memory entry AND the on-disk image (counters survive);
+  /// save() then commits an empty store — merge-on-save cannot resurrect
+  /// cleared entries because the file is gone.
+  void clear_entries();
+
+  [[nodiscard]] StoreStats stats() const;
+  [[nodiscard]] const std::filesystem::path& file_path() const { return file_; }
+  [[nodiscard]] std::uint64_t max_bytes() const { return max_bytes_; }
+
+ private:
+  struct Entry {
+    std::vector<std::byte> key;
+    std::vector<std::byte> value;
+    std::uint64_t last_used = 0;
+  };
+
+  [[nodiscard]] Entry* find(std::span<const std::byte> key);
+  /// Parses `bytes` as a store image into `out`; returns false (leaving
+  /// `out` untouched) on any malformation.
+  static bool parse(std::span<const std::byte> bytes, std::vector<Entry>& out,
+                    std::uint64_t& clock);
+  void load();
+  void merge_from_disk();
+  void evict_to_cap();
+  [[nodiscard]] std::uint64_t serialized_bytes() const;
+  [[nodiscard]] std::vector<std::byte> serialize() const;
+
+  std::filesystem::path dir_;
+  std::filesystem::path file_;
+  std::uint64_t max_bytes_;
+  std::uint64_t clock_ = 0;  ///< logical LRU clock, persisted in the header
+  bool dirty_ = false;
+  std::vector<Entry> entries_;
+  StoreStats stats_;  ///< cumulative fields; entries/bytes filled in stats()
+};
+
+}  // namespace cfmerge::cache

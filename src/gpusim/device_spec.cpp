@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "numtheory/hash.hpp"
+
 namespace cfmerge::gpusim {
 
 DeviceSpec DeviceSpec::rtx2080ti() {
@@ -43,6 +45,30 @@ DeviceSpec DeviceSpec::scaled_turing(int sms) {
   d.dram_bytes_per_cycle = d.dram_bytes_per_cycle * sms / d.num_sms;
   d.num_sms = sms;
   return d;
+}
+
+std::uint64_t DeviceSpec::digest() const {
+  using numtheory::fnv1a;
+  // A leading format tag so a future field addition can bump the digest
+  // domain explicitly instead of silently aliasing old values.
+  std::uint64_t h = fnv1a(numtheory::kFnvOffset, std::uint64_t{1});
+  h = fnv1a(h, static_cast<std::int64_t>(warp_size));
+  h = fnv1a(h, static_cast<std::int64_t>(num_sms));
+  h = fnv1a(h, static_cast<std::int64_t>(max_threads_per_sm));
+  h = fnv1a(h, static_cast<std::int64_t>(max_blocks_per_sm));
+  h = fnv1a(h, static_cast<std::uint64_t>(shared_bytes_per_sm));
+  h = fnv1a(h, registers_per_sm);
+  h = fnv1a(h, static_cast<std::int64_t>(issue_width));
+  h = fnv1a(h, static_cast<std::int64_t>(shared_latency));
+  h = fnv1a(h, static_cast<std::int64_t>(shared_replay_cycles));
+  h = fnv1a(h, static_cast<std::int64_t>(global_latency));
+  h = fnv1a(h, static_cast<std::int64_t>(transaction_bytes));
+  h = fnv1a(h, dram_bytes_per_cycle);
+  h = fnv1a(h, static_cast<std::uint64_t>(l2_bytes));
+  h = fnv1a(h, static_cast<std::int64_t>(l2_ways));
+  h = fnv1a(h, clock_ghz);
+  h = fnv1a(h, launch_overhead_cycles);
+  return h;
 }
 
 void DeviceSpec::validate() const {

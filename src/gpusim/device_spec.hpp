@@ -87,6 +87,16 @@ struct DeviceSpec {
   /// Throws std::invalid_argument when a field is out of range.
   void validate() const;
 
+  /// Stable content digest: FNV-1a over every field that affects planning,
+  /// costing, or occupancy — the cross-process identity the persistent plan
+  /// & autotune cache keys on (cache/store.hpp).  Deliberately excluded:
+  /// `name` (two identically-configured devices are the same device),
+  /// `sim_threads` (host-side; reports are bit-identical for every value),
+  /// and `bulk_charge` (counters/timing are bit-identical either way).  Any
+  /// field that *does* change planning and is hashed here invalidates every
+  /// persisted entry, which is exactly the invalidation rule we want.
+  [[nodiscard]] std::uint64_t digest() const;
+
   [[nodiscard]] int max_warps_per_sm() const { return max_threads_per_sm / warp_size; }
   [[nodiscard]] double cycles_to_us(double cycles) const {
     return cycles / (clock_ghz * 1e3);

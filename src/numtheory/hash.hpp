@@ -1,0 +1,68 @@
+// Content hashing shared by every digest in the library.
+//
+// One algorithm — 64-bit FNV-1a — feeds every stable identity we compute:
+// PlanKey shape/config digests (sort/plan_key.hpp), DeviceSpec::digest()
+// (gpusim/device_spec.hpp), and the persistent plan-cache store keys
+// (cache/store.hpp).  The helpers here are the single definition; the
+// engine's former private copies re-point onto them.
+//
+// Everything is constexpr and byte-order independent: multi-byte values are
+// always folded least-significant-byte first, so a digest computed on one
+// process/host equals the digest computed on any other.  That property is
+// what lets digests serve as *cross-process* cache keys.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace cfmerge::numtheory {
+
+/// FNV-1a 64-bit offset basis.
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+/// FNV-1a 64-bit prime.
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// Folds one byte into the running hash.
+[[nodiscard]] constexpr std::uint64_t fnv1a_byte(std::uint64_t h,
+                                                 std::uint8_t b) noexcept {
+  h ^= b;
+  h *= kFnvPrime;
+  return h;
+}
+
+/// Folds a 64-bit value, least-significant byte first (endian-independent).
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) h = fnv1a_byte(h, static_cast<std::uint8_t>(v >> (8 * i)));
+  return h;
+}
+
+/// Folds a signed 64-bit value via its two's-complement bit pattern.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::uint64_t h, std::int64_t v) noexcept {
+  return fnv1a(h, static_cast<std::uint64_t>(v));
+}
+
+/// Folds a double via its IEEE-754 bit pattern (bit-identical inputs only —
+/// note -0.0 and 0.0 hash differently, as do distinct NaN payloads).
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::uint64_t h, double v) noexcept {
+  return fnv1a(h, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Folds a raw byte range.
+[[nodiscard]] inline std::uint64_t fnv1a_bytes(std::uint64_t h,
+                                               std::span<const std::byte> bytes) noexcept {
+  for (const std::byte b : bytes) h = fnv1a_byte(h, static_cast<std::uint8_t>(b));
+  return h;
+}
+
+/// Folds a string's characters (no terminator, no length prefix — callers
+/// composing several strings should fold a separator or the length).
+[[nodiscard]] constexpr std::uint64_t fnv1a_str(std::uint64_t h,
+                                                std::string_view s) noexcept {
+  for (const char c : s) h = fnv1a_byte(h, static_cast<std::uint8_t>(c));
+  return h;
+}
+
+}  // namespace cfmerge::numtheory

@@ -33,6 +33,16 @@ EngineStats SortEngine::stats() const {
   s.cert_hits = cs.hits;
   s.cert_misses = cs.misses;
   s.certs_cached = cs.cached;
+  if (store_ != nullptr) {
+    const cache::StoreStats ds = store_->stats();
+    s.disk_hits = ds.hits;
+    s.disk_misses = ds.misses;
+    s.disk_writes = ds.writes;
+    s.disk_evictions = ds.evictions;
+    s.disk_corrupt = ds.corrupt;
+    s.disk_entries = ds.entries;
+    s.disk_bytes = ds.bytes;
+  }
   return s;
 }
 
@@ -48,7 +58,7 @@ void SortEngine::set_plan_capacity(std::size_t capacity) {
   evict_to_capacity(capacity_);
 }
 
-void SortEngine::release_plan(const detail::PlanKey& key, std::shared_ptr<void> plan,
+void SortEngine::release_plan(const PlanKey& key, std::shared_ptr<void> plan,
                               std::uint64_t bytes) {
   if (!cache_enabled_ || capacity_ == 0) return;  // plan is dropped here
   free_plans_.push_back({key, std::move(plan), bytes, ++clock_});

@@ -23,6 +23,12 @@
 //    KeyValue pair buffer).  acquire<T>(n) hands out an RAII Lease; the
 //    backing allocation returns to the pool when the lease drops.
 //
+//  * optionally a **persistent store** (set_store): plan identity is
+//    content-addressed (sort/plan_key.hpp), so a cache::PlanCacheStore can
+//    carry plan metadata and autotune results across processes.  In-memory
+//    misses consult it (disk_* counters in EngineStats) and builds write
+//    back; see cache/store.hpp and docs/architecture.md.
+//
 // Cache semantics: the cache holds *idle* plan instances.  acquire removes
 // an instance from the free list (a hit), so two same-shaped segments of
 // one segmented_sort batch get two distinct instances — both are returned
@@ -44,18 +50,22 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <typeindex>
 #include <utility>
 #include <vector>
 
+#include "cache/store.hpp"
 #include "cfprims/permute.hpp"
 #include "gpusim/launcher.hpp"
+#include "numtheory/hash.hpp"
 #include "sort/batched_merge.hpp"
 #include "sort/key_value.hpp"
 #include "sort/merge_pass.hpp"
 #include "sort/merge_sort.hpp"
 #include "sort/multiway_sort.hpp"
+#include "sort/plan_key.hpp"
 #include "sort/segmented_sort.hpp"
 
 namespace cfmerge::sort {
@@ -77,6 +87,16 @@ struct EngineStats {
   std::uint64_t cert_hits = 0;       ///< certify() calls served from the memo
   std::uint64_t cert_misses = 0;     ///< certify() calls that ran the prover
   std::uint64_t certs_cached = 0;    ///< distinct certificates held right now
+  // Persistent (disk) plan & autotune cache, when one is attached — the
+  // whole-process traffic of the cache::PlanCacheStore, which also counts
+  // autotune lookups routed through the same store.
+  std::uint64_t disk_hits = 0;       ///< store lookups that found an entry
+  std::uint64_t disk_misses = 0;     ///< store lookups that found nothing
+  std::uint64_t disk_writes = 0;     ///< entries written (plan metadata, tune results)
+  std::uint64_t disk_evictions = 0;  ///< entries dropped by the LRU size cap
+  std::uint64_t disk_corrupt = 0;    ///< unreadable store files ignored + rebuilt
+  std::uint64_t disk_entries = 0;    ///< persisted entries held right now
+  std::uint64_t disk_bytes = 0;      ///< serialized store size right now
   [[nodiscard]] double hit_rate() const {
     const std::uint64_t total = plan_hits + plan_misses;
     return total > 0 ? static_cast<double>(plan_hits) / static_cast<double>(total) : 0.0;
@@ -183,45 +203,19 @@ class ScratchArena {
 
 namespace detail {
 
-/// Cache key: everything the kernel-graph structure depends on.  Two calls
-/// with equal keys produce graphs with identical node names, shapes,
-/// dependency edges, and pass/tile decisions — only the buffer *contents*
-/// differ, which is exactly what plan reuse rebinds.
-struct PlanKey {
-  enum class Kind : std::uint8_t {
-    Sort = 0,
-    Batched = 1,
-    Multiway = 2,
-    Permute = 3,
-    Transpose = 4,
-  };
+// PlanKey (the content-addressed cache key) and its digests live in
+// sort/plan_key.hpp; the engine adds only the store-key framing here.
 
-  Kind kind = Kind::Sort;
-  std::type_index type = std::type_index(typeid(void));
-  /// Sort: padded element count.  Batched: number of pairs (the per-pair
-  /// run lengths live in `shape_digest`).
-  std::int64_t n_padded = 0;
-  std::uint64_t shape_digest = 0;  ///< Batched: FNV-1a over every (|A|,|B|)
-  MergeConfig cfg;
-
-  [[nodiscard]] bool operator==(const PlanKey& o) const {
-    return kind == o.kind && type == o.type && n_padded == o.n_padded &&
-           shape_digest == o.shape_digest && cfg.e == o.cfg.e && cfg.u == o.cfg.u &&
-           cfg.variant == o.cfg.variant && cfg.disable_rho == o.cfg.disable_rho &&
-           cfg.cf_output_scatter == o.cfg.cf_output_scatter &&
-           cfg.cf_blocksort == o.cfg.cf_blocksort;
-  }
-};
-
-/// FNV-1a, the digest under PlanKey::shape_digest.
-inline std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (8 * i)) & 0xffu;
-    h *= 0x100000001b3ull;
-  }
-  return h;
+/// The persistent-store key for a plan's metadata: a record tag, the
+/// device's content digest, then the schema-versioned PlanKey bytes.
+inline std::vector<std::byte> plan_store_key(std::uint64_t device_digest,
+                                             const PlanKey& key) {
+  cache::ByteWriter w;
+  w.str("plan");
+  w.u64(device_digest);
+  key.serialize(w);
+  return w.take();
 }
-inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
 
 /// A cached single-array sort plan: the enqueued pipeline of
 /// enqueue_sort_pipeline plus the storage its bodies capture.  Plans are
@@ -260,9 +254,8 @@ struct SortPlanT {
 };
 
 /// A cached k-way sort plan: enqueue_multiway_pipeline's graph plus the
-/// storage its bodies capture.  Keyed under Kind::Multiway with the
-/// (k, variant) pair folded into shape_digest (PlanKey::cfg only carries the
-/// pairwise knobs the multiway pipeline shares: e, u, cf_blocksort).
+/// storage its bodies capture.  Keyed under Kind::Multiway; every knob —
+/// (k, variant) included — lives in config_digest(MultiwayConfig).
 template <typename T>
 struct MultiwayPlanT {
   MultiwayConfig cfg;
@@ -296,9 +289,8 @@ struct MultiwayPlanT {
 };
 
 /// A cached permute/transpose plan: the one-kernel cfprims pipeline plus
-/// its input and output buffers.  Keyed under Kind::Permute / Transpose
-/// with the direction bit folded into shape_digest (PlanKey::cfg carries
-/// only e and u).
+/// its input and output buffers.  Keyed under Kind::Permute / Transpose;
+/// the (op, inverse) direction bits live in config_digest(PermuteConfig).
 template <typename T>
 struct PermutePlanT {
   cfprims::PermuteConfig cfg;
@@ -566,8 +558,8 @@ class SortEngine {
     const std::int64_t n_padded = (report.n + tile - 1) / tile * tile;
     report.n_padded = n_padded;
 
-    const detail::PlanKey key{detail::PlanKey::Kind::Sort, std::type_index(typeid(T)),
-                              n_padded, 0, certified};
+    const PlanKey key{PlanKey::Kind::Sort, type_digest<T>(), n_padded, 0,
+                      config_digest(certified)};
     auto plan = acquire_plan<detail::SortPlanT<T>>(key, [&] {
       return std::make_shared<detail::SortPlanT<T>>(certified, n_padded);
     });
@@ -605,15 +597,10 @@ class SortEngine {
     const std::int64_t n_padded = (report.n + tile - 1) / tile * tile;
     report.n_padded = n_padded;
 
-    MergeConfig base;
-    base.e = cfg.e;
-    base.u = cfg.u;
-    base.cf_blocksort = cfg.cf_blocksort;
-    std::uint64_t digest = detail::fnv1a(detail::kFnvOffset,
-                                         static_cast<std::uint64_t>(cfg.k));
-    digest = detail::fnv1a(digest, static_cast<std::uint64_t>(cfg.variant));
-    const detail::PlanKey key{detail::PlanKey::Kind::Multiway,
-                              std::type_index(typeid(T)), n_padded, digest, base};
+    // Every multiway knob — (k, variant) included — is folded by the one
+    // uniform config_digest helper; no ad-hoc per-call-site digesting.
+    const PlanKey key{PlanKey::Kind::Multiway, type_digest<T>(), n_padded, 0,
+                      config_digest(cfg)};
     const int warp_size = launcher_->device().warp_size;
     auto plan = acquire_plan<detail::MultiwayPlanT<T>>(key, [&] {
       return std::make_shared<detail::MultiwayPlanT<T>>(certified, n_padded, warp_size);
@@ -658,15 +645,12 @@ class SortEngine {
     const std::int64_t n_padded = (report.n + tile - 1) / tile * tile;
     report.n_padded = n_padded;
 
-    MergeConfig base;
-    base.e = cfg.e;
-    base.u = cfg.u;
+    // The (op, inverse) direction bits are folded by config_digest — the
+    // same uniform helper every plan kind goes through.
     const auto kind = cfg.op == cfprims::PermuteOp::kTranspose
-                          ? detail::PlanKey::Kind::Transpose
-                          : detail::PlanKey::Kind::Permute;
-    const std::uint64_t digest =
-        detail::fnv1a(detail::kFnvOffset, cfg.inverse ? 1u : 0u);
-    const detail::PlanKey key{kind, std::type_index(typeid(T)), n_padded, digest, base};
+                          ? PlanKey::Kind::Transpose
+                          : PlanKey::Kind::Permute;
+    const PlanKey key{kind, type_digest<T>(), n_padded, 0, config_digest(cfg)};
     auto plan = acquire_plan<detail::PermutePlanT<T>>(
         key, [&] { return std::make_shared<detail::PermutePlanT<T>>(cfg, n_padded); });
     plan->load(data);
@@ -738,7 +722,7 @@ class SortEngine {
     report.per_segment.reserve(segments.size());
 
     struct Held {
-      detail::PlanKey key;
+      PlanKey key;
       std::shared_ptr<detail::SortPlanT<T>> plan;
     };
     std::vector<Held> held;
@@ -752,8 +736,8 @@ class SortEngine {
       report.elements += info.n;
       if (info.n > 0) {
         const std::int64_t n_padded = (info.n + tile - 1) / tile * tile;
-        const detail::PlanKey key{detail::PlanKey::Kind::Sort,
-                                  std::type_index(typeid(T)), n_padded, 0, certified};
+        const PlanKey key{PlanKey::Kind::Sort, type_digest<T>(), n_padded, 0,
+                          config_digest(certified)};
         auto plan = acquire_plan<detail::SortPlanT<T>>(key, [&] {
           return std::make_shared<detail::SortPlanT<T>>(certified, n_padded);
         });
@@ -807,13 +791,14 @@ class SortEngine {
     outs.assign(as.size(), {});
     if (as.empty()) return report;
 
-    std::uint64_t digest = detail::kFnvOffset;
+    std::uint64_t digest = numtheory::kFnvOffset;
     for (std::size_t p = 0; p < as.size(); ++p) {
-      digest = detail::fnv1a(digest, as[p].size());
-      digest = detail::fnv1a(digest, bs[p].size());
+      digest = numtheory::fnv1a(digest, static_cast<std::uint64_t>(as[p].size()));
+      digest = numtheory::fnv1a(digest, static_cast<std::uint64_t>(bs[p].size()));
     }
-    const detail::PlanKey key{detail::PlanKey::Kind::Batched, std::type_index(typeid(T)),
-                              static_cast<std::int64_t>(as.size()), digest, certified};
+    const PlanKey key{PlanKey::Kind::Batched, type_digest<T>(),
+                      static_cast<std::int64_t>(as.size()), digest,
+                      config_digest(certified)};
     auto plan = acquire_plan<detail::BatchedPlanT<T>>(key, [&] {
       return std::make_shared<detail::BatchedPlanT<T>>(as, bs, certified);
     });
@@ -853,9 +838,20 @@ class SortEngine {
   void set_plan_capacity(std::size_t capacity);
   [[nodiscard]] std::size_t plan_capacity() const { return capacity_; }
 
+  /// Attaches a persistent cross-process store (nullptr detaches).  On an
+  /// in-memory plan miss the engine consults the store for the key's
+  /// persisted metadata (a disk hit proves a previous process planned the
+  /// same request) and writes the metadata back after building; the
+  /// store's traffic counters surface as the EngineStats disk_* fields.
+  /// The engine does NOT own the store — the caller keeps it alive (and
+  /// calls save()) for the engine's lifetime; one store may serve several
+  /// engines and the autotuner at once.
+  void set_store(cache::PlanCacheStore* store) { store_ = store; }
+  [[nodiscard]] cache::PlanCacheStore* store() const { return store_; }
+
  private:
   struct CachedPlan {
-    detail::PlanKey key;
+    PlanKey key;
     std::shared_ptr<void> plan;
     std::uint64_t bytes = 0;
     std::uint64_t released_at = 0;
@@ -872,7 +868,7 @@ class SortEngine {
   }
 
   template <typename Plan, typename Build>
-  std::shared_ptr<Plan> acquire_plan(const detail::PlanKey& key, Build&& build) {
+  std::shared_ptr<Plan> acquire_plan(const PlanKey& key, Build&& build) {
     if (cache_enabled_) {
       for (std::size_t i = 0; i < free_plans_.size(); ++i) {
         if (free_plans_[i].key == key) {
@@ -884,21 +880,47 @@ class SortEngine {
       }
     }
     ++stats_.plan_misses;
-    return build();
+
+    // Warm-start: an attached store answers "has any process planned this
+    // exact request on this exact device before?".  The kernel graph itself
+    // cannot live on disk (its bodies capture live buffers), so a disk hit
+    // warms the metadata and the counters, not the build; the expensive
+    // persisted payload is the autotuner's (analysis/autotune.cpp), which
+    // shares this store.
+    bool persisted = false;
+    std::vector<std::byte> skey;
+    if (store_ != nullptr) {
+      skey = detail::plan_store_key(launcher_->device().digest(), key);
+      persisted = store_->lookup(skey).has_value();
+    }
+    auto plan = build();
+    if (store_ != nullptr && !persisted) {
+      cache::ByteWriter meta;
+      meta.u8(1);  // metadata record version
+      if constexpr (requires { plan->passes; }) {
+        meta.i64(plan->passes);
+      } else {
+        meta.i64(0);
+      }
+      meta.i64(key.n_padded);
+      store_->insert(skey, meta.data());
+    }
+    return plan;
   }
 
   template <typename Plan>
-  void cache_plan(const detail::PlanKey& key, std::shared_ptr<Plan> plan) {
+  void cache_plan(const PlanKey& key, std::shared_ptr<Plan> plan) {
     const std::uint64_t bytes = plan->footprint_bytes();
     release_plan(key, std::move(plan), bytes);
   }
 
-  void release_plan(const detail::PlanKey& key, std::shared_ptr<void> plan,
+  void release_plan(const PlanKey& key, std::shared_ptr<void> plan,
                     std::uint64_t bytes);
   void evict_to_capacity(std::size_t capacity);
 
   gpusim::Launcher* launcher_;
   ScratchArena arena_;
+  cache::PlanCacheStore* store_ = nullptr;  ///< optional, caller-owned
   std::vector<CachedPlan> free_plans_;  ///< idle instances, linear-scanned
   bool cache_enabled_ = true;
   std::size_t capacity_;

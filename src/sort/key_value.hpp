@@ -19,6 +19,9 @@ namespace cfmerge::sort {
 /// A key-value pair ordered (and compared) by key only.
 template <typename K, typename V>
 struct KeyValue {
+  using key_type = K;
+  using value_type = V;
+
   K key;
   V value;
 

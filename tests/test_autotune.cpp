@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
+#include "cache/store.hpp"
 #include "numtheory/numtheory.hpp"
 
 using namespace cfmerge;
@@ -73,6 +76,60 @@ TEST(Autotune, MeasureRanksByThroughput) {
     EXPECT_GE(candidates[static_cast<std::size_t>(i)].measured_throughput,
               candidates[static_cast<std::size_t>(i + 1)].measured_throughput);
     EXPECT_GT(candidates[static_cast<std::size_t>(i)].measured_throughput, 0.0);
+  }
+}
+
+TEST(Autotune, StoreMemoizesMeasurementAcrossInstances) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "cfmerge_autotune_store";
+  std::filesystem::remove_all(dir);
+
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(8, 2));
+  TuneOptions opts;
+  opts.e_min = 4;
+  opts.e_max = 6;
+  opts.u_values = {16, 32};
+
+  // First "process": measures for real and persists the ranking.
+  auto measured = enumerate_candidates(launcher.device(), opts);
+  ASSERT_GE(measured.size(), 2u);
+  {
+    cache::PlanCacheStore store(dir);
+    measure_candidates(launcher, measured, opts, /*top_k=*/3, /*tiles=*/4,
+                       /*seed=*/1, &store);
+    EXPECT_EQ(store.stats().hits, 0u);
+    EXPECT_EQ(store.stats().misses, 1u);
+    EXPECT_EQ(store.stats().writes, 1u);
+    ASSERT_TRUE(store.save());
+  }
+
+  // Second "process": a fresh store instance replays the identical ranking
+  // without running a single calibration sort (pure disk hit).
+  auto replayed = enumerate_candidates(launcher.device(), opts);
+  {
+    cache::PlanCacheStore store(dir);
+    measure_candidates(launcher, replayed, opts, /*top_k=*/3, /*tiles=*/4,
+                       /*seed=*/1, &store);
+    EXPECT_EQ(store.stats().hits, 1u);
+    EXPECT_EQ(store.stats().misses, 0u);
+    EXPECT_EQ(store.stats().writes, 0u);
+  }
+  ASSERT_EQ(replayed.size(), measured.size());
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    EXPECT_EQ(replayed[i].e, measured[i].e);
+    EXPECT_EQ(replayed[i].u, measured[i].u);
+    EXPECT_DOUBLE_EQ(replayed[i].measured_throughput, measured[i].measured_throughput);
+  }
+
+  // A different request shape (another seed) misses and re-measures.
+  auto other = enumerate_candidates(launcher.device(), opts);
+  {
+    cache::PlanCacheStore store(dir);
+    measure_candidates(launcher, other, opts, /*top_k=*/3, /*tiles=*/4,
+                       /*seed=*/2, &store);
+    EXPECT_EQ(store.stats().hits, 0u);
+    EXPECT_EQ(store.stats().misses, 1u);
+    EXPECT_EQ(store.stats().writes, 1u);
   }
 }
 

@@ -1,0 +1,58 @@
+// Tests of the shared FNV-1a helpers (numtheory/hash.hpp): the published
+// reference vectors, the little-endian folding contract that makes digests
+// byte-order independent, and agreement between the typed overloads and the
+// raw byte fold they are defined in terms of.
+#include "numtheory/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstddef>
+#include <vector>
+
+using namespace cfmerge::numtheory;
+
+TEST(Fnv1a, MatchesPublishedReferenceVectors) {
+  // Vectors from the FNV reference implementation (Fowler/Noll/Vo).
+  EXPECT_EQ(fnv1a_str(kFnvOffset, ""), kFnvOffset);
+  EXPECT_EQ(fnv1a_str(kFnvOffset, "a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a_str(kFnvOffset, "foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv1a, HelpersAreConstexpr) {
+  static_assert(fnv1a_str(kFnvOffset, "a") == 0xaf63dc4c8601ec8cull);
+  static_assert(fnv1a(kFnvOffset, std::uint64_t{42}) !=
+                fnv1a(kFnvOffset, std::uint64_t{43}));
+  SUCCEED();
+}
+
+TEST(Fnv1a, U64FoldsLeastSignificantByteFirst) {
+  const std::uint64_t v = 0x0123456789abcdefull;
+  std::uint64_t expect = kFnvOffset;
+  for (int i = 0; i < 8; ++i)
+    expect = fnv1a_byte(expect, static_cast<std::uint8_t>(v >> (8 * i)));
+  EXPECT_EQ(fnv1a(kFnvOffset, v), expect);
+}
+
+TEST(Fnv1a, SignedAndDoubleOverloadsFoldBitPatterns) {
+  EXPECT_EQ(fnv1a(kFnvOffset, std::int64_t{-1}),
+            fnv1a(kFnvOffset, std::uint64_t{0xffffffffffffffffull}));
+  EXPECT_EQ(fnv1a(kFnvOffset, 1.5),
+            fnv1a(kFnvOffset, std::bit_cast<std::uint64_t>(1.5)));
+  // -0.0 and 0.0 are distinct bit patterns, hence distinct digests.
+  EXPECT_NE(fnv1a(kFnvOffset, 0.0), fnv1a(kFnvOffset, -0.0));
+}
+
+TEST(Fnv1a, BytesAndStringAgreeOnSameContent) {
+  const std::string_view s = "plan-cache";
+  std::vector<std::byte> bytes;
+  for (const char c : s) bytes.push_back(static_cast<std::byte>(c));
+  EXPECT_EQ(fnv1a_bytes(kFnvOffset, bytes), fnv1a_str(kFnvOffset, s));
+}
+
+TEST(Fnv1a, ChainingIsOrderSensitive) {
+  const auto ab = fnv1a_str(fnv1a_str(kFnvOffset, "a"), "b");
+  const auto ba = fnv1a_str(fnv1a_str(kFnvOffset, "b"), "a");
+  EXPECT_NE(ab, ba);
+  EXPECT_EQ(ab, fnv1a_str(kFnvOffset, "ab"));
+}

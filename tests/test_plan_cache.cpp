@@ -1,0 +1,232 @@
+// Tests of the persistent plan-cache store (cache/store.hpp): round-trip
+// persistence, the robustness contract (truncated / corrupted /
+// version-mismatched files are ignored, counted, and rebuilt), LRU
+// eviction under the size cap, the two-process merge-on-save protocol,
+// and clearing.
+#include "cache/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string_view>
+#include <vector>
+
+using namespace cfmerge::cache;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// A fresh, empty directory under the test temp root.
+fs::path temp_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("cfmerge_" + name);
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::vector<std::byte> blob(std::string_view s) {
+  std::vector<std::byte> out;
+  out.reserve(s.size());
+  for (const char c : s) out.push_back(static_cast<std::byte>(c));
+  return out;
+}
+
+void flip_byte(const fs::path& file, std::size_t offset_from_start) {
+  std::fstream f(file, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.is_open());
+  f.seekg(static_cast<std::streamoff>(offset_from_start));
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x5a);
+  f.seekp(static_cast<std::streamoff>(offset_from_start));
+  f.write(&c, 1);
+}
+
+}  // namespace
+
+TEST(PlanCacheStore, PersistsAcrossInstances) {
+  const fs::path dir = temp_dir("roundtrip");
+  {
+    PlanCacheStore store(dir);
+    EXPECT_FALSE(store.lookup(blob("key-a")).has_value());
+    store.insert(blob("key-a"), blob("value-a"));
+    store.insert(blob("key-b"), blob("value-b"));
+    ASSERT_TRUE(store.save());
+    const StoreStats s = store.stats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.writes, 2u);
+    EXPECT_EQ(s.entries, 2u);
+    EXPECT_EQ(s.corrupt, 0u);
+  }
+  PlanCacheStore reopened(dir);
+  const auto a = reopened.lookup(blob("key-a"));
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, blob("value-a"));
+  const auto b = reopened.lookup(blob("key-b"));
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*b, blob("value-b"));
+  EXPECT_EQ(reopened.stats().hits, 2u);
+}
+
+TEST(PlanCacheStore, OverwriteReplacesValue) {
+  const fs::path dir = temp_dir("overwrite");
+  PlanCacheStore store(dir);
+  store.insert(blob("k"), blob("old"));
+  store.insert(blob("k"), blob("new"));
+  const auto v = store.lookup(blob("k"));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, blob("new"));
+  EXPECT_EQ(store.stats().entries, 1u);
+}
+
+TEST(PlanCacheStore, DestructorPersistsDirtyEntries) {
+  const fs::path dir = temp_dir("dtor");
+  {
+    PlanCacheStore store(dir);
+    store.insert(blob("k"), blob("v"));
+    // No explicit save(): the destructor commits best-effort.
+  }
+  PlanCacheStore reopened(dir);
+  EXPECT_TRUE(reopened.lookup(blob("k")).has_value());
+}
+
+TEST(PlanCacheStore, TruncatedFileIgnoredAndRebuilt) {
+  const fs::path dir = temp_dir("truncated");
+  {
+    PlanCacheStore store(dir);
+    store.insert(blob("k"), blob("a value long enough to truncate"));
+    ASSERT_TRUE(store.save());
+  }
+  const fs::path file = dir / PlanCacheStore::kFileName;
+  fs::resize_file(file, fs::file_size(file) / 2);
+
+  PlanCacheStore store(dir);
+  EXPECT_EQ(store.stats().corrupt, 1u);
+  EXPECT_EQ(store.stats().entries, 0u);
+  EXPECT_FALSE(store.lookup(blob("k")).has_value());
+
+  // The next save replaces the broken file with a healthy one.
+  store.insert(blob("k2"), blob("v2"));
+  ASSERT_TRUE(store.save());
+  PlanCacheStore reopened(dir);
+  EXPECT_EQ(reopened.stats().corrupt, 0u);
+  EXPECT_TRUE(reopened.lookup(blob("k2")).has_value());
+}
+
+TEST(PlanCacheStore, BadMagicVersionAndChecksumAreIgnored) {
+  const fs::path dir = temp_dir("corrupt");
+  const fs::path file = dir / PlanCacheStore::kFileName;
+  const auto write_good = [&] {
+    PlanCacheStore store(dir);
+    store.clear_entries();
+    store.insert(blob("k"), blob("v"));
+    ASSERT_TRUE(store.save());
+  };
+
+  write_good();
+  flip_byte(file, 0);  // magic
+  {
+    PlanCacheStore store(dir);
+    EXPECT_EQ(store.stats().corrupt, 1u);
+    EXPECT_EQ(store.stats().entries, 0u);
+  }
+
+  write_good();
+  flip_byte(file, 4);  // format version
+  {
+    PlanCacheStore store(dir);
+    EXPECT_EQ(store.stats().corrupt, 1u);
+    EXPECT_EQ(store.stats().entries, 0u);
+  }
+
+  write_good();
+  flip_byte(file, fs::file_size(file) - 1);  // inside the entries region
+  {
+    PlanCacheStore store(dir);
+    EXPECT_EQ(store.stats().corrupt, 1u);
+    EXPECT_EQ(store.stats().entries, 0u);
+  }
+}
+
+TEST(PlanCacheStore, EvictsLeastRecentlyUsedOverCap) {
+  const fs::path dir = temp_dir("lru");
+  // Header is 28 bytes; each 8-byte-key / 8-byte-value entry serializes to
+  // 32 bytes.  A 124-byte cap holds exactly three entries.
+  PlanCacheStore store(dir, /*max_bytes=*/124);
+  store.insert(blob("key-aaaa"), blob("val-aaaa"));
+  store.insert(blob("key-bbbb"), blob("val-bbbb"));
+  store.insert(blob("key-cccc"), blob("val-cccc"));
+  EXPECT_EQ(store.stats().evictions, 0u);
+  EXPECT_EQ(store.stats().entries, 3u);
+
+  // Touch A so B becomes the oldest, then overflow the cap.
+  EXPECT_TRUE(store.lookup(blob("key-aaaa")).has_value());
+  store.insert(blob("key-dddd"), blob("val-dddd"));
+  EXPECT_EQ(store.stats().evictions, 1u);
+  EXPECT_EQ(store.stats().entries, 3u);
+  EXPECT_TRUE(store.lookup(blob("key-aaaa")).has_value());
+  EXPECT_FALSE(store.lookup(blob("key-bbbb")).has_value());
+  EXPECT_TRUE(store.lookup(blob("key-cccc")).has_value());
+  EXPECT_TRUE(store.lookup(blob("key-dddd")).has_value());
+}
+
+TEST(PlanCacheStore, ConcurrentSavesMergeBothProcessesWrites) {
+  const fs::path dir = temp_dir("merge");
+  // Two store instances on the same path model two processes: each inserts
+  // its own entry, both save, and neither write is lost.
+  PlanCacheStore first(dir);
+  PlanCacheStore second(dir);
+  first.insert(blob("from-first"), blob("1"));
+  second.insert(blob("from-second"), blob("2"));
+  ASSERT_TRUE(first.save());
+  ASSERT_TRUE(second.save());  // merges first's entry from disk
+
+  PlanCacheStore reopened(dir);
+  EXPECT_TRUE(reopened.lookup(blob("from-first")).has_value());
+  EXPECT_TRUE(reopened.lookup(blob("from-second")).has_value());
+
+  // On a key conflict the saving process's own value wins.
+  PlanCacheStore third(dir);
+  PlanCacheStore fourth(dir);
+  third.insert(blob("shared"), blob("third"));
+  fourth.insert(blob("shared"), blob("fourth"));
+  ASSERT_TRUE(third.save());
+  ASSERT_TRUE(fourth.save());
+  PlanCacheStore last(dir);
+  const auto v = last.lookup(blob("shared"));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, blob("fourth"));
+}
+
+TEST(PlanCacheStore, ClearDeletesTheStoreFile) {
+  const fs::path dir = temp_dir("clear");
+  {
+    PlanCacheStore store(dir);
+    store.insert(blob("k"), blob("v"));
+    ASSERT_TRUE(store.save());
+  }
+  EXPECT_TRUE(fs::exists(dir / PlanCacheStore::kFileName));
+  EXPECT_TRUE(PlanCacheStore::clear(dir));
+  EXPECT_FALSE(fs::exists(dir / PlanCacheStore::kFileName));
+  // Clearing a dir with no store file succeeds too.
+  EXPECT_TRUE(PlanCacheStore::clear(dir));
+
+  PlanCacheStore reopened(dir);
+  EXPECT_EQ(reopened.stats().entries, 0u);
+  EXPECT_EQ(reopened.stats().corrupt, 0u);
+}
+
+TEST(PlanCacheStore, ClearEntriesCommitsAnEmptyStore) {
+  const fs::path dir = temp_dir("clear_entries");
+  {
+    PlanCacheStore store(dir);
+    store.insert(blob("k"), blob("v"));
+    ASSERT_TRUE(store.save());
+    store.clear_entries();
+    ASSERT_TRUE(store.save());
+  }
+  PlanCacheStore reopened(dir);
+  EXPECT_EQ(reopened.stats().entries, 0u);
+}

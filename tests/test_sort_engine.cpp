@@ -8,9 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <random>
 #include <vector>
 
+#include "cache/store.hpp"
 #include "gpusim/launcher.hpp"
 
 using namespace cfmerge;
@@ -362,6 +364,76 @@ TEST(SortEngine, EmptyAndMismatchedInputsShortCircuit) {
   const sort::EngineStats es = engine.stats();
   EXPECT_EQ(es.plan_misses, 0u);
   EXPECT_EQ(es.plan_hits, 0u);
+}
+
+TEST(SortEngine, PersistentStoreWarmStartsAColdProcess) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "cfmerge_engine_store";
+  std::filesystem::remove_all(dir);
+  const auto cfg = tiny_cfg();
+  const auto input = random_vec(16 * 5 * 3, 50);
+
+  // First "process": a fresh engine + store; every plan is a disk miss and
+  // gets written back.
+  sort::SortReport first_rep;
+  auto first_data = input;
+  {
+    Launcher launcher(DeviceSpec::tiny(8));
+    sort::SortEngine engine(launcher);
+    cache::PlanCacheStore store(dir);
+    engine.set_store(&store);
+    first_rep = engine.sort(first_data, cfg);
+    const sort::EngineStats es = engine.stats();
+    EXPECT_EQ(es.disk_hits, 0u);
+    EXPECT_EQ(es.disk_misses, 1u);
+    EXPECT_EQ(es.disk_writes, 1u);
+    ASSERT_TRUE(store.save());
+  }
+  EXPECT_TRUE(std::is_sorted(first_data.begin(), first_data.end()));
+
+  // Second "process": new engine, new store instance, same directory — the
+  // plan key is found on disk and the report is bit-identical.
+  {
+    Launcher launcher(DeviceSpec::tiny(8));
+    sort::SortEngine engine(launcher);
+    cache::PlanCacheStore store(dir);
+    engine.set_store(&store);
+    auto data = input;
+    const sort::SortReport second_rep = engine.sort(data, cfg);
+    const sort::EngineStats es = engine.stats();
+    EXPECT_GT(es.disk_hits, 0u);
+    EXPECT_EQ(es.disk_misses, 0u);
+    EXPECT_EQ(es.disk_writes, 0u);
+    EXPECT_GT(es.disk_entries, 0u);
+    EXPECT_EQ(data, first_data);
+    expect_reports_eq(second_rep, first_rep);
+  }
+
+  // A different device spec is a different digest: nothing false-hits.
+  {
+    Launcher launcher(DeviceSpec::tiny(16));
+    sort::SortEngine engine(launcher);
+    cache::PlanCacheStore store(dir);
+    engine.set_store(&store);
+    auto data = input;
+    engine.sort(data, cfg);
+    const sort::EngineStats es = engine.stats();
+    EXPECT_EQ(es.disk_hits, 0u);
+    EXPECT_GT(es.disk_misses, 0u);
+  }
+}
+
+TEST(SortEngine, StatsWithoutStoreReportZeroDiskTraffic) {
+  Launcher launcher(DeviceSpec::tiny(8));
+  sort::SortEngine engine(launcher);
+  auto data = random_vec(16 * 5 * 2, 51);
+  engine.sort(data, tiny_cfg());
+  const sort::EngineStats es = engine.stats();
+  EXPECT_EQ(es.disk_hits, 0u);
+  EXPECT_EQ(es.disk_misses, 0u);
+  EXPECT_EQ(es.disk_writes, 0u);
+  EXPECT_EQ(es.disk_entries, 0u);
+  EXPECT_EQ(es.disk_bytes, 0u);
 }
 
 TEST(SortEngine, FreeFunctionsMatchEngineRoutedCalls) {

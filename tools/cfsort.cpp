@@ -39,6 +39,24 @@
 //                                                 after the first replay a cached plan.
 //     --no-plan-cache                             disable the engine's plan cache (every
 //                                                 repeat rebuilds its kernel graph)
+//     --plan-cache-dir=PATH                       persistent cross-process plan &
+//                                                 autotune cache directory (default: the
+//                                                 CFMERGE_PLAN_CACHE_DIR environment
+//                                                 variable; unset = no persistence).
+//                                                 A second process run warm-starts from
+//                                                 it: disk hits land in the "engine"
+//                                                 stats and --tune skips measurement.
+//     --plan-cache-clear                          delete the persistent store file under
+//                                                 the cache dir, then continue (requires
+//                                                 a cache dir)
+//     --tune[=K]                                  pick (E, u) with the autotuner before
+//                                                 sorting: statically rank candidates,
+//                                                 measure the top K (default 3) with
+//                                                 calibration sorts, take the winner.
+//                                                 Overrides --e/--u.  With a cache dir,
+//                                                 the measured ranking persists and the
+//                                                 next process skips the calibration
+//                                                 sorts entirely.
 //     --no-bulk-charge                            disable the proof-guided bulk
 //                                                 accounting path (every warp access is
 //                                                 charged per lane; all counters are
@@ -61,9 +79,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <random>
 #include <string>
@@ -88,6 +108,9 @@ struct Options {
   int threads = 0;  // 0 = CFMERGE_SIM_THREADS env or sequential
   int segments = 0;  // 0 = plain sort; N >= 1 = segmented sort over N segments
   int repeat = 1;
+  std::string plan_cache_dir;  // empty = CFMERGE_PLAN_CACHE_DIR env, else none
+  bool plan_cache_clear = false;
+  int tune = 0;  // 0 = off; K >= 1 = measure the top K candidates
   bool no_plan_cache = false;
   bool no_bulk_charge = false;
   bool serial_graph = false;
@@ -107,6 +130,7 @@ struct Options {
                "              [--device=rtx2080ti|turing:SMS|tiny:W,SMS]\n"
                "              [--seed=S] [--threads=T] [--segments=N] [--serial-graph]\n"
                "              [--repeat=N] [--no-plan-cache] [--no-bulk-charge]\n"
+               "              [--plan-cache-dir=PATH] [--plan-cache-clear] [--tune[=K]]\n"
                "              [--json] [--profile]\n"
                "              [--trace=FILE] [--cf-blocksort]\n");
   std::exit(msg ? 2 : 0);
@@ -137,6 +161,10 @@ Options parse(int argc, char** argv) {
     else if (auto v = val("--segments"); !v.empty()) o.segments = std::stoi(v);
     else if (auto v = val("--repeat"); !v.empty()) o.repeat = std::stoi(v);
     else if (auto v = val("--trace"); !v.empty()) o.trace_path = v;
+    else if (auto v = val("--plan-cache-dir"); !v.empty()) o.plan_cache_dir = v;
+    else if (a == "--plan-cache-clear") o.plan_cache_clear = true;
+    else if (a == "--tune") o.tune = 3;
+    else if (auto v = val("--tune"); !v.empty()) o.tune = std::stoi(v);
     else if (a == "--no-plan-cache") o.no_plan_cache = true;
     else if (a == "--no-bulk-charge") o.no_bulk_charge = true;
     else if (a == "--serial-graph") o.serial_graph = true;
@@ -199,13 +227,51 @@ std::vector<std::vector<std::int32_t>> split_segments(const std::vector<std::int
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Options o = parse(argc, argv);
+  Options o = parse(argc, argv);  // mutable: --tune overrides o.e / o.u
   gpusim::DeviceSpec dev = make_device(o.device);
   dev.bulk_charge = !o.no_bulk_charge;
   gpusim::Launcher launcher(std::move(dev));
   launcher.set_threads(o.threads);
   gpusim::TraceSink sink;
   if (!o.trace_path.empty()) launcher.set_trace(&sink);
+
+  // Persistent plan & autotune cache: --plan-cache-dir wins, the
+  // CFMERGE_PLAN_CACHE_DIR environment variable is the fallback.
+  std::string cache_dir = o.plan_cache_dir;
+  if (cache_dir.empty()) {
+    if (const char* env = std::getenv("CFMERGE_PLAN_CACHE_DIR"); env != nullptr)
+      cache_dir = env;
+  }
+  if (o.plan_cache_clear && cache_dir.empty())
+    usage("--plan-cache-clear requires --plan-cache-dir or CFMERGE_PLAN_CACHE_DIR");
+  if (o.plan_cache_clear && !cache::PlanCacheStore::clear(cache_dir)) {
+    std::fprintf(stderr, "cfsort: cannot clear plan cache under %s\n",
+                 cache_dir.c_str());
+    return 1;
+  }
+  std::unique_ptr<cache::PlanCacheStore> store;
+  if (!cache_dir.empty()) store = std::make_unique<cache::PlanCacheStore>(cache_dir);
+
+  // --tune picks (E, u) before the workload is generated: the worst-case
+  // builder's tile rounding and the sort itself must agree on the choice.
+  if (o.tune > 0) {
+    if (o.op != "sort" || (o.algo != "cf" && o.algo != "baseline"))
+      usage("--tune requires --op=sort with --algo=cf or --algo=baseline");
+    analysis::TuneOptions topts;
+    topts.variant = o.algo == "cf" ? sort::Variant::CFMerge : sort::Variant::Baseline;
+    auto candidates = analysis::enumerate_candidates(launcher.device(), topts);
+    if (candidates.empty()) usage("--tune found no (E, u) candidate for this device");
+    analysis::measure_candidates(launcher, candidates, topts, o.tune,
+                                 /*tiles_per_candidate=*/4, o.seed, store.get());
+    o.e = candidates.front().e;
+    o.u = candidates.front().u;
+    std::fprintf(stderr,
+                 "cfsort: tuned (E, u) = (%d, %d) from %zu candidates "
+                 "(measured top %d, %.1f elements/us)\n",
+                 o.e, o.u, candidates.size(),
+                 std::min<int>(o.tune, static_cast<int>(candidates.size())),
+                 candidates.front().measured_throughput);
+  }
 
   workloads::WorkloadSpec spec;
   spec.dist = parse_dist(o.dist);
@@ -279,8 +345,20 @@ int main(int argc, char** argv) {
   // JSON report's "engine" field.
   sort::SortEngine engine(launcher);
   engine.set_plan_cache_enabled(!o.no_plan_cache);
+  if (store) engine.set_store(store.get());
   auto print_engine_stats = [&] {
     const sort::EngineStats es = engine.stats();
+    if (store)
+      std::fprintf(stderr,
+                   "cfsort: plan store hits=%llu misses=%llu writes=%llu "
+                   "evictions=%llu corrupt=%llu entries=%llu bytes=%llu\n",
+                   static_cast<unsigned long long>(es.disk_hits),
+                   static_cast<unsigned long long>(es.disk_misses),
+                   static_cast<unsigned long long>(es.disk_writes),
+                   static_cast<unsigned long long>(es.disk_evictions),
+                   static_cast<unsigned long long>(es.disk_corrupt),
+                   static_cast<unsigned long long>(es.disk_entries),
+                   static_cast<unsigned long long>(es.disk_bytes));
     if (o.repeat > 1 || o.no_plan_cache)
       std::fprintf(stderr,
                    "cfsort: plan cache hits=%llu misses=%llu hit_rate=%.3f "
@@ -443,5 +521,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cfsort: wrote %zu trace events to %s\n", sink.size(),
                  o.trace_path.c_str());
   }
+  if (store && !store->save())
+    std::fprintf(stderr, "cfsort: warning: could not persist plan cache to %s\n",
+                 store->file_path().string().c_str());
   return 0;
 }
