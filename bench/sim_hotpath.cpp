@@ -21,7 +21,11 @@
 //     (counters, phases, per-kernel timings) — since repeat 0 builds the
 //     plan and later repeats replay it, this also proves replay identity,
 //   * tracing on vs. off must not change any counter,
-//   * segmented serial vs. overlap execution must agree.
+//   * segmented serial vs. overlap execution must agree,
+//   * a fully-audited run (shadow checker replaying every lane) and an
+//     audit=certified-skip run (Pass 3 safety certificates eliding the
+//     replay for proved access families) must agree bit for bit, with a
+//     non-zero audit_skipped_accesses count on the skip side.
 // CI runs `sim_hotpath --quick` and asserts only these checks (wall
 // clock is never thresholded in CI); the committed BENCH_sim_hotpath.json
 // is the perf trajectory seed for full Release runs.
@@ -41,6 +45,7 @@
 #include "sort/merge_sort.hpp"
 #include "sort/segmented_sort.hpp"
 #include "verify/certificate.hpp"
+#include "verify/shadow.hpp"
 
 using namespace cfmerge;
 
@@ -220,6 +225,7 @@ int main(int argc, char** argv) {
     tally.arena_reuses += es.arena_reuses;
     tally.bulk_charges += es.bulk_charges;
     tally.lane_charges += es.lane_charges;
+    tally.audit_skipped_accesses += es.audit_skipped_accesses;
     // cert_* deliberately not summed: the certificate memo is process-wide,
     // so each engine snapshot reports the same cumulative numbers (taken
     // once from verify::certificate_stats() before the JSON is written).
@@ -430,6 +436,74 @@ int main(int argc, char** argv) {
           return rep;
         }));
     accumulate(engine.stats());
+  }
+
+  // --- audited merge_sort: full per-lane shadow replay vs certified-skip.
+  // The certificate-backed skip must not change a single counter, and must
+  // actually elide work (audit_skipped_accesses > 0).
+  {
+    const std::int64_t n_audit = quick ? (1 << 15) : (1 << 17);
+    const auto audit_input = random_vec(n_audit, 77);
+    sort::SortReport full_rep, skip_rep;
+    std::uint64_t skipped = 0;
+    bool audit_ok = true;
+    double full_ms = 0.0, skip_ms = 0.0;
+    {
+      verify::ShadowChecker shadow;
+      gpusim::Launcher launcher(dev());
+      launcher.set_threads(threads);
+      launcher.set_audit(&shadow);
+      sort::SortEngine engine(launcher);
+      auto data = audit_input;
+      const double t0 = now_ms();
+      full_rep = engine.sort(data, cf_cfg);
+      full_ms = now_ms() - t0;
+      if (!std::is_sorted(data.begin(), data.end())) audit_ok = false;
+      if (!shadow.summary().clean()) audit_ok = false;
+      const sort::EngineStats es = engine.stats();
+      if (es.audit_skipped_accesses != 0) audit_ok = false;  // skip mode is off
+      accumulate(es);
+    }
+    {
+      verify::ShadowChecker shadow;
+      gpusim::Launcher launcher(dev());
+      launcher.set_threads(threads);
+      launcher.set_audit(&shadow);
+      launcher.set_audit_skip(true);
+      sort::SortEngine engine(launcher);
+      auto data = audit_input;
+      const double t0 = now_ms();
+      skip_rep = engine.sort(data, cf_cfg);
+      skip_ms = now_ms() - t0;
+      if (!std::is_sorted(data.begin(), data.end())) audit_ok = false;
+      const verify::ShadowSummary sum = shadow.summary();
+      if (!sum.clean()) audit_ok = false;
+      const sort::EngineStats es = engine.stats();
+      skipped = es.audit_skipped_accesses;
+      if (skipped == 0 || sum.skipped_accesses == 0) audit_ok = false;
+      accumulate(es);
+    }
+    if (!identical(full_rep, skip_rep)) audit_ok = false;
+    CaseResult r;
+    r.name = "merge_sort/cf/audit-skip";
+    r.detail = "n=" + std::to_string(n_audit) +
+               ", audit_skipped_accesses=" + std::to_string(skipped);
+    r.elements = n_audit;
+    r.sim_microseconds = skip_rep.microseconds;
+    r.wall_ms_min = std::min(full_ms, skip_ms);
+    r.wall_ms_median = r.wall_ms_min;
+    r.wall_ms_cold = full_ms;
+    r.wall_ms_warm = skip_ms;
+    r.warm_speedup = skip_ms > 0 ? full_ms / skip_ms : 0.0;
+    r.elem_per_sec = skip_ms > 0
+                         ? static_cast<double>(n_audit) / (skip_ms / 1000.0)
+                         : 0.0;
+    r.identity_ok = audit_ok;
+    std::printf(
+        "  %-28s full %8.1f ms  skip %8.1f ms (x%4.2f)  %12llu skipped  identity %s\n",
+        r.name.c_str(), full_ms, skip_ms, r.warm_speedup,
+        static_cast<unsigned long long>(skipped), audit_ok ? "ok" : "FAIL");
+    results.push_back(r);
   }
 
   const bool all_ok =

@@ -188,6 +188,7 @@ void write_json(std::ostream& os, const sort::EngineStats& stats) {
      << ",\"bulk_charges\":" << stats.bulk_charges
      << ",\"lane_charges\":" << stats.lane_charges
      << ",\"bulk_rate\":" << stats.bulk_rate()
+     << ",\"audit_skipped_accesses\":" << stats.audit_skipped_accesses
      << ",\"cert_hits\":" << stats.cert_hits
      << ",\"cert_misses\":" << stats.cert_misses
      << ",\"certs_cached\":" << stats.certs_cached
@@ -230,7 +231,8 @@ void write_counterexample(std::ostream& os, const verify::Counterexample& cx) {
   os << "],\"round\":" << cx.round << ",\"lane1\":" << cx.lane1
      << ",\"lane2\":" << cx.lane2 << ",\"addr1\":" << cx.addr1
      << ",\"addr2\":" << cx.addr2 << ",\"bank\":" << cx.bank
-     << ",\"text\":\"" << json_escape(cx.str()) << "\"}";
+     << ",\"epoch\":" << cx.epoch << ",\"kind\":\"" << json_escape(cx.kind)
+     << "\",\"text\":\"" << json_escape(cx.str()) << "\"}";
 }
 
 void write_proof(std::ostream& os, const verify::ProofObject& p) {
@@ -312,6 +314,28 @@ void write_primitives_summary(std::ostream& os, const verify::VerifyReport& repo
   os << "]";
 }
 
+/// Per-family rollup of the Pass 3 static-safety sweep: how many shapes of
+/// each schedule family were safety-proved, how many ablation shapes were
+/// refuted, and how many refutations carry a concrete lane/epoch witness.
+void write_safety_summary(std::ostream& os, const verify::VerifyReport& report) {
+  std::map<std::string, std::array<std::int64_t, 3>> per_family;  // proved, refuted, witnesses
+  for (const auto& p : report.safety_proofs)
+    if (p.verdict == verify::Verdict::kProved) ++per_family[p.family][0];
+  for (const auto& p : report.safety_refutations) {
+    ++per_family[p.family][1];
+    if (p.verdict == verify::Verdict::kCounterexample) ++per_family[p.family][2];
+  }
+  os << "[";
+  bool first = true;
+  for (const auto& [name, counts] : per_family) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << json_escape(name) << "\",\"proved\":" << counts[0]
+       << ",\"refuted\":" << counts[1] << ",\"witnesses\":" << counts[2] << "}";
+  }
+  os << "]";
+}
+
 }  // namespace
 
 void write_json(std::ostream& os, const verify::VerifyReport& report) {
@@ -322,10 +346,16 @@ void write_json(std::ostream& os, const verify::VerifyReport& report) {
   write_proof_list(os, report.proofs);
   os << ",\"refutations\":";
   write_proof_list(os, report.refutations);
+  os << ",\"safety_proofs\":";
+  write_proof_list(os, report.safety_proofs);
+  os << ",\"safety_refutations\":";
+  write_proof_list(os, report.safety_refutations);
   os << ",\"multiway\":";
   write_multiway_summary(os, report);
   os << ",\"primitives\":";
   write_primitives_summary(os, report);
+  os << ",\"safety\":";
+  write_safety_summary(os, report);
   os << ",\"worstcase\":[";
   for (std::size_t i = 0; i < report.worstcase.size(); ++i) {
     const verify::WorstCaseAnalysis& wc = report.worstcase[i];
@@ -339,6 +369,7 @@ void write_json(std::ostream& os, const verify::VerifyReport& report) {
      << ",\"clean\":" << (report.shadow.clean() ? "true" : "false")
      << ",\"shared_accesses\":" << report.shadow.shared_accesses
      << ",\"checked_words\":" << report.shadow.checked_words
+     << ",\"skipped_accesses\":" << report.shadow.skipped_accesses
      << ",\"dropped_violations\":" << report.shadow.dropped_violations
      << ",\"violations\":[";
   for (std::size_t i = 0; i < report.shadow.violations.size(); ++i) {

@@ -24,6 +24,17 @@
 // moves the data in one fused loop — the exact counters and chains of the
 // lane path, without materializing address buffers or re-screening what the
 // verifier already proved.  A null certificate always takes the lane path.
+//
+// Certified-skip audit mode: with an auditor attached, the lane path
+// normally runs so every access is shadow-checked.  When the context is in
+// audit-skip mode (BlockContext::set_audit_skip) AND the certificate also
+// carries a Pass 3 safety token (cert->safety), the bulk path runs anyway —
+// the static bounds/init/race proof stands in for the per-lane replay — and
+// the executor reports the elided progression through
+// SharedTile::notify_certified_skip.  Counters and chains are bit-identical
+// to the fully-audited run (charge_shared_crs is exact); only the audit
+// granularity changes.  Data-dependent accesses (merge-path probes, serial
+// merge) never carry certificates and always stay on the audited lane path.
 #pragma once
 
 #include <algorithm>
@@ -36,10 +47,7 @@
 #include "gpusim/block_context.hpp"
 #include "gpusim/memory_views.hpp"
 #include "sort/cost_model.hpp"
-
-namespace cfmerge::verify {
-struct CfCertificate;
-}
+#include "verify/certificate.hpp"
 
 namespace cfmerge::cfprims {
 
@@ -57,6 +65,14 @@ inline constexpr CrsCharge kGatherCharge{sort::cost::kThreadSetupInstrs,
 /// address arithmetic only, no per-thread setup.
 inline constexpr CrsCharge kCopyCharge{0, sort::cost::kCopyChunkInstrs};
 
+/// Whether this execution may take the closed-form bulk path: certified,
+/// and either no observer needs per-lane addresses or certified-skip audit
+/// mode applies (the certificate must then carry the Pass 3 safety token).
+inline bool bulk_path(const gpusim::BlockContext& ctx,
+                      const verify::CfCertificate* cert) {
+  return cert != nullptr && ctx.bulk_shared_skip(cert->safety != nullptr);
+}
+
 /// Executes one CRS-style gather: `vwarps` virtual warps each perform
 /// `rounds` warp-wide reads of `shmem`.  `warp_of(vw)` maps the virtual
 /// warp to the physical warp that issues (and is charged for) its
@@ -69,8 +85,8 @@ void exec_crs_gather(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& shmem, in
                      const verify::CfCertificate* cert, WarpOf&& warp_of,
                      AddrOf&& addr_of, Sink&& sink) {
   assert(w <= gpusim::kMaxLanes);
-  if (cert != nullptr && ctx.bulk_shared() && rounds > 0) {
-    const std::span<const T> data = shmem.raw();
+  if (bulk_path(ctx, cert) && rounds > 0) {
+    const std::span<const T> data = std::as_const(shmem).raw();
     for (int vw = 0; vw < vwarps; ++vw) {
       const int pw = warp_of(vw);
       ctx.charge_compute(pw,
@@ -87,6 +103,11 @@ void exec_crs_gather(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& shmem, in
                                                       .active_lanes = w,
                                                       .is_write = false});
     }
+    if (ctx.audit_skipping())
+      shmem.notify_certified_skip(0, static_cast<std::int64_t>(data.size()),
+                                  static_cast<std::uint64_t>(vwarps) *
+                                      static_cast<std::uint64_t>(rounds),
+                                  w, /*is_write=*/false);
     return;
   }
   std::array<std::int64_t, gpusim::kMaxLanes> addr;
@@ -126,8 +147,11 @@ void exec_crs_scatter(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& shmem, i
                       const verify::CfCertificate* cert, WarpOf&& warp_of,
                       AddrOf&& addr_of, Source&& source) {
   assert(w <= gpusim::kMaxLanes);
-  if (cert != nullptr && ctx.bulk_shared() && rounds > 0) {
-    const std::span<T> data = shmem.raw();
+  if (bulk_path(ctx, cert) && rounds > 0) {
+    const std::span<T> data = shmem.certified_raw();
+    const bool note = ctx.audit_skipping();
+    std::int64_t lo = static_cast<std::int64_t>(data.size());
+    std::int64_t hi = -1;
     for (int vw = 0; vw < vwarps; ++vw) {
       const int pw = warp_of(vw);
       ctx.charge_compute(pw,
@@ -137,6 +161,10 @@ void exec_crs_scatter(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& shmem, i
           const std::int64_t a = addr_of(vw, lane, j);
           assert(a >= 0 && static_cast<std::size_t>(a) < data.size());
           data[static_cast<std::size_t>(a)] = source(vw, lane, j);
+          if (note) {
+            lo = std::min(lo, a);
+            hi = std::max(hi, a);
+          }
         }
       }
       ctx.charge_shared_crs(pw, gpusim::CrsAccessDesc{.rounds = rounds,
@@ -144,6 +172,11 @@ void exec_crs_scatter(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& shmem, i
                                                       .active_lanes = w,
                                                       .is_write = true});
     }
+    if (note && hi >= lo)
+      shmem.notify_certified_skip(lo, hi + 1,
+                                  static_cast<std::uint64_t>(vwarps) *
+                                      static_cast<std::uint64_t>(rounds),
+                                  w, /*is_write=*/true);
     return;
   }
   std::array<std::int64_t, gpusim::kMaxLanes> addr;
@@ -174,7 +207,7 @@ template <typename T>
 void exec_stride_gather(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& shmem, int w,
                         int rounds, int vwarps, const CrsCharge& charge,
                         const verify::CfCertificate* cert, std::span<T> regs) {
-  if (cert != nullptr && ctx.bulk_shared() && rounds > 0) {
+  if (bulk_path(ctx, cert) && rounds > 0) {
     const std::span<const T> data = std::as_const(shmem).raw();
     const auto per_warp = static_cast<std::size_t>(w) * static_cast<std::size_t>(rounds);
     for (int vw = 0; vw < vwarps; ++vw) {
@@ -190,6 +223,11 @@ void exec_stride_gather(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& shmem,
                                                       .active_lanes = w,
                                                       .is_write = false});
     }
+    if (ctx.audit_skipping())
+      shmem.notify_certified_skip(
+          0, static_cast<std::int64_t>(static_cast<std::size_t>(vwarps) * per_warp),
+          static_cast<std::uint64_t>(vwarps) * static_cast<std::uint64_t>(rounds), w,
+          /*is_write=*/false);
     return;
   }
   exec_crs_gather(
@@ -208,8 +246,8 @@ template <typename T>
 void exec_stride_scatter(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& shmem, int w,
                          int rounds, int vwarps, const CrsCharge& charge,
                          const verify::CfCertificate* cert, std::span<const T> regs) {
-  if (cert != nullptr && ctx.bulk_shared() && rounds > 0) {
-    const std::span<T> data = shmem.raw();
+  if (bulk_path(ctx, cert) && rounds > 0) {
+    const std::span<T> data = shmem.certified_raw();
     const auto per_warp = static_cast<std::size_t>(w) * static_cast<std::size_t>(rounds);
     for (int vw = 0; vw < vwarps; ++vw) {
       ctx.charge_compute(vw,
@@ -224,6 +262,11 @@ void exec_stride_scatter(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& shmem
                                                       .active_lanes = w,
                                                       .is_write = true});
     }
+    if (ctx.audit_skipping())
+      shmem.notify_certified_skip(
+          0, static_cast<std::int64_t>(static_cast<std::size_t>(vwarps) * per_warp),
+          static_cast<std::uint64_t>(vwarps) * static_cast<std::uint64_t>(rounds), w,
+          /*is_write=*/true);
     return;
   }
   exec_crs_scatter(
@@ -265,13 +308,15 @@ void exec_shared_copy(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& src,
   const int w = ctx.lanes();
   const int u = ctx.threads();
   assert(w <= gpusim::kMaxLanes);
-  if (cert != nullptr && ctx.bulk_shared() && count > 0) {
+  if (bulk_path(ctx, cert) && count > 0) {
     const std::span<const T> s = std::as_const(src).raw();
-    const std::span<T> d = dst.raw();
+    const std::span<T> d = dst.certified_raw();
+    std::uint64_t total_chunks = 0;
     for (int warp = 0; warp < ctx.warps(); ++warp) {
       const std::int64_t first = static_cast<std::int64_t>(warp) * w;
       if (first >= count) continue;
       const auto chunks = static_cast<int>((count - first + u - 1) / u);
+      total_chunks += static_cast<std::uint64_t>(chunks);
       ctx.charge_compute(warp, static_cast<std::uint64_t>(chunks) *
                                    sort::cost::kCopyChunkInstrs);
       ctx.charge_shared_crs(warp, gpusim::CrsAccessDesc{.rounds = chunks,
@@ -281,12 +326,25 @@ void exec_shared_copy(gpusim::BlockContext& ctx, gpusim::SharedTile<T>& src,
                                                         .active_lanes = w,
                                                         .is_write = true});
     }
+    const bool note = ctx.audit_skipping();
+    std::int64_t dlo = static_cast<std::int64_t>(d.size());
+    std::int64_t dhi = -1;
     for (std::int64_t t = 0; t < count; ++t) {
       const std::int64_t sa = src_of(t);
       const std::int64_t da = dst_of(t);
       assert(sa >= 0 && static_cast<std::size_t>(sa) < s.size());
       assert(da >= 0 && static_cast<std::size_t>(da) < d.size());
       d[static_cast<std::size_t>(da)] = s[static_cast<std::size_t>(sa)];
+      if (note) {
+        dlo = std::min(dlo, da);
+        dhi = std::max(dhi, da);
+      }
+    }
+    if (note) {
+      src.notify_certified_skip(0, static_cast<std::int64_t>(s.size()), total_chunks,
+                                w, /*is_write=*/false);
+      if (dhi >= dlo)
+        dst.notify_certified_skip(dlo, dhi + 1, total_chunks, w, /*is_write=*/true);
     }
     return;
   }

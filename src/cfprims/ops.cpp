@@ -23,6 +23,13 @@ AffineExpr rank_expr(int e) {
   return thread_expr().times(e) + round_expr();
 }
 
+/// Stamps the barrier-epoch / tile coordinates the safety pass consumes.
+AccessStream at(AccessStream st, int epoch, int tile) {
+  st.epoch = epoch;
+  st.tile = tile;
+  return st;
+}
+
 /// A contiguous slot-indexed read/write: phys = i over [0, domain).
 AccessStream linear_stream(std::string name, bool is_write, std::int64_t domain) {
   AccessStream st;
@@ -133,6 +140,9 @@ class CfGatherPrim final : public CFPrimitive {
   [[nodiscard]] PrimitiveLowering lower(const PrimShape& s) const override {
     PrimitiveLowering lo;
     lo.shape = s;
+    // The merge tile is staged from global by load_tile before the gather
+    // rounds read it — extern-initialized for the safety dataflow.
+    lo.tiles = {{s.tile(), /*extern_init=*/true}};
     lo.facts = {{verify::kSymU, s.w}};
     lo.delegate_cf_gather = true;
     lo.gather_variant = variant_;
@@ -159,10 +169,13 @@ class CfRankScatterPrim final : public CFPrimitive {
   [[nodiscard]] PrimitiveLowering lower(const PrimShape& s) const override {
     PrimitiveLowering lo;
     lo.shape = s;
+    // Pure output scatter: the tile is written, never read, by this stream.
+    lo.tiles = {{s.tile(), /*extern_init=*/false}};
     lo.facts = {{verify::kSymU, s.w}};
     lo.streams.push_back(
-        crs_stream("scatter", /*is_write=*/true, s, /*inverse=*/false,
-                   /*with_rho=*/true));
+        at(crs_stream("scatter", /*is_write=*/true, s, /*inverse=*/false,
+                      /*with_rho=*/true),
+           /*epoch=*/0, /*tile=*/0));
     return lo;
   }
 };
@@ -201,14 +214,29 @@ class CfPermutePrim final : public CFPrimitive {
   [[nodiscard]] PrimitiveLowering lower(const PrimShape& s) const override {
     PrimitiveLowering lo;
     lo.shape = s;
+    // Tile 0: working tile, filled from global before the streams run.
+    // Tile 1: staging tile, written by "stage" under a barrier before the
+    // CRS gather reads it.
+    lo.tiles = {{s.tile(), /*extern_init=*/true}, {s.tile(), /*extern_init=*/false}};
     lo.facts = {{verify::kSymU, s.w}};
-    lo.streams.push_back(linear_stream("load", /*is_write=*/false, s.tile()));
-    if (with_rho_)
-      lo.streams.push_back(staged_stream("stage", /*is_write=*/true, s, inverse_));
     lo.streams.push_back(
-        crs_stream("gather", /*is_write=*/false, s, inverse_, with_rho_));
+        at(linear_stream("load", /*is_write=*/false, s.tile()), /*epoch=*/0, /*tile=*/0));
+    if (with_rho_) {
+      lo.streams.push_back(
+          at(staged_stream("stage", /*is_write=*/true, s, inverse_), /*epoch=*/0,
+             /*tile=*/1));
+      lo.streams.push_back(
+          at(crs_stream("gather", /*is_write=*/false, s, inverse_, with_rho_),
+             /*epoch=*/1, /*tile=*/1));
+    } else {
+      // No staging without rho: the CRS gather reads the working tile.
+      lo.streams.push_back(
+          at(crs_stream("gather", /*is_write=*/false, s, inverse_, with_rho_),
+             /*epoch=*/0, /*tile=*/0));
+    }
     lo.streams.push_back(
-        crs_stream("scatter", /*is_write=*/true, s, inverse_, with_rho_));
+        at(crs_stream("scatter", /*is_write=*/true, s, inverse_, with_rho_),
+           /*epoch=*/1, /*tile=*/0));
     return lo;
   }
 
@@ -238,22 +266,33 @@ class CfTransposePrim final : public CFPrimitive {
   [[nodiscard]] PrimitiveLowering lower(const PrimShape& s) const override {
     PrimitiveLowering lo;
     lo.shape = s;
+    // Tile 0: working tile (extern-filled); tile 1: rho staging tile.
+    lo.tiles = {{s.tile(), /*extern_init=*/true}, {s.tile(), /*extern_init=*/false}};
     lo.facts = {{verify::kSymU, s.w}};
-    lo.streams.push_back(linear_stream("load", /*is_write=*/false, s.tile()));
+    lo.streams.push_back(
+        at(linear_stream("load", /*is_write=*/false, s.tile()), /*epoch=*/0, /*tile=*/0));
     if (!inverse_) {
       lo.streams.push_back(
-          staged_stream("stage", /*is_write=*/true, s, /*inverse=*/false));
+          at(staged_stream("stage", /*is_write=*/true, s, /*inverse=*/false),
+             /*epoch=*/0, /*tile=*/1));
       lo.streams.push_back(
-          crs_stream("gather", /*is_write=*/false, s, /*inverse=*/false,
-                     /*with_rho=*/true));
-      lo.streams.push_back(transposed_stream("scatter", /*is_write=*/true, s));
+          at(crs_stream("gather", /*is_write=*/false, s, /*inverse=*/false,
+                        /*with_rho=*/true),
+             /*epoch=*/1, /*tile=*/1));
+      lo.streams.push_back(
+          at(transposed_stream("scatter", /*is_write=*/true, s), /*epoch=*/1,
+             /*tile=*/0));
     } else {
-      lo.streams.push_back(transposed_stream("gather", /*is_write=*/false, s));
       lo.streams.push_back(
-          crs_stream("scatter", /*is_write=*/true, s, /*inverse=*/false,
-                     /*with_rho=*/true));
+          at(transposed_stream("gather", /*is_write=*/false, s), /*epoch=*/0,
+             /*tile=*/0));
       lo.streams.push_back(
-          staged_stream("unstage", /*is_write=*/false, s, /*inverse=*/false));
+          at(crs_stream("scatter", /*is_write=*/true, s, /*inverse=*/false,
+                        /*with_rho=*/true),
+             /*epoch=*/0, /*tile=*/1));
+      lo.streams.push_back(
+          at(staged_stream("unstage", /*is_write=*/false, s, /*inverse=*/false),
+             /*epoch=*/1, /*tile=*/1));
     }
     return lo;
   }
@@ -284,13 +323,18 @@ class CfStridePrim final : public CFPrimitive {
   [[nodiscard]] PrimitiveLowering lower(const PrimShape& s) const override {
     PrimitiveLowering lo;
     lo.shape = s;
+    // One extern-filled tile: thread i reads, sorts, and rewrites its own
+    // stride-E slots across a barrier.
+    lo.tiles = {{s.tile(), /*extern_init=*/true}};
     lo.facts = {{verify::kSymU, s.w}};
     lo.streams.push_back(
-        crs_stream("gather", /*is_write=*/false, s, /*inverse=*/false,
-                   /*with_rho=*/false));
+        at(crs_stream("gather", /*is_write=*/false, s, /*inverse=*/false,
+                      /*with_rho=*/false),
+           /*epoch=*/0, /*tile=*/0));
     lo.streams.push_back(
-        crs_stream("scatter", /*is_write=*/true, s, /*inverse=*/false,
-                   /*with_rho=*/false));
+        at(crs_stream("scatter", /*is_write=*/true, s, /*inverse=*/false,
+                      /*with_rho=*/false),
+           /*epoch=*/1, /*tile=*/0));
     return lo;
   }
 };
@@ -314,6 +358,7 @@ class CfStagePrim final : public CFPrimitive {
   [[nodiscard]] PrimitiveLowering lower(const PrimShape& s) const override {
     PrimitiveLowering lo;
     lo.shape = s;
+    lo.tiles = {{s.tile() + s.w, /*extern_init=*/false}};
     lo.facts = {{verify::kSymU, s.w}};
     const std::int64_t tile = s.tile();
     AccessStream up;
@@ -321,19 +366,110 @@ class CfStagePrim final : public CFPrimitive {
     up.is_write = true;
     up.rounds = s.w;
     up.domain = tile;
+    // The round index enumerates alternative base-offset classes (one copy
+    // call uses one), not coexisting rounds: race checks stay intra-round,
+    // and the two directions are alternative instances too (distinct epochs).
+    up.rounds_are_instances = true;
     up.phys = thread_expr() + round_expr();
     up.concrete = [](std::int64_t i, std::int64_t j) { return i + j; };
-    lo.streams.push_back(std::move(up));
+    lo.streams.push_back(at(std::move(up), /*epoch=*/0, /*tile=*/0));
     AccessStream down;
     down.name = "descending";
     down.is_write = true;
     down.rounds = s.w;
     down.domain = tile;
+    down.rounds_are_instances = true;
     down.phys = AffineExpr::constant(tile - 1) + round_expr() - thread_expr();
     down.concrete = [tile](std::int64_t i, std::int64_t j) {
       return tile - 1 + j - i;
     };
-    lo.streams.push_back(std::move(down));
+    lo.streams.push_back(at(std::move(down), /*epoch=*/1, /*tile=*/0));
+    return lo;
+  }
+};
+
+/// Safety ablation #1: the rank scatter with its base off by one warp
+/// window (+wE).  Bank-wise indistinguishable from cf_rank_scatter (the
+/// shift is 0 mod w), but the top warp window of every tile lands past
+/// tile_words — a bounds violation the static pass must refute with a
+/// concrete out-of-range lane.
+class CfRankScatterOffByWePrim final : public CFPrimitive {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "cf_rank_scatter_off_by_we";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "safety ablation: rank scatter with the base off by +wE — "
+           "bank-clean but out of bounds for the last warp window";
+  }
+  [[nodiscard]] bool expected_safe(int w, int e) const override {
+    (void)w;
+    (void)e;
+    return false;
+  }
+  [[nodiscard]] std::int64_t shared_footprint(const PrimShape& s) const override {
+    return s.tile();
+  }
+  [[nodiscard]] PrimitiveLowering lower(const PrimShape& s) const override {
+    PrimitiveLowering lo;
+    lo.shape = s;
+    lo.tiles = {{s.tile(), /*extern_init=*/false}};
+    lo.facts = {{verify::kSymU, s.w}};
+    const std::int64_t we = static_cast<std::int64_t>(s.w) * s.e;
+    AccessStream st =
+        crs_stream("scatter", /*is_write=*/true, s, /*inverse=*/false,
+                   /*with_rho=*/true);
+    st.phys = st.phys + AffineExpr::constant(we);
+    const auto base = st.concrete;
+    st.concrete = [base, we](std::int64_t i, std::int64_t j) {
+      return base(i, j) + we;
+    };
+    lo.streams.push_back(at(std::move(st), /*epoch=*/0, /*tile=*/0));
+    return lo;
+  }
+};
+
+/// Safety ablation #2: cf_permute with the barrier between the staging
+/// write and the CRS gather elided — the gather reads the staging tile in
+/// the same epoch the stage writes it, so no prior epoch covers the read
+/// set.  The static pass must refute init-before-read with a concrete
+/// uninitialized-word witness the ShadowChecker reproduces.
+class CfPermuteReadBeforeScatterPrim final : public CFPrimitive {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "cf_permute_read_before_scatter";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "safety ablation: permute gather reads the staging tile in the "
+           "stage write's own epoch (missing barrier) — uninitialized reads";
+  }
+  [[nodiscard]] bool expected_safe(int w, int e) const override {
+    (void)w;
+    (void)e;
+    return false;
+  }
+  [[nodiscard]] std::int64_t shared_footprint(const PrimShape& s) const override {
+    return 2 * s.tile();
+  }
+  [[nodiscard]] PrimitiveLowering lower(const PrimShape& s) const override {
+    PrimitiveLowering lo;
+    lo.shape = s;
+    lo.tiles = {{s.tile(), /*extern_init=*/true}, {s.tile(), /*extern_init=*/false}};
+    lo.facts = {{verify::kSymU, s.w}};
+    lo.streams.push_back(
+        at(linear_stream("load", /*is_write=*/false, s.tile()), /*epoch=*/0, /*tile=*/0));
+    lo.streams.push_back(
+        at(staged_stream("stage", /*is_write=*/true, s, /*inverse=*/false),
+           /*epoch=*/0, /*tile=*/1));
+    // The broken bit: epoch 0 instead of 1 — same epoch as the stage write.
+    lo.streams.push_back(
+        at(crs_stream("gather", /*is_write=*/false, s, /*inverse=*/false,
+                      /*with_rho=*/true),
+           /*epoch=*/0, /*tile=*/1));
+    lo.streams.push_back(
+        at(crs_stream("scatter", /*is_write=*/true, s, /*inverse=*/false,
+                      /*with_rho=*/true),
+           /*epoch=*/1, /*tile=*/0));
     return lo;
   }
 };
@@ -361,8 +497,18 @@ const std::vector<const CFPrimitive*>& registry() {
   return all;
 }
 
+const std::vector<const CFPrimitive*>& safety_ablations() {
+  static const CfRankScatterOffByWePrim off_by_we;
+  static const CfPermuteReadBeforeScatterPrim read_before_scatter;
+  static const std::vector<const CFPrimitive*> all = {&off_by_we,
+                                                      &read_before_scatter};
+  return all;
+}
+
 const CFPrimitive* find_primitive(std::string_view name) {
   for (const CFPrimitive* p : registry())
+    if (p->name() == name) return p;
+  for (const CFPrimitive* p : safety_ablations())
     if (p->name() == name) return p;
   return nullptr;
 }

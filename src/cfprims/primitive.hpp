@@ -62,15 +62,39 @@ struct AccessStream {
   /// periodicity step checks it, extending the exhaustive window check to
   /// every block size.  Streams over sigma-permuted slots use wE.
   std::int64_t bank_period = 0;
+  /// Barrier-epoch structure for the static safety pass (verify/safety):
+  /// streams in the same epoch run between the same pair of barriers, so
+  /// intra-epoch writes must be pairwise disjoint and reads may only depend
+  /// on writes from strictly earlier epochs.
+  int epoch = 0;
+  /// Which shared tile of PrimitiveLowering::tiles the stream touches.
+  int tile = 0;
+  /// True when the round index enumerates *alternative instances* of the
+  /// stream (e.g. cf_stage checks every base offset class mod w) rather
+  /// than successive rounds of one execution: the race check must then
+  /// compare lanes within one round only, since two rounds never coexist.
+  bool rounds_are_instances = false;
   verify::AffineExpr raw;           ///< valid iff residue_modulus > 0
   verify::AffineExpr phys;
   std::function<std::int64_t(std::int64_t, std::int64_t)> concrete;
+};
+
+/// One shared tile of a lowered primitive, as seen by the safety pass.
+struct TileSpec {
+  std::int64_t words = 0;   ///< tile extent; every address must land in [0, words)
+  /// True when the tile is filled from global memory before the lowered
+  /// streams run (the working tile of permute/transpose/stride): its words
+  /// count as initialized at epoch -1 for the init-before-read dataflow.
+  bool extern_init = false;
 };
 
 /// Result of lowering a primitive at one concrete shape.
 struct PrimitiveLowering {
   PrimShape shape;
   std::vector<AccessStream> streams;
+  /// Shared tiles referenced by AccessStream::tile; when empty the safety
+  /// pass assumes one extern-initialized tile of `shape.tile()` words.
+  std::vector<TileSpec> tiles;
   verify::SymbolFacts facts;
   /// True for the gather-family primitives whose access pattern depends on
   /// the merge-path splits: verification must run through the full
@@ -103,6 +127,14 @@ class CFPrimitive {
     (void)e;
     return true;
   }
+  /// False for the safety ablations (safety_ablations()): the static safety
+  /// pass must refute these with a concrete lane/epoch witness instead of
+  /// proving bounds / init-before-read / race-freedom.
+  [[nodiscard]] virtual bool expected_safe(int w, int e) const {
+    (void)w;
+    (void)e;
+    return true;
+  }
   /// Shared-memory footprint in elements for a block of shape `s`.
   [[nodiscard]] virtual std::int64_t shared_footprint(const PrimShape& s) const = 0;
   /// Lowers the primitive's access streams at shape `s` to the verify IR.
@@ -113,7 +145,15 @@ class CFPrimitive {
 /// then the deliberately broken ablation variants).
 [[nodiscard]] const std::vector<const CFPrimitive*>& registry();
 
-/// Registry lookup by name; nullptr when unknown.
+/// Deliberately safety-broken ablation variants (off-by-wE scatter base,
+/// read-before-scatter): kept OUT of registry() — they are bank-CRS clean
+/// but memory-unsafe, and exist only so the static safety pass
+/// (verify/safety) can demonstrate refutation with concrete lane/epoch
+/// witnesses that the dynamic ShadowChecker replays.
+[[nodiscard]] const std::vector<const CFPrimitive*>& safety_ablations();
+
+/// Registry lookup by name; nullptr when unknown.  Searches registry()
+/// first, then safety_ablations().
 [[nodiscard]] const CFPrimitive* find_primitive(std::string_view name);
 
 }  // namespace cfmerge::cfprims

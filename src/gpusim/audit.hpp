@@ -47,6 +47,25 @@ class MemoryAuditor {
 
   /// Block-wide barrier (ends a write epoch for race checking).
   virtual void on_barrier(int block) = 0;
+
+  /// A statically safety-certified access progression ran without per-lane
+  /// audit (Launcher audit=certified-skip mode): `accesses` warp-wide
+  /// accesses of `lanes` active lanes each, every address inside [lo, hi)
+  /// of the tile.  The backing Pass 3 certificate (verify/safety) proves
+  /// bounds, pairwise-disjoint writes and read coverage for the pattern, so
+  /// implementations may account the whole range at once instead of
+  /// replaying lanes.  Default: ignore.
+  virtual void on_certified_skip(int block, std::uint64_t tile_id, std::int64_t lo,
+                                 std::int64_t hi, std::uint64_t accesses, int lanes,
+                                 bool is_write) {
+    (void)block;
+    (void)tile_id;
+    (void)lo;
+    (void)hi;
+    (void)accesses;
+    (void)lanes;
+    (void)is_write;
+  }
 };
 
 }  // namespace cfmerge::gpusim

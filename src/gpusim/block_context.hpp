@@ -113,13 +113,29 @@ class BlockContext {
   /// per-transaction addresses.
   [[nodiscard]] bool bulk_global() const { return bulk_shared() && l2_ == nullptr; }
 
+  /// Certified-skip extension of bulk_shared(): closed-form shared charging
+  /// is also allowed with an auditor attached when audit-skip mode is on
+  /// AND the pattern carries a static safety certificate — the Pass 3 proof
+  /// (bounds + init-before-read + race-freedom) stands in for the per-lane
+  /// shadow replay.  Pass `cert->safety != nullptr`.
+  [[nodiscard]] bool bulk_shared_skip(bool safety_certified) const {
+    if (bulk_shared()) return true;
+    return safety_certified && audit_skip_ && audit_ != nullptr &&
+           dev_->bulk_charge && trace_ == nullptr;
+  }
+  /// True when certified accesses are currently being elided from the
+  /// per-lane audit (auditor attached + audit-skip mode on).
+  [[nodiscard]] bool audit_skipping() const {
+    return audit_ != nullptr && audit_skip_;
+  }
+
   /// Charges `desc.rounds` conflict-free warp-wide shared accesses at once.
   /// Caller must hold a certificate for the pattern and have checked
   /// bulk_shared(); every round must have at least one active lane.
   void charge_shared_crs(int warp, const CrsAccessDesc& desc) {
     assert(desc.rounds > 0 && desc.active_lanes > 0);
     assert(desc.dependent_rounds >= 0 && desc.dependent_rounds <= desc.rounds);
-    assert(bulk_shared());
+    assert(bulk_shared() || audit_skipping());
     const auto rounds = static_cast<std::uint64_t>(desc.rounds);
     current_->shared_accesses += rounds;
     current_->shared_cycles += rounds;  // conflict-free: one cycle, no replays
@@ -128,6 +144,7 @@ class BlockContext {
         (desc.rounds - desc.dependent_rounds);
     chains_[static_cast<std::size_t>(warp)] += static_cast<double>(on_chain);
     bulk_charges_ += rounds;
+    if (audit_ != nullptr) audit_skipped_ += rounds;
   }
 
   /// Charges one warp-wide global access to `n` contiguous elements
@@ -188,6 +205,13 @@ class BlockContext {
   /// The auditor is shared across blocks and must be internally synchronized.
   void set_audit(MemoryAuditor* audit) { audit_ = audit; }
   [[nodiscard]] MemoryAuditor* audit() const { return audit_; }
+  /// Enables certified-skip audit mode: accesses backed by a Pass 3 safety
+  /// certificate may bypass the per-lane audit (see bulk_shared_skip).
+  void set_audit_skip(bool on) { audit_skip_ = on; }
+  [[nodiscard]] bool audit_skip() const { return audit_skip_; }
+  /// Warp-wide accesses elided from the per-lane audit while an auditor was
+  /// attached (certified-skip mode).
+  [[nodiscard]] std::uint64_t audit_skipped() const { return audit_skipped_; }
   /// Name of the phase charges are currently attributed to (for auditors).
   [[nodiscard]] std::string_view current_phase() const { return current_phase_; }
   /// Allocation-ordered id for a new SharedTile of this block.
@@ -219,6 +243,8 @@ class BlockContext {
   TraceSink* trace_ = nullptr;
   std::int16_t trace_phase_ = -1;
   MemoryAuditor* audit_ = nullptr;
+  bool audit_skip_ = false;
+  std::uint64_t audit_skipped_ = 0;
   std::uint64_t tile_counter_ = 0;
   L2Cache* l2_ = nullptr;
   std::vector<std::int64_t> l2_scratch_;

@@ -38,6 +38,7 @@ struct BlockOutcome {
   std::size_t shared_bytes = 0;
   std::uint64_t bulk_charges = 0;
   std::uint64_t lane_charges = 0;
+  std::uint64_t audit_skipped = 0;
   std::unique_ptr<TraceSink> trace;  // only when a sink is attached
   std::exception_ptr error;
 };
@@ -59,19 +60,21 @@ struct PoolJoiner {
 
 /// Simulates one block of one kernel into its private outcome slot.
 void simulate_block(const DeviceSpec& dev, L2Cache* l2, MemoryAuditor* audit,
-                    bool tracing, const LaunchShape& shape, const KernelBody& body,
-                    int block, BlockOutcome& out) {
+                    bool audit_skip, bool tracing, const LaunchShape& shape,
+                    const KernelBody& body, int block, BlockOutcome& out) {
   if (tracing) out.trace = std::make_unique<TraceSink>();
   BlockContext ctx(dev, block, shape.blocks, shape.threads_per_block);
   ctx.set_trace(out.trace.get());
   ctx.set_l2(l2);
   ctx.set_audit(audit);
+  ctx.set_audit_skip(audit_skip);
   body(ctx);
   out.counters = ctx.counters();
   out.chain = ctx.block_chain();
   out.shared_bytes = ctx.shared_bytes();
   out.bulk_charges = ctx.bulk_charges();
   out.lane_charges = ctx.lane_charges();
+  out.audit_skipped = ctx.audit_skipped();
 }
 
 /// Deterministic reduction of one node's block outcomes in block order:
@@ -134,8 +137,9 @@ GraphReport Launcher::run(const KernelGraph& graph, GraphExec mode) {
   const bool tracing = trace_ != nullptr;
   auto simulate = [&](const WorkItem& it) {
     const auto i = static_cast<std::size_t>(it.node);
-    simulate_block(dev_, l2_.get(), audit_, tracing, nodes[i].shape, nodes[i].body,
-                   it.block, outcomes[i][static_cast<std::size_t>(it.block)]);
+    simulate_block(dev_, l2_.get(), audit_, audit_skip_, tracing, nodes[i].shape,
+                   nodes[i].body, it.block,
+                   outcomes[i][static_cast<std::size_t>(it.block)]);
   };
 
   // The L2 is one order-sensitive LRU shared by all blocks: its hits depend
@@ -230,6 +234,7 @@ GraphReport Launcher::run(const KernelGraph& graph, GraphExec mode) {
     for (const BlockOutcome& b : node_outcomes) {
       bulk_charges_ += b.bulk_charges;
       lane_charges_ += b.lane_charges;
+      audit_skipped_accesses_ += b.audit_skipped;
     }
   history_.insert(history_.end(), out.kernels.begin(), out.kernels.end());
   return out;

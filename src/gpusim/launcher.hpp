@@ -103,6 +103,15 @@ class Launcher {
   void set_audit(MemoryAuditor* audit) { audit_ = audit; }
   [[nodiscard]] MemoryAuditor* audit() const { return audit_; }
 
+  /// Enables audit=certified-skip for subsequent launches: executions whose
+  /// certificate carries a Pass 3 safety token take the bulk path even with
+  /// an auditor attached, eliding per-lane shadow replay for those accesses
+  /// (reported through MemoryAuditor::on_certified_skip instead).  Counters
+  /// stay bit-identical to the fully-audited run.  No effect without an
+  /// attached auditor.
+  void set_audit_skip(bool on) { audit_skip_ = on; }
+  [[nodiscard]] bool audit_skip() const { return audit_skip_; }
+
   /// Sets the number of host worker threads used to simulate blocks.
   ///   n >= 1  use exactly n workers (1 = sequential, the default);
   ///   n == 0  resolve from the CFMERGE_SIM_THREADS environment variable
@@ -138,6 +147,7 @@ class Launcher {
     history_.clear();
     bulk_charges_ = 0;
     lane_charges_ = 0;
+    audit_skipped_accesses_ = 0;
   }
 
   /// Accounting-path statistics summed over the history: how many warp
@@ -145,6 +155,11 @@ class Launcher {
   /// versus the per-lane reference path.  See BlockContext::charge_shared_crs.
   [[nodiscard]] std::uint64_t bulk_charges() const { return bulk_charges_; }
   [[nodiscard]] std::uint64_t lane_charges() const { return lane_charges_; }
+  /// Warp accesses elided from per-lane audit by certified-skip mode, summed
+  /// over the history (0 unless set_audit_skip(true) and an auditor attached).
+  [[nodiscard]] std::uint64_t audit_skipped_accesses() const {
+    return audit_skipped_accesses_;
+  }
 
   /// Sum of simulated kernel times in the history, microseconds.
   [[nodiscard]] double total_microseconds() const;
@@ -160,8 +175,10 @@ class Launcher {
   MemoryAuditor* audit_ = nullptr;
   int threads_ = 1;
   std::vector<KernelReport> history_;
+  bool audit_skip_ = false;
   std::uint64_t bulk_charges_ = 0;
   std::uint64_t lane_charges_ = 0;
+  std::uint64_t audit_skipped_accesses_ = 0;
 };
 
 }  // namespace cfmerge::gpusim

@@ -38,6 +38,23 @@ class SharedTile {
   }
   [[nodiscard]] std::span<const T> raw() const { return data_; }
 
+  /// Uncharged mutable access for certified bulk paths.  Unlike raw(), does
+  /// NOT mark the tile externally initialized: under certified-skip audit
+  /// the Pass 3 safety certificate stands in for per-word bookkeeping, and
+  /// callers report the elided progression via notify_certified_skip so the
+  /// shadow init state stays consistent.
+  [[nodiscard]] std::span<T> certified_raw() { return data_; }
+
+  /// Reports one certified-skip progression to the attached auditor:
+  /// `accesses` warp-wide accesses of `lanes` lanes each, all addresses in
+  /// [lo, hi).  No-op without an auditor.
+  void notify_certified_skip(std::int64_t lo, std::int64_t hi, std::uint64_t accesses,
+                             int lanes, bool is_write) {
+    if (auto* au = ctx_->audit())
+      au->on_certified_skip(ctx_->block_id(), tile_id_, lo, hi, accesses, lanes,
+                            is_write);
+  }
+
   /// Warp-wide load: out[lane] = shared[addrs[lane]] for active lanes.
   /// `scattered` marks data-dependent address patterns (performance hint
   /// only; forwarded to the bank-conflict model).

@@ -29,6 +29,7 @@ EngineStats SortEngine::stats() const {
   s.arena_reuses = arena_.reuses();
   s.bulk_charges = launcher_->bulk_charges();
   s.lane_charges = launcher_->lane_charges();
+  s.audit_skipped_accesses = launcher_->audit_skipped_accesses();
   const verify::CertificateStats cs = verify::certificate_stats();
   s.cert_hits = cs.hits;
   s.cert_misses = cs.misses;

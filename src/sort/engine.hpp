@@ -84,6 +84,7 @@ struct EngineStats {
   std::uint64_t arena_reuses = 0;    ///< arena acquires served from the pool
   std::uint64_t bulk_charges = 0;    ///< warp accesses charged in closed form
   std::uint64_t lane_charges = 0;    ///< warp accesses charged per lane
+  std::uint64_t audit_skipped_accesses = 0;  ///< audit replays elided by safety certs
   std::uint64_t cert_hits = 0;       ///< certify() calls served from the memo
   std::uint64_t cert_misses = 0;     ///< certify() calls that ran the prover
   std::uint64_t certs_cached = 0;    ///< distinct certificates held right now

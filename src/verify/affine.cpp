@@ -156,6 +156,141 @@ std::optional<LinearResidue> residue_node(const Node& n, std::int64_t m,
   return std::nullopt;
 }
 
+// ---- Symbolic interval propagation (Pass 3 bounds machinery) ------------
+
+/// The node's value when it is a pure constant expression (kConst, or
+/// kAdd/kMulC over constants); nullopt otherwise.
+std::optional<std::int64_t> const_value(const Node& n) {
+  switch (n.op) {
+    case Op::kConst: return n.c;
+    case Op::kAdd: {
+      const auto a = const_value(*n.a);
+      const auto b = const_value(*n.b);
+      if (a && b) return *a + *b;
+      return std::nullopt;
+    }
+    case Op::kMulC: {
+      const auto a = const_value(*n.a);
+      if (a) return *a * n.c;
+      return std::nullopt;
+    }
+    default: return std::nullopt;
+  }
+}
+
+/// When `n` computes base + c for a constant c (structurally: the base node
+/// itself, or kAdd of the base node and a constant expression), returns c.
+/// Pointer identity suffices: the lowerings build selects by reusing the
+/// guard's shared subtree (select(x, P, x, x − P)).
+std::optional<std::int64_t> offset_of(const Node& n, const Node* base) {
+  if (&n == base) return 0;
+  if (n.op != Op::kAdd) return std::nullopt;
+  if (n.a.get() == base)
+    if (const auto c = const_value(*n.b)) return *c;
+  if (n.b.get() == base)
+    if (const auto c = const_value(*n.a)) return *c;
+  return std::nullopt;
+}
+
+/// Provable pointwise minimum of two endpoint forms; nullopt if incomparable.
+std::optional<LinearForm> provable_min(const LinearForm& a, const LinearForm& b) {
+  if (definitely_le(a, b)) return a;
+  if (definitely_le(b, a)) return b;
+  return std::nullopt;
+}
+
+std::optional<LinearForm> provable_max(const LinearForm& a, const LinearForm& b) {
+  if (definitely_le(a, b)) return b;
+  if (definitely_le(b, a)) return a;
+  return std::nullopt;
+}
+
+/// Floor-divides a form by m when exact: every coefficient divisible by m
+/// (then floor distributes over the sum, with the constant floor-divided).
+std::optional<LinearForm> floor_div_form(const LinearForm& f, std::int64_t m) {
+  LinearForm out;
+  for (const auto& [s, c] : f.coeffs) {
+    if (c % m != 0) return std::nullopt;
+    out.coeffs[s] = c / m;
+  }
+  out.c0 = numtheory::euclid_div(f.c0, m).q;
+  return out;
+}
+
+std::optional<SymInterval> interval_node(const Node& n, const SymRanges& ranges) {
+  switch (n.op) {
+    case Op::kConst:
+      return SymInterval{LinearForm::constant(n.c), LinearForm::constant(n.c)};
+    case Op::kSym: {
+      const auto it = ranges.find(n.sym);
+      if (it == ranges.end()) return std::nullopt;
+      return it->second;
+    }
+    case Op::kAdd: {
+      const auto a = interval_node(*n.a, ranges);
+      const auto b = interval_node(*n.b, ranges);
+      if (!a || !b) return std::nullopt;
+      return SymInterval{a->lo + b->lo, a->hi + b->hi};
+    }
+    case Op::kMulC: {
+      const auto a = interval_node(*n.a, ranges);
+      if (!a) return std::nullopt;
+      if (n.c >= 0) return SymInterval{a->lo.times(n.c), a->hi.times(n.c)};
+      return SymInterval{a->hi.times(n.c), a->lo.times(n.c)};
+    }
+    case Op::kModC: {
+      const auto a = interval_node(*n.a, ranges);
+      // Exact when the inner value provably sits in the first window;
+      // otherwise the mathematical mod is still confined to [0, m−1].
+      if (a && definitely_le(LinearForm::constant(0), a->lo) &&
+          definitely_le(a->hi, LinearForm::constant(n.c - 1)))
+        return a;
+      return SymInterval{LinearForm::constant(0), LinearForm::constant(n.c - 1)};
+    }
+    case Op::kDivC: {
+      const auto a = interval_node(*n.a, ranges);
+      if (!a) return std::nullopt;
+      // floor is monotone, so floor-divided endpoints bound the image; both
+      // must be exactly divisible for the endpoints to stay linear forms.
+      const auto lo = floor_div_form(a->lo, n.c);
+      const auto hi = floor_div_form(a->hi, n.c);
+      if (!lo || !hi) return std::nullopt;
+      return SymInterval{*lo, *hi};
+    }
+    case Op::kSelect: {
+      // Guard a < b with b a constant B: branches equal to a + c (pointer-
+      // structurally) are refined by the guard — then-branch a ∈ [lo, B−1],
+      // else-branch a ∈ [B, hi] — before hulling with provable min/max.
+      const auto ia = interval_node(*n.a, ranges);
+      const auto cb = const_value(*n.b);
+      auto branch = [&](const Node& br, bool is_then) -> std::optional<SymInterval> {
+        if (ia && cb) {
+          if (const auto off = offset_of(br, n.a.get())) {
+            const LinearForm shift = LinearForm::constant(*off);
+            if (is_then) {
+              const auto hi =
+                  provable_min(ia->hi, LinearForm::constant(*cb - 1));
+              if (hi) return SymInterval{ia->lo + shift, *hi + shift};
+            } else {
+              const auto lo = provable_max(ia->lo, LinearForm::constant(*cb));
+              if (lo) return SymInterval{*lo + shift, ia->hi + shift};
+            }
+          }
+        }
+        return interval_node(br, ranges);
+      };
+      const auto t = branch(*n.t, /*is_then=*/true);
+      const auto f = branch(*n.f, /*is_then=*/false);
+      if (!t || !f) return std::nullopt;
+      const auto lo = provable_min(t->lo, f->lo);
+      const auto hi = provable_max(t->hi, f->hi);
+      if (!lo || !hi) return std::nullopt;
+      return SymInterval{*lo, *hi};
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 AffineExpr AffineExpr::constant(std::int64_t c) {
@@ -285,6 +420,19 @@ std::optional<std::int64_t> LinearForm::residue(std::int64_t m,
     if (fact == facts.end() || mod(c * fact->second, m) != 0) return std::nullopt;
   }
   return r;
+}
+
+bool definitely_le(const LinearForm& f, const LinearForm& g) {
+  const LinearForm diff = g - f;
+  if (diff.c0 < 0) return false;
+  for (const auto& [s, c] : diff.coeffs)
+    if (c < 0) return false;
+  return true;
+}
+
+std::optional<SymInterval> interval_hull(const AffineExpr& e, const SymRanges& ranges) {
+  if (!e.node_) return std::nullopt;
+  return interval_node(*e.node_, ranges);
 }
 
 std::string LinearForm::str() const {

@@ -64,6 +64,9 @@ struct LinearResidue {
 /// u·E (mod wE) once u ≡ 0 (mod w) is declared.
 using SymbolFacts = std::map<SymId, std::int64_t>;
 
+struct SymInterval;  // defined below (needs LinearForm)
+using SymRanges = std::map<SymId, SymInterval>;
+
 /// Immutable expression tree.  Cheap to copy (shared nodes).
 class AffineExpr {
  public:
@@ -103,6 +106,7 @@ class AffineExpr {
 
   friend std::optional<LinearResidue> residue_mod(const AffineExpr&, std::int64_t,
                                                   const SymbolFacts&);
+  friend std::optional<SymInterval> interval_hull(const AffineExpr&, const SymRanges&);
 };
 
 /// Congruence rewriting: derives e ≡ c0 + Σ coeff·sym (mod m), or nullopt
@@ -134,5 +138,32 @@ struct LinearForm {
                                                     const SymbolFacts& facts) const;
   [[nodiscard]] std::string str() const;
 };
+
+/// Inclusive symbolic interval [lo, hi] with LinearForm endpoints — the
+/// value type of the Pass 3 bounds derivations (verify/safety).
+struct SymInterval {
+  LinearForm lo;
+  LinearForm hi;
+};
+
+// SymRanges (declared above): per-symbol inclusive ranges handed to
+// interval_hull.  Every symbol is assumed non-negative; endpoint forms may
+// reference *other* symbols (e.g. the thread id i ranges over [0, w·M − 1]
+// with M the free block-size multiplier), which is what makes whole-family
+// bounds proofs possible.
+
+/// True when f ≤ g under every non-negative assignment of the symbols:
+/// (g − f) has a non-negative constant and non-negative coefficients.
+[[nodiscard]] bool definitely_le(const LinearForm& f, const LinearForm& g);
+
+/// Sound symbolic interval hull of `e` under the given symbol ranges, or
+/// nullopt when the expression escapes the exact rules.  The propagation is
+/// exact for const/sym/+/×c; `mod m` collapses to [0, m−1] unless the inner
+/// interval provably sits inside the first window; `div m` requires every
+/// endpoint coefficient to be divisible by m (floor distributes exactly);
+/// selects are guard-refined when a branch is the guard's left-hand side
+/// plus a constant (the ρ / ρ⁻¹ shape), then hulled with provable min/max.
+[[nodiscard]] std::optional<SymInterval> interval_hull(const AffineExpr& e,
+                                                       const SymRanges& ranges);
 
 }  // namespace cfmerge::verify

@@ -16,6 +16,7 @@
 #include "gpusim/shared_memory.hpp"
 #include "numtheory/numtheory.hpp"
 #include "verify/primitive.hpp"
+#include "verify/safety.hpp"
 #include "worstcase/builder.hpp"
 #include "worstcase/predict.hpp"
 
@@ -533,7 +534,9 @@ BitonicProfile profile_bitonic(std::int64_t tile, int w, bool padded) {
                                  static_cast<int>(p0) + l2,
                                  a1,
                                  a2,
-                                 static_cast<int>(mod(a1, w))};
+                                 static_cast<int>(mod(a1, w)),
+                                 0,
+                                 {}};
             }
           }
         }
@@ -827,6 +830,24 @@ VerifyReport verify_all(const VerifyOptions& opts) {
       if (opts.multiway)
         for (const int k : opts.ks)
           rep.proofs.push_back(verify_multiway_cascade(w, e, k, &two_way));
+      if (opts.safety) {
+        // Pass 3: memory safety of every registered primitive at (w, E),
+        // the composite schedules built from them, and witness-backed
+        // refutation of the deliberately unsafe ablations.
+        for (const cfprims::CFPrimitive* prim : cfprims::registry()) {
+          if (!prim->supports(w, e)) continue;
+          rep.safety_proofs.push_back(verify_primitive_safety(*prim, w, e));
+        }
+        rep.safety_proofs.push_back(verify_merge_safety(w, e));
+        rep.safety_proofs.push_back(verify_blocksort_safety(w, e));
+        if (opts.multiway)
+          for (const int k : opts.ks)
+            rep.safety_proofs.push_back(verify_multiway_safety(w, e, k));
+        for (const cfprims::CFPrimitive* prim : cfprims::safety_ablations()) {
+          if (!prim->supports(w, e)) continue;
+          rep.safety_refutations.push_back(verify_primitive_safety(*prim, w, e));
+        }
+      }
       if (opts.worstcase) rep.worstcase.push_back(analyze_worstcase_warp({w, e}));
     }
     if (opts.multiway && opts.broken)

@@ -97,6 +97,11 @@ struct VerifyOptions {
   /// Sweep every registered CFPrimitive through the generic lowering path
   /// (verify_primitive); when false, only the legacy cf_gather proof runs.
   bool primitives = true;
+  /// Pass 3 — static memory safety (verify/safety): bounds,
+  /// init-before-read and race-freedom for every registered primitive plus
+  /// the merge/multiway/blocksort composites, and witness-backed refutation
+  /// of the cfprims::safety_ablations().
+  bool safety = true;
   std::vector<int> ks = {2, 4, 8};  ///< merge arities for the multiway sweep
 };
 [[nodiscard]] VerifyReport verify_all(const VerifyOptions& opts = {});

@@ -8,14 +8,40 @@
 #include "cfprims/primitive.hpp"
 #include "verify/primitive.hpp"
 #include "verify/proof.hpp"
+#include "verify/safety.hpp"
 
 namespace cfmerge::verify {
 namespace {
 
+using CertKey = std::tuple<std::string, int, int>;
+
+struct SafetyStore {
+  std::mutex mu;
+  // nullptr values are negative entries: unknown / unsupported / ablation /
+  // refuted.
+  std::map<CertKey, std::unique_ptr<SafetyCertificate>> memo;
+};
+
+SafetyStore& safety_store() {
+  static SafetyStore s;
+  return s;
+}
+
+std::unique_ptr<SafetyCertificate> mint_safety(std::string_view primitive, int w,
+                                               int e) {
+  const cfprims::CFPrimitive* prim = cfprims::find_primitive(primitive);
+  if (prim == nullptr || !prim->supports(w, e)) return nullptr;
+  if (!prim->expected_safe(w, e)) return nullptr;
+  const ProofObject po = verify_primitive_safety(*prim, w, e);
+  if (!po.proved()) return nullptr;
+  return std::make_unique<SafetyCertificate>(
+      SafetyCertificate{std::string(primitive), w, e});
+}
+
 struct CertStore {
   std::mutex mu;
   // nullptr values are negative entries: unknown / unsupported / refuted.
-  std::map<std::tuple<std::string, int, int>, std::unique_ptr<CfCertificate>> memo;
+  std::map<CertKey, std::unique_ptr<CfCertificate>> memo;
   CertificateStats stats;
 };
 
@@ -30,7 +56,11 @@ std::unique_ptr<CfCertificate> mint(std::string_view primitive, int w, int e) {
   if (!prim->expected_conflict_free(w, e)) return nullptr;
   const ProofObject po = verify_primitive(*prim, w, e);
   if (!po.proved()) return nullptr;
-  return std::make_unique<CfCertificate>(CfCertificate{std::string(primitive), w, e});
+  // Attach the Pass 3 token so executors can tell "conflict-free" from
+  // "conflict-free AND statically memory-safe" (certified-skip gate).
+  const SafetyCertificate* safety = certify_safety(primitive, w, e);
+  return std::make_unique<CfCertificate>(
+      CfCertificate{std::string(primitive), w, e, safety});
 }
 
 }  // namespace
@@ -46,6 +76,15 @@ const CfCertificate* certify(std::string_view primitive, int w, int e) {
   ++s.stats.misses;
   auto [it, inserted] = s.memo.emplace(std::move(key), mint(primitive, w, e));
   s.stats.cached = s.memo.size();
+  return it->second.get();
+}
+
+const SafetyCertificate* certify_safety(std::string_view primitive, int w, int e) {
+  SafetyStore& s = safety_store();
+  std::scoped_lock lock(s.mu);
+  auto key = std::make_tuple(std::string(primitive), w, e);
+  if (auto it = s.memo.find(key); it != s.memo.end()) return it->second.get();
+  auto [it, inserted] = s.memo.emplace(std::move(key), mint_safety(primitive, w, e));
   return it->second.get();
 }
 

@@ -23,12 +23,25 @@
 
 namespace cfmerge::verify {
 
+/// One minted Pass 3 proof token: "primitive `primitive` at family (w, E)
+/// is statically memory-safe" (bounds + init-before-read + race-freedom,
+/// verify/safety.hpp).  Consumers only test the pointer for null.
+struct SafetyCertificate {
+  std::string primitive;
+  int w = 0;
+  int e = 0;
+};
+
 /// One minted proof token.  The fields identify the proof that backs it;
-/// consumers only test the pointer for null.
+/// consumers only test the pointer for null.  `safety` is the matching
+/// Pass 3 token when the static safety proof also closed (nullptr
+/// otherwise): executors may elide per-access shadow audits for the
+/// pattern only when it is set (Launcher audit=certified-skip mode).
 struct CfCertificate {
   std::string primitive;
   int w = 0;
   int e = 0;
+  const SafetyCertificate* safety = nullptr;
 };
 
 /// Counters over every certify() call in the process (for EngineStats).
@@ -42,6 +55,13 @@ struct CertificateStats {
 /// symbolic verifier on first use; nullptr when the primitive is unknown,
 /// does not support the shape, or the proof is refuted.  Thread-safe.
 [[nodiscard]] const CfCertificate* certify(std::string_view primitive, int w, int e);
+
+/// Returns the Pass 3 safety certificate for `primitive` at family (w, E),
+/// running verify_primitive_safety on first use; nullptr when the primitive
+/// is unknown, does not support the shape, is a declared safety ablation,
+/// or the proof is refuted.  Memoized like certify(); thread-safe.
+[[nodiscard]] const SafetyCertificate* certify_safety(std::string_view primitive,
+                                                      int w, int e);
 
 /// Snapshot of the process-wide memo statistics.  Thread-safe.
 [[nodiscard]] CertificateStats certificate_stats();

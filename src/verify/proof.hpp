@@ -27,6 +27,15 @@ struct ProofStep {
 
 /// A concrete bank collision: two lanes of one warp whose round-j reads land
 /// in the same bank, together with the schedule instance that produces it.
+/// The static safety pass (Pass 3) reuses the same carrier for its
+/// lane/epoch witnesses, with `kind` naming the violated property:
+///  * "out-of-bounds"       — lane1 touches addr1; the valid range is
+///                            [0, addr2) (addr2 carries tile_words);
+///  * "uninitialized-read"  — lane1 reads addr1 in `epoch` with no covering
+///                            write in any earlier epoch;
+///  * "write-write-race"    — lane1 and lane2 both write addr1 == addr2
+///                            within one epoch.
+/// An empty `kind` is the legacy Pass 1 bank-collision witness.
 struct Counterexample {
   int w = 0;
   int e = 0;
@@ -39,6 +48,8 @@ struct Counterexample {
   std::int64_t addr1 = 0;              ///< physical shared positions
   std::int64_t addr2 = 0;
   int bank = 0;
+  int epoch = 0;                       ///< barrier epoch (safety witnesses)
+  std::string kind;                    ///< safety property violated; "" = bank
 
   [[nodiscard]] std::string str() const;
 };
@@ -97,6 +108,9 @@ struct ShadowSummary {
   bool enabled = false;
   std::uint64_t shared_accesses = 0;
   std::uint64_t checked_words = 0;
+  /// Warp-wide accesses elided under audit=certified-skip (the Pass 3 safety
+  /// certificate stood in for per-lane replay).
+  std::uint64_t skipped_accesses = 0;
   std::vector<ShadowViolation> violations;  ///< capped; see dropped_violations
   std::uint64_t dropped_violations = 0;
 
@@ -112,16 +126,26 @@ struct VerifyReport {
   /// Deliberately broken / known-conflicted schedules: every entry must be
   /// refuted (non-proved); the analyzer aims for a concrete witness.
   std::vector<ProofObject> refutations;
+  /// Pass 3 — static safety (bounds, init-before-read, race-freedom).
+  /// Every registered primitive and composite schedule must be kProved here.
+  std::vector<ProofObject> safety_proofs;
+  /// Safety ablations (cfprims::safety_ablations()): every entry must be
+  /// refuted with a concrete lane/epoch witness.
+  std::vector<ProofObject> safety_refutations;
   std::vector<WorstCaseAnalysis> worstcase;
   ShadowSummary shadow;
 
   [[nodiscard]] bool all_proved() const {
     for (const auto& p : proofs)
       if (!p.proved()) return false;
+    for (const auto& p : safety_proofs)
+      if (!p.proved()) return false;
     return true;
   }
   [[nodiscard]] bool all_refuted() const {
     for (const auto& p : refutations)
+      if (p.proved()) return false;
+    for (const auto& p : safety_refutations)
       if (p.proved()) return false;
     return true;
   }

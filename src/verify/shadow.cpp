@@ -146,6 +146,31 @@ void ShadowChecker::on_barrier(int block) {
   ++epoch_[block];
 }
 
+void ShadowChecker::on_certified_skip(int block, std::uint64_t tile_id,
+                                      std::int64_t lo, std::int64_t hi,
+                                      std::uint64_t accesses, int lanes,
+                                      bool is_write) {
+  (void)lanes;
+  const std::lock_guard<std::mutex> lock(mu_);
+  summary_.skipped_accesses += accesses;
+  if (!is_write) return;
+  // Trust the Pass 3 certificate: its bounds / disjointness / coverage proof
+  // stands in for per-word bookkeeping, so mark the whole reported range
+  // written.  writer_warp -3 is excluded from the cross-warp race check, as
+  // the certificate already proved intra-epoch write disjointness.
+  const auto it = tiles_.find({block, tile_id});
+  if (it == tiles_.end()) return;
+  auto& words = it->second.words;
+  const std::int64_t epoch = epoch_[block];
+  const std::int64_t end = std::min(hi, static_cast<std::int64_t>(words.size()));
+  for (std::int64_t a = std::max<std::int64_t>(lo, 0); a < end; ++a) {
+    Word& w = words[static_cast<std::size_t>(a)];
+    w.written = true;
+    w.writer_warp = -3;
+    w.epoch = epoch;
+  }
+}
+
 ShadowSummary ShadowChecker::summary() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return summary_;

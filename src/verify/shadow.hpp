@@ -47,6 +47,9 @@ class ShadowChecker final : public gpusim::MemoryAuditor {
                         std::span<const std::int64_t> idxs, std::int64_t view_size,
                         bool is_write) override;
   void on_barrier(int block) override;
+  void on_certified_skip(int block, std::uint64_t tile_id, std::int64_t lo,
+                         std::int64_t hi, std::uint64_t accesses, int lanes,
+                         bool is_write) override;
 
   /// Snapshot of everything observed so far.
   [[nodiscard]] ShadowSummary summary() const;
@@ -56,7 +59,7 @@ class ShadowChecker final : public gpusim::MemoryAuditor {
  private:
   struct Word {
     bool written = false;
-    int writer_warp = -1;   ///< -2 = raw() escape hatch
+    int writer_warp = -1;   ///< -2 = raw() escape, -3 = certified-skip bulk
     std::int64_t epoch = -1;
   };
   struct Tile {

@@ -9,9 +9,11 @@
 #include <algorithm>
 #include <vector>
 
+#include "cfprims/primitive.hpp"
 #include "gpusim/launcher.hpp"
 #include "gpusim/memory_views.hpp"
 #include "sort/merge_sort.hpp"
+#include "verify/safety.hpp"
 
 using namespace cfmerge;
 using namespace cfmerge::verify;
@@ -166,4 +168,170 @@ TEST(Shadow, ResetKeepsEnabledDropsState) {
   EXPECT_TRUE(s.enabled);
   EXPECT_TRUE(s.clean());
   EXPECT_EQ(s.shared_accesses, 0u);
+}
+
+TEST(Shadow, NegativeGlobalViewIndexFlagged) {
+  // The GlobalView data movement asserts in-bounds, so the negative-index
+  // class is exercised through the auditor interface the hook feeds.  (-1
+  // is reserved for kInactiveLane, so the smallest representable negative
+  // index is -2.)
+  ShadowChecker checker;
+  const std::vector<std::int64_t> idxs{-2, 0, 1, gpusim::kInactiveLane};
+  checker.on_global_access(0, 0, "unit", idxs, /*view_size=*/8, /*is_write=*/false);
+  const ShadowSummary s = checker.summary();
+  EXPECT_EQ(count_kind(s, "out-of-bounds"), 1u);
+  EXPECT_EQ(s.violations.front().addr, -2);
+}
+
+TEST(Shadow, ReadOfWordInitializedOnlyViaRawEscape) {
+  // A word whose only initialization is the raw() escape hatch: reads are
+  // clean, and a later charged write must not race against the escape
+  // marker (writer -2 is not a real warp).
+  ShadowChecker checker;
+  gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(4));
+  launcher.set_audit(&checker);
+  launcher.launch("raw_escape_word", gpusim::LaunchShape{1, 8, 0, 8},
+                  [&](gpusim::BlockContext& ctx) {
+                    gpusim::SharedTile<int> tile(ctx, 8);
+                    tile.raw()[3] = 42;  // escape-hatch init, no charged write
+                    std::vector<std::int64_t> addrs{3};
+                    std::vector<int> vals(1);
+                    tile.gather(0, addrs, vals);   // read: initialized via raw
+                    tile.scatter(1, addrs, vals);  // write: no race with -2
+                  });
+  EXPECT_TRUE(checker.summary().clean());
+}
+
+TEST(Shadow, CrossWarpSameEpochWriteInactiveLaneIsNoRace) {
+  // Warp 1's scatter would collide with warp 0 on word 2 — but only through
+  // a lane that is inactive, and inactive lanes write nothing.
+  for (const bool active : {false, true}) {
+    ShadowChecker checker;
+    gpusim::Launcher launcher(gpusim::DeviceSpec::tiny(4));
+    launcher.set_audit(&checker);
+    launcher.launch("inactive_collision", gpusim::LaunchShape{1, 8, 0, 8},
+                    [&](gpusim::BlockContext& ctx) {
+                      gpusim::SharedTile<int> tile(ctx, 8);
+                      std::vector<std::int64_t> a0{0, 1, 2, 3};
+                      std::vector<int> vals{1, 2, 3, 4};
+                      tile.scatter(0, a0, vals);
+                      std::vector<std::int64_t> a1{
+                          active ? 2 : gpusim::kInactiveLane, 4, 5, 6};
+                      tile.scatter(1, a1, vals);  // same epoch, other warp
+                    });
+    const ShadowSummary s = checker.summary();
+    if (active)
+      EXPECT_EQ(count_kind(s, "write-write-race"), 1u);
+    else
+      EXPECT_TRUE(s.clean()) << s.violations.front().detail;
+  }
+}
+
+TEST(Shadow, CertifiedSkipMarksRangeWrittenAndCounts) {
+  ShadowChecker checker;
+  checker.on_shared_alloc(0, 0, 16);
+
+  // A certified bulk write covering [0, 8): trusted wholesale.
+  checker.on_certified_skip(0, 0, 0, 8, /*accesses=*/4, /*lanes=*/4,
+                            /*is_write=*/true);
+  EXPECT_EQ(checker.summary().skipped_accesses, 4u);
+
+  // Reads inside the certified range are initialized...
+  const std::vector<std::int64_t> in{0, 1, 2, 3};
+  checker.on_shared_access(0, 0, 0, "unit", in, /*is_write=*/false, 4, 0);
+  EXPECT_EQ(count_kind(checker.summary(), "uninitialized-read"), 0u);
+  // ...and a later per-lane write does not race the certificate marker.
+  const std::vector<std::int64_t> one{2};
+  checker.on_shared_access(0, 0, 5, "unit", one, /*is_write=*/true, 4, 0);
+  EXPECT_EQ(count_kind(checker.summary(), "write-write-race"), 0u);
+  // Words beyond the certified range stay uninitialized.
+  const std::vector<std::int64_t> out{12, 13};
+  checker.on_shared_access(0, 0, 0, "unit", out, /*is_write=*/false, 4, 0);
+  EXPECT_EQ(count_kind(checker.summary(), "uninitialized-read"), 2u);
+
+  // A certified read skip only counts; it marks nothing.
+  checker.on_certified_skip(0, 0, 0, 16, /*accesses=*/7, /*lanes=*/4,
+                            /*is_write=*/false);
+  EXPECT_EQ(checker.summary().skipped_accesses, 11u);
+}
+
+TEST(Shadow, StaticSafetyWitnessesReplayDynamically) {
+  // The two safety-broken ablations: the Pass 3 static analyzer refutes each
+  // with a concrete lane/epoch witness, and replaying the ablation's actual
+  // address streams (PrimitiveLowering::concrete — the same arithmetic the
+  // executors would run) through the dynamic shadow checker rediscovers the
+  // same violation kind at the same word.
+  struct Case {
+    const char* name;
+    const char* kind;
+  };
+  for (const Case c : {Case{"cf_rank_scatter_off_by_we", "out-of-bounds"},
+                       Case{"cf_permute_read_before_scatter", "uninitialized-read"}}) {
+    SCOPED_TRACE(c.name);
+    const ProofObject po = verify_primitive_safety(c.name, 8, 4);
+    ASSERT_EQ(po.verdict, Verdict::kCounterexample);
+    ASSERT_EQ(po.counterexample.kind, c.kind);
+    const Counterexample& cx = po.counterexample;
+
+    const cfprims::CFPrimitive* prim = cfprims::find_primitive(c.name);
+    ASSERT_NE(prim, nullptr);
+    const cfprims::PrimitiveLowering lo =
+        prim->lower(cfprims::PrimShape{cx.w, cx.e, cx.u, 0});
+
+    // A deliberately high violation cap: the replay passes charged_conflicts
+    // = 0, so conflict-mismatch noise must not crowd out the safety witness.
+    ShadowChecker checker(/*max_violations=*/1u << 20);
+    if (lo.tiles.empty()) {
+      checker.on_shared_alloc(0, 0, static_cast<std::size_t>(lo.shape.tile()));
+      checker.on_shared_raw(0, 0);
+    } else {
+      for (std::size_t t = 0; t < lo.tiles.size(); ++t) {
+        checker.on_shared_alloc(0, static_cast<std::uint64_t>(t),
+                                static_cast<std::size_t>(lo.tiles[t].words));
+        if (lo.tiles[t].extern_init)
+          checker.on_shared_raw(0, static_cast<std::uint64_t>(t));
+      }
+    }
+
+    // Replay epoch by epoch, warp-wide chunk by chunk, with a barrier
+    // between epochs — exactly the structure the static pass reasoned over.
+    std::vector<int> epochs;
+    for (const cfprims::AccessStream& st : lo.streams) epochs.push_back(st.epoch);
+    std::sort(epochs.begin(), epochs.end());
+    epochs.erase(std::unique(epochs.begin(), epochs.end()), epochs.end());
+    for (std::size_t t = 0; t < epochs.size(); ++t) {
+      if (t > 0) checker.on_barrier(0);
+      // Streams in the same epoch have no barrier between them, so the
+      // static pass quantifies over ALL intra-epoch interleavings.  The
+      // adversarial schedule its witness names runs the un-barriered read
+      // before the write it races with — replay reads first to realize it.
+      for (const bool writes : {false, true})
+      for (const cfprims::AccessStream& st : lo.streams) {
+        if (st.epoch != epochs[t] || st.is_write != writes) continue;
+        const int rounds = st.rounds_are_instances ? 1 : st.rounds;
+        for (int j = 0; j < rounds; ++j) {
+          for (std::int64_t base = 0; base < st.domain; base += cx.w) {
+            std::vector<std::int64_t> addrs;
+            for (std::int64_t i = base; i < std::min<std::int64_t>(base + cx.w, st.domain); ++i)
+              addrs.push_back(st.concrete(i, j));
+            // charged_conflicts is irrelevant here: the replay looks only at
+            // the safety classes, not the conflict cross-check.
+            checker.on_shared_access(0, static_cast<std::uint64_t>(st.tile),
+                                     static_cast<int>(base / cx.w), st.name, addrs,
+                                     st.is_write, cx.w, 0);
+          }
+        }
+      }
+    }
+
+    const ShadowSummary sum = checker.summary();
+    const std::size_t hits = count_kind(sum, c.kind);
+    EXPECT_GT(hits, 0u) << "dynamic replay missed the statically-proved violation";
+    // The statically-named witness word is among the dynamically flagged ones.
+    bool witness_word_seen = false;
+    for (const ShadowViolation& v : sum.violations)
+      if (v.kind == c.kind && v.addr == cx.addr1) witness_word_seen = true;
+    EXPECT_TRUE(witness_word_seen)
+        << "static witness word " << cx.addr1 << " not flagged dynamically";
+  }
 }

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""cf_lint — the raw-shared-access lint gate.
+
+Every stride-E shared-memory access pattern in kernel code is supposed to go
+through the certified executors in src/cfprims/ (exec_crs_gather and
+friends): those are the only call sites the Pass 1 conflict-freedom and
+Pass 3 safety certificates cover, and the only ones the bulk accounting /
+certified-skip audit paths can elide.  A SharedTile touched directly —
+.gather() / .scatter() / .raw() / .certified_raw() — outside src/cfprims/
+is therefore either (a) a deliberately uncertified access family (data-
+dependent serial merge, the conflicted bitonic baseline, ...) or (b) a bug
+waiting to bypass the verifier.
+
+This lint finds every such direct touch and requires it to be covered by an
+ALLOWLIST entry carrying a reason.  Unexplained touches fail the build; so
+do stale allowlist entries (zero unexplained entries, in both directions).
+
+Mechanics: for each C++ file under src/ (excluding src/cfprims/, which owns
+the executors, and src/gpusim/memory_views.hpp, which defines SharedTile),
+collect the names of variables declared with type SharedTile<...> (plain,
+reference, parameter or unique_ptr), then flag every `name.method(` /
+`name->method(` / `std::as_const(name).method(` use of a shared-access
+method on such a name.
+
+Exit status: 0 clean, 1 violations or stale allowlist, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+# Direct SharedTile methods that move data or escape the access model.
+METHODS = ("gather", "scatter", "raw", "certified_raw")
+
+# path (relative to repo root) -> {method -> reason}.  A "*" method covers
+# every method in that file.  Every entry must match at least one flagged
+# site or the lint fails (no stale suppressions).
+ALLOWLIST: dict[str, dict[str, str]] = {
+    "src/sort/serial_merge.hpp": {
+        "gather": "data-dependent serial-merge reads: addresses come from key "
+                  "comparisons, not an affine schedule, so no certificate can "
+                  "cover them; they must stay on the audited lane path",
+    },
+    "src/sort/bitonic.hpp": {
+        "*": "the deliberately conflicted bitonic baseline: its whole point "
+             "is to show what uncertified stride patterns cost",
+    },
+    "src/sort/kernels.hpp": {
+        "gather": "merge-path probe reads and padded-lane staging: "
+                  "data-dependent diagonal search, outside any affine family",
+        "scatter": "tile load/store lane path: global<->shared staging at "
+                   "stride 1/E, charged exactly, audited per lane",
+        "raw": "load/store_tile_affine bulk fast path, gated on "
+               "ctx.bulk_shared() (never taken under audit) and charged via "
+               "charge_shared_crs like the cfprims executors",
+    },
+    "src/sort/multiway_pass.hpp": {
+        "gather": "k-way cascade head reads and loser-tree baseline: "
+                  "data-dependent rank selection, outside any affine family",
+        "scatter": "cascade fill and loser-tree baseline writes: "
+                   "data-dependent ranks, audited per lane",
+    },
+    "src/gather/dual_gather.hpp": {
+        "raw": "head-flag precompute for the certified executor: a read-only "
+               "const raw() peek used to build the schedule that is then run "
+               "through cfprims::exec_crs_gather/scatter",
+    },
+}
+
+DECL_RE = re.compile(
+    r"SharedTile\s*<[^<>]*(?:<[^<>]*>)?[^<>]*>\s*>?\s*[&*]?\s*(\w+)\s*[;,)({=]"
+)
+AS_CONST_RE = re.compile(
+    r"std::as_const\(\s*(?:\*\s*)?(\w+)\s*\)\s*\.\s*(" + "|".join(METHODS) + r")\s*\("
+)
+
+
+def find_decl_names(text: str) -> set[str]:
+    return set(DECL_RE.findall(text))
+
+
+def flag_file(path: Path) -> list[tuple[int, str, str]]:
+    """Returns (line, name, method) for each direct SharedTile access."""
+    text = path.read_text()
+    names = find_decl_names(text)
+    if not names:
+        return []
+    use_re = re.compile(
+        r"(?:\*\s*)?\b(" + "|".join(re.escape(n) for n in names) + r")\b\s*"
+        r"(?:\.|->)\s*(" + "|".join(METHODS) + r")\s*\("
+    )
+    out = []
+    for i, line in enumerate(text.splitlines(), 1):
+        stripped = line.lstrip()
+        if stripped.startswith("//"):
+            continue
+        for m in use_re.finditer(line):
+            out.append((i, m.group(1), m.group(2)))
+        for m in AS_CONST_RE.finditer(line):
+            if m.group(1) in names:
+                out.append((i, m.group(1), m.group(2)))
+    return out
+
+
+def main() -> int:
+    if len(sys.argv) > 1:
+        print(__doc__)
+        return 2
+
+    files = sorted(
+        p
+        for p in SRC.rglob("*")
+        if p.suffix in (".hpp", ".cpp")
+        and "cfprims" not in p.parts
+        and p.name != "memory_views.hpp"
+    )
+
+    violations: list[str] = []
+    used_entries: set[tuple[str, str]] = set()
+    flagged_total = 0
+
+    for path in files:
+        rel = path.relative_to(REPO).as_posix()
+        allow = ALLOWLIST.get(rel, {})
+        for line, name, method in flag_file(path):
+            flagged_total += 1
+            if "*" in allow:
+                used_entries.add((rel, "*"))
+            elif method in allow:
+                used_entries.add((rel, method))
+            else:
+                violations.append(
+                    f"{rel}:{line}: direct SharedTile access `{name}.{method}()` "
+                    f"outside src/cfprims/ — route it through a cfprims::exec_* "
+                    f"executor or add an allowlist entry with a reason"
+                )
+
+    stale = [
+        f"{rel}: stale allowlist entry for `{method}` (no matching access)"
+        for rel, methods in ALLOWLIST.items()
+        for method in methods
+        if (rel, method) not in used_entries
+    ]
+
+    for v in violations:
+        print(f"cf_lint: VIOLATION {v}")
+    for s in stale:
+        print(f"cf_lint: STALE {s}")
+    ok = not violations and not stale
+    print(
+        f"cf_lint: {flagged_total} direct accesses in {len(files)} files, "
+        f"{len(violations)} unexplained, {len(stale)} stale allowlist entries "
+        f"-> {'OK' if ok else 'FAIL'}"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,6 +61,15 @@
 //                                                 accounting path (every warp access is
 //                                                 charged per lane; all counters are
 //                                                 bit-identical either way)
+//     --audit[=full|certified-skip]               attach the shadow-state checker to the
+//                                                 run (default full: every access
+//                                                 replayed per lane).  certified-skip
+//                                                 lets executions backed by a Pass 3
+//                                                 safety certificate keep the bulk path,
+//                                                 eliding their per-lane replay; the
+//                                                 elided count lands on stderr as
+//                                                 audit_skipped_accesses.  Exits 1 on
+//                                                 any shadow violation.
 //     --json                                      emit a JSON report (includes an
 //                                                 "engine" field with plan-cache stats
 //                                                 for cf/baseline runs)
@@ -113,6 +122,7 @@ struct Options {
   int tune = 0;  // 0 = off; K >= 1 = measure the top K candidates
   bool no_plan_cache = false;
   bool no_bulk_charge = false;
+  std::string audit;  // "" = off, "full", "certified-skip"
   bool serial_graph = false;
   bool json = false;
   bool profile = false;
@@ -130,6 +140,7 @@ struct Options {
                "              [--device=rtx2080ti|turing:SMS|tiny:W,SMS]\n"
                "              [--seed=S] [--threads=T] [--segments=N] [--serial-graph]\n"
                "              [--repeat=N] [--no-plan-cache] [--no-bulk-charge]\n"
+               "              [--audit[=full|certified-skip]]\n"
                "              [--plan-cache-dir=PATH] [--plan-cache-clear] [--tune[=K]]\n"
                "              [--json] [--profile]\n"
                "              [--trace=FILE] [--cf-blocksort]\n");
@@ -167,6 +178,8 @@ Options parse(int argc, char** argv) {
     else if (auto v = val("--tune"); !v.empty()) o.tune = std::stoi(v);
     else if (a == "--no-plan-cache") o.no_plan_cache = true;
     else if (a == "--no-bulk-charge") o.no_bulk_charge = true;
+    else if (a == "--audit") o.audit = "full";
+    else if (auto v = val("--audit"); !v.empty()) o.audit = v;
     else if (a == "--serial-graph") o.serial_graph = true;
     else if (a == "--json") o.json = true;
     else if (a == "--profile") o.profile = true;
@@ -234,6 +247,14 @@ int main(int argc, char** argv) {
   launcher.set_threads(o.threads);
   gpusim::TraceSink sink;
   if (!o.trace_path.empty()) launcher.set_trace(&sink);
+
+  if (!o.audit.empty() && o.audit != "full" && o.audit != "certified-skip")
+    usage(("unknown audit mode: " + o.audit + " (valid: full, certified-skip)").c_str());
+  verify::ShadowChecker shadow;
+  if (!o.audit.empty()) {
+    launcher.set_audit(&shadow);
+    launcher.set_audit_skip(o.audit == "certified-skip");
+  }
 
   // Persistent plan & autotune cache: --plan-cache-dir wins, the
   // CFMERGE_PLAN_CACHE_DIR environment variable is the fallback.
@@ -374,6 +395,29 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(es.cert_hits),
                  static_cast<unsigned long long>(es.cert_misses),
                  static_cast<unsigned long long>(es.certs_cached));
+    if (!o.audit.empty())
+      std::fprintf(stderr, "cfsort: audit mode=%s audit_skipped_accesses=%llu\n",
+                   o.audit.c_str(),
+                   static_cast<unsigned long long>(es.audit_skipped_accesses));
+  };
+
+  // Reports the shadow checker's verdict after the run; any violation is a
+  // hard failure (the auditor saw something the static proofs rule out).
+  auto check_shadow = [&]() -> int {
+    if (o.audit.empty()) return 0;
+    const verify::ShadowSummary sum = shadow.summary();
+    std::fprintf(stderr,
+                 "cfsort: shadow shared_accesses=%llu skipped_accesses=%llu "
+                 "violations=%zu\n",
+                 static_cast<unsigned long long>(sum.shared_accesses),
+                 static_cast<unsigned long long>(sum.skipped_accesses),
+                 sum.violations.size() + static_cast<std::size_t>(sum.dropped_violations));
+    if (sum.clean()) return 0;
+    for (const verify::ShadowViolation& v : sum.violations)
+      std::fprintf(stderr, "cfsort: SHADOW VIOLATION [%s] block %d warp %d %s: %s\n",
+                   v.kind.c_str(), v.block, v.warp, v.phase.c_str(),
+                   v.detail.c_str());
+    return 1;
   };
 
   if (o.op != "sort") {
@@ -510,6 +554,8 @@ int main(int argc, char** argv) {
   } else {
     usage(("unknown algorithm: " + o.algo).c_str());
   }
+
+  if (const int rc = check_shadow(); rc != 0) return rc;
 
   if (!o.trace_path.empty()) {
     std::ofstream f(o.trace_path);

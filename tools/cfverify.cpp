@@ -19,6 +19,9 @@
 //     --no-bitonic                 skip the bitonic exchange profiles
 //     --no-multiway                skip the k-way cascade proofs and the
 //                                  direct k-ary CF-claim refutations
+//     --no-safety                  skip Pass 3 (static memory safety: bounds,
+//                                  init-before-read, race-freedom + the
+//                                  safety-ablation refutations)
 //     --shadow                     also run dynamic launches (a CF merge sort
 //                                  and a Theorem 8 baseline warp merge) with
 //                                  the shared-memory shadow checker attached,
@@ -59,6 +62,7 @@ struct Options {
   bool worstcase = true;
   bool bitonic = true;
   bool multiway = true;
+  bool safety = true;
   bool shadow = false;
   bool json = false;
   bool quiet = false;
@@ -69,7 +73,8 @@ struct Options {
   std::fprintf(stderr,
                "usage: cfverify [--all] [--w=W --e=E] [--widths=4,8,...] [--ks=2,4,...]\n"
                "                [--no-broken] [--no-primitives] [--no-worstcase]\n"
-               "                [--no-bitonic] [--no-multiway] [--shadow] [--json]\n"
+               "                [--no-bitonic] [--no-multiway] [--no-safety] [--shadow]\n"
+               "                [--json]\n"
                "                [--quiet]\n");
   std::exit(msg ? 2 : 0);
 }
@@ -105,6 +110,7 @@ Options parse(int argc, char** argv) {
     else if (a == "--no-worstcase") o.worstcase = false;
     else if (a == "--no-bitonic") o.bitonic = false;
     else if (a == "--no-multiway") o.multiway = false;
+    else if (a == "--no-safety") o.safety = false;
     else if (a == "--shadow") o.shadow = true;
     else if (a == "--json") o.json = true;
     else if (a == "--quiet") o.quiet = true;
@@ -152,6 +158,22 @@ verify::VerifyReport verify_one(const Options& o) {
       if (o.broken)
         report.refutations.push_back(verify::refute_multiway_direct(o.w, o.e, k));
     }
+  if (o.safety) {
+    for (const cfprims::CFPrimitive* prim : cfprims::registry()) {
+      if (!prim->supports(o.w, o.e)) continue;
+      report.safety_proofs.push_back(verify::verify_primitive_safety(*prim, o.w, o.e));
+    }
+    report.safety_proofs.push_back(verify::verify_merge_safety(o.w, o.e));
+    report.safety_proofs.push_back(verify::verify_blocksort_safety(o.w, o.e));
+    if (o.multiway)
+      for (const int k : o.ks)
+        report.safety_proofs.push_back(verify::verify_multiway_safety(o.w, o.e, k));
+    for (const cfprims::CFPrimitive* prim : cfprims::safety_ablations()) {
+      if (!prim->supports(o.w, o.e)) continue;
+      report.safety_refutations.push_back(
+          verify::verify_primitive_safety(*prim, o.w, o.e));
+    }
+  }
   if (o.worstcase)
     report.worstcase.push_back(
         verify::analyze_worstcase_warp(worstcase::Params{o.w, o.e}));
@@ -244,6 +266,16 @@ void print_text(const verify::VerifyReport& report) {
   for (const auto& p : report.proofs) line(p, true);
   std::printf("refutations (%zu, must all be refuted):\n", report.refutations.size());
   for (const auto& p : report.refutations) line(p, false);
+  if (!report.safety_proofs.empty()) {
+    std::printf("safety proofs (%zu, must all be proved):\n",
+                report.safety_proofs.size());
+    for (const auto& p : report.safety_proofs) line(p, true);
+  }
+  if (!report.safety_refutations.empty()) {
+    std::printf("safety refutations (%zu, must all be refuted):\n",
+                report.safety_refutations.size());
+    for (const auto& p : report.safety_refutations) line(p, false);
+  }
 
   // Per-arity rollup of the k-way results (mirrors the JSON "multiway" list).
   std::map<int, std::array<long long, 3>> per_k;  // proved, refuted, witnesses
@@ -277,6 +309,21 @@ void print_text(const verify::VerifyReport& report) {
     std::printf("primitives summary (per family):\n");
     for (const auto& [name, c] : per_family)
       std::printf("  %-22s %lld shapes proved, %lld refuted (%lld with witness)\n",
+                  name.c_str(), c[0], c[1], c[2]);
+  }
+  // Per-family rollup of the Pass 3 safety sweep (mirrors the JSON
+  // "safety" list).
+  std::map<std::string, std::array<long long, 3>> per_safety;
+  for (const auto& p : report.safety_proofs)
+    if (p.verdict == verify::Verdict::kProved) ++per_safety[p.family][0];
+  for (const auto& p : report.safety_refutations) {
+    ++per_safety[p.family][1];
+    if (p.verdict == verify::Verdict::kCounterexample) ++per_safety[p.family][2];
+  }
+  if (!per_safety.empty()) {
+    std::printf("safety summary (per family):\n");
+    for (const auto& [name, c] : per_safety)
+      std::printf("  %-28s %lld shapes safety-proved, %lld refuted (%lld with witness)\n",
                   name.c_str(), c[0], c[1], c[2]);
   }
   if (!report.worstcase.empty()) {
@@ -318,6 +365,7 @@ int main(int argc, char** argv) {
     vo.worstcase = o.worstcase;
     vo.bitonic = o.bitonic;
     vo.multiway = o.multiway;
+    vo.safety = o.safety;
     vo.ks = o.ks;
     report = verify_all(vo);
   }

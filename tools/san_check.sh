@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Sanitizer harness for the simulator, one script for all three passes:
 #
 #   tools/san_check.sh thread     [build-dir]   (default: build-tsan)
@@ -20,7 +20,7 @@
 # undefined runs the whole tier-1 test suite under UBSan with
 #           -fno-sanitize-recover=all: any signed overflow, bad shift,
 #           misaligned access or invalid enum load aborts the test binary.
-set -eu
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
@@ -52,16 +52,25 @@ cmake -B "$BUILD" -S . \
   -DCFMERGE_BUILD_BENCH=OFF \
   -DCFMERGE_BUILD_EXAMPLES=OFF
 
+# Run the checks with the exit status captured explicitly, so a sanitizer
+# report (or ctest failure) provably propagates to this script's own exit
+# code and CI always sees one machine-greppable summary line either way.
+status=0
 if [ "$MODE" = undefined ]; then
   cmake --build "$BUILD" -j
   CFMERGE_SIM_THREADS=4 ctest --test-dir "$BUILD" -j"$(nproc 2>/dev/null || echo 2)" \
-    --output-on-failure
+    --output-on-failure || status=$?
 else
   # shellcheck disable=SC2086
   cmake --build "$BUILD" -j --target $TARGETS
   for t in $TARGETS; do
     echo "== $t under $MODE sanitizer (CFMERGE_SIM_THREADS=4) =="
-    CFMERGE_SIM_THREADS=4 "$BUILD/tests/$t"
+    CFMERGE_SIM_THREADS=4 "$BUILD/tests/$t" || { status=$?; break; }
   done
+fi
+
+if [ "$status" -ne 0 ]; then
+  echo "san_check $MODE: FAIL — exit $status propagated" >&2
+  exit "$status"
 fi
 echo "san_check $MODE: OK — no issues reported"
